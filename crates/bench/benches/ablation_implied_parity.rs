@@ -1,0 +1,75 @@
+//! Ablation A1 — the implied parity (§2.1).
+//!
+//! Storing S3 explicitly costs 17/10 storage; the alignment
+//! S1 + S2 + S3 = 0 lets Xorbas drop it to 16/10 ("we can therefore not
+//! store the local parity S3 and instead consider it an implied
+//! parity"). This ablation verifies what the optimization does and does
+//! not change: storage drops, distance and data-block repairs are
+//! unchanged, and global-parity repairs trade 4 reads for 5.
+
+use xorbas_bench::output::{banner, f, render_table, write_csv};
+use xorbas_core::analysis::{expected_single_repair_reads, minimum_distance};
+use xorbas_core::{ErasureCodec, Lrc, LrcSpec};
+
+fn main() {
+    banner(
+        "Ablation A1",
+        "implied parity vs stored S3 for the (10, 6, 5) LRC",
+    );
+    let implied = Lrc::xorbas_10_6_5().expect("implied-parity construction");
+    let stored: Lrc =
+        Lrc::new(LrcSpec { implied_parity: false, ..LrcSpec::XORBAS })
+            .expect("stored-parity construction");
+
+    let header = ["variant", "n", "overhead", "d", "data repair", "parity repair"];
+    let mut rows = Vec::new();
+    for (name, lrc) in [("implied S3", &implied), ("stored S3", &stored)] {
+        let d = minimum_distance(lrc.generator());
+        let data_reads = lrc.repair_plan(&[0]).unwrap().blocks_read();
+        let parity_reads = lrc.repair_plan(&[11]).unwrap().blocks_read();
+        rows.push(vec![
+            name.to_string(),
+            lrc.total_blocks().to_string(),
+            f(lrc.spec().storage_overhead(), 2),
+            d.to_string(),
+            data_reads.to_string(),
+            parity_reads.to_string(),
+        ]);
+    }
+    println!("{}", render_table(&header, &rows));
+
+    println!("expected single-repair reads by failures present:");
+    let mut csv = vec![vec![
+        "variant".to_string(),
+        "failures".to_string(),
+        "expected_reads".to_string(),
+        "light_probability".to_string(),
+    ]];
+    for (name, lrc) in [("implied", &implied), ("stored", &stored)] {
+        for failures in 1..=4 {
+            let p = expected_single_repair_reads(lrc, failures);
+            println!(
+                "  {name:<8} {failures} failure(s): {:.2} reads, light {:.0}%",
+                p.expected_reads,
+                p.light_probability * 100.0
+            );
+            csv.push(vec![
+                name.to_string(),
+                failures.to_string(),
+                f(p.expected_reads, 3),
+                f(p.light_probability, 3),
+            ]);
+        }
+    }
+
+    let implied_overhead = implied.spec().storage_overhead();
+    let stored_overhead = stored.spec().storage_overhead();
+    println!(
+        "\nstorage saved by the implied parity: {:.2}x -> {:.2}x (one block per stripe)",
+        stored_overhead, implied_overhead
+    );
+    assert!(implied_overhead < stored_overhead);
+    assert_eq!(minimum_distance(implied.generator()), 5);
+    assert_eq!(minimum_distance(stored.generator()), 5);
+    write_csv("ablation_implied_parity.csv", &csv);
+}

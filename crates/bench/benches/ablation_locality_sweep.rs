@@ -1,0 +1,73 @@
+//! Ablation A2 — the locality/distance trade-off (Theorem 2).
+//!
+//! Sweeps the group size `r` for k = 12 data blocks and 4 global
+//! parities, measuring the exact distance of each construction against
+//! the bound `d <= n - ceil(k/r) - k + 2`, and — where the appendix's
+//! `(r+1) | n` assumption holds — cross-checking achievability on the
+//! information flow graph (Lemma 2).
+
+use xorbas_bench::output::{banner, render_table, write_csv};
+use xorbas_core::analysis::minimum_distance;
+use xorbas_core::bounds::lrc_distance_bound;
+use xorbas_core::{ErasureCodec, Lrc, LrcSpec};
+use xorbas_flowgraph::{all_collectors_feasible, GadgetParams};
+
+fn main() {
+    banner(
+        "Ablation A2",
+        "distance vs locality for k = 12, 4 global parities (Theorem-2 bound)",
+    );
+    let k = 12;
+    let g = 4;
+    let header = [
+        "r",
+        "n",
+        "overhead",
+        "repair reads",
+        "distance",
+        "Thm-2 bound",
+        "flow-graph check",
+    ];
+    let mut rows = Vec::new();
+    let mut csv = vec![header.iter().map(|s| s.to_string()).collect::<Vec<_>>()];
+    for r in [2usize, 3, 4, 6, 12] {
+        let spec = LrcSpec {
+            k,
+            global_parities: g,
+            group_size: r,
+            implied_parity: true,
+        };
+        let lrc: Lrc = Lrc::new(spec).expect("valid spec");
+        let n = lrc.total_blocks();
+        let d = minimum_distance(lrc.generator());
+        let bound = lrc_distance_bound(n, k, r);
+        assert!(d <= bound, "distance must respect Theorem 2");
+        let reads = lrc.repair_plan(&[0]).unwrap().blocks_read();
+        // The appendix gadget needs (r+1) | n with non-overlapping
+        // groups; check achievability at this d where applicable.
+        let flow = if n % (r + 1) == 0 {
+            let feasible = all_collectors_feasible(GadgetParams { k, n, r, d });
+            if feasible { "feasible" } else { "infeasible" }.to_string()
+        } else {
+            "n/a ((r+1) !| n)".to_string()
+        };
+        let row = vec![
+            r.to_string(),
+            n.to_string(),
+            format!("{:.2}", lrc.spec().storage_overhead()),
+            reads.to_string(),
+            d.to_string(),
+            bound.to_string(),
+            flow,
+        ];
+        csv.push(row.clone());
+        rows.push(row);
+    }
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "reading the table: small r = cheap repairs but more parities and\n\
+         lower distance headroom; r = k recovers MDS-style behaviour — the\n\
+         new intermediate operating point of §1.1 is the middle rows."
+    );
+    write_csv("ablation_locality_sweep.csv", &csv);
+}

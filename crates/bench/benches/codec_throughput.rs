@@ -1,0 +1,87 @@
+//! Ablation A4 — codec CPU cost (criterion micro-benchmarks).
+//!
+//! §5.2.3 concludes from the CPU plots that "HDFS RS and Xorbas have
+//! very similar CPU requirements". These benches measure the arithmetic
+//! behind that claim: stripe encoding, light (XOR) repair, heavy
+//! (Vandermonde-solve) repair, and the GF(2^8) bulk kernel they sit on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use xorbas_core::{ErasureCodec, Lrc, ReedSolomon};
+use xorbas_gf::slice_ops::mul_acc;
+use xorbas_gf::Gf256;
+
+const BLOCK: usize = 1 << 20; // 1 MiB payloads
+
+fn sample_data(k: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|i| (0..BLOCK).map(|j| ((i * 31 + j * 7 + 13) % 256) as u8).collect())
+        .collect()
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf256_kernel");
+    g.throughput(Throughput::Bytes(BLOCK as u64));
+    let src = vec![0xA5u8; BLOCK];
+    let mut dst = vec![0x5Au8; BLOCK];
+    let coeff = Gf256::from(0x1D);
+    g.bench_function("mul_acc_1MiB", |b| {
+        b.iter(|| mul_acc(black_box(&mut dst), black_box(&src), coeff))
+    });
+    g.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let rs: ReedSolomon = ReedSolomon::new(10, 4).unwrap();
+    let lrc = Lrc::xorbas_10_6_5().unwrap();
+    let data = sample_data(10);
+    let mut g = c.benchmark_group("encode_stripe_10x1MiB");
+    g.throughput(Throughput::Bytes((10 * BLOCK) as u64));
+    g.sample_size(20);
+    g.bench_function("rs_10_4", |b| {
+        b.iter(|| rs.encode_stripe(black_box(&data)).unwrap())
+    });
+    g.bench_function("lrc_10_6_5", |b| {
+        b.iter(|| lrc.encode_stripe(black_box(&data)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_repair(c: &mut Criterion) {
+    let rs: ReedSolomon = ReedSolomon::new(10, 4).unwrap();
+    let lrc = Lrc::xorbas_10_6_5().unwrap();
+    let rs_stripe = rs.encode_stripe(&sample_data(10)).unwrap();
+    let lrc_stripe = lrc.encode_stripe(&sample_data(10)).unwrap();
+    let mut g = c.benchmark_group("repair_single_block_1MiB");
+    g.throughput(Throughput::Bytes(BLOCK as u64));
+    g.sample_size(20);
+    g.bench_function("rs_heavy_decode", |b| {
+        b.iter(|| {
+            let mut shards: Vec<Option<Vec<u8>>> =
+                rs_stripe.iter().cloned().map(Some).collect();
+            shards[3] = None;
+            rs.reconstruct(black_box(&mut shards)).unwrap()
+        })
+    });
+    g.bench_function("lrc_light_decode", |b| {
+        b.iter(|| {
+            let mut shards: Vec<Option<Vec<u8>>> =
+                lrc_stripe.iter().cloned().map(Some).collect();
+            shards[3] = None;
+            lrc.reconstruct(black_box(&mut shards)).unwrap()
+        })
+    });
+    g.bench_function("lrc_heavy_decode_two_in_group", |b| {
+        b.iter(|| {
+            let mut shards: Vec<Option<Vec<u8>>> =
+                lrc_stripe.iter().cloned().map(Some).collect();
+            shards[2] = None;
+            shards[3] = None;
+            lrc.reconstruct(black_box(&mut shards)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel, bench_encode, bench_repair);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Extension E-§1.1 — node decommissioning as a scheduled repair.
+//!
+//! §1.1 reason #2 for fast repairs: draining a node classically streams
+//! every block through its single NIC ("complicated and time
+//! consuming"); with cheap local repairs, blocks can instead be
+//! re-created from their repair groups in parallel, never touching the
+//! retiring node. This harness measures drain time and bytes moved for
+//! the classical copy-out vs repair-based drains under RS and LRC.
+
+use xorbas_bench::output::{banner, f, render_table, write_csv};
+use xorbas_core::CodeSpec;
+use xorbas_sim::{SimConfig, SimTime, Simulation};
+
+struct DrainResult {
+    label: String,
+    minutes: f64,
+    gb_read: f64,
+    blocks_moved: usize,
+}
+
+fn drain(code: CodeSpec, via_repair: bool) -> DrainResult {
+    let mut cfg = SimConfig::ec2(code);
+    cfg.cluster.nodes = 30;
+    cfg.seed = 0xDEC0;
+    let mut sim = Simulation::new(cfg);
+    for i in 0..60 {
+        sim.load_raided_file(&format!("f{i}"), 10);
+    }
+    let victim = sim.pick_victims(1)[0];
+    let blocks_moved = sim.hdfs.blocks_on(victim).len();
+    sim.decommission_node_at(SimTime::from_secs(1), victim, via_repair);
+    let start = sim.clock;
+    sim.run_until_idle(SimTime::from_mins(1_000_000));
+    assert!(sim.is_drained(victim), "drain must complete");
+    assert!(sim.hdfs.lost_blocks().is_empty());
+    DrainResult {
+        label: format!(
+            "{} / {}",
+            code.name(),
+            if via_repair { "repair-based" } else { "copy-out" }
+        ),
+        minutes: (sim.clock.saturating_sub(start)).as_mins_f64(),
+        gb_read: sim.metrics.snapshot().hdfs_bytes_read / 1e9,
+        blocks_moved,
+    }
+}
+
+fn main() {
+    banner(
+        "§1.1 extension",
+        "decommissioning one DataNode: classical drain vs scheduled repair",
+    );
+    let results = vec![
+        drain(CodeSpec::RS_10_4, false),
+        drain(CodeSpec::RS_10_4, true),
+        drain(CodeSpec::LRC_10_6_5, false),
+        drain(CodeSpec::LRC_10_6_5, true),
+    ];
+    let header = ["strategy", "blocks", "GB read", "drain (min)"];
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                r.blocks_moved.to_string(),
+                f(r.gb_read, 1),
+                f(r.minutes, 1),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "copy-out is cheapest in bytes but serializes on the retiring\n\
+         node's NIC; repair-based drains parallelize across the cluster.\n\
+         With an LRC the parallel drain costs only 5x reads (vs 10x+ for\n\
+         RS), making 'decommissioning as scheduled repair' (§1.1) cheap."
+    );
+    let mut csv = vec![header.iter().map(|s| s.to_string()).collect::<Vec<_>>()];
+    csv.extend(rows);
+    write_csv("decommission.csv", &csv);
+}

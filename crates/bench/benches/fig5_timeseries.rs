@@ -1,0 +1,84 @@
+//! Figure 5 — cluster network traffic (a), disk bytes read (b) and mean
+//! CPU utilization (c) at 5-minute resolution during the failure-event
+//! sequence of the 200-file EC2 experiment.
+
+use xorbas_bench::output::{banner, write_csv};
+use xorbas_core::CodeSpec;
+use xorbas_sim::experiment::ec2_experiment;
+
+fn spark(series: &[f64]) -> String {
+    let max = series.iter().fold(0.0f64, |a, &b| a.max(b)).max(1e-12);
+    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#'];
+    series
+        .iter()
+        .map(|&v| glyphs[((v / max) * (glyphs.len() - 1) as f64).round() as usize])
+        .collect()
+}
+
+fn main() {
+    banner(
+        "Figure 5",
+        "5-minute time series during the EC2 failure sequence (RS vs Xorbas)",
+    );
+    let seed = 0x0500;
+    let rs = ec2_experiment(CodeSpec::RS_10_4, 200, seed);
+    let lrc = ec2_experiment(CodeSpec::LRC_10_6_5, 200, seed);
+
+    let len = rs
+        .network_series_gb
+        .len()
+        .max(lrc.network_series_gb.len())
+        .max(rs.cpu_series.len())
+        .max(lrc.cpu_series.len());
+    let pad = |s: &[f64]| {
+        let mut v = s.to_vec();
+        v.resize(len, 0.0);
+        v
+    };
+    let (rs_net, lrc_net) = (pad(&rs.network_series_gb), pad(&lrc.network_series_gb));
+    let (rs_disk, lrc_disk) = (pad(&rs.disk_series_gb), pad(&lrc.disk_series_gb));
+    let (rs_cpu, lrc_cpu) = (pad(&rs.cpu_series), pad(&lrc.cpu_series));
+
+    println!("(a) network traffic, GB per 5-minute bucket");
+    println!("  RS     |{}|", spark(&rs_net));
+    println!("  Xorbas |{}|", spark(&lrc_net));
+    println!(
+        "  peaks: RS {:.1} GB, Xorbas {:.1} GB",
+        rs_net.iter().fold(0.0f64, |a, &b| a.max(b)),
+        lrc_net.iter().fold(0.0f64, |a, &b| a.max(b)),
+    );
+    println!("(b) disk bytes read, GB per bucket");
+    println!("  RS     |{}|", spark(&rs_disk));
+    println!("  Xorbas |{}|", spark(&lrc_disk));
+    println!("(c) mean CPU utilization");
+    println!("  RS     |{}|", spark(&rs_cpu));
+    println!("  Xorbas |{}|", spark(&lrc_cpu));
+    let rs_total: f64 = rs_net.iter().sum();
+    let lrc_total: f64 = lrc_net.iter().sum();
+    println!(
+        "\ntotal network: RS {rs_total:.1} GB vs Xorbas {lrc_total:.1} GB \
+         (paper: Xorbas moves roughly half the bytes)"
+    );
+
+    let mut csv = vec![vec![
+        "bucket_5min".to_string(),
+        "rs_net_gb".to_string(),
+        "xorbas_net_gb".to_string(),
+        "rs_disk_gb".to_string(),
+        "xorbas_disk_gb".to_string(),
+        "rs_cpu".to_string(),
+        "xorbas_cpu".to_string(),
+    ]];
+    for i in 0..len {
+        csv.push(vec![
+            i.to_string(),
+            format!("{:.3}", rs_net[i]),
+            format!("{:.3}", lrc_net[i]),
+            format!("{:.3}", rs_disk[i]),
+            format!("{:.3}", lrc_disk[i]),
+            format!("{:.3}", rs_cpu[i]),
+            format!("{:.3}", lrc_cpu[i]),
+        ]);
+    }
+    write_csv("fig5_timeseries.csv", &csv);
+}

@@ -1,0 +1,90 @@
+//! Figure 6 — HDFS bytes read (a), network traffic (b) and repair
+//! duration (c) versus number of lost blocks, pooled over the 50-, 100-
+//! and 200-file EC2 experiments, with least-squares fits.
+//!
+//! The paper's headline numbers live here: the fitted slopes correspond
+//! to ~11.5 blocks read per lost block for RS versus ~5.8 for Xorbas —
+//! the 2x repair saving.
+
+use xorbas_bench::linfit::least_squares;
+use xorbas_bench::output::{banner, f, render_table, write_csv};
+use xorbas_bench::paper::FIG6_BLOCKS_READ_PER_LOST;
+use xorbas_core::CodeSpec;
+use xorbas_sim::experiment::{ec2_experiment, Ec2ExperimentResult};
+
+fn pooled(code: CodeSpec) -> Vec<Ec2ExperimentResult> {
+    [50usize, 100, 200]
+        .iter()
+        .map(|&files| ec2_experiment(code, files, 0x0600 + files as u64))
+        .collect()
+}
+
+fn main() {
+    banner(
+        "Figure 6",
+        "metrics vs blocks lost across the 50/100/200-file experiments + linear fits",
+    );
+    let block_gb = 64.0 * (1 << 20) as f64 / 1e9; // 64 MB in GB
+    let mut csv = vec![vec![
+        "scheme".to_string(),
+        "files".to_string(),
+        "blocks_lost".to_string(),
+        "hdfs_gb".to_string(),
+        "net_gb".to_string(),
+        "minutes".to_string(),
+    ]];
+    let mut fits = Vec::new();
+    for code in [CodeSpec::RS_10_4, CodeSpec::LRC_10_6_5] {
+        let runs = pooled(code);
+        let mut read_pts = Vec::new();
+        let mut net_pts = Vec::new();
+        let mut dur_pts = Vec::new();
+        for run in &runs {
+            for (lost, gb, net, min) in run.scatter_points() {
+                read_pts.push((lost as f64, gb));
+                net_pts.push((lost as f64, net));
+                dur_pts.push((lost as f64, min));
+                csv.push(vec![
+                    run.scheme.clone(),
+                    run.files.to_string(),
+                    lost.to_string(),
+                    f(gb, 2),
+                    f(net, 2),
+                    f(min, 2),
+                ]);
+            }
+        }
+        let read_fit = least_squares(&read_pts);
+        let net_fit = least_squares(&net_pts);
+        let dur_fit = least_squares(&dur_pts);
+        fits.push((code.name(), read_fit, net_fit, dur_fit));
+    }
+
+    let header = ["scheme", "read GB/block", "blocks/block", "net GB/block", "min/block", "r2(read)"];
+    let rows: Vec<Vec<String>> = fits
+        .iter()
+        .map(|(name, read, net, dur)| {
+            vec![
+                name.clone(),
+                f(read.slope, 3),
+                f(read.slope / block_gb, 2),
+                f(net.slope, 3),
+                f(dur.slope, 3),
+                f(read.r2, 3),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&header, &rows));
+
+    let rs_blocks = fits[0].1.slope / block_gb;
+    let lrc_blocks = fits[1].1.slope / block_gb;
+    println!(
+        "blocks read per lost block: RS {:.1}, Xorbas {:.1} (paper: {:.1}, {:.1})",
+        rs_blocks, lrc_blocks, FIG6_BLOCKS_READ_PER_LOST.0, FIG6_BLOCKS_READ_PER_LOST.1
+    );
+    println!(
+        "repair-read saving: {:.2}x (paper: ~2x)",
+        rs_blocks / lrc_blocks
+    );
+    write_csv("fig6_scaling.csv", &csv);
+}

@@ -1,0 +1,75 @@
+//! Table 1 — storage overhead, repair traffic and MTTDL of
+//! 3-replication, RS (10,4) and LRC (10,6,5) under the §4 Markov model.
+//!
+//! The per-state expected repair reads (the quantity whose derivation
+//! the paper skips "due to lack of space") are computed by exact
+//! enumeration against the real codecs; see EXPERIMENTS.md for the
+//! calibration discussion.
+
+use xorbas_bench::output::{banner, write_csv};
+use xorbas_reliability::{format_table1, table1, ClusterParams, PAPER_TABLE1_MTTDL_DAYS};
+
+fn main() {
+    banner(
+        "Table 1",
+        "comparison of 3-replication, RS (10,4), LRC (10,6,5) — MTTDL via Markov model",
+    );
+    let params = ClusterParams::facebook();
+    println!(
+        "parameters: N = {} nodes, C = {:.0} PB, B = {:.0} MB, 1/λ = {:.0} y, γ = {:.0} Gbps\n",
+        params.nodes,
+        params.total_data_bytes / 1e15,
+        params.block_bytes / 1e6,
+        params.node_mttf_days / 365.0,
+        params.cross_rack_bps / 1e9,
+    );
+    let rows = table1(&params);
+    println!("{}", format_table1(&rows));
+
+    println!("per-state expected repair reads (exact enumeration):");
+    for row in &rows {
+        println!(
+            "  {:<16} states 1..{}: {:?}  (light-decoder probability {:?})",
+            row.name,
+            row.distance - 1,
+            row.repair_reads_per_state
+                .iter()
+                .map(|r| (r * 100.0).round() / 100.0)
+                .collect::<Vec<_>>(),
+            row.light_probability_per_state
+                .iter()
+                .map(|p| (p * 100.0).round() / 100.0)
+                .collect::<Vec<_>>(),
+        );
+    }
+    println!();
+    println!(
+        "shape checks: MTTDL(rep) < MTTDL(RS) < MTTDL(LRC): {} — LRC gains {:.2} zeros over RS",
+        rows[0].mttdl_days < rows[1].mttdl_days && rows[1].mttdl_days < rows[2].mttdl_days,
+        rows[2].zeros_over(&rows[1]),
+    );
+    println!(
+        "replication row matches the paper closely ({:.4e} vs paper {:.4e});",
+        rows[0].mttdl_days, PAPER_TABLE1_MTTDL_DAYS[0]
+    );
+    println!("coded rows differ in absolute value (unpublished repair-rate derivation —");
+    println!("see EXPERIMENTS.md E3); ordering and >=10^3x coded-vs-replication gaps hold.");
+
+    let mut csv = vec![vec![
+        "scheme".to_string(),
+        "storage_overhead".to_string(),
+        "repair_traffic".to_string(),
+        "mttdl_days".to_string(),
+        "paper_mttdl_days".to_string(),
+    ]];
+    for (i, row) in rows.iter().enumerate() {
+        csv.push(vec![
+            row.name.clone(),
+            format!("{}", row.storage_overhead),
+            format!("{}", row.repair_traffic),
+            format!("{:.4e}", row.mttdl_days),
+            format!("{:.4e}", PAPER_TABLE1_MTTDL_DAYS[i]),
+        ]);
+    }
+    write_csv("table1_reliability.csv", &csv);
+}

@@ -1,0 +1,98 @@
+//! Table 3 — the §5.3 Facebook test-cluster experiment: 3262 mostly
+//! 3-block files (256 MB blocks), one DataNode terminated, repeated for
+//! HDFS-RS and HDFS-Xorbas.
+
+use xorbas_bench::output::{banner, f, render_table, write_csv};
+use xorbas_bench::paper::{TABLE3_RS, TABLE3_STORAGE_OVERHEAD_VS_RS, TABLE3_XORBAS};
+use xorbas_core::CodeSpec;
+use xorbas_sim::experiment::facebook_experiment;
+
+fn main() {
+    banner(
+        "Table 3",
+        "Facebook test cluster: 3262 small files, one DataNode terminated",
+    );
+    let rs = facebook_experiment(CodeSpec::RS_10_4, 0xFB01);
+    let lrc = facebook_experiment(CodeSpec::LRC_10_6_5, 0xFB02);
+
+    let header = [
+        "scheme",
+        "blocks lost",
+        "GB read",
+        "GB/block",
+        "duration (min)",
+    ];
+    let rows = vec![
+        vec![
+            rs.scheme.clone(),
+            rs.blocks_lost.to_string(),
+            f(rs.gb_read, 1),
+            f(rs.gb_per_lost_block, 3),
+            f(rs.repair_minutes, 1),
+        ],
+        vec![
+            lrc.scheme.clone(),
+            lrc.blocks_lost.to_string(),
+            f(lrc.gb_read, 1),
+            f(lrc.gb_per_lost_block, 3),
+            f(lrc.repair_minutes, 1),
+        ],
+        vec![
+            "paper RS".to_string(),
+            TABLE3_RS.0.to_string(),
+            f(TABLE3_RS.1, 1),
+            f(TABLE3_RS.2, 3),
+            f(TABLE3_RS.3, 1),
+        ],
+        vec![
+            "paper Xorbas".to_string(),
+            TABLE3_XORBAS.0.to_string(),
+            f(TABLE3_XORBAS.1, 1),
+            f(TABLE3_XORBAS.2, 3),
+            f(TABLE3_XORBAS.3, 1),
+        ],
+    ];
+    println!("{}", render_table(&header, &rows));
+
+    let storage_overhead = lrc.stored_blocks as f64 / rs.stored_blocks as f64 - 1.0;
+    println!(
+        "stored blocks: RS {} vs Xorbas {} (+{:.1}%; paper: +{:.0}% due to \
+         padded local parities on small files)",
+        rs.stored_blocks,
+        lrc.stored_blocks,
+        storage_overhead * 100.0,
+        TABLE3_STORAGE_OVERHEAD_VS_RS * 100.0
+    );
+    println!(
+        "shape checks: Xorbas GB/block < RS GB/block: {}; Xorbas faster: {}",
+        lrc.gb_per_lost_block < rs.gb_per_lost_block,
+        lrc.repair_minutes < rs.repair_minutes,
+    );
+
+    write_csv(
+        "table3_facebook.csv",
+        &[
+            vec![
+                "scheme".to_string(),
+                "blocks_lost".to_string(),
+                "gb_read".to_string(),
+                "gb_per_block".to_string(),
+                "minutes".to_string(),
+            ],
+            vec![
+                rs.scheme,
+                rs.blocks_lost.to_string(),
+                f(rs.gb_read, 2),
+                f(rs.gb_per_lost_block, 3),
+                f(rs.repair_minutes, 2),
+            ],
+            vec![
+                lrc.scheme,
+                lrc.blocks_lost.to_string(),
+                f(lrc.gb_read, 2),
+                f(lrc.gb_per_lost_block, 3),
+                f(lrc.repair_minutes, 2),
+            ],
+        ],
+    );
+}

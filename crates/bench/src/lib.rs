@@ -1,0 +1,14 @@
+//! Shared plumbing for the per-table / per-figure experiment harnesses.
+//!
+//! Each `[[bench]]` target in this crate regenerates one artifact of the
+//! paper's evaluation (see DESIGN.md §3 for the index), printing the
+//! same rows/series the paper reports — with the paper's own numbers
+//! alongside where available — and writing CSV under
+//! `target/paper_results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod linfit;
+pub mod output;
+pub mod paper;

@@ -1,0 +1,77 @@
+//! Ordinary least-squares line fitting (the Fig.-6 "linear least squares
+//! fitting curve").
+
+/// A fitted line `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+/// Fits a line through `(x, y)` points. Panics with fewer than 2 points
+/// or zero x-variance.
+pub fn least_squares(points: &[(f64, f64)]) -> LineFit {
+    assert!(points.len() >= 2, "need at least two points to fit a line");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "x values are degenerate");
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - slope * p.0 - intercept).powi(2))
+        .sum();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    LineFit { slope, intercept, r2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> =
+            (0..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let fit = least_squares(&pts);
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept - 2.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_fits_reasonably() {
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 0.5 } else { -0.5 };
+                (x, 2.0 * x + 1.0 + noise)
+            })
+            .collect();
+        let fit = least_squares(&pts);
+        assert!((fit.slope - 2.0).abs() < 0.05);
+        assert!(fit.r2 > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_rejected() {
+        let _ = least_squares(&[(1.0, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn vertical_line_rejected() {
+        let _ = least_squares(&[(1.0, 2.0), (1.0, 3.0)]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Harness output helpers: headers, aligned tables, CSV dumps.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Prints a banner for an experiment harness.
+pub fn banner(artifact: &str, description: &str) {
+    println!("==============================================================");
+    println!("{artifact} — {description}");
+    println!("==============================================================");
+}
+
+/// Directory where harnesses drop CSV files
+/// (`<workspace>/target/paper_results`).
+pub fn results_dir() -> PathBuf {
+    // Benches run with the *package* directory as CWD, so anchor on the
+    // manifest path (two levels below the workspace root) unless
+    // CARGO_TARGET_DIR relocates the target directory outright.
+    let dir = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target")
+        })
+        .join("paper_results");
+    fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Writes rows as CSV (first row should be the header).
+pub fn write_csv(name: &str, rows: &[Vec<String>]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write csv row");
+    }
+    println!("[csv] wrote {}", path.display());
+    path
+}
+
+/// Formats a float with fixed precision, for table cells.
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Renders an aligned text table.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(header.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push('\n');
+    out.push_str(
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with('1'));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(f(10.0, 1), "10.0");
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let p = write_csv(
+            "unit_test_tmp.csv",
+            &[
+                vec!["a".into(), "b".into()],
+                vec!["1".into(), "2".into()],
+            ],
+        );
+        let content = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        let _ = std::fs::remove_file(p);
+    }
+}

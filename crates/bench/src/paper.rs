@@ -1,0 +1,51 @@
+//! The paper's reported numbers, for side-by-side comparison in the
+//! harness output. Sources are the §5 tables/figures and prose.
+
+/// Fig. 6a prose: "The average number of blocks read per lost block are
+/// estimated to be 11.5 and 5.8" — RS then LRC.
+pub const FIG6_BLOCKS_READ_PER_LOST: (f64, f64) = (11.5, 5.8);
+
+/// §5.2.1: "HDFS-Xorbas reads 41%-52% the amount of data that RS reads".
+pub const FIG4_READ_RATIO_RANGE: (f64, f64) = (0.41, 0.52);
+
+/// §5.2.3: "Xorbas finishes 25% to 45% faster than HDFS-RS".
+pub const FIG4_DURATION_GAIN_RANGE: (f64, f64) = (0.25, 0.45);
+
+/// Table 2 — repair impact on workload: (total GB read, avg job minutes)
+/// for all-blocks-available, RS with ~20% missing, Xorbas with ~20%
+/// missing.
+pub const TABLE2: [(f64, f64); 3] = [(30.0, 83.0), (43.88, 92.0), (74.06, 106.0)];
+
+/// Fig. 7 prose: average job-time inflation under ~20% missing blocks:
+/// +11.20% for Xorbas, +27.47% for RS.
+pub const FIG7_INFLATION: (f64, f64) = (0.1120, 0.2747);
+
+/// Table 3 — Facebook cluster: (blocks lost, GB read, GB/block,
+/// duration minutes) for RS then Xorbas.
+pub const TABLE3_RS: (usize, f64, f64, f64) = (369, 486.6, 1.318, 26.0);
+/// See [`TABLE3_RS`].
+pub const TABLE3_XORBAS: (usize, f64, f64, f64) = (563, 330.8, 0.58, 19.0);
+
+/// §5.3: deployed Xorbas stored 27% more than RS on the small-file
+/// dataset (ideal: 13%).
+pub const TABLE3_STORAGE_OVERHEAD_VS_RS: f64 = 0.27;
+
+/// §1.1 / Fig. 1 prose: "typical to have 20 or more node failures per
+/// day".
+pub const FIG1_TYPICAL_DAILY_FAILURES: f64 = 20.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_ratios_are_consistent() {
+        // The headline 2x claim: RS/LRC read ratio from Fig. 6 slopes.
+        let (rs, lrc) = FIG6_BLOCKS_READ_PER_LOST;
+        assert!((rs / lrc - 2.0).abs() < 0.05);
+        // Table 2 job inflations match the Fig. 7 percentages.
+        let base = TABLE2[0].1;
+        assert!((TABLE2[1].1 / base - 1.0 - FIG7_INFLATION.0).abs() < 0.01);
+        assert!((TABLE2[2].1 / base - 1.0 - FIG7_INFLATION.1).abs() < 0.01);
+    }
+}

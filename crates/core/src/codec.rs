@@ -1,0 +1,176 @@
+//! The [`ErasureCodec`] trait and repair accounting types.
+
+use crate::error::Result;
+use crate::spec::CodeSpec;
+
+/// One reconstruction task: the unit of work a BlockFixer map task
+/// performs (§3.1.2 — "a single map task opens parallel streams to the
+/// nodes containing the required blocks, downloads them, and performs a
+/// simple XOR").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairTask {
+    /// Blocks this task reconstructs and writes back.
+    pub repairs: Vec<usize>,
+    /// Blocks this task reads (distinct within the task).
+    pub reads: Vec<usize>,
+    /// Whether this task runs the light decoder (XOR of a repair group)
+    /// rather than the heavy full-stripe linear solve.
+    pub light: bool,
+}
+
+/// What a repair would read, before any bytes move.
+///
+/// Produced by [`ErasureCodec::repair_plan`]; the cluster simulator
+/// schedules one network/compute task per entry in `tasks`, and the
+/// reliability model uses plans to derive expected repair traffic per
+/// Markov state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairPlan {
+    /// Indices of the missing blocks this plan repairs.
+    pub missing: Vec<usize>,
+    /// The tasks, in execution order (a later task may read a block an
+    /// earlier task reconstructed).
+    pub tasks: Vec<RepairTask>,
+}
+
+impl RepairPlan {
+    /// Whether every task is a light-decoder task.
+    pub fn is_light(&self) -> bool {
+        self.tasks.iter().all(|t| t.light)
+    }
+
+    /// Number of *distinct* blocks read across all tasks.
+    pub fn blocks_read(&self) -> usize {
+        let mut seen: Vec<usize> = self.tasks.iter().flat_map(|t| t.reads.iter().copied()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Total block-read events, counting a block once per task that reads
+    /// it — this is what HDFS "bytes read" counters aggregate, since each
+    /// map task opens its own streams.
+    pub fn read_events(&self) -> usize {
+        self.tasks.iter().map(|t| t.reads.len()).sum()
+    }
+}
+
+/// Outcome of an executed reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Indices that were missing and have been restored.
+    pub repaired: Vec<usize>,
+    /// Distinct blocks that were read.
+    pub reads: Vec<usize>,
+    /// Number of distinct blocks read (`reads.len()`).
+    pub blocks_read: usize,
+    /// Total block-read events counting per-task multiplicity.
+    pub read_events: usize,
+    /// Whether the light decoder handled the whole repair.
+    pub used_light_decoder: bool,
+}
+
+impl RepairReport {
+    pub(crate) fn from_plan(plan: &RepairPlan) -> Self {
+        let mut reads: Vec<usize> =
+            plan.tasks.iter().flat_map(|t| t.reads.iter().copied()).collect();
+        reads.sort_unstable();
+        reads.dedup();
+        RepairReport {
+            repaired: plan.missing.clone(),
+            blocks_read: reads.len(),
+            read_events: plan.read_events(),
+            reads,
+            used_light_decoder: plan.is_light(),
+        }
+    }
+}
+
+/// A systematic erasure codec operating on equal-length block payloads.
+///
+/// Block indices are stripe positions: `0..k` are data blocks, the rest
+/// parity blocks (layout is codec-specific). `encode_stripe` returns all
+/// `n` blocks with the data blocks bit-identical to the input (the codes
+/// here are systematic — the paper's §6 explains why exact/systematic
+/// repair is required for MapReduce workloads).
+pub trait ErasureCodec {
+    /// Number of data blocks `k`.
+    fn data_blocks(&self) -> usize;
+
+    /// Total stored blocks `n`.
+    fn total_blocks(&self) -> usize;
+
+    /// This codec's [`CodeSpec`].
+    fn spec(&self) -> CodeSpec;
+
+    /// Encodes `k` equal-length data payloads into `n` stored payloads.
+    fn encode_stripe(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>>;
+
+    /// Plans reconstruction of `targets` when `unavailable` blocks cannot
+    /// be read. `targets ⊆ unavailable`. Degraded reads plan a single
+    /// target while other failures may coexist in the stripe.
+    fn repair_plan_for(&self, unavailable: &[usize], targets: &[usize]) -> Result<RepairPlan>;
+
+    /// Plans the repair of all missing blocks.
+    fn repair_plan(&self, missing: &[usize]) -> Result<RepairPlan> {
+        self.repair_plan_for(missing, missing)
+    }
+
+    /// Restores every `None` shard in place and reports what was read.
+    ///
+    /// `shards` must have length `n`; present shards must share one size.
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<RepairReport>;
+
+    /// Convenience: verifies a full stripe round-trips through encoding.
+    fn verify_stripe(&self, stripe: &[Vec<u8>]) -> Result<bool> {
+        let data: Vec<Vec<u8>> = stripe[..self.data_blocks()].to_vec();
+        let re = self.encode_stripe(&data)?;
+        Ok(re == stripe)
+    }
+}
+
+/// Validates shard shape: `n` entries, consistent payload length.
+///
+/// Returns the common payload length (0 when everything is missing).
+pub(crate) fn check_shards(shards: &[Option<Vec<u8>>], expected: usize) -> Result<usize> {
+    use crate::error::CodeError;
+    if shards.len() != expected {
+        return Err(CodeError::ShardCountMismatch { expected, got: shards.len() });
+    }
+    let mut len = None;
+    for s in shards.iter().flatten() {
+        match len {
+            None => len = Some(s.len()),
+            Some(l) if l != s.len() => return Err(CodeError::ShardSizeMismatch),
+            _ => {}
+        }
+    }
+    Ok(len.unwrap_or(0))
+}
+
+/// Validates encode input: exactly `k` payloads of one shared length.
+pub(crate) fn check_data(data: &[Vec<u8>], k: usize) -> Result<usize> {
+    use crate::error::CodeError;
+    if data.len() != k {
+        return Err(CodeError::ShardCountMismatch { expected: k, got: data.len() });
+    }
+    let len = data.first().map_or(0, Vec::len);
+    if data.iter().any(|d| d.len() != len) {
+        return Err(CodeError::ShardSizeMismatch);
+    }
+    Ok(len)
+}
+
+/// Sorted, deduplicated copy of an index list; rejects out-of-range.
+pub(crate) fn normalize_indices(indices: &[usize], n: usize) -> Result<Vec<usize>> {
+    use crate::error::CodeError;
+    let mut v = indices.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    if let Some(&bad) = v.iter().find(|&&i| i >= n) {
+        return Err(CodeError::InvalidParameters(format!(
+            "block index {bad} out of range for blocklength {n}"
+        )));
+    }
+    Ok(v)
+}

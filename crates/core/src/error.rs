@@ -1,0 +1,57 @@
+//! Error types for code construction and decoding.
+
+use std::fmt;
+
+/// Errors produced by code construction, encoding and decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeError {
+    /// The requested code parameters are structurally invalid
+    /// (e.g. `r` does not divide `k`, blocklength exceeds the field).
+    InvalidParameters(String),
+    /// The number of shards handed to encode/reconstruct does not match
+    /// the code's geometry.
+    ShardCountMismatch {
+        /// Shards the code expects.
+        expected: usize,
+        /// Shards actually provided.
+        got: usize,
+    },
+    /// Shards have inconsistent byte lengths.
+    ShardSizeMismatch,
+    /// The erasure pattern exceeds what the code can recover:
+    /// the surviving blocks do not span the file.
+    Unrecoverable {
+        /// Indices of the erased blocks.
+        erased: Vec<usize>,
+    },
+    /// A randomized or searched construction failed to find coefficients
+    /// satisfying the required independence conditions.
+    ConstructionFailed(String),
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::InvalidParameters(msg) => {
+                write!(f, "invalid code parameters: {msg}")
+            }
+            CodeError::ShardCountMismatch { expected, got } => {
+                write!(f, "expected {expected} shards, got {got}")
+            }
+            CodeError::ShardSizeMismatch => {
+                write!(f, "shards have inconsistent sizes")
+            }
+            CodeError::Unrecoverable { erased } => {
+                write!(f, "erasure pattern {erased:?} is unrecoverable")
+            }
+            CodeError::ConstructionFailed(msg) => {
+                write!(f, "code construction failed: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}
+
+/// Convenience alias used throughout the codec crate.
+pub type Result<T> = std::result::Result<T, CodeError>;

@@ -1,0 +1,49 @@
+//! Locally Repairable Codes and their Reed-Solomon baseline — the core
+//! of the "XORing Elephants" (VLDB 2013) reproduction.
+//!
+//! # What this crate provides
+//!
+//! * [`ReedSolomon`] — the `(k, m)` MDS baseline ("HDFS-RS"), including
+//!   the Appendix-D aligned construction whose blocks XOR to zero.
+//! * [`Lrc`] — `(k, n-k, r)` Locally Repairable Codes with local XOR
+//!   parities, the implied-parity optimization, a peeling *light
+//!   decoder* and a full-rank *heavy decoder* (§2.1, §3.1.2).
+//! * [`analysis`] — brute-force ground truth: minimum distance
+//!   (Definition 1), block locality (Definition 2), and the expected
+//!   single-repair read counts that drive the §4 reliability model.
+//! * [`bounds`] — Theorem 1/2 formulas and the Figure-8 certificate.
+//! * [`construction`] — Theorem-4 randomized constructions and the
+//!   exponential deterministic search.
+//!
+//! # Example: repair cost of RS vs LRC
+//!
+//! ```
+//! use xorbas_core::{ErasureCodec, Lrc, ReedSolomon};
+//!
+//! let rs: ReedSolomon = ReedSolomon::new(10, 4).unwrap();
+//! let lrc = Lrc::xorbas_10_6_5().unwrap();
+//!
+//! // One lost block: RS reads 10 blocks, the LRC reads 5 (§1).
+//! assert_eq!(rs.repair_plan(&[0]).unwrap().blocks_read(), 10);
+//! assert_eq!(lrc.repair_plan(&[0]).unwrap().blocks_read(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod bounds;
+mod codec;
+pub mod construction;
+mod error;
+mod linear;
+mod lrc;
+pub mod peeling;
+mod reed_solomon;
+mod spec;
+
+pub use codec::{ErasureCodec, RepairPlan, RepairReport, RepairTask};
+pub use error::{CodeError, Result};
+pub use lrc::Lrc;
+pub use reed_solomon::ReedSolomon;
+pub use spec::{CodeSpec, LrcSpec};

@@ -1,0 +1,108 @@
+//! Shared generator-matrix payload operations.
+//!
+//! Both codecs express a stripe as `y = x · G` (row vector of `k` data
+//! payloads times a `k × n` generator). Heavy decoding picks `k`
+//! independent surviving columns `S`, inverts `G_S`, and recovers
+//! `x = y_S · G_S⁻¹`; re-encoding any block is a column combination.
+
+use xorbas_gf::slice_ops::payload_mul_acc;
+use xorbas_gf::Field;
+use xorbas_linalg::Matrix;
+
+/// Greedily selects independent columns from `candidates` (in order)
+/// until `gen.rows()` of them are found. Returns `None` if the candidate
+/// columns do not span the row space.
+pub(crate) fn select_independent_columns<F: Field>(
+    gen: &Matrix<F>,
+    candidates: &[usize],
+) -> Option<Vec<usize>> {
+    let sub = gen.select_columns(candidates);
+    let (_, pivots) = sub.rref();
+    if pivots.len() < gen.rows() {
+        return None;
+    }
+    Some(pivots.into_iter().map(|p| candidates[p]).collect())
+}
+
+/// Recovers all `k` data payloads from the shards at `selection`
+/// (which must index `k` independent, present columns).
+pub(crate) fn solve_data_payloads<F: Field>(
+    gen: &Matrix<F>,
+    shards: &[Option<Vec<u8>>],
+    selection: &[usize],
+    len: usize,
+) -> Vec<Vec<u8>> {
+    let k = gen.rows();
+    debug_assert_eq!(selection.len(), k);
+    let sub = gen.select_columns(selection);
+    let inv = sub.invert().expect("selected columns are independent");
+    // x = y_S · inv  =>  x_i = Σ_j y_{S_j} · inv[j][i]
+    let mut data = vec![vec![0u8; len]; k];
+    for (j, &s) in selection.iter().enumerate() {
+        let payload = shards[s].as_ref().expect("selected shard is present");
+        for (i, out) in data.iter_mut().enumerate() {
+            payload_mul_acc(out, payload, inv[(j, i)]);
+        }
+    }
+    data
+}
+
+/// Encodes stripe position `col` from the data payloads:
+/// `y_col = Σ_i x_i · G[i, col]`.
+pub(crate) fn encode_column<F: Field>(
+    gen: &Matrix<F>,
+    data: &[Vec<u8>],
+    col: usize,
+    len: usize,
+) -> Vec<u8> {
+    let mut out = vec![0u8; len];
+    for (i, d) in data.iter().enumerate() {
+        payload_mul_acc(&mut out, d, gen[(i, col)]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xorbas_gf::Gf256;
+    use xorbas_linalg::special;
+
+    #[test]
+    fn select_independent_columns_respects_order() {
+        let g: Matrix<Gf256> =
+            special::systematize(&special::vandermonde(3, 6)).unwrap();
+        let sel = select_independent_columns(&g, &[5, 4, 3, 2, 1, 0]).unwrap();
+        assert_eq!(sel, vec![5, 4, 3]); // first three candidates are independent (MDS)
+    }
+
+    #[test]
+    fn select_independent_columns_skips_dependent() {
+        // G = [I_2 | duplicate of column 0].
+        let id = Matrix::<Gf256>::identity(2);
+        let mut g = id.clone();
+        g.push_column(&id.column(0));
+        let sel = select_independent_columns(&g, &[0, 2, 1]).unwrap();
+        assert_eq!(sel, vec![0, 1]); // column 2 is dependent on column 0
+    }
+
+    #[test]
+    fn select_reports_rank_deficiency() {
+        let id = Matrix::<Gf256>::identity(3);
+        assert!(select_independent_columns(&id, &[0, 1]).is_none());
+    }
+
+    #[test]
+    fn solve_then_encode_round_trips() {
+        let g: Matrix<Gf256> =
+            special::systematize(&special::vandermonde(3, 6)).unwrap();
+        let data = vec![vec![1u8, 2], vec![3u8, 4], vec![5u8, 6]];
+        let stripe: Vec<Vec<u8>> =
+            (0..6).map(|c| encode_column(&g, &data, c, 2)).collect();
+        // Recover from parity columns only.
+        let shards: Vec<Option<Vec<u8>>> = stripe.iter().cloned().map(Some).collect();
+        let sel = vec![3, 4, 5];
+        let solved = solve_data_payloads(&g, &shards, &sel, 2);
+        assert_eq!(solved, data);
+    }
+}

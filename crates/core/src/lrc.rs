@@ -1,0 +1,645 @@
+//! Locally Repairable Codes — the paper's contribution (§2, Fig. 2).
+//!
+//! An LRC extends a Reed-Solomon code with *local parities*: the `k` data
+//! blocks are split into groups of `r`, each group XOR-ed into a local
+//! parity. A single failure then repairs from `r` blocks instead of `k`.
+//! The global parities form their own repair group whose local parity
+//! `S3 = S1 + S2` need not be stored — the *implied parity* — because the
+//! Appendix-D Reed-Solomon construction aligns all blocks to XOR to zero.
+//!
+//! The (10,6,5) instance deployed in HDFS-Xorbas:
+//!
+//! ```text
+//! X1 ... X5 | X6 ... X10 | P1 P2 P3 P4 | S1 S2     (16 stored blocks)
+//! \___ S1 = X1+..+X5     \___ S3 = P1+..+P4 = S1+S2 (implied)
+//!            \___ S2 = X6+..+X10
+//! ```
+//!
+//! Every block has locality 5 and the code has optimal distance 5 for
+//! that locality (Theorem 5); tests verify both by brute force.
+
+use xorbas_gf::slice_ops::payload_mul_acc;
+use xorbas_gf::{Field, Gf256};
+use xorbas_linalg::Matrix;
+
+use crate::codec::{
+    check_data, check_shards, normalize_indices, ErasureCodec, RepairPlan, RepairReport,
+    RepairTask,
+};
+use crate::error::{CodeError, Result};
+use crate::linear;
+use crate::peeling::{peel, PeelStep, XorEquation};
+use crate::spec::{CodeSpec, LrcSpec};
+use crate::ReedSolomon;
+
+/// A `(k, n - k, r)` Locally Repairable Code over `F`.
+///
+/// Block layout: `0..k` data, `k..k+g` global (RS) parities,
+/// `k+g..k+g+k/r` local parities `S_t`, and — only when
+/// `spec.implied_parity` is false — one stored parity-group local parity
+/// at the last index.
+#[derive(Debug, Clone)]
+pub struct Lrc<F: Field = Gf256> {
+    spec: LrcSpec,
+    rs: ReedSolomon<F>,
+    /// Per data group, the coefficient of each member in its local parity.
+    local_coeffs: Vec<Vec<F>>,
+    /// Full `k × n` generator (RS columns followed by local columns).
+    generator: Matrix<F>,
+    /// The XOR repair-group equations the light decoder peels.
+    equations: Vec<XorEquation<F>>,
+}
+
+impl Lrc<Gf256> {
+    /// The explicit (10,6,5) LRC of HDFS-Xorbas over GF(2^8).
+    pub fn xorbas_10_6_5() -> Result<Self> {
+        Self::new(LrcSpec::XORBAS)
+    }
+}
+
+impl<F: Field> Lrc<F> {
+    /// Builds an LRC with unit local coefficients (`c_i = 1`, plain XOR)
+    /// on top of the aligned Appendix-D Reed-Solomon code — the paper
+    /// proves this choice suffices for RS parities (§2.1).
+    pub fn new(spec: LrcSpec) -> Result<Self> {
+        spec.validate()?;
+        let rs = ReedSolomon::new(spec.k, spec.global_parities)?;
+        let coeffs = vec![vec![F::ONE; spec.group_size]; spec.data_groups()];
+        Self::with_base(spec, rs, coeffs)
+    }
+
+    /// Builds an LRC from an explicit base code and local coefficients.
+    ///
+    /// `local_coeffs[t][i]` is the coefficient of the `i`-th member of
+    /// data group `t` (all must be nonzero — Eq. (1) divides by them).
+    /// The implied-parity optimization additionally requires the aligned
+    /// base construction with unit coefficients, since the alignment
+    /// identity `S1 + S2 + S3 = 0` is what replaces the stored block.
+    pub fn with_base(
+        spec: LrcSpec,
+        rs: ReedSolomon<F>,
+        local_coeffs: Vec<Vec<F>>,
+    ) -> Result<Self> {
+        spec.validate()?;
+        if rs.data_blocks() != spec.k || rs.parity_blocks() != spec.global_parities {
+            return Err(CodeError::InvalidParameters(format!(
+                "base code is ({}, {}), spec needs ({}, {})",
+                rs.data_blocks(),
+                rs.parity_blocks(),
+                spec.k,
+                spec.global_parities
+            )));
+        }
+        if local_coeffs.len() != spec.data_groups()
+            || local_coeffs.iter().any(|g| g.len() != spec.group_size)
+        {
+            return Err(CodeError::InvalidParameters(
+                "local coefficient shape must be (k/r) groups of r".into(),
+            ));
+        }
+        if local_coeffs.iter().flatten().any(|c| c.is_zero()) {
+            return Err(CodeError::InvalidParameters(
+                "local parity coefficients must be nonzero".into(),
+            ));
+        }
+        if spec.implied_parity {
+            if !rs.is_aligned() {
+                return Err(CodeError::InvalidParameters(
+                    "implied parity requires the aligned (Appendix-D) base code".into(),
+                ));
+            }
+            if local_coeffs.iter().flatten().any(|&c| c != F::ONE) {
+                return Err(CodeError::InvalidParameters(
+                    "implied parity requires unit local coefficients".into(),
+                ));
+            }
+        }
+
+        let generator = Self::build_generator(&spec, &rs, &local_coeffs);
+        let equations = Self::build_equations(&spec, &local_coeffs);
+        Ok(Self { spec, rs, local_coeffs, generator, equations })
+    }
+
+    fn build_generator(
+        spec: &LrcSpec,
+        rs: &ReedSolomon<F>,
+        coeffs: &[Vec<F>],
+    ) -> Matrix<F> {
+        let k = spec.k;
+        let g = spec.global_parities;
+        let mut gen = rs.generator().clone();
+        for (t, group) in coeffs.iter().enumerate() {
+            let mut col = vec![F::ZERO; k];
+            for (i, &c) in group.iter().enumerate() {
+                col[t * spec.group_size + i] = c;
+            }
+            gen.push_column(&col);
+        }
+        if !spec.implied_parity {
+            // Stored parity-group local parity: S_p = Σ_j P_j.
+            let mut col = vec![F::ZERO; k];
+            for j in 0..g {
+                let parity_col = rs.generator().column(k + j);
+                for (slot, &v) in col.iter_mut().zip(&parity_col) {
+                    *slot += v;
+                }
+            }
+            gen.push_column(&col);
+        }
+        gen
+    }
+
+    fn build_equations(spec: &LrcSpec, coeffs: &[Vec<F>]) -> Vec<XorEquation<F>> {
+        let k = spec.k;
+        let g = spec.global_parities;
+        let dg = spec.data_groups();
+        let mut eqs = Vec::with_capacity(dg + 1);
+        // Data groups: Σ c_i · X_i + S_t = 0.
+        for (t, group) in coeffs.iter().enumerate() {
+            let mut members: Vec<(usize, F)> = group
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (t * spec.group_size + i, c))
+                .collect();
+            members.push((k + g + t, F::ONE));
+            eqs.push(XorEquation::new(members));
+        }
+        // Parity group.
+        let mut members: Vec<(usize, F)> = (0..g).map(|j| (k + j, F::ONE)).collect();
+        if spec.implied_parity {
+            // Alignment: Σ_j P_j + Σ_t S_t = 0 (S3 is implied).
+            members.extend((0..dg).map(|t| (k + g + t, F::ONE)));
+        } else {
+            // Stored: Σ_j P_j + S_p = 0 by definition of S_p.
+            members.push((k + g + dg, F::ONE));
+        }
+        eqs.push(XorEquation::new(members));
+        eqs
+    }
+
+    /// The LRC-specific spec (group structure, implied parity).
+    pub fn lrc_spec(&self) -> LrcSpec {
+        self.spec
+    }
+
+    /// The base Reed-Solomon code.
+    pub fn base(&self) -> &ReedSolomon<F> {
+        &self.rs
+    }
+
+    /// The full `k × n` generator matrix.
+    pub fn generator(&self) -> &Matrix<F> {
+        &self.generator
+    }
+
+    /// The repair-group XOR equations used by the light decoder.
+    pub fn equations(&self) -> &[XorEquation<F>] {
+        &self.equations
+    }
+
+    /// The local parity coefficients, one vector per data group.
+    pub fn local_coefficients(&self) -> &[Vec<F>] {
+        &self.local_coeffs
+    }
+
+    /// Stripe index of local parity `S_t` (`t < k/r`, plus the stored
+    /// parity-group parity at `t = k/r` when not implied).
+    pub fn local_parity_index(&self, t: usize) -> usize {
+        self.spec.k + self.spec.global_parities + t
+    }
+
+    /// Keeps only the steps needed (transitively) to repair `targets`,
+    /// preserving dependency order.
+    fn prune_steps(steps: Vec<PeelStep<F>>, targets: &[usize]) -> Vec<PeelStep<F>> {
+        let mut needed: Vec<usize> = targets.to_vec();
+        let mut keep = vec![false; steps.len()];
+        for (i, step) in steps.iter().enumerate().rev() {
+            if needed.contains(&step.repaired) {
+                keep[i] = true;
+                needed.extend(step.sources.iter().map(|&(s, _)| s));
+            }
+        }
+        steps
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(s, k)| k.then_some(s))
+            .collect()
+    }
+
+    /// Light steps + optional heavy remainder for a repair request.
+    #[allow(clippy::type_complexity)] // (steps, Option<(unresolved, selection)>)
+    fn plan_internal(
+        &self,
+        unavailable: &[usize],
+        targets: &[usize],
+    ) -> Result<(Vec<PeelStep<F>>, Option<(Vec<usize>, Vec<usize>)>)> {
+        let n = self.total_blocks();
+        let unavailable = normalize_indices(unavailable, n)?;
+        let targets = normalize_indices(targets, n)?;
+        if let Some(&bad) = targets.iter().find(|t| !unavailable.contains(t)) {
+            return Err(CodeError::InvalidParameters(format!(
+                "target block {bad} is not among the unavailable blocks"
+            )));
+        }
+        let mut avail = vec![true; n];
+        for &u in &unavailable {
+            avail[u] = false;
+        }
+        let outcome = peel(&self.equations, &avail, &targets);
+        let steps = Self::prune_steps(
+            outcome.steps,
+            &targets
+                .iter()
+                .copied()
+                .filter(|t| !outcome.unresolved.contains(t))
+                .collect::<Vec<_>>(),
+        );
+        if outcome.unresolved.is_empty() {
+            return Ok((steps, None));
+        }
+        // Heavy decoder: k independent columns among originally available
+        // blocks, data-first (mirrors the RS decoder's stream choice).
+        let available: Vec<usize> = (0..n).filter(|&i| avail[i]).collect();
+        let (data, parity): (Vec<usize>, Vec<usize>) =
+            available.iter().partition(|&&i| i < self.spec.k);
+        let ordered: Vec<usize> = data.into_iter().chain(parity).collect();
+        let selection = linear::select_independent_columns(&self.generator, &ordered)
+            .ok_or(CodeError::Unrecoverable { erased: unavailable })?;
+        Ok((steps, Some((outcome.unresolved, selection))))
+    }
+}
+
+impl<F: Field> ErasureCodec for Lrc<F> {
+    fn data_blocks(&self) -> usize {
+        self.spec.k
+    }
+
+    fn total_blocks(&self) -> usize {
+        self.spec.total_blocks()
+    }
+
+    fn spec(&self) -> CodeSpec {
+        CodeSpec::Lrc(self.spec)
+    }
+
+    fn encode_stripe(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
+        let len = check_data(data, self.spec.k)?;
+        let mut stripe = self.rs.encode_stripe(data)?;
+        for group in &self.local_coeffs {
+            let t = stripe.len() - (self.spec.k + self.spec.global_parities);
+            let base = t * self.spec.group_size;
+            let mut parity = vec![0u8; len];
+            for (i, &c) in group.iter().enumerate() {
+                payload_mul_acc(&mut parity, &data[base + i], c);
+            }
+            stripe.push(parity);
+        }
+        if !self.spec.implied_parity {
+            let mut parity = vec![0u8; len];
+            for j in 0..self.spec.global_parities {
+                payload_mul_acc(&mut parity, &stripe[self.spec.k + j], F::ONE);
+            }
+            stripe.push(parity);
+        }
+        debug_assert_eq!(stripe.len(), self.total_blocks());
+        Ok(stripe)
+    }
+
+    fn repair_plan_for(&self, unavailable: &[usize], targets: &[usize]) -> Result<RepairPlan> {
+        let (steps, heavy) = self.plan_internal(unavailable, targets)?;
+        let mut tasks: Vec<RepairTask> = steps
+            .iter()
+            .map(|s| RepairTask {
+                repairs: vec![s.repaired],
+                reads: s.sources.iter().map(|&(i, _)| i).collect(),
+                light: true,
+            })
+            .collect();
+        if let Some((unresolved, selection)) = heavy {
+            tasks.push(RepairTask { repairs: unresolved, reads: selection, light: false });
+        }
+        Ok(RepairPlan { missing: normalize_indices(targets, self.total_blocks())?, tasks })
+    }
+
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<RepairReport> {
+        let len = check_shards(shards, self.total_blocks())?;
+        let missing: Vec<usize> =
+            (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
+        if missing.is_empty() {
+            return Ok(RepairReport::from_plan(&RepairPlan {
+                missing: vec![],
+                tasks: vec![],
+            }));
+        }
+        let (steps, heavy) = self.plan_internal(&missing, &missing)?;
+        let mut tasks = Vec::new();
+        for step in &steps {
+            let mut payload = vec![0u8; len];
+            for &(src, c) in &step.sources {
+                let s = shards[src].as_ref().expect("peel sources are available");
+                payload_mul_acc(&mut payload, s, c);
+            }
+            shards[step.repaired] = Some(payload);
+            tasks.push(RepairTask {
+                repairs: vec![step.repaired],
+                reads: step.sources.iter().map(|&(i, _)| i).collect(),
+                light: true,
+            });
+        }
+        if let Some((unresolved, selection)) = heavy {
+            let data = linear::solve_data_payloads(&self.generator, shards, &selection, len);
+            for &b in &unresolved {
+                let payload = if b < self.spec.k {
+                    data[b].clone()
+                } else {
+                    linear::encode_column(&self.generator, &data, b, len)
+                };
+                shards[b] = Some(payload);
+            }
+            tasks.push(RepairTask { repairs: unresolved, reads: selection, light: false });
+        }
+        Ok(RepairReport::from_plan(&RepairPlan { missing, tasks }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xorbas_gf::slice_ops::xor_into;
+
+    fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i * 37 + j * 101 + 3) % 256) as u8).collect())
+            .collect()
+    }
+
+    fn xorbas() -> Lrc<Gf256> {
+        Lrc::xorbas_10_6_5().unwrap()
+    }
+
+    #[test]
+    fn stripe_layout_matches_figure_2() {
+        let lrc = xorbas();
+        assert_eq!(lrc.total_blocks(), 16);
+        let data = sample_data(10, 32);
+        let stripe = lrc.encode_stripe(&data).unwrap();
+        // Systematic prefix.
+        assert_eq!(&stripe[..10], &data[..]);
+        // S1 = X1+..+X5, S2 = X6+..+X10 (unit coefficients = XOR).
+        let mut s1 = vec![0u8; 32];
+        for d in &data[..5] {
+            xor_into(&mut s1, d);
+        }
+        assert_eq!(stripe[14], s1);
+        let mut s2 = vec![0u8; 32];
+        for d in &data[5..10] {
+            xor_into(&mut s2, d);
+        }
+        assert_eq!(stripe[15], s2);
+    }
+
+    #[test]
+    fn implied_parity_identity_holds() {
+        // S1 + S2 = P1 + P2 + P3 + P4 — the stored S3 is redundant.
+        let lrc = xorbas();
+        let stripe = lrc.encode_stripe(&sample_data(10, 64)).unwrap();
+        let mut lhs = stripe[14].clone();
+        xor_into(&mut lhs, &stripe[15]);
+        let mut rhs = vec![0u8; 64];
+        for p in &stripe[10..14] {
+            xor_into(&mut rhs, p);
+        }
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn every_single_failure_light_decodes_reading_5_blocks() {
+        // The headline property: locality 5 for all 16 blocks.
+        let lrc = xorbas();
+        let stripe = lrc.encode_stripe(&sample_data(10, 16)).unwrap();
+        for lost in 0..16 {
+            let mut shards: Vec<Option<Vec<u8>>> =
+                stripe.iter().cloned().map(Some).collect();
+            shards[lost] = None;
+            let report = lrc.reconstruct(&mut shards).unwrap();
+            assert!(report.used_light_decoder, "block {lost} went heavy");
+            assert_eq!(report.blocks_read, 5, "block {lost} read != 5");
+            assert_eq!(shards[lost].as_ref().unwrap(), &stripe[lost]);
+        }
+    }
+
+    #[test]
+    fn global_parity_repair_uses_equation_2() {
+        // P2 lost: read P1, P3, P4, S1, S2 (Eq. (2) of the paper).
+        let lrc = xorbas();
+        let plan = lrc.repair_plan(&[11]).unwrap();
+        assert!(plan.is_light());
+        let mut reads = plan.tasks[0].reads.clone();
+        reads.sort_unstable();
+        assert_eq!(reads, vec![10, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn double_failure_in_different_groups_stays_light() {
+        let lrc = xorbas();
+        let stripe = lrc.encode_stripe(&sample_data(10, 16)).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = stripe.iter().cloned().map(Some).collect();
+        shards[2] = None; // group 1
+        shards[7] = None; // group 2
+        let report = lrc.reconstruct(&mut shards).unwrap();
+        assert!(report.used_light_decoder);
+        assert_eq!(report.read_events, 10); // two tasks x 5 streams
+        assert_eq!(shards[2].as_ref().unwrap(), &stripe[2]);
+        assert_eq!(shards[7].as_ref().unwrap(), &stripe[7]);
+    }
+
+    #[test]
+    fn double_failure_in_same_group_goes_heavy() {
+        let lrc = xorbas();
+        let stripe = lrc.encode_stripe(&sample_data(10, 16)).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = stripe.iter().cloned().map(Some).collect();
+        shards[2] = None;
+        shards[3] = None; // same local group as 2
+        let report = lrc.reconstruct(&mut shards).unwrap();
+        assert!(!report.used_light_decoder);
+        assert_eq!(report.blocks_read, 10);
+        assert_eq!(shards[2].as_ref().unwrap(), &stripe[2]);
+        assert_eq!(shards[3].as_ref().unwrap(), &stripe[3]);
+    }
+
+    #[test]
+    fn peeling_cascades_when_parity_group_unlocks() {
+        // Lose S1 and P1. P1's equation has 2 unknowns at first (P1 and…
+        // actually S1): repair S1 from its data group, which unlocks the
+        // parity-group equation for P1.
+        let lrc = xorbas();
+        let stripe = lrc.encode_stripe(&sample_data(10, 16)).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = stripe.iter().cloned().map(Some).collect();
+        shards[14] = None; // S1
+        shards[10] = None; // P1
+        let report = lrc.reconstruct(&mut shards).unwrap();
+        assert!(report.used_light_decoder);
+        assert_eq!(shards[14].as_ref().unwrap(), &stripe[14]);
+        assert_eq!(shards[10].as_ref().unwrap(), &stripe[10]);
+    }
+
+    #[test]
+    fn all_four_erasure_patterns_recover() {
+        // d = 5: any 4 erasures must decode (exhaustive, C(16,4) = 1820).
+        let lrc = xorbas();
+        let stripe = lrc.encode_stripe(&sample_data(10, 4)).unwrap();
+        for pattern in crate::analysis::combinations(16, 4) {
+            let mut shards: Vec<Option<Vec<u8>>> =
+                stripe.iter().cloned().map(Some).collect();
+            for &i in &pattern {
+                shards[i] = None;
+            }
+            lrc.reconstruct(&mut shards)
+                .unwrap_or_else(|e| panic!("pattern {pattern:?} failed: {e}"));
+            for (i, s) in shards.iter().enumerate() {
+                assert_eq!(s.as_ref().unwrap(), &stripe[i], "pattern {pattern:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn some_five_erasure_pattern_fails() {
+        // d = 5 exactly: there exists an unrecoverable 5-pattern.
+        // Erasing a whole local group (5 data blocks + … here: the 5
+        // blocks X1..X4 + S1 leaves group 1 with rank deficit).
+        let lrc = xorbas();
+        let stripe = lrc.encode_stripe(&sample_data(10, 4)).unwrap();
+        let mut found_failure = false;
+        for pattern in crate::analysis::combinations(16, 5) {
+            let mut shards: Vec<Option<Vec<u8>>> =
+                stripe.iter().cloned().map(Some).collect();
+            for &i in &pattern {
+                shards[i] = None;
+            }
+            if lrc.reconstruct(&mut shards).is_err() {
+                found_failure = true;
+                break;
+            }
+        }
+        assert!(found_failure, "minimum distance should be exactly 5");
+    }
+
+    #[test]
+    fn stored_parity_variant_encodes_s3_explicitly() {
+        let spec = LrcSpec { implied_parity: false, ..LrcSpec::XORBAS };
+        let lrc: Lrc<Gf256> = Lrc::new(spec).unwrap();
+        assert_eq!(lrc.total_blocks(), 17);
+        let stripe = lrc.encode_stripe(&sample_data(10, 16)).unwrap();
+        let mut s3 = vec![0u8; 16];
+        for p in &stripe[10..14] {
+            xor_into(&mut s3, p);
+        }
+        assert_eq!(stripe[16], s3);
+        // Global parity repair now reads P-peers + stored S3: 4 blocks.
+        let plan = lrc.repair_plan(&[11]).unwrap();
+        assert!(plan.is_light());
+        assert_eq!(plan.blocks_read(), 4);
+    }
+
+    #[test]
+    fn degraded_read_repairs_only_the_target() {
+        let lrc = xorbas();
+        // Blocks 0 and 9 both missing (different groups); job needs only 0.
+        let plan = lrc.repair_plan_for(&[0, 9], &[0]).unwrap();
+        assert_eq!(plan.missing, vec![0]);
+        assert_eq!(plan.tasks.len(), 1);
+        assert_eq!(plan.tasks[0].repairs, vec![0]);
+        assert_eq!(plan.blocks_read(), 5);
+    }
+
+    #[test]
+    fn non_unit_coefficients_decode_via_equation_1() {
+        // General c_i with a stored (non-implied) parity-group parity.
+        let spec = LrcSpec { implied_parity: false, ..LrcSpec::XORBAS };
+        let rs = ReedSolomon::<Gf256>::new(10, 4).unwrap();
+        let coeffs: Vec<Vec<Gf256>> = (0..2)
+            .map(|t| (0..5).map(|i| Gf256::from_index((t * 5 + i + 2) as u32)).collect())
+            .collect();
+        let lrc = Lrc::with_base(spec, rs, coeffs).unwrap();
+        let stripe = lrc.encode_stripe(&sample_data(10, 16)).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = stripe.iter().cloned().map(Some).collect();
+        shards[3] = None;
+        let report = lrc.reconstruct(&mut shards).unwrap();
+        assert!(report.used_light_decoder);
+        assert_eq!(report.blocks_read, 5);
+        assert_eq!(shards[3].as_ref().unwrap(), &stripe[3]);
+    }
+
+    #[test]
+    fn implied_parity_rejects_unaligned_base_or_nonunit_coeffs() {
+        let unaligned = ReedSolomon::<Gf256>::with_vandermonde_generator(10, 4).unwrap();
+        let unit = vec![vec![Gf256::ONE; 5]; 2];
+        assert!(matches!(
+            Lrc::with_base(LrcSpec::XORBAS, unaligned, unit.clone()),
+            Err(CodeError::InvalidParameters(_))
+        ));
+        let aligned = ReedSolomon::<Gf256>::new(10, 4).unwrap();
+        let mut nonunit = unit;
+        nonunit[0][0] = Gf256::from_index(3);
+        assert!(matches!(
+            Lrc::with_base(LrcSpec::XORBAS, aligned, nonunit),
+            Err(CodeError::InvalidParameters(_))
+        ));
+    }
+
+    #[test]
+    fn zero_coefficient_rejected() {
+        let spec = LrcSpec { implied_parity: false, ..LrcSpec::XORBAS };
+        let rs = ReedSolomon::<Gf256>::new(10, 4).unwrap();
+        let mut coeffs = vec![vec![Gf256::ONE; 5]; 2];
+        coeffs[1][2] = Gf256::ZERO;
+        assert!(Lrc::with_base(spec, rs, coeffs).is_err());
+    }
+
+    #[test]
+    fn generator_matches_paper_shape_and_rank() {
+        let lrc = xorbas();
+        let g = lrc.generator();
+        assert_eq!((g.rows(), g.cols()), (10, 16));
+        assert_eq!(g.rank(), 10);
+        // Equations annihilate the generator: for each equation,
+        // Σ c_i · g_{idx_i} = 0 columnwise.
+        for eq in lrc.equations() {
+            for row in 0..10 {
+                let sum: Gf256 =
+                    eq.members.iter().map(|&(i, c)| c * g[(row, i)]).sum();
+                assert!(sum.is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn small_lrc_with_more_groups() {
+        // (12, 4+3, 4) LRC with implied parity over GF(2^8): 3 data
+        // groups of 4, 4 global parities, n = 12 + 4 + 3 = 19.
+        let spec = LrcSpec {
+            k: 12,
+            global_parities: 4,
+            group_size: 4,
+            implied_parity: true,
+        };
+        let lrc: Lrc<Gf256> = Lrc::new(spec).unwrap();
+        assert_eq!(lrc.total_blocks(), 19);
+        let stripe = lrc.encode_stripe(&sample_data(12, 8)).unwrap();
+        // Single data failure reads 4; parity failure reads g-1 + 3 = 6.
+        let plan = lrc.repair_plan(&[1]).unwrap();
+        assert_eq!(plan.blocks_read(), 4);
+        let plan = lrc.repair_plan(&[13]).unwrap();
+        assert_eq!(plan.blocks_read(), 6);
+        assert!(plan.is_light());
+        // Round-trip a triple failure.
+        let mut shards: Vec<Option<Vec<u8>>> = stripe.iter().cloned().map(Some).collect();
+        for i in [0, 4, 16] {
+            shards[i] = None;
+        }
+        lrc.reconstruct(&mut shards).unwrap();
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(s.as_ref().unwrap(), &stripe[i]);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The iterative light decoder.
+//!
+//! An LRC's local parities induce XOR equations over the stored blocks
+//! (`Σ c_i · Y_i = 0` per repair group). When a single member of an
+//! equation is missing it can be resolved immediately; resolving one
+//! block may unlock another equation, so the decoder *peels* until no
+//! equation has exactly one unknown. This generalizes the paper's light
+//! decoder (§3.1.2) from one failure to any pattern whose failures are
+//! spread across repair groups — including the double failures the paper
+//! notes stay cheap "as long as the two missing blocks belong to
+//! different local XORs".
+
+use xorbas_gf::Field;
+
+/// A homogeneous XOR equation over stored blocks: `Σ cᵢ · Y_{idxᵢ} = 0`.
+///
+/// Coefficients must be nonzero (zero-coefficient members are simply not
+/// members).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorEquation<F> {
+    /// `(block index, coefficient)` pairs.
+    pub members: Vec<(usize, F)>,
+}
+
+impl<F: Field> XorEquation<F> {
+    /// Builds an equation, asserting coefficients are nonzero.
+    pub fn new(members: Vec<(usize, F)>) -> Self {
+        assert!(
+            members.iter().all(|(_, c)| !c.is_zero()),
+            "equation members must have nonzero coefficients"
+        );
+        Self { members }
+    }
+
+    /// The block indices participating in this equation.
+    pub fn indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.members.iter().map(|&(i, _)| i)
+    }
+}
+
+/// One resolved unknown: `Y_repaired = Σ cᵢ · Y_srcᵢ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeelStep<F> {
+    /// The block this step reconstructs.
+    pub repaired: usize,
+    /// Sources and the coefficient each is scaled by.
+    pub sources: Vec<(usize, F)>,
+}
+
+/// Result of a peeling pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeelOutcome<F> {
+    /// Reconstruction steps in dependency order.
+    pub steps: Vec<PeelStep<F>>,
+    /// Blocks that remained unresolved (empty = light decode succeeded).
+    pub unresolved: Vec<usize>,
+}
+
+/// Runs the peeling decoder.
+///
+/// `available[i]` says whether block `i` can be read; `targets` lists the
+/// blocks that must be reconstructed (peeling stops early once all
+/// targets are resolved, but intermediate non-target blocks may be
+/// resolved on the way when they unlock a target).
+pub fn peel<F: Field>(
+    equations: &[XorEquation<F>],
+    available: &[bool],
+    targets: &[usize],
+) -> PeelOutcome<F> {
+    let mut avail = available.to_vec();
+    let mut steps = Vec::new();
+    let mut remaining: Vec<usize> = targets.iter().copied().filter(|&t| !avail[t]).collect();
+
+    'progress: while !remaining.is_empty() {
+        for eq in equations {
+            let mut missing_iter = eq.members.iter().filter(|&&(i, _)| !avail[i]);
+            let (Some(&(idx, coeff)), None) = (missing_iter.next(), missing_iter.next())
+            else {
+                continue;
+            };
+            // Solve c·Y = Σ others  =>  Y = c⁻¹ · Σ cᵢ·Yᵢ (char 2 drops signs).
+            let inv = coeff.inv().expect("equation coefficients are nonzero");
+            let sources: Vec<(usize, F)> = eq
+                .members
+                .iter()
+                .filter(|&&(i, _)| i != idx)
+                .map(|&(i, c)| (i, inv * c))
+                .collect();
+            avail[idx] = true;
+            steps.push(PeelStep { repaired: idx, sources });
+            remaining.retain(|&t| t != idx);
+            continue 'progress;
+        }
+        break; // no equation with exactly one unknown
+    }
+
+    PeelOutcome { steps, unresolved: remaining }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xorbas_gf::{Field, Gf256};
+
+    fn one() -> Gf256 {
+        Gf256::ONE
+    }
+
+    /// Equations of a toy code: group {0,1,2} with parity 3, group {4,5}
+    /// with parity 6.
+    fn toy_equations() -> Vec<XorEquation<Gf256>> {
+        vec![
+            XorEquation::new(vec![(0, one()), (1, one()), (2, one()), (3, one())]),
+            XorEquation::new(vec![(4, one()), (5, one()), (6, one())]),
+        ]
+    }
+
+    #[test]
+    fn single_missing_block_resolves_from_its_group() {
+        let eqs = toy_equations();
+        let mut avail = vec![true; 7];
+        avail[1] = false;
+        let out = peel(&eqs, &avail, &[1]);
+        assert!(out.unresolved.is_empty());
+        assert_eq!(out.steps.len(), 1);
+        assert_eq!(out.steps[0].repaired, 1);
+        let mut srcs: Vec<usize> = out.steps[0].sources.iter().map(|&(i, _)| i).collect();
+        srcs.sort_unstable();
+        assert_eq!(srcs, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn failures_in_different_groups_both_resolve() {
+        let eqs = toy_equations();
+        let mut avail = vec![true; 7];
+        avail[2] = false;
+        avail[5] = false;
+        let out = peel(&eqs, &avail, &[2, 5]);
+        assert!(out.unresolved.is_empty());
+        assert_eq!(out.steps.len(), 2);
+    }
+
+    #[test]
+    fn two_failures_in_one_group_stall() {
+        let eqs = toy_equations();
+        let mut avail = vec![true; 7];
+        avail[0] = false;
+        avail[1] = false;
+        let out = peel(&eqs, &avail, &[0, 1]);
+        assert_eq!(out.steps.len(), 0);
+        assert_eq!(out.unresolved, vec![0, 1]);
+    }
+
+    #[test]
+    fn chained_peeling_crosses_groups() {
+        // Groups {0,1,2} and {2,3,4}: block 2 participates in both, so
+        // repairing it unlocks the second equation.
+        let eqs = vec![
+            XorEquation::new(vec![(0, one()), (1, one()), (2, one())]),
+            XorEquation::new(vec![(2, one()), (3, one()), (4, one())]),
+        ];
+        let mut avail = vec![true; 5];
+        avail[2] = false;
+        avail[3] = false;
+        let out = peel(&eqs, &avail, &[2, 3]);
+        assert!(out.unresolved.is_empty());
+        assert_eq!(out.steps[0].repaired, 2);
+        assert_eq!(out.steps[1].repaired, 3);
+        // Step 2 reads the block step 1 reconstructed.
+        assert!(out.steps[1].sources.iter().any(|&(i, _)| i == 2));
+    }
+
+    #[test]
+    fn nonunit_coefficients_are_inverted() {
+        // 3·Y0 + 5·Y1 = 0  =>  Y0 = 3⁻¹·5·Y1.
+        let c3 = Gf256::from_index(3);
+        let c5 = Gf256::from_index(5);
+        let eqs = vec![XorEquation::new(vec![(0, c3), (1, c5)])];
+        let avail = vec![false, true];
+        let out = peel(&eqs, &avail, &[0]);
+        assert_eq!(out.steps[0].sources, vec![(1, c3.inv().unwrap() * c5)]);
+    }
+
+    #[test]
+    fn targets_already_available_are_skipped() {
+        let eqs = toy_equations();
+        let avail = vec![true; 7];
+        let out = peel(&eqs, &avail, &[0, 4]);
+        assert!(out.steps.is_empty());
+        assert!(out.unresolved.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero coefficients")]
+    fn zero_coefficient_rejected() {
+        let _ = XorEquation::new(vec![(0, Gf256::ZERO)]);
+    }
+}

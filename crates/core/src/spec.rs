@@ -1,0 +1,266 @@
+//! Code specifications and stripe geometry.
+//!
+//! The paper compares three redundancy schemes on equal data-stripe size
+//! (§4): 3-way replication, the (10,4) Reed-Solomon code deployed in
+//! HDFS-RAID, and the (10,6,5) LRC deployed in HDFS-Xorbas. [`CodeSpec`]
+//! captures their geometry; [`LrcSpec`] carries the extra structure an
+//! LRC needs (group size, implied parity).
+
+use crate::error::{CodeError, Result};
+
+/// Geometry of an LRC: which blocks exist and how they are grouped.
+///
+/// Using the paper's notation, this describes a `(k, n - k, r)` code
+/// where `n = k + global_parities + k/group_size (+ 1 when the parity
+/// group's local parity is stored rather than implied)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LrcSpec {
+    /// Number of data blocks per stripe (`k`).
+    pub k: usize,
+    /// Number of Reed-Solomon global parities (`P_1..P_g`).
+    pub global_parities: usize,
+    /// Data blocks per local repair group (`r`); must divide `k`.
+    pub group_size: usize,
+    /// When true, the local parity of the *parity* group (`S3` in Fig. 2)
+    /// is not stored: the alignment `S1 + S2 + S3 = 0` makes it implied.
+    /// Requires the aligned Reed-Solomon construction with unit
+    /// coefficients (§2.1, Appendix D).
+    pub implied_parity: bool,
+}
+
+impl LrcSpec {
+    /// The (10,6,5) LRC implemented in HDFS-Xorbas (Fig. 2).
+    pub const XORBAS: LrcSpec = LrcSpec {
+        k: 10,
+        global_parities: 4,
+        group_size: 5,
+        implied_parity: true,
+    };
+
+    /// Validates the structural constraints.
+    pub fn validate(&self) -> Result<()> {
+        if self.k == 0 || self.global_parities == 0 || self.group_size == 0 {
+            return Err(CodeError::InvalidParameters(
+                "k, global parities and group size must be positive".into(),
+            ));
+        }
+        if !self.k.is_multiple_of(self.group_size) {
+            return Err(CodeError::InvalidParameters(format!(
+                "group size {} must divide k = {}",
+                self.group_size, self.k
+            )));
+        }
+        Ok(())
+    }
+
+    /// Number of data groups (`k / r`), each with one stored local parity.
+    pub fn data_groups(&self) -> usize {
+        self.k / self.group_size
+    }
+
+    /// Number of stored local parity blocks.
+    pub fn stored_local_parities(&self) -> usize {
+        self.data_groups() + usize::from(!self.implied_parity)
+    }
+
+    /// Total stored blocks per stripe (`n`).
+    pub fn total_blocks(&self) -> usize {
+        self.k + self.global_parities + self.stored_local_parities()
+    }
+
+    /// Stored parity blocks per stripe (`n - k`).
+    pub fn parity_blocks(&self) -> usize {
+        self.total_blocks() - self.k
+    }
+
+    /// Block locality: the number of blocks read to repair any single
+    /// failure. Data and local-parity blocks read `group_size`; a global
+    /// parity reads its `g - 1` peers plus either the stored parity-group
+    /// local parity (1 block) or all data-group local parities (implied).
+    pub fn locality(&self) -> usize {
+        let parity_repair = if self.implied_parity {
+            self.global_parities - 1 + self.data_groups()
+        } else {
+            self.global_parities
+        };
+        self.group_size.max(parity_repair)
+    }
+
+    /// The paper-style `(k, n - k, r)` triple.
+    pub fn triple(&self) -> (usize, usize, usize) {
+        (self.k, self.parity_blocks(), self.locality())
+    }
+}
+
+/// A redundancy scheme, in the paper's notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodeSpec {
+    /// `f`-way replication (the stripe is one logical block stored
+    /// `replicas` times).
+    Replication {
+        /// Total number of copies, e.g. 3 for HDFS default replication.
+        replicas: usize,
+    },
+    /// A `(k, n - k)` Reed-Solomon code: `k` data and `m = n - k` parity
+    /// blocks; tolerates any `m` erasures (MDS).
+    ReedSolomon {
+        /// Data blocks per stripe.
+        k: usize,
+        /// Parity blocks per stripe.
+        m: usize,
+    },
+    /// A locally repairable code.
+    Lrc(LrcSpec),
+}
+
+impl CodeSpec {
+    /// 3-way replication, the HDFS default the paper benchmarks against.
+    pub const REPLICATION_3: CodeSpec = CodeSpec::Replication { replicas: 3 };
+    /// The RS(10,4) used in Facebook's HDFS-RAID ("HDFS-RS").
+    pub const RS_10_4: CodeSpec = CodeSpec::ReedSolomon { k: 10, m: 4 };
+    /// The (10,6,5) LRC used in HDFS-Xorbas.
+    pub const LRC_10_6_5: CodeSpec = CodeSpec::Lrc(LrcSpec::XORBAS);
+
+    /// Data blocks per stripe (`k`).
+    pub fn data_blocks(&self) -> usize {
+        match *self {
+            CodeSpec::Replication { .. } => 1,
+            CodeSpec::ReedSolomon { k, .. } => k,
+            CodeSpec::Lrc(spec) => spec.k,
+        }
+    }
+
+    /// Stored blocks per stripe (`n`).
+    pub fn total_blocks(&self) -> usize {
+        match *self {
+            CodeSpec::Replication { replicas } => replicas,
+            CodeSpec::ReedSolomon { k, m } => k + m,
+            CodeSpec::Lrc(spec) => spec.total_blocks(),
+        }
+    }
+
+    /// Storage overhead beyond the data itself, `(n - k) / k`:
+    /// 2.0 for 3-replication, 0.4 for RS(10,4), 0.6 for LRC(10,6,5)
+    /// (Table 1's "storage overhead" column).
+    pub fn storage_overhead(&self) -> f64 {
+        let k = self.data_blocks() as f64;
+        (self.total_blocks() as f64 - k) / k
+    }
+
+    /// Blocks that must be read to repair a single lost block.
+    ///
+    /// Replication reads the surviving copy (1); RS reads `k`; LRC reads
+    /// its locality (5 for the Xorbas code). This is Table 1's "repair
+    /// traffic" column, normalized to replication.
+    pub fn single_repair_reads(&self) -> usize {
+        match *self {
+            CodeSpec::Replication { .. } => 1,
+            CodeSpec::ReedSolomon { k, .. } => k,
+            CodeSpec::Lrc(spec) => spec.locality(),
+        }
+    }
+
+    /// Upper bound on the minimum distance implied by the parameters.
+    ///
+    /// Replication and MDS specs are exact (`replicas` and `m + 1`); for
+    /// LRC specs this is the Theorem-2 bound `n - ⌈k/r⌉ - k + 2`, which
+    /// overlapping-group structures like the Xorbas code may not reach —
+    /// use `analysis::minimum_distance` on the built codec for the exact
+    /// value (5 for the (10,6,5) code, per Theorem 5).
+    pub fn distance_upper_bound(&self) -> usize {
+        match *self {
+            CodeSpec::Replication { replicas } => replicas,
+            CodeSpec::ReedSolomon { m, .. } => m + 1,
+            CodeSpec::Lrc(spec) => {
+                let n = spec.total_blocks();
+                let k = spec.k;
+                let r = spec.locality();
+                n - k.div_ceil(r) - k + 2
+            }
+        }
+    }
+
+    /// Human-readable name in the paper's style.
+    pub fn name(&self) -> String {
+        match *self {
+            CodeSpec::Replication { replicas } => format!("{replicas}-replication"),
+            CodeSpec::ReedSolomon { k, m } => format!("RS ({k}, {m})"),
+            CodeSpec::Lrc(spec) => {
+                let (k, nk, r) = spec.triple();
+                format!("LRC ({k}, {nk}, {r})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorbas_spec_matches_paper_figure_2() {
+        let s = LrcSpec::XORBAS;
+        s.validate().unwrap();
+        assert_eq!(s.total_blocks(), 16);
+        assert_eq!(s.parity_blocks(), 6);
+        assert_eq!(s.data_groups(), 2);
+        assert_eq!(s.stored_local_parities(), 2);
+        assert_eq!(s.locality(), 5);
+        assert_eq!(s.triple(), (10, 6, 5));
+    }
+
+    #[test]
+    fn stored_parity_variant_costs_one_more_block() {
+        let stored = LrcSpec { implied_parity: false, ..LrcSpec::XORBAS };
+        assert_eq!(stored.total_blocks(), 17);
+        assert_eq!(stored.locality(), 5);
+    }
+
+    #[test]
+    fn table_1_storage_overheads() {
+        assert_eq!(CodeSpec::REPLICATION_3.storage_overhead(), 2.0);
+        assert!((CodeSpec::RS_10_4.storage_overhead() - 0.4).abs() < 1e-12);
+        assert!((CodeSpec::LRC_10_6_5.storage_overhead() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_1_repair_traffic() {
+        assert_eq!(CodeSpec::REPLICATION_3.single_repair_reads(), 1);
+        assert_eq!(CodeSpec::RS_10_4.single_repair_reads(), 10);
+        assert_eq!(CodeSpec::LRC_10_6_5.single_repair_reads(), 5);
+    }
+
+    #[test]
+    fn distance_bounds_match_section_4() {
+        // Replication loses data at 3 erasures; RS(10,4) at 5 (exact,
+        // MDS). The LRC's Theorem-2 *bound* is 6; the structural optimum
+        // for n=16, r=5 is 5 (Theorem 5), verified exactly in
+        // `analysis::tests::xorbas_lrc_distance_is_5`.
+        assert_eq!(CodeSpec::REPLICATION_3.distance_upper_bound(), 3);
+        assert_eq!(CodeSpec::RS_10_4.distance_upper_bound(), 5);
+        assert_eq!(CodeSpec::LRC_10_6_5.distance_upper_bound(), 6);
+    }
+
+    #[test]
+    fn names_follow_paper_notation() {
+        assert_eq!(CodeSpec::REPLICATION_3.name(), "3-replication");
+        assert_eq!(CodeSpec::RS_10_4.name(), "RS (10, 4)");
+        assert_eq!(CodeSpec::LRC_10_6_5.name(), "LRC (10, 6, 5)");
+    }
+
+    #[test]
+    fn invalid_group_size_rejected() {
+        let bad = LrcSpec { group_size: 3, ..LrcSpec::XORBAS };
+        assert!(bad.validate().is_err());
+        let zero = LrcSpec { k: 0, ..LrcSpec::XORBAS };
+        assert!(zero.validate().is_err());
+    }
+
+    #[test]
+    fn storage_overhead_of_implied_parity_is_14_percent_over_rs() {
+        // §1: "requires 14% more storage compared to RS": 16/14 ≈ 1.143.
+        let lrc = CodeSpec::LRC_10_6_5.total_blocks() as f64;
+        let rs = CodeSpec::RS_10_4.total_blocks() as f64;
+        assert!((lrc / rs - 1.0 - 0.142857).abs() < 1e-5);
+    }
+}

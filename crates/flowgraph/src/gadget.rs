@@ -1,0 +1,226 @@
+//! The locality-aware information flow graph `G(k, n-k, r, d)` (Fig. 9).
+
+use crate::maxflow::{FlowNetwork, INF};
+
+/// Parameters of the achievability gadget. Requires `(r + 1) | n`
+/// (the appendix's non-overlapping-group assumption, Corollary 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GadgetParams {
+    /// Data blocks (sources).
+    pub k: usize,
+    /// Coded blocks (intermediate storage nodes).
+    pub n: usize,
+    /// Locality: each block belongs to one `(r+1)`-group.
+    pub r: usize,
+    /// Target minimum distance; each data collector reads `n - d + 1`
+    /// coded blocks.
+    pub d: usize,
+}
+
+impl GadgetParams {
+    fn validate(&self) {
+        assert!(self.k >= 1 && self.r >= 1, "k and r must be positive");
+        assert!(self.n > self.k, "need redundancy: n > k");
+        assert!(
+            self.n.is_multiple_of(self.r + 1),
+            "the appendix gadget assumes (r+1) | n"
+        );
+        assert!(
+            self.d >= 1 && self.d <= self.n - self.k + 1,
+            "d must lie in 1..=n-k+1 (Singleton)"
+        );
+    }
+}
+
+/// Theorem 2 / Lemma 2 threshold: the largest feasible distance,
+/// `n - ⌈k/r⌉ - k + 2`.
+pub fn lemma2_bound(n: usize, k: usize, r: usize) -> usize {
+    (n + 2).saturating_sub(k.div_ceil(r) + k)
+}
+
+/// The constructed flow network plus the node ids needed to attach
+/// data collectors.
+#[derive(Debug, Clone)]
+pub struct FlowGadget {
+    /// The network: super-source, X/Γ/Y layers (no collectors yet).
+    pub network: FlowNetwork,
+    /// The super-source node.
+    pub source: usize,
+    /// `Y_out` node of each coded block, indexed by block.
+    pub y_out: Vec<usize>,
+    params: GadgetParams,
+}
+
+impl FlowGadget {
+    /// Builds the gadget of Fig. 9 with flow in units of `M/k`:
+    /// `Y_in → Y_out` edges carry 1 unit, group bottlenecks carry `r`.
+    pub fn build(params: GadgetParams) -> Self {
+        params.validate();
+        let GadgetParams { k, n, r, .. } = params;
+        let groups = n / (r + 1);
+        let mut net = FlowNetwork::new(0);
+        let source = net.add_node();
+        // X_i sources, fed by the super-source.
+        let xs: Vec<usize> = (0..k).map(|_| net.add_node()).collect();
+        for &x in &xs {
+            net.add_edge(source, x, INF);
+        }
+        // Γ_in → Γ_out bottleneck per (r+1)-group.
+        let gamma: Vec<(usize, usize)> = (0..groups)
+            .map(|_| {
+                let gin = net.add_node();
+                let gout = net.add_node();
+                net.add_edge(gin, gout, r as u64);
+                (gin, gout)
+            })
+            .collect();
+        for &(gin, _) in &gamma {
+            for &x in &xs {
+                net.add_edge(x, gin, INF);
+            }
+        }
+        // Y_in → Y_out per coded block, fed by its group's Γ_out.
+        let mut y_out = Vec::with_capacity(n);
+        for i in 0..n {
+            let yin = net.add_node();
+            let yout = net.add_node();
+            net.add_edge(gamma[i / (r + 1)].1, yin, INF);
+            net.add_edge(yin, yout, 1);
+            y_out.push(yout);
+        }
+        Self { network: net, source, y_out, params }
+    }
+
+    /// Max flow into a data collector attached to the given blocks.
+    pub fn collector_flow(&self, blocks: &[usize]) -> u64 {
+        let mut net = self.network.clone();
+        let dc = net.add_node();
+        for &b in blocks {
+            net.add_edge(self.y_out[b], dc, INF);
+        }
+        net.max_flow(self.source, dc)
+    }
+
+    /// Iterates every data collector (all `C(n, n-d+1)` block subsets)
+    /// and returns the minimum flow any of them receives.
+    pub fn min_collector_flow(&self) -> u64 {
+        let GadgetParams { n, d, .. } = self.params;
+        let take = n - d + 1;
+        let mut best = u64::MAX;
+        let mut subset: Vec<usize> = (0..take).collect();
+        loop {
+            best = best.min(self.collector_flow(&subset));
+            // Advance combination (lexicographic).
+            let mut i = take;
+            loop {
+                if i == 0 {
+                    return best;
+                }
+                i -= 1;
+                if subset[i] < n - take + i {
+                    subset[i] += 1;
+                    for j in (i + 1)..take {
+                        subset[j] = subset[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Minimum flow over all data collectors, in units of `M/k`.
+pub fn min_collector_flow(params: GadgetParams) -> u64 {
+    FlowGadget::build(params).min_collector_flow()
+}
+
+/// Lemma 2's feasibility check: every data collector receives flow at
+/// least `M` (= `k` units), i.e. every choice of `n - d + 1` blocks can
+/// reconstruct the file on the gadget.
+pub fn all_collectors_feasible(params: GadgetParams) -> bool {
+    min_collector_flow(params) >= params.k as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_formula_matches_theorem_2() {
+        assert_eq!(lemma2_bound(16, 10, 5), 6);
+        assert_eq!(lemma2_bound(14, 10, 10), 5); // r = k: Singleton
+        assert_eq!(lemma2_bound(6, 4, 2), 2);
+    }
+
+    #[test]
+    fn feasible_exactly_up_to_the_bound_small() {
+        // k=4, n=6, r=2 (groups of 3): bound d ≤ 2.
+        for d in 1..=2 {
+            assert!(
+                all_collectors_feasible(GadgetParams { k: 4, n: 6, r: 2, d }),
+                "d={d} should be feasible"
+            );
+        }
+        assert!(!all_collectors_feasible(GadgetParams { k: 4, n: 6, r: 2, d: 3 }));
+    }
+
+    #[test]
+    fn feasible_exactly_up_to_the_bound_medium() {
+        // k=6, n=9, r=2 (groups of 3): bound = 9 - 3 - 6 + 2 = 2.
+        let bound = lemma2_bound(9, 6, 2);
+        assert_eq!(bound, 2);
+        assert!(all_collectors_feasible(GadgetParams { k: 6, n: 9, r: 2, d: bound }));
+        assert!(!all_collectors_feasible(GadgetParams {
+            k: 6,
+            n: 9,
+            r: 2,
+            d: bound + 1
+        }));
+    }
+
+    #[test]
+    fn trivial_locality_reaches_singleton() {
+        // r = k = 2, n = 3 (one group of 3): MDS point, d = n - k + 1 = 2.
+        assert!(all_collectors_feasible(GadgetParams { k: 2, n: 3, r: 2, d: 2 }));
+    }
+
+    #[test]
+    fn group_bottleneck_limits_whole_group_collectors() {
+        // k=4, n=6, r=2: a collector reading one whole (r+1)-group plus
+        // two blocks of the other extracts at most r + 2 = 4 units; with
+        // d=2 collectors read 5 blocks, so the worst collector reads a
+        // full group (3) + 2 = at most 2 + 2 = 4 = k. Exactly feasible.
+        let gadget = FlowGadget::build(GadgetParams { k: 4, n: 6, r: 2, d: 2 });
+        assert_eq!(gadget.collector_flow(&[0, 1, 2, 3, 4]), 4);
+        // Reading both full groups caps at 2r = 4 units too.
+        assert_eq!(gadget.collector_flow(&[0, 1, 2, 3, 4, 5]), 4);
+        // Reading 2 blocks of each group avoids the bottleneck: 4 units.
+        assert_eq!(gadget.collector_flow(&[0, 1, 3, 4]), 4);
+    }
+
+    #[test]
+    fn larger_instance_matches_bound() {
+        // k=8, r=3, n=12 (groups of 4): bound = 12 - 3 - 8 + 2 = 3.
+        let bound = lemma2_bound(12, 8, 3);
+        assert_eq!(bound, 3);
+        assert!(all_collectors_feasible(GadgetParams { k: 8, n: 12, r: 3, d: bound }));
+        assert!(!all_collectors_feasible(GadgetParams {
+            k: 8,
+            n: 12,
+            r: 3,
+            d: bound + 1
+        }));
+    }
+
+    #[test]
+    #[should_panic(expected = "(r+1) | n")]
+    fn rejects_non_divisible_group_structure() {
+        let _ = FlowGadget::build(GadgetParams { k: 10, n: 16, r: 5, d: 5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "Singleton")]
+    fn rejects_distance_beyond_singleton() {
+        let _ = FlowGadget::build(GadgetParams { k: 4, n: 6, r: 2, d: 4 });
+    }
+}

@@ -1,0 +1,195 @@
+//! Dinic's maximum-flow algorithm on integer capacities.
+
+/// Sentinel for "unbounded" edge capacity (large enough to never bind,
+/// small enough to never overflow when summed).
+pub const INF: u64 = u64::MAX / 4;
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    cap: u64,
+}
+
+/// A directed flow network. Edges are stored as (forward, reverse) pairs
+/// so residual updates are index arithmetic.
+#[derive(Debug, Clone, Default)]
+pub struct FlowNetwork {
+    edges: Vec<Edge>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl FlowNetwork {
+    /// An empty network with `nodes` vertices.
+    pub fn new(nodes: usize) -> Self {
+        Self { edges: Vec::new(), adj: vec![Vec::new(); nodes] }
+    }
+
+    /// Adds a vertex, returning its id.
+    pub fn add_node(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Number of vertices.
+    pub fn nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a directed edge `from → to` with the given capacity.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) {
+        assert!(from < self.adj.len() && to < self.adj.len(), "node out of range");
+        let id = self.edges.len();
+        self.edges.push(Edge { to, cap });
+        self.edges.push(Edge { to: from, cap: 0 });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+    }
+
+    /// Computes the `s → t` max flow. The network itself is not mutated;
+    /// each call works on a private copy of the residual capacities.
+    pub fn max_flow(&self, s: usize, t: usize) -> u64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let mut caps: Vec<u64> = self.edges.iter().map(|e| e.cap).collect();
+        let mut flow = 0u64;
+        loop {
+            // BFS level graph.
+            let mut level = vec![usize::MAX; self.adj.len()];
+            level[s] = 0;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(u) = queue.pop_front() {
+                for &eid in &self.adj[u] {
+                    let e = &self.edges[eid];
+                    if caps[eid] > 0 && level[e.to] == usize::MAX {
+                        level[e.to] = level[u] + 1;
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            if level[t] == usize::MAX {
+                return flow;
+            }
+            // DFS blocking flow with an iteration pointer per node.
+            let mut it = vec![0usize; self.adj.len()];
+            loop {
+                let pushed = self.dfs(s, t, INF, &level, &mut it, &mut caps);
+                if pushed == 0 {
+                    break;
+                }
+                flow += pushed;
+            }
+        }
+    }
+
+    fn dfs(
+        &self,
+        u: usize,
+        t: usize,
+        limit: u64,
+        level: &[usize],
+        it: &mut [usize],
+        caps: &mut [u64],
+    ) -> u64 {
+        if u == t {
+            return limit;
+        }
+        while it[u] < self.adj[u].len() {
+            let eid = self.adj[u][it[u]];
+            let to = self.edges[eid].to;
+            if caps[eid] > 0 && level[to] == level[u] + 1 {
+                let pushed =
+                    self.dfs(to, t, limit.min(caps[eid]), level, it, caps);
+                if pushed > 0 {
+                    caps[eid] -= pushed;
+                    caps[eid ^ 1] += pushed;
+                    return pushed;
+                }
+            }
+            it[u] += 1;
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(0, 1, 7);
+        assert_eq!(g.max_flow(0, 1), 7);
+    }
+
+    #[test]
+    fn series_takes_minimum() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 5);
+        g.add_edge(1, 2, 3);
+        assert_eq!(g.max_flow(0, 2), 3);
+    }
+
+    #[test]
+    fn parallel_paths_sum() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 2);
+        g.add_edge(1, 3, 2);
+        g.add_edge(0, 2, 3);
+        g.add_edge(2, 3, 3);
+        assert_eq!(g.max_flow(0, 3), 5);
+    }
+
+    #[test]
+    fn classic_textbook_network() {
+        // CLRS figure: max flow 23.
+        let mut g = FlowNetwork::new(6);
+        g.add_edge(0, 1, 16);
+        g.add_edge(0, 2, 13);
+        g.add_edge(1, 2, 10);
+        g.add_edge(2, 1, 4);
+        g.add_edge(1, 3, 12);
+        g.add_edge(3, 2, 9);
+        g.add_edge(2, 4, 14);
+        g.add_edge(4, 3, 7);
+        g.add_edge(3, 5, 20);
+        g.add_edge(4, 5, 4);
+        assert_eq!(g.max_flow(0, 5), 23);
+    }
+
+    #[test]
+    fn disconnected_sink_gets_zero() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 10);
+        assert_eq!(g.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn repeated_calls_are_idempotent() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 5);
+        g.add_edge(1, 2, 4);
+        assert_eq!(g.max_flow(0, 2), 4);
+        assert_eq!(g.max_flow(0, 2), 4); // capacities are not consumed
+    }
+
+    #[test]
+    fn inf_edges_do_not_overflow() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, INF);
+        g.add_edge(0, 2, INF);
+        g.add_edge(1, 3, 1);
+        g.add_edge(2, 3, 1);
+        assert_eq!(g.max_flow(0, 3), 2);
+    }
+
+    #[test]
+    fn add_node_grows_network() {
+        let mut g = FlowNetwork::new(1);
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(0, a, 2);
+        g.add_edge(a, b, 1);
+        assert_eq!(g.nodes(), 3);
+        assert_eq!(g.max_flow(0, b), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! The [`Field`] trait shared by all GF(2^m) implementations.
+
+use std::fmt::{Debug, Display};
+use std::hash::Hash;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A binary extension field `F_{2^m}`.
+///
+/// All implementations in this crate have characteristic 2, so `a + a = 0`,
+/// subtraction equals addition, and negation is the identity. Elements are
+/// identified with the integers `0..ORDER` via their polynomial bit pattern
+/// ([`Field::index`] / [`Field::from_index`]).
+pub trait Field:
+    Copy
+    + Eq
+    + Hash
+    + Debug
+    + Display
+    + Default
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + Sum
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// Field size `q = 2^BITS`.
+    const ORDER: u32;
+    /// Extension degree `m`.
+    const BITS: u32;
+    /// Number of bytes a symbol occupies in serialized block payloads.
+    const SYMBOL_BYTES: usize;
+
+    /// Builds an element from its bit-pattern index (truncated to `BITS`).
+    fn from_index(v: u32) -> Self;
+
+    /// The bit-pattern index of this element, in `0..ORDER`.
+    fn index(self) -> u32;
+
+    /// Multiplicative inverse; `None` for zero.
+    fn inv(self) -> Option<Self>;
+
+    /// The canonical primitive element `α` (the polynomial `x`).
+    fn generator() -> Self;
+
+    /// `α^e`; the exponent may be any `u32` and is reduced mod `ORDER - 1`.
+    fn exp(e: u32) -> Self;
+
+    /// Discrete logarithm base `α`; `None` for zero.
+    fn log(self) -> Option<u32>;
+
+    /// Whether this element is zero.
+    #[inline]
+    fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+
+    /// Checked division: `None` when `rhs` is zero.
+    #[inline]
+    fn checked_div(self, rhs: Self) -> Option<Self> {
+        rhs.inv().map(|r| self * r)
+    }
+
+    /// Exponentiation by squaring (works for any exponent, including 0).
+    fn pow(self, mut e: u64) -> Self {
+        if e == 0 {
+            return Self::ONE;
+        }
+        if self.is_zero() {
+            return Self::ZERO;
+        }
+        let mut base = self;
+        let mut acc = Self::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Iterates over every element of the field, starting with zero.
+    fn elements() -> FieldElements<Self> {
+        FieldElements { next: 0, _marker: std::marker::PhantomData }
+    }
+
+    /// Reads a symbol from the first `SYMBOL_BYTES` bytes (little-endian).
+    fn read_symbol(bytes: &[u8]) -> Self;
+
+    /// Writes a symbol into the first `SYMBOL_BYTES` bytes (little-endian).
+    fn write_symbol(self, bytes: &mut [u8]);
+}
+
+/// Iterator over all elements of a field, yielded in index order.
+#[derive(Debug, Clone)]
+pub struct FieldElements<F> {
+    next: u64,
+    _marker: std::marker::PhantomData<F>,
+}
+
+impl<F: Field> Iterator for FieldElements<F> {
+    type Item = F;
+
+    fn next(&mut self) -> Option<F> {
+        if self.next >= u64::from(F::ORDER) {
+            return None;
+        }
+        let v = F::from_index(self.next as u32);
+        self.next += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (u64::from(F::ORDER) - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl<F: Field> ExactSizeIterator for FieldElements<F> {}

@@ -1,0 +1,63 @@
+//! GF(2^4), used for small deterministic code-construction searches.
+
+use crate::tables::impl_table_field;
+
+impl_table_field!(
+    /// An element of GF(2^4) (polynomial `x^4 + x + 1`).
+    ///
+    /// Sixteen elements; mainly useful for exhaustive tests and for the
+    /// deterministic (exponential-time) coefficient searches the paper
+    /// notes are "useful only for small code constructions".
+    Gf16,
+    u8,
+    4,
+    crate::poly::PRIMITIVE_POLY_4
+);
+
+#[cfg(test)]
+mod tests {
+    use super::Gf16;
+    use crate::poly::{clmul_mod, PRIMITIVE_POLY_4};
+    use crate::Field;
+
+    #[test]
+    fn matches_reference_multiplication_exhaustively() {
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                let expect = clmul_mod(a, b, PRIMITIVE_POLY_4, 4);
+                let got = Gf16::from_index(a) * Gf16::from_index(b);
+                assert_eq!(got.index(), expect, "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..16u32 {
+            let x = Gf16::from_index(a);
+            let inv = x.inv().expect("nonzero must invert");
+            assert_eq!(x * inv, Gf16::ONE);
+        }
+        assert_eq!(Gf16::ZERO.inv(), None);
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let mut seen = std::collections::HashSet::new();
+        let mut v = Gf16::ONE;
+        for _ in 0..15 {
+            assert!(seen.insert(v));
+            v *= Gf16::generator();
+        }
+        assert_eq!(v, Gf16::ONE);
+        assert_eq!(seen.len(), 15);
+    }
+
+    #[test]
+    fn log_exp_round_trip() {
+        for a in 1..16u32 {
+            let x = Gf16::from_index(a);
+            assert_eq!(Gf16::exp(x.log().unwrap()), x);
+        }
+    }
+}

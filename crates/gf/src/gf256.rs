@@ -1,0 +1,121 @@
+//! GF(2^8), the workhorse field for block payload coding.
+
+use crate::tables::impl_table_field;
+
+impl_table_field!(
+    /// An element of GF(2^8) (polynomial `x^8 + x^4 + x^3 + x^2 + 1`).
+    ///
+    /// One symbol per payload byte. `ORDER - 1 = 255 ≥ n = 16`, so every
+    /// code in the paper — RS(10,4) and the (10,6,5) LRC, blocklength
+    /// 14/16 — fits comfortably, as do the §7 archival stripes of 50–100
+    /// blocks.
+    Gf256,
+    u8,
+    8,
+    crate::poly::PRIMITIVE_POLY_8
+);
+
+#[cfg(test)]
+mod tests {
+    use super::Gf256;
+    use crate::poly::{clmul_mod, PRIMITIVE_POLY_8};
+    use crate::Field;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_reference_multiplication_exhaustively() {
+        for a in 0..256u32 {
+            for b in 0..256u32 {
+                let expect = clmul_mod(a, b, PRIMITIVE_POLY_8, 8);
+                let got = Gf256::from_index(a) * Gf256::from_index(b);
+                assert_eq!(got.index(), expect, "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip_exhaustive() {
+        for a in 1..256u32 {
+            let x = Gf256::from_index(a);
+            assert_eq!(x * x.inv().unwrap(), Gf256::ONE);
+            assert_eq!((x / x), Gf256::ONE);
+        }
+    }
+
+    #[test]
+    fn exp_wraps_modulo_group_order() {
+        assert_eq!(Gf256::exp(0), Gf256::ONE);
+        assert_eq!(Gf256::exp(255), Gf256::ONE);
+        assert_eq!(Gf256::exp(256), Gf256::generator());
+        assert_eq!(Gf256::exp(510), Gf256::ONE);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let x = Gf256::from_index(0x9D);
+        let mut acc = Gf256::ONE;
+        for e in 0..20u64 {
+            assert_eq!(x.pow(e), acc);
+            acc *= x;
+        }
+        assert_eq!(Gf256::ZERO.pow(0), Gf256::ONE);
+        assert_eq!(Gf256::ZERO.pow(5), Gf256::ZERO);
+    }
+
+    #[test]
+    fn elements_iterator_is_complete() {
+        let all: Vec<Gf256> = Gf256::elements().collect();
+        assert_eq!(all.len(), 256);
+        assert_eq!(all[0], Gf256::ZERO);
+        assert_eq!(all[1], Gf256::ONE);
+    }
+
+    #[test]
+    fn symbol_serialization_round_trip() {
+        let mut buf = [0u8; 1];
+        for a in 0..256u32 {
+            let x = Gf256::from_index(a);
+            x.write_symbol(&mut buf);
+            assert_eq!(Gf256::read_symbol(&buf), x);
+        }
+    }
+
+    fn any_elem() -> impl Strategy<Value = Gf256> {
+        (0u32..256).prop_map(Gf256::from_index)
+    }
+
+    proptest! {
+        #[test]
+        fn addition_is_commutative_and_self_inverse(a in any_elem(), b in any_elem()) {
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_eq!(a + a, Gf256::ZERO);
+            prop_assert_eq!(a - b, a + b);
+            prop_assert_eq!(-a, a);
+        }
+
+        #[test]
+        fn multiplication_is_associative(a in any_elem(), b in any_elem(), c in any_elem()) {
+            prop_assert_eq!((a * b) * c, a * (b * c));
+        }
+
+        #[test]
+        fn multiplication_distributes_over_addition(
+            a in any_elem(), b in any_elem(), c in any_elem()
+        ) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn division_inverts_multiplication(a in any_elem(), b in any_elem()) {
+            prop_assume!(!b.is_zero());
+            prop_assert_eq!((a * b) / b, a);
+            prop_assert_eq!(a.checked_div(b).unwrap() * b, a);
+        }
+
+        #[test]
+        fn pow_law_of_exponents(a in any_elem(), e1 in 0u64..64, e2 in 0u64..64) {
+            prop_assume!(!a.is_zero());
+            prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Binary-extension-field arithmetic for erasure coding.
+//!
+//! The codes in "XORing Elephants" (VLDB 2013) are defined over binary
+//! extension fields `F_{2^m}` (§2.1, Appendix D). This crate provides
+//! table-driven implementations of GF(2^4), GF(2^8) and GF(2^16), a common
+//! [`Field`] trait used by the linear-algebra and codec crates, and
+//! byte-slice kernels ([`slice_ops`]) used on whole-block payloads.
+//!
+//! # Representation
+//!
+//! Elements are bit patterns of polynomials over GF(2) reduced modulo a
+//! fixed primitive polynomial (see [`poly`] for the registry). Addition is
+//! XOR; multiplication uses discrete log/antilog tables with `x` (`0b10`)
+//! as the primitive element `α`, matching the Vandermonde parity-check
+//! construction `[H]_{i,j} = α^{(i-1)(j-1)}` of the paper's Appendix D.
+//!
+//! # Example
+//!
+//! ```
+//! use xorbas_gf::{Field, Gf256};
+//!
+//! let a = Gf256::from_index(0x53);
+//! let b = Gf256::from_index(0xCA);
+//! let p = a * b;
+//! assert_eq!(p / b, a);
+//! assert_eq!(a + a, Gf256::ZERO); // characteristic 2
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod field;
+mod gf16;
+mod gf256;
+mod gf65536;
+pub mod poly;
+pub mod slice_ops;
+mod tables;
+
+pub use field::{Field, FieldElements};
+pub use gf16::Gf16;
+pub use gf256::Gf256;
+pub use gf65536::Gf65536;

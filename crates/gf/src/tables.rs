@@ -1,0 +1,234 @@
+//! Shared log/antilog table construction.
+
+/// Discrete-log and antilog tables for one field.
+///
+/// `exp` has length `2 * (q - 1)` (the second half repeats the first) so
+/// that `exp[log a + log b]` needs no modular reduction. `log[0]` holds
+/// `u32::MAX` as a sentinel.
+pub(crate) struct RawTables {
+    pub exp: Vec<u32>,
+    pub log: Vec<u32>,
+}
+
+/// Builds tables for GF(2^bits) reduced by `poly` (which must include its
+/// leading bit and have `x` primitive).
+pub(crate) fn build_tables(poly: u32, bits: u32) -> RawTables {
+    let q = 1usize << bits;
+    let high = 1u32 << bits;
+    let mut exp = vec![0u32; 2 * (q - 1)];
+    let mut log = vec![u32::MAX; q];
+    let mut v = 1u32;
+    #[allow(clippy::needless_range_loop)] // e is the exponent, not just an index
+    for e in 0..(q - 1) {
+        exp[e] = v;
+        assert_eq!(log[v as usize], u32::MAX, "x is not primitive for {poly:#x}");
+        log[v as usize] = e as u32;
+        v <<= 1;
+        if v & high != 0 {
+            v ^= poly;
+        }
+    }
+    for e in 0..(q - 1) {
+        exp[q - 1 + e] = exp[e];
+    }
+    RawTables { exp, log }
+}
+
+/// Generates a concrete field type backed by lazily built tables.
+macro_rules! impl_table_field {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $repr:ty, $bits:expr, $poly:expr
+    ) => {
+        $(#[$meta])*
+        #[derive(Copy, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+        pub struct $name($repr);
+
+        impl $name {
+            const Q: u32 = 1u32 << $bits;
+            const MASK: u32 = (1u32 << $bits) - 1;
+
+            fn tables() -> &'static crate::tables::RawTables {
+                static TABLES: std::sync::LazyLock<crate::tables::RawTables> =
+                    std::sync::LazyLock::new(|| crate::tables::build_tables($poly, $bits));
+                &TABLES
+            }
+
+            /// Creates an element from its raw representation.
+            #[inline]
+            pub const fn new(v: $repr) -> Self {
+                Self(v)
+            }
+
+            /// The raw representation of this element.
+            #[inline]
+            pub const fn raw(self) -> $repr {
+                self.0
+            }
+        }
+
+        impl crate::Field for $name {
+            const ZERO: Self = Self(0);
+            const ONE: Self = Self(1);
+            const ORDER: u32 = Self::Q;
+            const BITS: u32 = $bits;
+            const SYMBOL_BYTES: usize = std::mem::size_of::<$repr>();
+
+            #[inline]
+            fn from_index(v: u32) -> Self {
+                Self((v & Self::MASK) as $repr)
+            }
+
+            #[inline]
+            fn index(self) -> u32 {
+                u32::from(self.0)
+            }
+
+            #[inline]
+            fn inv(self) -> Option<Self> {
+                if self.0 == 0 {
+                    return None;
+                }
+                let t = Self::tables();
+                let e = t.log[self.0 as usize];
+                Some(Self(t.exp[(Self::Q - 1 - e) as usize] as $repr))
+            }
+
+            #[inline]
+            fn generator() -> Self {
+                Self(0b10)
+            }
+
+            #[inline]
+            fn exp(e: u32) -> Self {
+                let t = Self::tables();
+                Self(t.exp[(e % (Self::Q - 1)) as usize] as $repr)
+            }
+
+            #[inline]
+            fn log(self) -> Option<u32> {
+                if self.0 == 0 {
+                    None
+                } else {
+                    Some(Self::tables().log[self.0 as usize])
+                }
+            }
+
+            #[inline]
+            fn read_symbol(bytes: &[u8]) -> Self {
+                let mut buf = [0u8; std::mem::size_of::<$repr>()];
+                buf.copy_from_slice(&bytes[..std::mem::size_of::<$repr>()]);
+                // Sub-byte fields (GF(2^4)) occupy a whole byte per
+                // symbol; out-of-range bits are truncated, mirroring
+                // `from_index`.
+                Self((<$repr>::from_le_bytes(buf) as u32 & Self::MASK) as $repr)
+            }
+
+            #[inline]
+            fn write_symbol(self, bytes: &mut [u8]) {
+                bytes[..std::mem::size_of::<$repr>()]
+                    .copy_from_slice(&self.0.to_le_bytes());
+            }
+        }
+
+        #[allow(clippy::suspicious_arithmetic_impl)]
+        impl std::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 ^ rhs.0)
+            }
+        }
+
+        #[allow(clippy::suspicious_arithmetic_impl)]
+        impl std::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 ^ rhs.0)
+            }
+        }
+
+        impl std::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                self
+            }
+        }
+
+        impl std::ops::Mul for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: Self) -> Self {
+                if self.0 == 0 || rhs.0 == 0 {
+                    return Self(0);
+                }
+                let t = Self::tables();
+                let e = t.log[self.0 as usize] + t.log[rhs.0 as usize];
+                Self(t.exp[e as usize] as $repr)
+            }
+        }
+
+        #[allow(clippy::suspicious_arithmetic_impl)]
+        impl std::ops::Div for $name {
+            type Output = Self;
+            /// Panics when dividing by zero, mirroring integer division.
+            #[inline]
+            fn div(self, rhs: Self) -> Self {
+                let inv = crate::Field::inv(rhs).expect("division by zero field element");
+                self * inv
+            }
+        }
+
+        #[allow(clippy::suspicious_op_assign_impl)]
+        impl std::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 ^= rhs.0;
+            }
+        }
+
+        #[allow(clippy::suspicious_op_assign_impl)]
+        impl std::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 ^= rhs.0;
+            }
+        }
+
+        impl std::ops::MulAssign for $name {
+            #[inline]
+            fn mul_assign(&mut self, rhs: Self) {
+                *self = *self * rhs;
+            }
+        }
+
+        impl std::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self(0), |a, b| a + b)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#x})"), self.0)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl From<$repr> for $name {
+            #[inline]
+            fn from(v: $repr) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+pub(crate) use impl_table_field;

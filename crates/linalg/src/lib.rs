@@ -1,0 +1,30 @@
+//! Dense linear algebra over binary extension fields.
+//!
+//! Everything the codec crate needs to realize the constructions of the
+//! paper's Appendix D: Vandermonde parity-check matrices, (right) null
+//! spaces for deriving generator matrices, Gaussian elimination for
+//! systematic transforms and erasure decoding, and rank computations for
+//! the brute-force minimum-distance / locality analyses.
+//!
+//! # Example
+//!
+//! ```
+//! use xorbas_gf::{Field, Gf256};
+//! use xorbas_linalg::{special, Matrix};
+//!
+//! // The 4x14 Vandermonde parity-check matrix of the paper's RS(10,4).
+//! let h: Matrix<Gf256> = special::vandermonde(4, 14);
+//! let g = h.right_null_space();
+//! assert_eq!((g.rows(), g.cols()), (10, 14));
+//! // G H^T = 0  — the defining property of a generator matrix.
+//! assert!(g.mul(&h.transpose()).is_zero());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gauss;
+mod matrix;
+pub mod special;
+
+pub use matrix::Matrix;

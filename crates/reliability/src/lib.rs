@@ -1,0 +1,37 @@
+//! Markov-chain reliability analysis (§4 of "XORing Elephants").
+//!
+//! The paper estimates mean time to data loss (MTTDL) with a standard
+//! birth–death Markov chain per stripe (Fig. 3): state = number of lost
+//! blocks, forward rates `λ_i = (n - i)·λ` from independent node
+//! failures, backward rates `ρ_i = γ / (b_i · B)` from repairs limited by
+//! the cross-rack bandwidth `γ`, where `b_i` is the expected number of
+//! blocks a single repair downloads in state `i`.
+//!
+//! The paper skips the derivation of `b_i` "due to lack of space"; here
+//! it is computed *exactly* by enumerating erasure patterns against the
+//! real codecs (`xorbas_core::analysis::expected_single_repair_reads`) —
+//! including the light-vs-heavy decoder probabilities for the LRC.
+//!
+//! # Example
+//!
+//! ```
+//! use xorbas_reliability::{ClusterParams, table1};
+//!
+//! let rows = table1(&ClusterParams::facebook());
+//! // Replication < RS (10,4) < LRC (10,6,5), as in Table 1.
+//! assert!(rows[0].mttdl_days < rows[1].mttdl_days);
+//! assert!(rows[1].mttdl_days < rows[2].mttdl_days);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod markov;
+mod params;
+mod schemes;
+mod table;
+
+pub use markov::BirthDeathChain;
+pub use params::ClusterParams;
+pub use schemes::{analyze_codec, analyze_replication, SchemeAnalysis};
+pub use table::{format_table1, table1, PAPER_TABLE1_MTTDL_DAYS};

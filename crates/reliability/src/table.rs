@@ -1,0 +1,81 @@
+//! Table-1 assembly and formatting.
+
+use xorbas_core::{Lrc, ReedSolomon};
+
+use crate::params::ClusterParams;
+use crate::schemes::{analyze_codec, analyze_replication, SchemeAnalysis};
+
+/// The MTTDL column of the paper's Table 1 (days), for reference:
+/// 3-replication, RS (10, 4), LRC (10, 6, 5).
+pub const PAPER_TABLE1_MTTDL_DAYS: [f64; 3] = [2.3079e10, 3.3118e13, 1.2180e15];
+
+/// Computes the three rows of Table 1 in the paper's order:
+/// 3-replication, RS (10, 4), LRC (10, 6, 5).
+pub fn table1(params: &ClusterParams) -> Vec<SchemeAnalysis> {
+    let rs: ReedSolomon = ReedSolomon::new(10, 4).expect("RS(10,4) constructs");
+    let lrc = Lrc::xorbas_10_6_5().expect("LRC(10,6,5) constructs");
+    vec![
+        analyze_replication(3, params),
+        analyze_codec(&rs, params),
+        analyze_codec(&lrc, params),
+    ]
+}
+
+/// Renders rows in the paper's Table-1 layout, with the paper's own
+/// MTTDL figures alongside for comparison.
+pub fn format_table1(rows: &[SchemeAnalysis]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Storage Scheme     overhead  repair traffic  MTTDL (days)   paper MTTDL\n",
+    );
+    out.push_str(
+        "-----------------  --------  --------------  -------------  -------------\n",
+    );
+    for (i, row) in rows.iter().enumerate() {
+        let paper = PAPER_TABLE1_MTTDL_DAYS
+            .get(i)
+            .map_or("-".to_string(), |v| format!("{v:.4e}"));
+        out.push_str(&format!(
+            "{:<17}  {:>7.1}x  {:>13.1}x  {:>13.4e}  {:>13}\n",
+            row.name, row.storage_overhead, row.repair_traffic, row.mttdl_days, paper
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_three_rows_in_paper_order() {
+        let rows = table1(&ClusterParams::facebook());
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].name, "3-replication");
+        assert_eq!(rows[1].name, "RS (10, 4)");
+        assert_eq!(rows[2].name, "LRC (10, 6, 5)");
+    }
+
+    #[test]
+    fn static_columns_match_paper_exactly() {
+        let rows = table1(&ClusterParams::facebook());
+        // Storage overhead column: 2x / 0.4x / 0.6x.
+        assert_eq!(rows[0].storage_overhead, 2.0);
+        assert!((rows[1].storage_overhead - 0.4).abs() < 1e-12);
+        assert!((rows[2].storage_overhead - 0.6).abs() < 1e-12);
+        // Repair traffic column: 1x / 10x / 5x.
+        assert_eq!(rows[0].repair_traffic, 1.0);
+        assert_eq!(rows[1].repair_traffic, 10.0);
+        assert_eq!(rows[2].repair_traffic, 5.0);
+    }
+
+    #[test]
+    fn formatting_contains_all_schemes_and_reference() {
+        let rows = table1(&ClusterParams::facebook());
+        let s = format_table1(&rows);
+        assert!(s.contains("3-replication"));
+        assert!(s.contains("RS (10, 4)"));
+        assert!(s.contains("LRC (10, 6, 5)"));
+        assert!(s.contains("2.3079e10"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Bridges [`CodeSpec`] to concrete codec behaviour for the simulator:
+//! repair planning over stripe positions, zero-padding masks, and
+//! verify-mode payload reconstruction.
+
+use xorbas_core::{
+    CodeError, CodeSpec, ErasureCodec, Lrc, ReedSolomon, RepairPlan, RepairTask,
+};
+
+/// A concrete redundancy implementation for one [`CodeSpec`].
+#[derive(Debug, Clone)]
+pub enum CodecInstance {
+    /// Plain replication: repair = copy a surviving replica.
+    Replication {
+        /// Number of copies.
+        replicas: usize,
+    },
+    /// Reed-Solomon ("HDFS-RS").
+    Rs(ReedSolomon),
+    /// Locally repairable code ("HDFS-Xorbas").
+    Lrc(Lrc),
+}
+
+impl CodecInstance {
+    /// Builds the codec for a spec (Appendix-D constructions).
+    pub fn build(spec: CodeSpec) -> Result<Self, CodeError> {
+        match spec {
+            CodeSpec::Replication { replicas } => {
+                if replicas < 2 {
+                    return Err(CodeError::InvalidParameters(
+                        "replication needs at least 2 copies".into(),
+                    ));
+                }
+                Ok(CodecInstance::Replication { replicas })
+            }
+            CodeSpec::ReedSolomon { k, m } => Ok(CodecInstance::Rs(ReedSolomon::new(k, m)?)),
+            CodeSpec::Lrc(spec) => Ok(CodecInstance::Lrc(Lrc::new(spec)?)),
+        }
+    }
+
+    /// The spec this instance implements.
+    pub fn spec(&self) -> CodeSpec {
+        match self {
+            CodecInstance::Replication { replicas } => {
+                CodeSpec::Replication { replicas: *replicas }
+            }
+            CodecInstance::Rs(rs) => rs.spec(),
+            CodecInstance::Lrc(lrc) => lrc.spec(),
+        }
+    }
+
+    /// Stripe blocklength `n`.
+    pub fn total_blocks(&self) -> usize {
+        self.spec().total_blocks()
+    }
+
+    /// Plans reconstruction of `targets` given `unavailable` positions.
+    pub fn repair_plan_for(
+        &self,
+        unavailable: &[usize],
+        targets: &[usize],
+    ) -> Result<RepairPlan, CodeError> {
+        match self {
+            CodecInstance::Replication { replicas } => {
+                let survivor = (0..*replicas).find(|p| !unavailable.contains(p));
+                let Some(survivor) = survivor else {
+                    return Err(CodeError::Unrecoverable { erased: unavailable.to_vec() });
+                };
+                Ok(RepairPlan {
+                    missing: targets.to_vec(),
+                    tasks: targets
+                        .iter()
+                        .map(|&t| RepairTask {
+                            repairs: vec![t],
+                            reads: vec![survivor],
+                            light: true,
+                        })
+                        .collect(),
+                })
+            }
+            CodecInstance::Rs(rs) => rs.repair_plan_for(unavailable, targets),
+            CodecInstance::Lrc(lrc) => lrc.repair_plan_for(unavailable, targets),
+        }
+    }
+
+    /// Which positions of a stripe with `real_data` data blocks are
+    /// structurally zero and therefore not stored (§3.1.1 zero padding).
+    ///
+    /// Data positions beyond `real_data` are virtual; a local parity is
+    /// virtual when its whole group is virtual (its XOR would be the
+    /// zero block); global parities are always stored.
+    pub fn virtual_mask(&self, real_data: usize) -> Vec<bool> {
+        match self {
+            CodecInstance::Replication { replicas } => vec![false; *replicas],
+            CodecInstance::Rs(rs) => {
+                let k = rs.data_blocks();
+                let n = rs.total_blocks();
+                (0..n).map(|p| p < k && p >= real_data).collect()
+            }
+            CodecInstance::Lrc(lrc) => {
+                let spec = lrc.lrc_spec();
+                let k = spec.k;
+                let g = spec.global_parities;
+                let n = spec.total_blocks();
+                (0..n)
+                    .map(|p| {
+                        if p < k {
+                            p >= real_data
+                        } else if p < k + g {
+                            false // global parities
+                        } else if p < k + g + spec.data_groups() {
+                            // S_t is zero when its group holds no real data.
+                            let t = p - k - g;
+                            t * spec.group_size >= real_data
+                        } else {
+                            false // stored parity-group parity
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Verify-mode encoding: produces all `n` position payloads from `k`
+    /// data payloads (replication copies the single payload).
+    pub fn encode_payloads(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodeError> {
+        match self {
+            CodecInstance::Replication { replicas } => {
+                assert_eq!(data.len(), 1, "replication stripes hold one logical block");
+                Ok(vec![data[0].clone(); *replicas])
+            }
+            CodecInstance::Rs(rs) => rs.encode_stripe(data),
+            CodecInstance::Lrc(lrc) => lrc.encode_stripe(data),
+        }
+    }
+
+    /// Verify-mode reconstruction of every `None` shard in place.
+    pub fn reconstruct_payloads(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+    ) -> Result<(), CodeError> {
+        match self {
+            CodecInstance::Replication { .. } => {
+                let survivor = shards
+                    .iter()
+                    .flatten()
+                    .next()
+                    .cloned()
+                    .ok_or(CodeError::Unrecoverable { erased: vec![] })?;
+                for s in shards.iter_mut() {
+                    if s.is_none() {
+                        *s = Some(survivor.clone());
+                    }
+                }
+                Ok(())
+            }
+            CodecInstance::Rs(rs) => rs.reconstruct(shards).map(|_| ()),
+            CodecInstance::Lrc(lrc) => lrc.reconstruct(shards).map(|_| ()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replication_plan_copies_one_survivor() {
+        let c = CodecInstance::build(CodeSpec::REPLICATION_3).unwrap();
+        let plan = c.repair_plan_for(&[0, 2], &[0, 2]).unwrap();
+        assert_eq!(plan.tasks.len(), 2);
+        for t in &plan.tasks {
+            assert_eq!(t.reads, vec![1]);
+            assert!(t.light);
+        }
+        assert!(c.repair_plan_for(&[0, 1, 2], &[0]).is_err());
+    }
+
+    #[test]
+    fn masks_for_full_stripes_are_all_real() {
+        for spec in [CodeSpec::RS_10_4, CodeSpec::LRC_10_6_5] {
+            let c = CodecInstance::build(spec).unwrap();
+            assert!(c.virtual_mask(10).iter().all(|&v| !v));
+        }
+    }
+
+    #[test]
+    fn rs_mask_pads_missing_data_only() {
+        let c = CodecInstance::build(CodeSpec::RS_10_4).unwrap();
+        let mask = c.virtual_mask(3);
+        assert_eq!(mask.iter().filter(|&&v| v).count(), 7);
+        assert!(!mask[0] && !mask[2]);
+        assert!(mask[3] && mask[9]);
+        assert!(!mask[10] && !mask[13]); // parities stored
+    }
+
+    #[test]
+    fn lrc_mask_drops_empty_group_local_parity() {
+        // 3 real data blocks: group 2 (positions 5..10) is entirely
+        // virtual, so S2 (position 15) is virtual too.
+        let c = CodecInstance::build(CodeSpec::LRC_10_6_5).unwrap();
+        let mask = c.virtual_mask(3);
+        assert!(!mask[14], "S1 has real members");
+        assert!(mask[15], "S2 covers only padding");
+        assert!(mask[4] && mask[9]);
+        assert!(!mask[10] && !mask[13]);
+        // 6 real data groups -> both locals real.
+        let mask6 = c.virtual_mask(6);
+        assert!(!mask6[14] && !mask6[15]);
+    }
+
+    #[test]
+    fn payload_round_trip_all_schemes() {
+        let data: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8 + 1; 16]).collect();
+        for spec in [CodeSpec::RS_10_4, CodeSpec::LRC_10_6_5] {
+            let c = CodecInstance::build(spec).unwrap();
+            let stripe = c.encode_payloads(&data).unwrap();
+            let mut shards: Vec<Option<Vec<u8>>> =
+                stripe.iter().cloned().map(Some).collect();
+            shards[0] = None;
+            shards[11] = None;
+            c.reconstruct_payloads(&mut shards).unwrap();
+            assert_eq!(shards[0].as_ref().unwrap(), &stripe[0]);
+            assert_eq!(shards[11].as_ref().unwrap(), &stripe[11]);
+        }
+        let c = CodecInstance::build(CodeSpec::REPLICATION_3).unwrap();
+        let stripe = c.encode_payloads(&data[..1]).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = stripe.iter().cloned().map(Some).collect();
+        shards[2] = None;
+        c.reconstruct_payloads(&mut shards).unwrap();
+        assert_eq!(shards[2].as_ref().unwrap(), &stripe[0]);
+    }
+
+    #[test]
+    fn build_rejects_degenerate_replication() {
+        assert!(CodecInstance::build(CodeSpec::Replication { replicas: 1 }).is_err());
+    }
+}

@@ -1,0 +1,1492 @@
+//! The discrete-event simulation engine.
+//!
+//! Ties together the namespace ([`crate::hdfs`]), the flow-level network
+//! ([`crate::network`]), the codecs ([`crate::codecs`]) and the metrics
+//! ([`crate::metrics`]) into the §3 system model:
+//!
+//! * a **BlockFixer** that detects lost blocks after a detection delay,
+//!   plans repairs with the real codec planners, and dispatches repair
+//!   MapReduce jobs (one map task per light repair, one per stripe for
+//!   heavy repairs);
+//! * a **fair scheduler** allocating map slots across concurrent jobs;
+//! * **WordCount-style workload jobs** whose tasks perform *degraded
+//!   reads* (reconstruct-before-read, no write-back) when their input
+//!   block is missing;
+//! * node failures that cancel in-flight work and trigger rescans.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::codecs::CodecInstance;
+use crate::config::{ReadPolicy, SimConfig};
+use crate::hdfs::{BlockId, FileId, Hdfs, NodeId, Placement, Position, StripeId};
+use crate::metrics::Metrics;
+use crate::network::{FlowId, Network};
+use crate::time::SimTime;
+
+/// Identifies a task.
+pub type TaskId = u64;
+/// Identifies a job.
+pub type JobId = usize;
+
+/// Control events (network-flow completions are derived, not queued).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ControlEvent {
+    KillNode(NodeId),
+    DropBlocks(Vec<BlockId>),
+    FixerScan,
+    SubmitWordcount(FileId),
+    ComputeDone(TaskId),
+    Decommission { node: NodeId, via_repair: bool },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    Queued,
+    Waiting,
+    Reading,
+    Computing,
+    Writing,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+enum TaskKind {
+    /// Reconstruct stripe positions and write them back.
+    Repair { stripe: StripeId, targets: Vec<usize>, light: bool },
+    /// Read one block (degraded if necessary) and run map compute.
+    Map { block: BlockId },
+    /// Move a block off a draining node: either stream it out directly
+    /// (`via_repair = false`) or re-create it from its peers like a
+    /// scheduled repair (§1.1's decommissioning use case).
+    Relocate { block: BlockId, via_repair: bool },
+}
+
+#[derive(Debug, Clone)]
+struct Task {
+    id: TaskId,
+    job: JobId,
+    kind: TaskKind,
+    state: TaskState,
+    node: Option<NodeId>,
+    preferred_node: Option<NodeId>,
+    pending_reads: HashSet<FlowId>,
+    pending_writes: HashSet<FlowId>,
+    /// Blocks to restore on completion (stripe position, block).
+    restores: Vec<(usize, BlockId)>,
+    /// In-flight write-back flows: (flow, block, destination node).
+    write_queue: Vec<(FlowId, BlockId, NodeId)>,
+    compute_secs: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobKind {
+    Repair,
+    Workload,
+}
+
+#[derive(Debug, Clone)]
+struct Job {
+    kind: JobKind,
+    queued: VecDeque<TaskId>,
+    running: usize,
+    outstanding: usize,
+    submitted: SimTime,
+}
+
+/// The simulation.
+pub struct Simulation {
+    /// Current simulated time.
+    pub clock: SimTime,
+    cfg: SimConfig,
+    codec: CodecInstance,
+    /// The namespace (public for inspection by drivers and tests).
+    pub hdfs: Hdfs,
+    placement: Placement,
+    alive: Vec<bool>,
+    /// Nodes being decommissioned: still serving reads, no new blocks.
+    draining: Vec<bool>,
+    network: Network,
+    /// Collected measurements.
+    pub metrics: Metrics,
+    rng: StdRng,
+    events: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    event_payloads: HashMap<u64, ControlEvent>,
+    seq: u64,
+    tasks: HashMap<TaskId, Task>,
+    next_task: TaskId,
+    jobs: Vec<Job>,
+    free_slots: Vec<usize>,
+    computing_slots: usize,
+    waiting_on_block: HashMap<BlockId, Vec<TaskId>>,
+    /// Stripe positions with an in-flight repair task.
+    repair_in_flight: HashSet<(StripeId, usize)>,
+    cancelled: HashSet<TaskId>,
+}
+
+impl Simulation {
+    /// A fresh simulation for the given configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        let codec = CodecInstance::build(cfg.code).expect("valid code spec");
+        let nodes = cfg.cluster.nodes;
+        Self {
+            clock: SimTime::ZERO,
+            codec,
+            hdfs: Hdfs::new(nodes),
+            placement: Placement::new(nodes, cfg.cluster.racks),
+            alive: vec![true; nodes],
+            draining: vec![false; nodes],
+            network: Network::new(nodes, cfg.cluster.nic_bps, cfg.cluster.core_bps),
+            metrics: Metrics::new(cfg.series_bucket_secs),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            events: BinaryHeap::new(),
+            event_payloads: HashMap::new(),
+            seq: 0,
+            tasks: HashMap::new(),
+            next_task: 0,
+            jobs: Vec::new(),
+            free_slots: vec![cfg.cluster.map_slots_per_node; nodes],
+            computing_slots: 0,
+            waiting_on_block: HashMap::new(),
+            repair_in_flight: HashSet::new(),
+            cancelled: HashSet::new(),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The codec instance in use.
+    pub fn codec(&self) -> &CodecInstance {
+        &self.codec
+    }
+
+    /// Which nodes are alive.
+    pub fn alive_nodes(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Total map slots across alive nodes.
+    pub fn total_slots(&self) -> usize {
+        self.alive
+            .iter()
+            .filter(|&&a| a)
+            .count()
+            .saturating_mul(self.cfg.cluster.map_slots_per_node)
+    }
+
+    fn push_event(&mut self, t: SimTime, ev: ControlEvent) {
+        let id = self.seq;
+        self.seq += 1;
+        self.event_payloads.insert(id, ev);
+        self.events.push(Reverse((t, id, 0)));
+    }
+
+    // ----- setup API -------------------------------------------------
+
+    /// Loads a RAIDed file of `data_blocks` blocks. In verify mode every
+    /// block receives a deterministic payload and parities are encoded
+    /// with the real codec. Panics if placement capacity is exhausted.
+    pub fn load_raided_file(&mut self, name: &str, data_blocks: usize) -> FileId {
+        let code = self.codec.spec();
+        let k = code.data_blocks();
+        let block_bytes = self.cfg.cluster.block_bytes;
+        // Precompute verify-mode payload tables, keyed by stripe id.
+        let mut payload_table: HashMap<StripeId, Vec<Vec<u8>>> = HashMap::new();
+        if self.cfg.verify_payloads {
+            let base = self.hdfs.stripes().len();
+            let mut remaining = data_blocks;
+            let mut j = 0;
+            while remaining > 0 || j == 0 {
+                let real = remaining.min(k);
+                remaining -= real;
+                let data: Vec<Vec<u8>> = (0..k)
+                    .map(|i| {
+                        if i < real {
+                            deterministic_payload(base + j, i, self.cfg.payload_bytes)
+                        } else {
+                            vec![0u8; self.cfg.payload_bytes]
+                        }
+                    })
+                    .collect();
+                let stripe =
+                    self.codec.encode_payloads(&data).expect("encode succeeds");
+                payload_table.insert(base + j, stripe);
+                j += 1;
+                if remaining == 0 {
+                    break;
+                }
+            }
+        }
+        let codec = self.codec.clone();
+        let verify = self.cfg.verify_payloads;
+        let pad_locals = self.cfg.pad_local_parities;
+        self.hdfs
+            .create_raided_file(
+                name,
+                data_blocks,
+                code,
+                block_bytes,
+                &self.placement,
+                &self.alive,
+                &mut self.rng,
+                |real| {
+                    let mut mask = codec.virtual_mask(real);
+                    if pad_locals {
+                        // Deployed HDFS-Xorbas stored all-zero local
+                        // parities; only data padding stays virtual.
+                        for (pos, v) in mask.iter_mut().enumerate() {
+                            if pos >= code.data_blocks() {
+                                *v = false;
+                            }
+                        }
+                    }
+                    mask
+                },
+                |sid, pos| {
+                    verify
+                        .then(|| payload_table.get(&sid).map(|s| s[pos].clone()))
+                        .flatten()
+                },
+            )
+            .expect("cluster has capacity for the file")
+    }
+
+    /// Loads a replicated (un-RAIDed) file.
+    pub fn load_replicated_file(
+        &mut self,
+        name: &str,
+        data_blocks: usize,
+        replicas: usize,
+    ) -> FileId {
+        let block_bytes = self.cfg.cluster.block_bytes;
+        self.hdfs
+            .create_replicated_file(
+                name,
+                data_blocks,
+                replicas,
+                block_bytes,
+                &self.placement,
+                &self.alive,
+                &mut self.rng,
+            )
+            .expect("cluster has capacity for the file")
+    }
+
+    // ----- scenario API ----------------------------------------------
+
+    /// Schedules the termination of a DataNode.
+    pub fn kill_node_at(&mut self, t: SimTime, node: NodeId) {
+        self.push_event(t, ControlEvent::KillNode(node));
+    }
+
+    /// Schedules the silent loss of individual blocks (Fig.-7-style).
+    /// No FixerScan is triggered: the blocks stay lost until read
+    /// (degraded) or until a scan is scheduled explicitly.
+    pub fn drop_blocks_at(&mut self, t: SimTime, blocks: Vec<BlockId>) {
+        self.push_event(t, ControlEvent::DropBlocks(blocks));
+    }
+
+    /// Schedules a BlockFixer scan.
+    pub fn scan_at(&mut self, t: SimTime) {
+        self.push_event(t, ControlEvent::FixerScan);
+    }
+
+    /// Schedules a WordCount job over a file's data blocks.
+    pub fn submit_wordcount_at(&mut self, t: SimTime, file: FileId) {
+        self.push_event(t, ControlEvent::SubmitWordcount(file));
+    }
+
+    /// Schedules the decommissioning of a DataNode (§1.1): its blocks
+    /// are moved elsewhere while it keeps serving, either by streaming
+    /// them out (`via_repair = false`, the classical drain through one
+    /// NIC) or by re-creating them from their repair groups like a
+    /// scheduled repair (`via_repair = true`, the paper's proposal).
+    pub fn decommission_node_at(&mut self, t: SimTime, node: NodeId, via_repair: bool) {
+        self.push_event(t, ControlEvent::Decommission { node, via_repair });
+    }
+
+    /// Whether a decommissioned node has been fully drained.
+    pub fn is_drained(&self, node: NodeId) -> bool {
+        self.draining[node] && self.hdfs.blocks_on(node).is_empty()
+    }
+
+    /// Nodes eligible to receive new blocks (alive and not draining).
+    fn placeable(&self) -> Vec<bool> {
+        self.alive
+            .iter()
+            .zip(&self.draining)
+            .map(|(&a, &d)| a && !d)
+            .collect()
+    }
+
+    /// The alive node currently hosting a block count closest to
+    /// `target` (the paper terminated DataNodes "storing roughly the
+    /// same number of blocks" across both clusters).
+    pub fn node_with_block_count_near(&self, target: usize) -> Option<NodeId> {
+        (0..self.alive.len())
+            .filter(|&n| self.alive[n])
+            .min_by_key(|&n| {
+                (self.hdfs.blocks_on(n).len() as i64 - target as i64).abs()
+            })
+    }
+
+    /// Whether a node is alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node]
+    }
+
+    /// Picks `count` distinct alive victims whose block counts are
+    /// closest to the alive-node average — the paper's methodology of
+    /// terminating comparably-loaded DataNodes in both clusters.
+    pub fn pick_victims(&self, count: usize) -> Vec<NodeId> {
+        let alive: Vec<NodeId> =
+            (0..self.alive.len()).filter(|&n| self.alive[n]).collect();
+        if alive.is_empty() {
+            return vec![];
+        }
+        let avg = alive.iter().map(|&n| self.hdfs.blocks_on(n).len()).sum::<usize>()
+            / alive.len();
+        let mut sorted = alive;
+        sorted.sort_by_key(|&n| {
+            ((self.hdfs.blocks_on(n).len() as i64 - avg as i64).abs(), n)
+        });
+        sorted.truncate(count);
+        sorted
+    }
+
+    // ----- event loop ------------------------------------------------
+
+    /// Runs until no work remains or `limit` is reached. Returns the
+    /// quiesce time. Panics if the limit is hit (a stuck simulation is
+    /// a bug, not a result).
+    pub fn run_until_idle(&mut self, limit: SimTime) -> SimTime {
+        while self.step(limit) {}
+        assert!(
+            self.clock < limit,
+            "simulation did not quiesce before {limit}"
+        );
+        self.clock
+    }
+
+    /// Whether any work (events, flows, tasks) remains.
+    pub fn is_idle(&self) -> bool {
+        self.events.is_empty()
+            && self.network.active_flows() == 0
+            && self.tasks.values().all(|t| t.state == TaskState::Done)
+    }
+
+    /// Processes the next event; returns false when idle or past `limit`.
+    fn step(&mut self, limit: SimTime) -> bool {
+        let next_ctrl = self.events.peek().map(|Reverse((t, _, _))| *t);
+        // Ceil to the next microsecond: rounding down would advance the
+        // clock by zero and never complete the flow (livelock).
+        let next_flow = self
+            .network
+            .earliest_completion_secs()
+            .map(|s| self.clock + SimTime::from_secs_f64_ceil(s));
+        let target = match (next_ctrl, next_flow) {
+            (None, None) => return false,
+            (Some(c), None) => c,
+            (None, Some(f)) => f,
+            (Some(c), Some(f)) => c.min(f),
+        };
+        if target > limit {
+            self.advance_to(limit);
+            return false;
+        }
+        self.advance_to(target);
+        // Flow completions at `target` were handled inside advance_to;
+        // now drain control events due at or before the clock.
+        while let Some(Reverse((t, id, _))) = self.events.peek().copied() {
+            if t > self.clock {
+                break;
+            }
+            self.events.pop();
+            let ev = self.event_payloads.remove(&id).expect("payload exists");
+            self.handle_event(ev);
+        }
+        true
+    }
+
+    /// Advances the clock, draining network flows and accounting
+    /// continuous metrics.
+    fn advance_to(&mut self, t: SimTime) {
+        debug_assert!(t >= self.clock);
+        let start = self.clock;
+        let dt = (t - self.clock).as_secs_f64();
+        if dt > 0.0 {
+            let (bytes, completed) = self.network.advance(dt);
+            self.metrics.record_network(start, dt, bytes);
+            if self.computing_slots > 0 {
+                self.metrics.record_cpu_busy(start, dt, self.computing_slots);
+            }
+            self.clock = t;
+            for (id, flow) in completed {
+                self.on_flow_complete(id, flow.owner, flow.src);
+            }
+        } else {
+            self.clock = t;
+        }
+    }
+
+    fn handle_event(&mut self, ev: ControlEvent) {
+        match ev {
+            ControlEvent::KillNode(node) => self.on_kill_node(node),
+            ControlEvent::DropBlocks(blocks) => {
+                for b in blocks {
+                    self.hdfs.drop_block(b);
+                }
+            }
+            ControlEvent::FixerScan => self.on_fixer_scan(),
+            ControlEvent::SubmitWordcount(file) => self.on_submit_wordcount(file),
+            ControlEvent::ComputeDone(task) => self.on_compute_done(task),
+            ControlEvent::Decommission { node, via_repair } => {
+                self.on_decommission(node, via_repair)
+            }
+        }
+    }
+
+    /// Dispatches one relocate job covering every block on the node.
+    fn on_decommission(&mut self, node: NodeId, via_repair: bool) {
+        if !self.alive[node] || self.draining[node] {
+            return;
+        }
+        self.draining[node] = true;
+        let mut blocks: Vec<BlockId> = self.hdfs.blocks_on(node).iter().copied().collect();
+        blocks.sort_unstable();
+        if blocks.is_empty() {
+            return;
+        }
+        let job_id = self.jobs.len();
+        let mut job = Job {
+            kind: JobKind::Repair,
+            queued: VecDeque::new(),
+            running: 0,
+            outstanding: 0,
+            submitted: self.clock,
+        };
+        for block in blocks {
+            let id = self.next_task;
+            self.next_task += 1;
+            self.tasks.insert(
+                id,
+                Task {
+                    id,
+                    job: job_id,
+                    kind: TaskKind::Relocate { block, via_repair },
+                    state: TaskState::Queued,
+                    node: None,
+                    preferred_node: None,
+                    pending_reads: HashSet::new(),
+                    pending_writes: HashSet::new(),
+                    restores: Vec::new(),
+                    write_queue: Vec::new(),
+                    compute_secs: 0.0,
+                },
+            );
+            job.queued.push_back(id);
+            job.outstanding += 1;
+        }
+        self.jobs.push(job);
+        self.schedule();
+    }
+
+    // ----- failures ---------------------------------------------------
+
+    fn on_kill_node(&mut self, node: NodeId) {
+        if !self.alive[node] {
+            return;
+        }
+        self.alive[node] = false;
+        self.free_slots[node] = 0;
+        self.hdfs.kill_node(node);
+        // Cancel flows touching the dead node; abort their tasks.
+        // Ordering matters for determinism: task ids ascending.
+        let mut hit_tasks: Vec<TaskId> = Vec::new();
+        for fid in self.network.flows_touching(node) {
+            if let Some(f) = self.network.cancel_flow(fid) {
+                hit_tasks.push(f.owner);
+            }
+        }
+        // Tasks running on the dead node are gone too.
+        hit_tasks.extend(
+            self.tasks
+                .values()
+                .filter(|t| t.node == Some(node) && t.state != TaskState::Done)
+                .map(|t| t.id),
+        );
+        hit_tasks.sort_unstable();
+        hit_tasks.dedup();
+        // Policy: any disturbance to a repair effort aborts all pending
+        // repair work; the rescan below re-plans consistently. Workload
+        // tasks are requeued individually.
+        let mut repair_tasks: Vec<TaskId> = self
+            .tasks
+            .values()
+            .filter(|t| {
+                matches!(t.kind, TaskKind::Repair { .. }) && t.state != TaskState::Done
+            })
+            .map(|t| t.id)
+            .collect();
+        repair_tasks.sort_unstable();
+        if !repair_tasks.is_empty() {
+            for tid in repair_tasks {
+                self.abort_task(tid, false);
+            }
+            self.repair_in_flight.clear();
+        }
+        for tid in hit_tasks {
+            if self.tasks.get(&tid).is_some_and(|t| t.state != TaskState::Done) {
+                self.abort_task(tid, true);
+            }
+        }
+        let scan_at = self.clock + SimTime::from_secs_f64(self.cfg.detection_delay_secs);
+        self.push_event(scan_at, ControlEvent::FixerScan);
+        self.schedule();
+    }
+
+    /// Aborts a task; workload tasks are requeued when `requeue`, repair
+    /// tasks are always dropped (a rescan re-plans them consistently).
+    fn abort_task(&mut self, tid: TaskId, requeue: bool) {
+        // Gather state under a short borrow.
+        let (state, node, job, flows, repair_targets, requeueable) = {
+            let Some(task) = self.tasks.get_mut(&tid) else { return };
+            if task.state == TaskState::Done {
+                return;
+            }
+            let flows: Vec<FlowId> = task
+                .pending_reads
+                .drain()
+                .chain(task.pending_writes.drain())
+                .collect();
+            task.write_queue.clear();
+            let repair_targets = match task.kind {
+                TaskKind::Repair { stripe, ref targets, .. } => {
+                    targets.iter().map(|&p| (stripe, p)).collect()
+                }
+                TaskKind::Map { .. } | TaskKind::Relocate { .. } => Vec::new(),
+            };
+            // Map and Relocate tasks re-plan cleanly from scratch;
+            // repair tasks are re-created by the rescan instead.
+            let requeueable =
+                matches!(task.kind, TaskKind::Map { .. } | TaskKind::Relocate { .. });
+            (task.state, task.node.take(), task.job, flows, repair_targets, requeueable)
+        };
+        for key in repair_targets {
+            self.repair_in_flight.remove(&key);
+        }
+        for f in flows {
+            self.network.cancel_flow(f);
+        }
+        if state == TaskState::Computing {
+            self.computing_slots -= 1;
+            // Exactly one stale ComputeDone event is in flight; mark it
+            // to be swallowed.
+            self.cancelled.insert(tid);
+        }
+        let held_slot = matches!(
+            state,
+            TaskState::Reading | TaskState::Computing | TaskState::Writing
+        );
+        if held_slot {
+            if let Some(n) = node {
+                if self.alive[n] {
+                    self.free_slots[n] += 1;
+                }
+            }
+            self.jobs[job].running -= 1;
+        }
+        for waiters in self.waiting_on_block.values_mut() {
+            waiters.retain(|&w| w != tid);
+        }
+        if requeue && requeueable {
+            self.tasks.get_mut(&tid).expect("exists").state = TaskState::Queued;
+            self.jobs[job].queued.push_back(tid);
+        } else {
+            self.tasks.get_mut(&tid).expect("exists").state = TaskState::Done;
+            self.finish_task_bookkeeping(tid);
+        }
+    }
+
+    // ----- BlockFixer ---------------------------------------------------
+
+    fn on_fixer_scan(&mut self) {
+        let lost = self.hdfs.lost_blocks();
+        if lost.is_empty() {
+            return;
+        }
+        let mut by_stripe: HashMap<StripeId, Vec<usize>> = HashMap::new();
+        for b in lost {
+            let meta = self.hdfs.block(b);
+            by_stripe.entry(meta.stripe).or_default().push(meta.pos);
+        }
+        let mut job_tasks: Vec<Task> = Vec::new();
+        let job_id = self.jobs.len();
+        let mut stripe_ids: Vec<StripeId> = by_stripe.keys().copied().collect();
+        stripe_ids.sort_unstable();
+        for stripe in stripe_ids {
+            let positions = &by_stripe[&stripe];
+            let targets: Vec<usize> = positions
+                .iter()
+                .copied()
+                .filter(|&p| !self.repair_in_flight.contains(&(stripe, p)))
+                .collect();
+            if targets.is_empty() {
+                continue;
+            }
+            let unavailable = self.hdfs.unavailable_positions(stripe);
+            let plan = match self.codec.repair_plan_for(&unavailable, &targets) {
+                Ok(plan) => plan,
+                Err(_) => {
+                    self.metrics.record_data_loss();
+                    continue;
+                }
+            };
+            // Deployed HDFS-RAID runs one BlockFixer map task per lost
+            // block (each opening its own streams); our codec plans one
+            // heavy task per stripe, so split it when mirroring the
+            // deployed system. Light tasks are already per-block.
+            let mut ptasks = plan.tasks;
+            if self.cfg.read_policy == ReadPolicy::Deployed {
+                ptasks = ptasks
+                    .into_iter()
+                    .flat_map(|t| {
+                        let light = t.light;
+                        let reads = t.reads;
+                        t.repairs
+                            .into_iter()
+                            .map(move |p| xorbas_core::RepairTask {
+                                repairs: vec![p],
+                                reads: reads.clone(),
+                                light,
+                            })
+                    })
+                    .collect();
+            }
+            for ptask in ptasks {
+                for &p in &ptask.repairs {
+                    self.repair_in_flight.insert((stripe, p));
+                }
+                let id = self.next_task;
+                self.next_task += 1;
+                job_tasks.push(Task {
+                    id,
+                    job: job_id,
+                    kind: TaskKind::Repair {
+                        stripe,
+                        targets: ptask.repairs,
+                        light: ptask.light,
+                    },
+                    state: TaskState::Queued,
+                    node: None,
+                    preferred_node: None,
+                    pending_reads: HashSet::new(),
+                    pending_writes: HashSet::new(),
+                    restores: Vec::new(),
+                    write_queue: Vec::new(),
+                    compute_secs: 0.0,
+                });
+            }
+        }
+        if job_tasks.is_empty() {
+            return;
+        }
+        let mut job = Job {
+            kind: JobKind::Repair,
+            queued: VecDeque::new(),
+            running: 0,
+            outstanding: job_tasks.len(),
+            submitted: self.clock,
+        };
+        for t in job_tasks {
+            job.queued.push_back(t.id);
+            self.tasks.insert(t.id, t);
+        }
+        self.jobs.push(job);
+        self.schedule();
+    }
+
+    // ----- workload -------------------------------------------------
+
+    fn on_submit_wordcount(&mut self, file: FileId) {
+        let job_id = self.jobs.len();
+        let mut job = Job {
+            kind: JobKind::Workload,
+            queued: VecDeque::new(),
+            running: 0,
+            outstanding: 0,
+            submitted: self.clock,
+        };
+        let stripe_ids = self.hdfs.files()[file].stripes.clone();
+        let k = self.codec.spec().data_blocks();
+        for sid in stripe_ids {
+            let positions = self.hdfs.stripe(sid).positions.clone();
+            for (pos, p) in positions.iter().enumerate() {
+                if pos >= k {
+                    break; // wordcount reads data blocks only
+                }
+                let Position::Real(block) = *p else { continue };
+                let id = self.next_task;
+                self.next_task += 1;
+                let preferred = self.hdfs.block(block).location;
+                self.tasks.insert(
+                    id,
+                    Task {
+                        id,
+                        job: job_id,
+                        kind: TaskKind::Map { block },
+                        state: TaskState::Queued,
+                        node: None,
+                        preferred_node: preferred,
+                        pending_reads: HashSet::new(),
+                        pending_writes: HashSet::new(),
+                        restores: Vec::new(),
+                        write_queue: Vec::new(),
+                        compute_secs: 0.0,
+                    },
+                );
+                job.queued.push_back(id);
+                job.outstanding += 1;
+            }
+        }
+        assert!(job.outstanding > 0, "wordcount job over an empty file");
+        self.jobs.push(job);
+        self.schedule();
+    }
+
+    // ----- scheduler --------------------------------------------------
+
+    /// Hadoop-FairScheduler-style allocation: the job with the fewest
+    /// running tasks gets the next free slot; map tasks prefer a slot on
+    /// the node hosting their input.
+    fn schedule(&mut self) {
+        loop {
+            if self.free_slots.iter().sum::<usize>() == 0 {
+                return;
+            }
+            let Some(job_id) = self
+                .jobs
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| !j.queued.is_empty())
+                .min_by_key(|(id, j)| (j.running, *id))
+                .map(|(id, _)| id)
+            else {
+                return;
+            };
+            let tid = self.jobs[job_id].queued.pop_front().expect("non-empty");
+            if self.tasks.get(&tid).is_none_or(|t| t.state != TaskState::Queued) {
+                continue; // lazily dropped (aborted while queued)
+            }
+            let preferred = self.tasks[&tid].preferred_node;
+            let node = match preferred {
+                Some(n) if self.alive[n] && self.free_slots[n] > 0 => n,
+                _ => {
+                    // Most-free-slots node, ties by id.
+                    let Some(n) = (0..self.alive.len())
+                        .filter(|&n| self.alive[n] && self.free_slots[n] > 0)
+                        .max_by_key(|&n| self.free_slots[n])
+                    else {
+                        // No slot anywhere: requeue and stop.
+                        self.jobs[job_id].queued.push_front(tid);
+                        return;
+                    };
+                    n
+                }
+            };
+            self.start_task(tid, node);
+        }
+    }
+
+    /// Resolves the reads of a task given the current namespace state.
+    /// Returns `(read_positions_as_blocks, compute_secs, restores)` or
+    /// `None` when the task is impossible (data loss) or trivially done.
+    #[allow(clippy::type_complexity)]
+    fn resolve_task_work(
+        &mut self,
+        tid: TaskId,
+    ) -> Option<(Vec<BlockId>, f64, Vec<(usize, BlockId)>)> {
+        let task = self.tasks[&tid].clone();
+        let block_bytes = self.cfg.cluster.block_bytes as f64;
+        match task.kind {
+            TaskKind::Repair { stripe, ref targets, light } => {
+                let still_lost: Vec<usize> = {
+                    let unavail = self.hdfs.unavailable_positions(stripe);
+                    targets.iter().copied().filter(|p| unavail.contains(p)).collect()
+                };
+                if still_lost.is_empty() {
+                    return Some((vec![], 0.0, vec![]));
+                }
+                let positions = self.hdfs.stripe(stripe).positions.clone();
+                let unavailable = self.hdfs.unavailable_positions(stripe);
+                let read_positions: Vec<usize> = if light {
+                    // The planned light reads were fixed at scan time; they
+                    // remain exactly the repair group, re-derived here.
+                    let plan =
+                        self.codec.repair_plan_for(&unavailable, &still_lost).ok()?;
+                    let mut reads: HashSet<usize> = HashSet::new();
+                    let mut repaired: HashSet<usize> = HashSet::new();
+                    for t in &plan.tasks {
+                        for &r in &t.reads {
+                            if !repaired.contains(&r) {
+                                reads.insert(r);
+                            }
+                        }
+                        repaired.extend(t.repairs.iter().copied());
+                    }
+                    let mut reads: Vec<usize> = reads.into_iter().collect();
+                    reads.sort_unstable();
+                    reads
+                } else {
+                    match self.cfg.read_policy {
+                        ReadPolicy::Deployed => (0..positions.len())
+                            .filter(|p| !unavailable.contains(p))
+                            .collect(),
+                        ReadPolicy::Minimal => {
+                            let plan = self
+                                .codec
+                                .repair_plan_for(&unavailable, &still_lost)
+                                .ok()?;
+                            let mut reads: Vec<usize> = plan
+                                .tasks
+                                .iter()
+                                .flat_map(|t| t.reads.iter().copied())
+                                .collect();
+                            reads.sort_unstable();
+                            reads.dedup();
+                            reads
+                        }
+                    }
+                };
+                // Map to real blocks; virtual positions read for free.
+                let read_blocks: Vec<BlockId> = read_positions
+                    .iter()
+                    .filter_map(|&p| match positions[p] {
+                        Position::Real(b) => Some(b),
+                        Position::Virtual => None,
+                    })
+                    .collect();
+                let rate = if light {
+                    self.cfg.compute.xor_bps
+                } else {
+                    self.cfg.compute.rs_decode_bps
+                };
+                let compute = read_blocks.len() as f64 * block_bytes / rate;
+                let restores: Vec<(usize, BlockId)> = still_lost
+                    .iter()
+                    .map(|&p| match positions[p] {
+                        Position::Real(b) => (p, b),
+                        Position::Virtual => unreachable!("virtual positions never fail"),
+                    })
+                    .collect();
+                Some((read_blocks, compute, restores))
+            }
+            TaskKind::Map { block } => {
+                let meta = self.hdfs.block(block).clone();
+                let wordcount = block_bytes / self.cfg.compute.wordcount_bps;
+                if meta.location.is_some() {
+                    return Some((vec![block], wordcount, vec![]));
+                }
+                // Degraded read: reconstruct the block in memory first.
+                let stripe = meta.stripe;
+                let unavailable = self.hdfs.unavailable_positions(stripe);
+                let plan = match self.codec.repair_plan_for(&unavailable, &[meta.pos]) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        self.metrics.record_data_loss();
+                        return None;
+                    }
+                };
+                let positions = self.hdfs.stripe(stripe).positions.clone();
+                let mut reads: HashSet<usize> = HashSet::new();
+                let mut repaired: HashSet<usize> = HashSet::new();
+                let mut light = true;
+                for t in &plan.tasks {
+                    light &= t.light;
+                    for &r in &t.reads {
+                        if !repaired.contains(&r) {
+                            reads.insert(r);
+                        }
+                    }
+                    repaired.extend(t.repairs.iter().copied());
+                }
+                let mut reads: Vec<usize> = reads.into_iter().collect();
+                reads.sort_unstable();
+                let read_blocks: Vec<BlockId> = reads
+                    .iter()
+                    .filter_map(|&p| match positions[p] {
+                        Position::Real(b) => Some(b),
+                        Position::Virtual => None,
+                    })
+                    .collect();
+                let rate = if light {
+                    self.cfg.compute.xor_bps
+                } else {
+                    self.cfg.compute.rs_decode_bps
+                };
+                let decode = read_blocks.len() as f64 * block_bytes / rate;
+                Some((read_blocks, wordcount + decode, vec![]))
+            }
+            TaskKind::Relocate { block, via_repair } => {
+                let meta = self.hdfs.block(block).clone();
+                let pos = meta.pos;
+                // Lost in the meantime: the BlockFixer owns it now.
+                meta.location?;
+                if !via_repair {
+                    // Classical drain: stream the block off the node.
+                    return Some((vec![block], 0.0, vec![(pos, block)]));
+                }
+                // Scheduled-repair drain: rebuild from peers, never
+                // touching the draining node.
+                let stripe = meta.stripe;
+                let mut unavailable = self.hdfs.unavailable_positions(stripe);
+                unavailable.push(pos);
+                unavailable.sort_unstable();
+                let plan = self.codec.repair_plan_for(&unavailable, &[pos]).ok()?;
+                let positions = self.hdfs.stripe(stripe).positions.clone();
+                let mut reads: HashSet<usize> = HashSet::new();
+                let mut repaired: HashSet<usize> = HashSet::new();
+                let mut light = true;
+                for t in &plan.tasks {
+                    light &= t.light;
+                    for &r in &t.reads {
+                        if !repaired.contains(&r) {
+                            reads.insert(r);
+                        }
+                    }
+                    repaired.extend(t.repairs.iter().copied());
+                }
+                let mut reads: Vec<usize> = reads.into_iter().collect();
+                reads.sort_unstable();
+                let read_blocks: Vec<BlockId> = reads
+                    .iter()
+                    .filter_map(|&p| match positions[p] {
+                        Position::Real(b) => Some(b),
+                        Position::Virtual => None,
+                    })
+                    .collect();
+                let rate = if light {
+                    self.cfg.compute.xor_bps
+                } else {
+                    self.cfg.compute.rs_decode_bps
+                };
+                let compute = read_blocks.len() as f64 * block_bytes / rate;
+                Some((read_blocks, compute, vec![(pos, block)]))
+            }
+        }
+    }
+
+    fn start_task(&mut self, tid: TaskId, node: NodeId) {
+        let Some((read_blocks, compute_secs, restores)) = self.resolve_task_work(tid)
+        else {
+            // Impossible task (data loss): complete it vacuously.
+            self.complete_task(tid);
+            return;
+        };
+        // Any read of a currently-lost block (an intermediate of a
+        // peeling chain) parks the task until that block is restored.
+        let lost_reads: Vec<BlockId> = read_blocks
+            .iter()
+            .copied()
+            .filter(|&b| self.hdfs.block(b).location.is_none())
+            .collect();
+        if !lost_reads.is_empty() {
+            let task = self.tasks.get_mut(&tid).expect("task exists");
+            task.state = TaskState::Waiting;
+            for b in lost_reads {
+                self.waiting_on_block.entry(b).or_default().push(tid);
+            }
+            return;
+        }
+        // Claim the slot.
+        self.free_slots[node] -= 1;
+        let job = self.tasks[&tid].job;
+        self.jobs[job].running += 1;
+        {
+            let task = self.tasks.get_mut(&tid).expect("task exists");
+            task.node = Some(node);
+            task.state = TaskState::Reading;
+            task.compute_secs = compute_secs;
+            task.restores = restores;
+        }
+        // Issue reads: local ones are free and instantaneous.
+        let block_bytes = self.cfg.cluster.block_bytes as f64;
+        let mut flows = HashSet::new();
+        for b in read_blocks {
+            let src = self.hdfs.block(b).location.expect("checked available");
+            self.metrics.record_block_read(self.clock, block_bytes);
+            if src != node {
+                flows.insert(self.network.start_flow(src, node, block_bytes, tid));
+            }
+        }
+        let task = self.tasks.get_mut(&tid).expect("task exists");
+        task.pending_reads = flows;
+        if task.pending_reads.is_empty() {
+            self.begin_compute(tid);
+        }
+    }
+
+    fn begin_compute(&mut self, tid: TaskId) {
+        let task = self.tasks.get_mut(&tid).expect("task exists");
+        task.state = TaskState::Computing;
+        let dur = task.compute_secs;
+        self.computing_slots += 1;
+        let t = self.clock + SimTime::from_secs_f64(dur);
+        self.push_event(t, ControlEvent::ComputeDone(tid));
+    }
+
+    fn on_compute_done(&mut self, tid: TaskId) {
+        if self.cancelled.remove(&tid) {
+            return;
+        }
+        let Some(task) = self.tasks.get(&tid) else { return };
+        if task.state != TaskState::Computing {
+            return;
+        }
+        self.computing_slots -= 1;
+        let node = task.node.expect("computing tasks have a node");
+        let restores = task.restores.clone();
+        if restores.is_empty() {
+            self.complete_task(tid);
+            return;
+        }
+        // Write phase: place each reconstructed block and ship it.
+        self.tasks.get_mut(&tid).expect("exists").state = TaskState::Writing;
+        let block_bytes = self.cfg.cluster.block_bytes as f64;
+        let placeable = self.placeable();
+        for (_, block) in restores {
+            let stripe = self.hdfs.block(block).stripe;
+            let exclude = self.hdfs.stripe_nodes(stripe);
+            let target = self
+                .placement
+                .place_one(&placeable, &exclude, &mut self.rng)
+                .or_else(|| self.placement.place_one(&placeable, &HashSet::new(), &mut self.rng))
+                .expect("some node is alive");
+            if target == node {
+                self.settle_block(tid, block, target);
+            } else {
+                let fid = self.network.start_flow(node, target, block_bytes, tid);
+                let task = self.tasks.get_mut(&tid).expect("exists");
+                task.pending_writes.insert(fid);
+                task.write_queue.push((fid, block, target));
+            }
+        }
+        let task = self.tasks.get_mut(&tid).expect("exists");
+        if task.pending_writes.is_empty() {
+            self.complete_task(tid);
+        }
+    }
+
+    /// Lands a task's output block: repairs restore a lost block,
+    /// relocations move a live one.
+    fn settle_block(&mut self, tid: TaskId, block: BlockId, node: NodeId) {
+        let relocating = matches!(
+            self.tasks.get(&tid).map(|t| &t.kind),
+            Some(TaskKind::Relocate { .. })
+        );
+        if relocating {
+            if self.hdfs.block(block).location.is_some() {
+                self.hdfs.relocate_block(block, node);
+            } else {
+                // The source died mid-drain; this became a repair.
+                self.restore_block_now(block, node);
+            }
+        } else {
+            self.restore_block_now(block, node);
+        }
+    }
+
+    fn restore_block_now(&mut self, block: BlockId, node: NodeId) {
+        if self.cfg.verify_payloads {
+            self.verify_repair(block);
+        }
+        self.hdfs.restore_block(block, node);
+        self.metrics.record_block_repaired();
+        let stripe = self.hdfs.block(block).stripe;
+        let pos = self.hdfs.block(block).pos;
+        self.repair_in_flight.remove(&(stripe, pos));
+        // Wake tasks waiting on this block.
+        if let Some(waiters) = self.waiting_on_block.remove(&block) {
+            for tid in waiters {
+                if self.tasks.get(&tid).is_some_and(|t| t.state == TaskState::Waiting) {
+                    let task = self.tasks.get_mut(&tid).expect("exists");
+                    task.state = TaskState::Queued;
+                    let job = task.job;
+                    self.jobs[job].queued.push_back(tid);
+                }
+            }
+        }
+    }
+
+    /// Verify mode: reconstruct the block's payload with the real codec
+    /// from the other positions and compare with the original.
+    fn verify_repair(&mut self, block: BlockId) {
+        let meta = self.hdfs.block(block).clone();
+        let stripe = self.hdfs.stripe(meta.stripe).clone();
+        let n = stripe.positions.len();
+        let zero = vec![0u8; self.cfg.payload_bytes];
+        let mut shards: Vec<Option<Vec<u8>>> = Vec::with_capacity(n);
+        for (pos, p) in stripe.positions.iter().enumerate() {
+            shards.push(match p {
+                Position::Virtual => Some(zero.clone()),
+                Position::Real(b) => {
+                    let bm = self.hdfs.block(*b);
+                    if pos == meta.pos || bm.location.is_none() {
+                        None
+                    } else {
+                        bm.payload.clone()
+                    }
+                }
+            });
+        }
+        self.codec
+            .reconstruct_payloads(&mut shards)
+            .expect("repair of a recoverable stripe");
+        let got = shards[meta.pos].as_ref().expect("target reconstructed");
+        let want = meta.payload.as_ref().expect("verify mode stores payloads");
+        assert_eq!(got, want, "repair of block {block} corrupted its payload");
+    }
+
+    fn on_flow_complete(&mut self, fid: FlowId, owner: TaskId, _src: NodeId) {
+        let Some(task) = self.tasks.get_mut(&owner) else { return };
+        if task.pending_reads.remove(&fid) {
+            if task.pending_reads.is_empty() && task.state == TaskState::Reading {
+                self.begin_compute(owner);
+            }
+            return;
+        }
+        if task.pending_writes.remove(&fid) {
+            let idx = task
+                .write_queue
+                .iter()
+                .position(|&(f, _, _)| f == fid)
+                .expect("write flow is queued");
+            let (_, block, target) = task.write_queue.remove(idx);
+            let done = task.pending_writes.is_empty();
+            self.settle_block(owner, block, target);
+            if done {
+                self.complete_task(owner);
+            }
+        }
+    }
+
+    fn complete_task(&mut self, tid: TaskId) {
+        let task = self.tasks.get_mut(&tid).expect("task exists");
+        let held_slot = matches!(
+            task.state,
+            TaskState::Reading | TaskState::Computing | TaskState::Writing
+        );
+        let node = task.node;
+        task.state = TaskState::Done;
+        let job = task.job;
+        if held_slot {
+            if let Some(n) = node {
+                if self.alive[n] {
+                    self.free_slots[n] += 1;
+                }
+            }
+            self.jobs[job].running -= 1;
+        }
+        if let TaskKind::Repair { stripe, ref targets, .. } = self.tasks[&tid].kind {
+            let targets = targets.clone();
+            for p in targets {
+                self.repair_in_flight.remove(&(stripe, p));
+            }
+        }
+        self.finish_task_bookkeeping(tid);
+        self.schedule();
+    }
+
+    fn finish_task_bookkeeping(&mut self, tid: TaskId) {
+        let job = self.tasks[&tid].job;
+        self.jobs[job].outstanding -= 1;
+        if self.jobs[job].outstanding == 0 {
+            let j = &self.jobs[job];
+            match j.kind {
+                JobKind::Repair => {
+                    self.metrics.record_repair_job(j.submitted, self.clock)
+                }
+                JobKind::Workload => {
+                    self.metrics.record_workload_job(j.submitted, self.clock)
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic verify-mode payload for a (stripe, position).
+fn deterministic_payload(stripe: usize, pos: usize, len: usize) -> Vec<u8> {
+    let mut state = (stripe as u64)
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(pos as u64 + 1);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 24) as u8
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xorbas_core::CodeSpec;
+
+    fn small_cfg(code: CodeSpec) -> SimConfig {
+        let mut cfg = SimConfig::ec2(code);
+        cfg.cluster.nodes = 20;
+        cfg.cluster.block_bytes = 8 << 20; // keep transfers quick
+        cfg.verify_payloads = true;
+        cfg.payload_bytes = 64;
+        cfg
+    }
+
+    #[test]
+    fn single_node_failure_repairs_everything_lrc() {
+        let mut sim = Simulation::new(small_cfg(CodeSpec::LRC_10_6_5));
+        for i in 0..5 {
+            sim.load_raided_file(&format!("f{i}"), 10);
+        }
+        let victim = sim.node_with_block_count_near(4).unwrap();
+        let before = sim.hdfs.blocks_on(victim).len();
+        assert!(before > 0);
+        sim.kill_node_at(SimTime::from_secs(10), victim);
+        sim.run_until_idle(SimTime::from_mins(600));
+        assert!(sim.hdfs.lost_blocks().is_empty(), "all blocks repaired");
+        assert_eq!(sim.metrics.snapshot().blocks_repaired as usize, before);
+        assert!(!sim.metrics.repair_jobs.is_empty());
+    }
+
+    #[test]
+    fn single_node_failure_repairs_everything_rs() {
+        let mut sim = Simulation::new(small_cfg(CodeSpec::RS_10_4));
+        for i in 0..5 {
+            sim.load_raided_file(&format!("f{i}"), 10);
+        }
+        let victim = sim.node_with_block_count_near(4).unwrap();
+        sim.kill_node_at(SimTime::from_secs(10), victim);
+        sim.run_until_idle(SimTime::from_mins(600));
+        assert!(sim.hdfs.lost_blocks().is_empty());
+    }
+
+    #[test]
+    fn lrc_reads_half_as_much_as_rs_for_single_failures() {
+        let mut reads = Vec::new();
+        for code in [CodeSpec::RS_10_4, CodeSpec::LRC_10_6_5] {
+            let mut cfg = small_cfg(code);
+            cfg.read_policy = ReadPolicy::Minimal;
+            cfg.seed = 42;
+            let mut sim = Simulation::new(cfg);
+            for i in 0..8 {
+                sim.load_raided_file(&format!("f{i}"), 10);
+            }
+            let victim = sim.node_with_block_count_near(6).unwrap();
+            let lost = sim.hdfs.blocks_on(victim).len();
+            sim.kill_node_at(SimTime::from_secs(5), victim);
+            sim.run_until_idle(SimTime::from_mins(600));
+            let per_block = sim.metrics.snapshot().hdfs_bytes_read
+                / (lost as f64 * sim.config().cluster.block_bytes as f64);
+            reads.push(per_block);
+        }
+        // RS ≈ 10 blocks per lost block; LRC ≈ 5 (some stripes suffer
+        // multi-block losses so the ratio is approximate).
+        assert!(reads[0] > 8.0, "RS per-block reads {}", reads[0]);
+        assert!(reads[1] < 6.5, "LRC per-block reads {}", reads[1]);
+        assert!(reads[0] / reads[1] > 1.6, "ratio {}", reads[0] / reads[1]);
+    }
+
+    #[test]
+    fn replication_repairs_with_single_copy_reads() {
+        let mut cfg = small_cfg(CodeSpec::REPLICATION_3);
+        cfg.verify_payloads = false; // replicated loader stores no payloads
+        let mut sim = Simulation::new(cfg);
+        sim.load_replicated_file("r", 30, 3);
+        let victim = sim.node_with_block_count_near(5).unwrap();
+        let lost = sim.hdfs.blocks_on(victim).len();
+        assert!(lost > 0);
+        sim.kill_node_at(SimTime::from_secs(1), victim);
+        sim.run_until_idle(SimTime::from_mins(600));
+        assert!(sim.hdfs.lost_blocks().is_empty());
+        let per_block = sim.metrics.snapshot().hdfs_bytes_read
+            / (lost as f64 * sim.config().cluster.block_bytes as f64);
+        assert!((per_block - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wordcount_completes_and_records_jobs() {
+        let mut sim = Simulation::new(small_cfg(CodeSpec::LRC_10_6_5));
+        let f = sim.load_raided_file("words", 20);
+        sim.submit_wordcount_at(SimTime::from_secs(1), f);
+        sim.submit_wordcount_at(SimTime::from_secs(1), f);
+        sim.run_until_idle(SimTime::from_mins(100_000));
+        assert_eq!(sim.metrics.workload_jobs.len(), 2);
+        // No repairs: no blocks were lost.
+        assert!(sim.metrics.repair_jobs.is_empty());
+    }
+
+    #[test]
+    fn degraded_reads_cost_more_time_than_healthy_reads() {
+        let mut durations = Vec::new();
+        for missing in [false, true] {
+            let mut cfg = small_cfg(CodeSpec::LRC_10_6_5);
+            cfg.seed = 7;
+            let mut sim = Simulation::new(cfg);
+            let f = sim.load_raided_file("w", 20);
+            if missing {
+                // Drop ~20% of the file's data blocks.
+                let drops: Vec<BlockId> = (0..sim.hdfs.block_count())
+                    .filter(|&b| {
+                        let m = sim.hdfs.block(b);
+                        m.pos < 10 && b % 5 == 0
+                    })
+                    .collect();
+                assert!(!drops.is_empty());
+                sim.drop_blocks_at(SimTime::ZERO, drops);
+            }
+            sim.submit_wordcount_at(SimTime::from_secs(1), f);
+            sim.run_until_idle(SimTime::from_mins(1_000_000));
+            let job = sim.metrics.workload_jobs[0];
+            durations.push(job.duration().as_secs_f64());
+            let _ = f;
+        }
+        assert!(
+            durations[1] > durations[0],
+            "degraded {} <= healthy {}",
+            durations[1],
+            durations[0]
+        );
+    }
+
+    #[test]
+    fn two_sequential_failures_still_converge() {
+        let mut sim = Simulation::new(small_cfg(CodeSpec::LRC_10_6_5));
+        for i in 0..6 {
+            sim.load_raided_file(&format!("f{i}"), 10);
+        }
+        let v1 = sim.node_with_block_count_near(5).unwrap();
+        sim.kill_node_at(SimTime::from_secs(5), v1);
+        let v2 = (v1 + 1) % 20;
+        sim.kill_node_at(SimTime::from_secs(6), v2);
+        sim.run_until_idle(SimTime::from_mins(6_000));
+        assert!(sim.hdfs.lost_blocks().is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = || {
+            let mut sim = Simulation::new(small_cfg(CodeSpec::LRC_10_6_5));
+            for i in 0..4 {
+                sim.load_raided_file(&format!("f{i}"), 10);
+            }
+            let victim = sim.node_with_block_count_near(5).unwrap();
+            sim.kill_node_at(SimTime::from_secs(2), victim);
+            sim.run_until_idle(SimTime::from_mins(600));
+            (
+                sim.clock,
+                sim.metrics.snapshot().hdfs_bytes_read as u64,
+                sim.metrics.snapshot().network_bytes as u64,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn decommission_via_repair_drains_without_touching_the_node() {
+        let mut sim = Simulation::new(small_cfg(CodeSpec::LRC_10_6_5));
+        for i in 0..5 {
+            sim.load_raided_file(&format!("f{i}"), 10);
+        }
+        let victim = sim.pick_victims(1)[0];
+        let before = sim.hdfs.blocks_on(victim).len();
+        assert!(before > 0);
+        sim.decommission_node_at(SimTime::from_secs(5), victim, true);
+        sim.run_until_idle(SimTime::from_mins(100_000));
+        assert!(sim.is_drained(victim), "node fully drained");
+        assert!(sim.hdfs.lost_blocks().is_empty(), "nothing was lost");
+        assert_eq!(sim.hdfs.block_count() as u64, 5 * 16);
+        // Repair-based drain never reads from the draining node: its
+        // disk sees no read traffic — approximated by checking the
+        // relocated blocks now live elsewhere.
+        assert!(sim.hdfs.blocks_on(victim).is_empty());
+    }
+
+    #[test]
+    fn decommission_copy_out_also_drains() {
+        let mut sim = Simulation::new(small_cfg(CodeSpec::RS_10_4));
+        for i in 0..5 {
+            sim.load_raided_file(&format!("f{i}"), 10);
+        }
+        let victim = sim.pick_victims(1)[0];
+        sim.decommission_node_at(SimTime::from_secs(5), victim, false);
+        sim.run_until_idle(SimTime::from_mins(100_000));
+        assert!(sim.is_drained(victim));
+        assert!(sim.hdfs.lost_blocks().is_empty());
+    }
+
+    #[test]
+    fn copy_out_moves_fewer_bytes_than_repair_drain() {
+        let run = |via_repair: bool| {
+            let mut cfg = small_cfg(CodeSpec::LRC_10_6_5);
+            cfg.verify_payloads = false;
+            cfg.seed = 9;
+            let mut sim = Simulation::new(cfg);
+            for i in 0..6 {
+                sim.load_raided_file(&format!("f{i}"), 10);
+            }
+            let victim = sim.pick_victims(1)[0];
+            sim.decommission_node_at(SimTime::from_secs(1), victim, via_repair);
+            sim.run_until_idle(SimTime::from_mins(100_000));
+            assert!(sim.is_drained(victim));
+            sim.metrics.snapshot().hdfs_bytes_read
+        };
+        let copy_bytes = run(false);
+        let repair_bytes = run(true);
+        // Copy-out reads each block once; repair-based reads its whole
+        // group (~5x). The paper's point is about *time* and *load on
+        // the draining node*, not bytes.
+        assert!(repair_bytes > 3.0 * copy_bytes);
+    }
+
+    #[test]
+    fn draining_node_receives_no_new_blocks() {
+        let mut sim = Simulation::new(small_cfg(CodeSpec::LRC_10_6_5));
+        for i in 0..5 {
+            sim.load_raided_file(&format!("f{i}"), 10);
+        }
+        let drain = sim.pick_victims(1)[0];
+        sim.decommission_node_at(SimTime::from_secs(1), drain, true);
+        // Kill another node while draining: repairs must avoid `drain`.
+        let other = (drain + 1) % 20;
+        sim.kill_node_at(SimTime::from_secs(2), other);
+        sim.run_until_idle(SimTime::from_mins(100_000));
+        assert!(sim.hdfs.blocks_on(drain).is_empty());
+        assert!(sim.hdfs.lost_blocks().is_empty());
+    }
+
+    #[test]
+    fn network_traffic_roughly_doubles_bytes_read() {
+        // Reads stream in, repaired blocks stream out: §5.2.2 observed
+        // "network traffic was roughly equal to twice the number of
+        // bytes read" — our flows reproduce the read+write structure,
+        // with the write adding 1 block per ~5-10 read.
+        let mut sim = Simulation::new(small_cfg(CodeSpec::RS_10_4));
+        for i in 0..6 {
+            sim.load_raided_file(&format!("f{i}"), 10);
+        }
+        let victim = sim.node_with_block_count_near(5).unwrap();
+        sim.kill_node_at(SimTime::from_secs(2), victim);
+        sim.run_until_idle(SimTime::from_mins(600));
+        let s = sim.metrics.snapshot();
+        assert!(s.network_bytes > s.hdfs_bytes_read * 0.8);
+        assert!(s.network_bytes < s.hdfs_bytes_read * 1.5);
+    }
+}

@@ -1,0 +1,607 @@
+//! The simulated DRFS namespace: files, stripes, blocks, placement.
+
+use std::collections::HashSet;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use xorbas_core::CodeSpec;
+
+/// Identifies a worker node.
+pub type NodeId = usize;
+/// Identifies a stored block.
+pub type BlockId = usize;
+/// Identifies a file.
+pub type FileId = usize;
+/// Identifies a stripe.
+pub type StripeId = usize;
+
+/// Role of a stored block within its stripe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// A systematic data block (or a replica of one, under replication).
+    Data,
+    /// A Reed-Solomon global parity.
+    GlobalParity,
+    /// A local XOR parity.
+    LocalParity,
+}
+
+/// One stripe position: either a stored block or a structurally-zero
+/// position of a zero-padded stripe ("incomplete stripes are considered
+/// as zero-padded full-stripes", §3.1.1). Virtual positions cost nothing
+/// to read and never need repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Position {
+    /// A materialized block.
+    Real(BlockId),
+    /// Structurally zero content; not stored.
+    Virtual,
+}
+
+/// A stored block.
+#[derive(Debug, Clone)]
+pub struct BlockMeta {
+    /// Identifier.
+    pub id: BlockId,
+    /// Owning file.
+    pub file: FileId,
+    /// Owning stripe.
+    pub stripe: StripeId,
+    /// Stripe position (codec index; for replication, the replica index).
+    pub pos: usize,
+    /// Role.
+    pub kind: BlockKind,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Hosting node; `None` while lost.
+    pub location: Option<NodeId>,
+    /// Verify-mode payload (original content; repairs must reproduce it).
+    pub payload: Option<Vec<u8>>,
+}
+
+/// A stripe: a codec stripe, or a replica set under replication.
+#[derive(Debug, Clone)]
+pub struct StripeMeta {
+    /// Identifier.
+    pub id: StripeId,
+    /// Owning file.
+    pub file: FileId,
+    /// Redundancy scheme.
+    pub code: CodeSpec,
+    /// Stripe positions in codec order (for replication: the replicas).
+    pub positions: Vec<Position>,
+    /// Number of real (non-padded) data blocks in this stripe.
+    pub real_data: usize,
+}
+
+/// A file.
+#[derive(Debug, Clone)]
+pub struct FileMeta {
+    /// Identifier.
+    pub id: FileId,
+    /// Human-readable name.
+    pub name: String,
+    /// Logical data blocks.
+    pub data_blocks: usize,
+    /// Stripes, in order.
+    pub stripes: Vec<StripeId>,
+}
+
+/// The namespace plus block→node inventory.
+#[derive(Debug, Clone)]
+pub struct Hdfs {
+    files: Vec<FileMeta>,
+    stripes: Vec<StripeMeta>,
+    blocks: Vec<BlockMeta>,
+    node_blocks: Vec<HashSet<BlockId>>,
+}
+
+impl Hdfs {
+    /// An empty namespace over `nodes` DataNodes.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            files: Vec::new(),
+            stripes: Vec::new(),
+            blocks: Vec::new(),
+            node_blocks: vec![HashSet::new(); nodes],
+        }
+    }
+
+    /// All files.
+    pub fn files(&self) -> &[FileMeta] {
+        &self.files
+    }
+
+    /// All stripes.
+    pub fn stripes(&self) -> &[StripeMeta] {
+        &self.stripes
+    }
+
+    /// A stripe by id.
+    pub fn stripe(&self, id: StripeId) -> &StripeMeta {
+        &self.stripes[id]
+    }
+
+    /// A block by id.
+    pub fn block(&self, id: BlockId) -> &BlockMeta {
+        &self.blocks[id]
+    }
+
+    /// Mutable block access (payload updates in verify mode).
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BlockMeta {
+        &mut self.blocks[id]
+    }
+
+    /// Total stored blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Blocks currently hosted by `node`.
+    pub fn blocks_on(&self, node: NodeId) -> &HashSet<BlockId> {
+        &self.node_blocks[node]
+    }
+
+    /// Registers a new stored block at a location.
+    fn add_block(
+        &mut self,
+        file: FileId,
+        stripe: StripeId,
+        pos: usize,
+        kind: BlockKind,
+        bytes: u64,
+        location: NodeId,
+        payload: Option<Vec<u8>>,
+    ) -> BlockId {
+        let id = self.blocks.len();
+        self.blocks.push(BlockMeta {
+            id,
+            file,
+            stripe,
+            pos,
+            kind,
+            bytes,
+            location: Some(location),
+            payload,
+        });
+        self.node_blocks[location].insert(id);
+        id
+    }
+
+    /// Creates a fully-RAIDed file: `data_blocks` logical blocks encoded
+    /// into stripes of `code`, placed by `placement`. `virtual_mask(s)`
+    /// marks structurally-zero positions for a stripe with `s` real data
+    /// blocks; `payload(block_pos_in_file, stripe_pos)` supplies
+    /// verify-mode content (or `None`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_raided_file<R: Rng>(
+        &mut self,
+        name: &str,
+        data_blocks: usize,
+        code: CodeSpec,
+        block_bytes: u64,
+        placement: &Placement,
+        alive: &[bool],
+        rng: &mut R,
+        mut virtual_mask: impl FnMut(usize) -> Vec<bool>,
+        mut payload: impl FnMut(StripeId, usize) -> Option<Vec<u8>>,
+    ) -> Option<FileId> {
+        let file_id = self.files.len();
+        let k = code.data_blocks();
+        let n = code.total_blocks();
+        let mut stripes = Vec::new();
+        let mut remaining = data_blocks;
+        while remaining > 0 || stripes.is_empty() {
+            let real_data = remaining.min(k);
+            remaining -= real_data;
+            let stripe_id = self.stripes.len();
+            let mask = virtual_mask(real_data);
+            assert_eq!(mask.len(), n, "virtual mask must cover the stripe");
+            let real_count = mask.iter().filter(|&&v| !v).count();
+            let nodes =
+                placement.place_best_effort(real_count, alive, &HashSet::new(), rng)?;
+            let mut positions = Vec::with_capacity(n);
+            let mut node_iter = nodes.into_iter();
+            for (pos, &is_virtual) in mask.iter().enumerate() {
+                if is_virtual {
+                    positions.push(Position::Virtual);
+                    continue;
+                }
+                let kind = if pos < k {
+                    BlockKind::Data
+                } else if pos < n {
+                    // The codec layout puts global parities right after
+                    // data; local parities after that. Replication never
+                    // reaches this branch.
+                    match code {
+                        CodeSpec::Lrc(spec) if pos >= k + spec.global_parities => {
+                            BlockKind::LocalParity
+                        }
+                        _ => BlockKind::GlobalParity,
+                    }
+                } else {
+                    unreachable!()
+                };
+                let node = node_iter.next().expect("placement count matches");
+                let bid = self.add_block(
+                    file_id,
+                    stripe_id,
+                    pos,
+                    kind,
+                    block_bytes,
+                    node,
+                    payload(stripe_id, pos),
+                );
+                positions.push(Position::Real(bid));
+            }
+            self.stripes.push(StripeMeta {
+                id: stripe_id,
+                file: file_id,
+                code,
+                positions,
+                real_data,
+            });
+            stripes.push(stripe_id);
+            if remaining == 0 {
+                break;
+            }
+        }
+        self.files.push(FileMeta {
+            id: file_id,
+            name: name.to_string(),
+            data_blocks,
+            stripes,
+        });
+        Some(file_id)
+    }
+
+    /// Creates an `f`-way replicated file: one stripe per logical block,
+    /// holding `f` replicas on distinct nodes.
+    #[allow(clippy::too_many_arguments)] // mirrors create_raided_file's shape
+    pub fn create_replicated_file<R: Rng>(
+        &mut self,
+        name: &str,
+        data_blocks: usize,
+        replicas: usize,
+        block_bytes: u64,
+        placement: &Placement,
+        alive: &[bool],
+        rng: &mut R,
+    ) -> Option<FileId> {
+        let file_id = self.files.len();
+        let mut stripes = Vec::new();
+        for _ in 0..data_blocks {
+            let stripe_id = self.stripes.len();
+            let nodes = placement.place_many(replicas, alive, &HashSet::new(), rng)?;
+            let positions: Vec<Position> = nodes
+                .into_iter()
+                .enumerate()
+                .map(|(pos, node)| {
+                    Position::Real(self.add_block(
+                        file_id,
+                        stripe_id,
+                        pos,
+                        BlockKind::Data,
+                        block_bytes,
+                        node,
+                        None,
+                    ))
+                })
+                .collect();
+            self.stripes.push(StripeMeta {
+                id: stripe_id,
+                file: file_id,
+                code: CodeSpec::Replication { replicas },
+                positions,
+                real_data: 1,
+            });
+            stripes.push(stripe_id);
+        }
+        self.files.push(FileMeta {
+            id: file_id,
+            name: name.to_string(),
+            data_blocks,
+            stripes,
+        });
+        Some(file_id)
+    }
+
+    /// Marks every block on `node` as lost; returns the lost block ids.
+    pub fn kill_node(&mut self, node: NodeId) -> Vec<BlockId> {
+        let lost: Vec<BlockId> = self.node_blocks[node].drain().collect();
+        for &b in &lost {
+            self.blocks[b].location = None;
+        }
+        lost
+    }
+
+    /// Drops a single block (Fig.-7-style simulated block loss).
+    pub fn drop_block(&mut self, block: BlockId) {
+        if let Some(node) = self.blocks[block].location.take() {
+            self.node_blocks[node].remove(&block);
+        }
+    }
+
+    /// Moves a live block to a new node (decommission drain).
+    pub fn relocate_block(&mut self, block: BlockId, node: NodeId) {
+        let old = self.blocks[block]
+            .location
+            .expect("relocating a block that is lost");
+        self.node_blocks[old].remove(&block);
+        self.blocks[block].location = Some(node);
+        self.node_blocks[node].insert(block);
+    }
+
+    /// Restores a repaired block at `node`.
+    pub fn restore_block(&mut self, block: BlockId, node: NodeId) {
+        assert!(
+            self.blocks[block].location.is_none(),
+            "restoring a block that is not lost"
+        );
+        self.blocks[block].location = Some(node);
+        self.node_blocks[node].insert(block);
+    }
+
+    /// All currently-lost blocks.
+    pub fn lost_blocks(&self) -> Vec<BlockId> {
+        self.blocks
+            .iter()
+            .filter(|b| b.location.is_none())
+            .map(|b| b.id)
+            .collect()
+    }
+
+    /// The stripe positions (codec indices) of `stripe` that are real and
+    /// currently unavailable.
+    pub fn unavailable_positions(&self, stripe: StripeId) -> Vec<usize> {
+        self.stripes[stripe]
+            .positions
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, p)| match p {
+                Position::Real(b) if self.blocks[*b].location.is_none() => Some(pos),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Nodes currently hosting blocks of `stripe` (for placement
+    /// exclusion: never two blocks of a stripe on one node).
+    pub fn stripe_nodes(&self, stripe: StripeId) -> HashSet<NodeId> {
+        self.stripes[stripe]
+            .positions
+            .iter()
+            .filter_map(|p| match p {
+                Position::Real(b) => self.blocks[*b].location,
+                Position::Virtual => None,
+            })
+            .collect()
+    }
+}
+
+/// Block placement: random distinct nodes, rack-aware when possible
+/// (Hadoop's default policy "randomly places blocks at DataNodes,
+/// avoiding collocating blocks of the same stripe", §3.1.1).
+#[derive(Debug, Clone)]
+pub struct Placement {
+    rack_of: Vec<usize>,
+}
+
+impl Placement {
+    /// Assigns `nodes` round-robin over `racks`.
+    pub fn new(nodes: usize, racks: usize) -> Self {
+        assert!(racks >= 1, "need at least one rack");
+        Self { rack_of: (0..nodes).map(|n| n % racks).collect() }
+    }
+
+    /// The rack of a node.
+    pub fn rack_of(&self, node: NodeId) -> usize {
+        self.rack_of[node]
+    }
+
+    /// Picks `count` distinct alive nodes avoiding `exclude`, spreading
+    /// racks as evenly as the candidate set allows. `None` if not enough
+    /// candidates exist.
+    pub fn place_many<R: Rng>(
+        &self,
+        count: usize,
+        alive: &[bool],
+        exclude: &HashSet<NodeId>,
+        rng: &mut R,
+    ) -> Option<Vec<NodeId>> {
+        let mut candidates: Vec<NodeId> = (0..self.rack_of.len())
+            .filter(|&n| alive[n] && !exclude.contains(&n))
+            .collect();
+        if candidates.len() < count {
+            return None;
+        }
+        candidates.shuffle(rng);
+        // Greedy rack spreading: repeatedly take a candidate from the
+        // least-used rack among the remaining ones.
+        let mut rack_use = vec![0usize; self.rack_of.iter().max().map_or(1, |m| m + 1)];
+        let mut chosen = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (idx, _) = candidates
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &n)| rack_use[self.rack_of[n]])
+                .expect("candidates remain");
+            let node = candidates.swap_remove(idx);
+            rack_use[self.rack_of[node]] += 1;
+            chosen.push(node);
+        }
+        Some(chosen)
+    }
+
+    /// Picks one node (repair-target placement).
+    pub fn place_one<R: Rng>(
+        &self,
+        alive: &[bool],
+        exclude: &HashSet<NodeId>,
+        rng: &mut R,
+    ) -> Option<NodeId> {
+        self.place_many(1, alive, exclude, rng).map(|v| v[0])
+    }
+
+    /// Like [`Placement::place_many`], but degrades gracefully when the
+    /// cluster is smaller than the stripe: candidates are reused
+    /// round-robin, collocating as few stripe blocks as possible. This
+    /// mirrors HDFS's best-effort spreading — the paper's own workload
+    /// experiment ran 16-block stripes on 15-slave clusters. `None` only
+    /// when no candidate exists at all.
+    pub fn place_best_effort<R: Rng>(
+        &self,
+        count: usize,
+        alive: &[bool],
+        exclude: &HashSet<NodeId>,
+        rng: &mut R,
+    ) -> Option<Vec<NodeId>> {
+        let distinct = (0..self.rack_of.len())
+            .filter(|&n| alive[n] && !exclude.contains(&n))
+            .count();
+        if distinct == 0 {
+            return None;
+        }
+        if distinct >= count {
+            return self.place_many(count, alive, exclude, rng);
+        }
+        let mut base = self
+            .place_many(distinct, alive, exclude, rng)
+            .expect("distinct candidates exist");
+        let mut out = Vec::with_capacity(count);
+        let mut i = 0;
+        while out.len() < count {
+            out.push(base[i % base.len()]);
+            i += 1;
+            if i % base.len() == 0 {
+                base.shuffle(rng);
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn full_mask(code: CodeSpec) -> impl FnMut(usize) -> Vec<bool> {
+        move |_real| vec![false; code.total_blocks()]
+    }
+
+    #[test]
+    fn raided_file_creates_full_stripes() {
+        let mut fs = Hdfs::new(20);
+        let placement = Placement::new(20, 4);
+        let alive = vec![true; 20];
+        let mut rng = StdRng::seed_from_u64(1);
+        let code = CodeSpec::RS_10_4;
+        let f = fs
+            .create_raided_file(
+                "f1", 20, code, 64, &placement, &alive, &mut rng,
+                full_mask(code), |_, _| None,
+            )
+            .unwrap();
+        assert_eq!(fs.files()[f].stripes.len(), 2);
+        assert_eq!(fs.block_count(), 28);
+        // No two blocks of a stripe share a node.
+        for s in fs.stripes() {
+            let nodes = fs.stripe_nodes(s.id);
+            assert_eq!(nodes.len(), 14);
+        }
+    }
+
+    #[test]
+    fn replicated_file_spreads_replicas() {
+        let mut fs = Hdfs::new(10);
+        let placement = Placement::new(10, 2);
+        let alive = vec![true; 10];
+        let mut rng = StdRng::seed_from_u64(2);
+        fs.create_replicated_file("r", 4, 3, 64, &placement, &alive, &mut rng)
+            .unwrap();
+        assert_eq!(fs.block_count(), 12);
+        for s in fs.stripes() {
+            assert_eq!(fs.stripe_nodes(s.id).len(), 3);
+            // 3 replicas over 2 racks: both racks used.
+            let racks: HashSet<usize> =
+                fs.stripe_nodes(s.id).iter().map(|&n| placement.rack_of(n)).collect();
+            assert_eq!(racks.len(), 2);
+        }
+    }
+
+    #[test]
+    fn kill_and_restore_round_trip() {
+        let mut fs = Hdfs::new(20);
+        let placement = Placement::new(20, 1);
+        let alive = vec![true; 20];
+        let mut rng = StdRng::seed_from_u64(3);
+        let code = CodeSpec::RS_10_4;
+        fs.create_raided_file(
+            "f", 10, code, 64, &placement, &alive, &mut rng, full_mask(code),
+            |_, _| None,
+        )
+        .unwrap();
+        let victim = fs.block(0).location.unwrap();
+        let lost = fs.kill_node(victim);
+        assert!(!lost.is_empty());
+        assert_eq!(fs.lost_blocks().len(), lost.len());
+        let stripe = fs.block(lost[0]).stripe;
+        assert!(fs.unavailable_positions(stripe).contains(&fs.block(lost[0]).pos));
+        fs.restore_block(lost[0], victim);
+        assert!(!fs.lost_blocks().contains(&lost[0]));
+    }
+
+    #[test]
+    fn zero_padded_stripes_have_virtual_positions() {
+        let mut fs = Hdfs::new(20);
+        let placement = Placement::new(20, 1);
+        let alive = vec![true; 20];
+        let mut rng = StdRng::seed_from_u64(4);
+        let code = CodeSpec::RS_10_4;
+        // 3 real data blocks: positions 3..10 virtual, parities real.
+        let f = fs
+            .create_raided_file(
+                "small", 3, code, 64, &placement, &alive, &mut rng,
+                |real| (0..14).map(|p| p < 10 && p >= real).collect(),
+                |_, _| None,
+            )
+            .unwrap();
+        let s = fs.files()[f].stripes[0];
+        let stripe = fs.stripe(s);
+        assert_eq!(stripe.real_data, 3);
+        let virtuals =
+            stripe.positions.iter().filter(|p| **p == Position::Virtual).count();
+        assert_eq!(virtuals, 7);
+        assert_eq!(fs.block_count(), 7); // 3 data + 4 parities
+    }
+
+    #[test]
+    fn placement_fails_when_capacity_exhausted() {
+        let placement = Placement::new(5, 1);
+        let alive = vec![true; 5];
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(placement.place_many(6, &alive, &HashSet::new(), &mut rng).is_none());
+        let mut dead = alive;
+        dead[0] = false;
+        assert!(placement.place_many(5, &dead, &HashSet::new(), &mut rng).is_none());
+    }
+
+    #[test]
+    fn drop_block_loses_exactly_one() {
+        let mut fs = Hdfs::new(20);
+        let placement = Placement::new(20, 1);
+        let alive = vec![true; 20];
+        let mut rng = StdRng::seed_from_u64(6);
+        let code = CodeSpec::LRC_10_6_5;
+        fs.create_raided_file(
+            "f", 10, code, 64, &placement, &alive, &mut rng, full_mask(code),
+            |_, _| None,
+        )
+        .unwrap();
+        fs.drop_block(5);
+        assert_eq!(fs.lost_blocks(), vec![5]);
+    }
+}

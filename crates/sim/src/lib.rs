@@ -1,0 +1,35 @@
+//! Discrete-event HDFS-RAID cluster simulator (§3 and §5 of
+//! "XORing Elephants").
+//!
+//! This crate stands in for the paper's Amazon EC2 and Facebook test
+//! clusters: a flow-level network with max-min fair sharing behind a
+//! saturable top-level switch, an HDFS namespace with stripe-aware block
+//! placement, a BlockFixer driving light/heavy repair MapReduce jobs
+//! planned by the *real* codecs from `xorbas-core`, a fair scheduler,
+//! WordCount-style workloads with degraded reads, failure injection, and
+//! the §5.1 metrics (HDFS bytes read, network traffic, repair duration,
+//! plus 5-minute time series).
+//!
+//! See `experiment` for canned §5 scenario builders, and DESIGN.md for
+//! the substitution argument (what the real clusters provided → what the
+//! simulator reproduces → why the measured shapes carry over).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codecs;
+pub mod config;
+pub mod engine;
+pub mod experiment;
+pub mod failures;
+pub mod hdfs;
+pub mod metrics;
+pub mod network;
+pub mod time;
+
+pub use codecs::CodecInstance;
+pub use config::{ClusterConfig, ComputeRates, ReadPolicy, SimConfig};
+pub use engine::Simulation;
+pub use hdfs::{BlockId, FileId, Hdfs, NodeId, Placement, StripeId};
+pub use metrics::Metrics;
+pub use time::SimTime;

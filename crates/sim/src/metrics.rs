@@ -1,0 +1,256 @@
+//! Measurement collection: the §5.1 evaluation metrics.
+//!
+//! * **HDFS Bytes Read** — data read by repair/degraded-read tasks.
+//! * **Network Traffic** — bytes crossing the network (read streams and
+//!   block write-back), as AWS CloudWatch would report.
+//! * **Repair Duration** — first repair-job launch to last completion.
+//!
+//! Cumulative counters support per-event deltas (Fig. 4); bucketed time
+//! series reproduce the 5-minute-resolution plots of Fig. 5.
+
+use crate::time::SimTime;
+
+/// A point-in-time snapshot of the cumulative counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CounterSnapshot {
+    /// Cumulative HDFS bytes read.
+    pub hdfs_bytes_read: f64,
+    /// Cumulative network bytes moved.
+    pub network_bytes: f64,
+    /// Cumulative disk bytes read.
+    pub disk_bytes_read: f64,
+    /// Blocks reconstructed so far.
+    pub blocks_repaired: u64,
+}
+
+/// One completed job's span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSpan {
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Completion time.
+    pub finished: SimTime,
+}
+
+impl JobSpan {
+    /// Wall-clock duration.
+    pub fn duration(&self) -> SimTime {
+        self.finished - self.submitted
+    }
+}
+
+/// The full metric state of a simulation.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    bucket_secs: u64,
+    counters: CounterSnapshot,
+    /// Network bytes per bucket.
+    pub network_series: Vec<f64>,
+    /// Disk bytes read per bucket.
+    pub disk_series: Vec<f64>,
+    /// Busy slot-seconds per bucket (normalize by slots·bucket for %).
+    pub cpu_busy_series: Vec<f64>,
+    /// Completed repair jobs.
+    pub repair_jobs: Vec<JobSpan>,
+    /// Completed workload (e.g. WordCount) jobs.
+    pub workload_jobs: Vec<JobSpan>,
+    /// Stripes found unrecoverable (data-loss events).
+    pub data_loss_stripes: u64,
+}
+
+impl Metrics {
+    /// Metrics with the given series resolution.
+    pub fn new(bucket_secs: u64) -> Self {
+        assert!(bucket_secs > 0, "bucket width must be positive");
+        Self {
+            bucket_secs,
+            counters: CounterSnapshot::default(),
+            network_series: Vec::new(),
+            disk_series: Vec::new(),
+            cpu_busy_series: Vec::new(),
+            repair_jobs: Vec::new(),
+            workload_jobs: Vec::new(),
+            data_loss_stripes: 0,
+        }
+    }
+
+    /// Series bucket width in seconds.
+    pub fn bucket_secs(&self) -> u64 {
+        self.bucket_secs
+    }
+
+    /// Current cumulative counters.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        self.counters
+    }
+
+    /// The series bucket a time falls into.
+    pub fn bucket_index(&self, t: SimTime) -> usize {
+        (t.0 / (self.bucket_secs * 1_000_000)) as usize
+    }
+
+    fn ensure(series: &mut Vec<f64>, idx: usize) {
+        if series.len() <= idx {
+            series.resize(idx + 1, 0.0);
+        }
+    }
+
+    /// Adds `amount` to `series`, spread uniformly over
+    /// `[start, start + dur_secs]` across bucket boundaries.
+    fn add_spread(
+        bucket_secs: u64,
+        series: &mut Vec<f64>,
+        start: SimTime,
+        dur_secs: f64,
+        amount: f64,
+    ) {
+        if amount <= 0.0 {
+            return;
+        }
+        let bucket_us = bucket_secs as f64 * 1e6;
+        if dur_secs <= 0.0 {
+            let idx = (start.0 as f64 / bucket_us) as usize;
+            Self::ensure(series, idx);
+            series[idx] += amount;
+            return;
+        }
+        let start_us = start.0 as f64;
+        let end_us = start_us + dur_secs * 1e6;
+        let first = (start_us / bucket_us) as usize;
+        let last = (end_us / bucket_us) as usize;
+        Self::ensure(series, last);
+        #[allow(clippy::needless_range_loop)] // idx participates in bucket arithmetic
+        for idx in first..=last {
+            let lo = (idx as f64 * bucket_us).max(start_us);
+            let hi = ((idx + 1) as f64 * bucket_us).min(end_us);
+            if hi > lo {
+                series[idx] += amount * (hi - lo) / (end_us - start_us);
+            }
+        }
+    }
+
+    /// Records an HDFS-level block read (also a disk read at the source).
+    pub fn record_block_read(&mut self, t: SimTime, bytes: f64) {
+        self.counters.hdfs_bytes_read += bytes;
+        self.counters.disk_bytes_read += bytes;
+        let secs = self.bucket_secs;
+        Self::add_spread(secs, &mut self.disk_series, t, 0.0, bytes);
+    }
+
+    /// Records network transfer over an interval (called as flows drain).
+    pub fn record_network(&mut self, start: SimTime, dur_secs: f64, bytes: f64) {
+        self.counters.network_bytes += bytes;
+        let secs = self.bucket_secs;
+        Self::add_spread(secs, &mut self.network_series, start, dur_secs, bytes);
+    }
+
+    /// Records CPU busy time (`slots` busy for `dur_secs` from `start`).
+    pub fn record_cpu_busy(&mut self, start: SimTime, dur_secs: f64, slots: usize) {
+        let secs = self.bucket_secs;
+        Self::add_spread(
+            secs,
+            &mut self.cpu_busy_series,
+            start,
+            dur_secs,
+            dur_secs * slots as f64,
+        );
+    }
+
+    /// Records a reconstructed block.
+    pub fn record_block_repaired(&mut self) {
+        self.counters.blocks_repaired += 1;
+    }
+
+    /// Records a finished repair job.
+    pub fn record_repair_job(&mut self, submitted: SimTime, finished: SimTime) {
+        self.repair_jobs.push(JobSpan { submitted, finished });
+    }
+
+    /// Records a finished workload job.
+    pub fn record_workload_job(&mut self, submitted: SimTime, finished: SimTime) {
+        self.workload_jobs.push(JobSpan { submitted, finished });
+    }
+
+    /// Records an unrecoverable stripe.
+    pub fn record_data_loss(&mut self) {
+        self.data_loss_stripes += 1;
+    }
+
+    /// CPU utilization per bucket as a fraction of `total_slots`.
+    pub fn cpu_utilization(&self, total_slots: usize) -> Vec<f64> {
+        let cap = (total_slots as f64) * self.bucket_secs as f64;
+        self.cpu_busy_series.iter().map(|&busy| (busy / cap).min(1.0)).collect()
+    }
+
+    /// Repair span between two snapshots: earliest submit / latest finish
+    /// of repair jobs recorded after `since` jobs existed.
+    pub fn repair_span_since(&self, since: usize) -> Option<(SimTime, SimTime)> {
+        let jobs = &self.repair_jobs[since.min(self.repair_jobs.len())..];
+        let start = jobs.iter().map(|j| j.submitted).min()?;
+        let end = jobs.iter().map(|j| j.finished).max()?;
+        Some((start, end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new(300);
+        m.record_block_read(SimTime::from_secs(10), 64.0);
+        m.record_block_read(SimTime::from_secs(20), 36.0);
+        let s = m.snapshot();
+        assert_eq!(s.hdfs_bytes_read, 100.0);
+        assert_eq!(s.disk_bytes_read, 100.0);
+    }
+
+    #[test]
+    fn spread_splits_across_buckets_proportionally() {
+        let mut m = Metrics::new(10);
+        // 100 bytes over 20s starting at t=5: buckets get 25/50/25.
+        m.record_network(SimTime::from_secs(5), 20.0, 100.0);
+        assert_eq!(m.network_series.len(), 3);
+        assert!((m.network_series[0] - 25.0).abs() < 1e-9);
+        assert!((m.network_series[1] - 50.0).abs() < 1e-9);
+        assert!((m.network_series[2] - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instantaneous_amounts_land_in_one_bucket() {
+        let mut m = Metrics::new(10);
+        m.record_block_read(SimTime::from_secs(25), 7.0);
+        assert_eq!(m.disk_series.len(), 3);
+        assert_eq!(m.disk_series[2], 7.0);
+    }
+
+    #[test]
+    fn cpu_utilization_normalizes_by_slots() {
+        let mut m = Metrics::new(10);
+        // 2 slots busy for 5 s in bucket 0, cluster has 4 slots:
+        // utilization = 10 slot-secs / 40 = 0.25.
+        m.record_cpu_busy(SimTime::ZERO, 5.0, 2);
+        let u = m.cpu_utilization(4);
+        assert!((u[0] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repair_span_since_tracks_new_jobs_only() {
+        let mut m = Metrics::new(10);
+        m.record_repair_job(SimTime::from_secs(1), SimTime::from_secs(5));
+        let mark = m.repair_jobs.len();
+        m.record_repair_job(SimTime::from_secs(10), SimTime::from_secs(20));
+        m.record_repair_job(SimTime::from_secs(12), SimTime::from_secs(18));
+        let (s, e) = m.repair_span_since(mark).unwrap();
+        assert_eq!(s, SimTime::from_secs(10));
+        assert_eq!(e, SimTime::from_secs(20));
+        assert!(m.repair_span_since(3).is_none());
+    }
+
+    #[test]
+    fn job_span_duration() {
+        let j = JobSpan { submitted: SimTime::from_secs(10), finished: SimTime::from_secs(70) };
+        assert_eq!(j.duration(), SimTime::from_secs(60));
+    }
+}

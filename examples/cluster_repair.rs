@@ -1,0 +1,52 @@
+//! Simulated cluster repair: the §5.2 EC2 scenario in miniature.
+//!
+//! Loads a 20-node cluster with RAIDed files, terminates a DataNode, and
+//! lets the BlockFixer repair everything — once under HDFS-RS and once
+//! under HDFS-Xorbas — then compares what the repair cost.
+//!
+//! Run with: `cargo run --example cluster_repair`
+
+use xorbas::codes::CodeSpec;
+use xorbas::sim::{SimConfig, SimTime, Simulation};
+
+fn run(code: CodeSpec) -> (String, f64, f64, f64, u64) {
+    let mut cfg = SimConfig::ec2(code);
+    cfg.cluster.nodes = 20;
+    cfg.verify_payloads = true; // repairs are checked bit-exact
+    cfg.seed = 2024;
+    let mut sim = Simulation::new(cfg);
+    for i in 0..10 {
+        sim.load_raided_file(&format!("logs-{i}"), 10);
+    }
+    let victim = sim.pick_victims(1)[0];
+    let lost = sim.hdfs.blocks_on(victim).len();
+    println!(
+        "[{}] killing node {victim} holding {lost} blocks…",
+        code.name()
+    );
+    sim.kill_node_at(SimTime::from_secs(10), victim);
+    sim.run_until_idle(SimTime::from_mins(10_000));
+    assert!(sim.hdfs.lost_blocks().is_empty(), "everything repaired");
+    let s = sim.metrics.snapshot();
+    let dur = sim
+        .metrics
+        .repair_span_since(0)
+        .map(|(a, b)| (b.saturating_sub(a)).as_mins_f64())
+        .unwrap_or(0.0);
+    (code.name(), s.hdfs_bytes_read / 1e9, s.network_bytes / 1e9, dur, s.blocks_repaired)
+}
+
+fn main() {
+    let rows = [run(CodeSpec::RS_10_4), run(CodeSpec::LRC_10_6_5)];
+    println!();
+    println!("scheme            read GB   net GB   duration   blocks repaired");
+    for (name, read, net, dur, repaired) in &rows {
+        println!("{name:<16} {read:>8.2} {net:>8.2} {dur:>7.1} min {repaired:>12}");
+    }
+    let ratio = (rows[1].1 / rows[1].4 as f64) / (rows[0].1 / rows[0].4 as f64);
+    println!(
+        "\nXorbas read {:.0}% of the bytes RS read per repaired block \
+         (paper: 41-52%), with every repaired block verified bit-exact.",
+        ratio * 100.0
+    );
+}

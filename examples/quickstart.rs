@@ -1,0 +1,70 @@
+//! Quickstart: encode a stripe with the (10,6,5) LRC, lose blocks,
+//! repair them, and see why locality matters.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use xorbas::prelude::*;
+
+fn main() {
+    // Ten 1 MiB data blocks — one HDFS-Xorbas stripe's worth of data.
+    let data: Vec<Vec<u8>> = (0..10u8)
+        .map(|i| (0..1 << 20).map(|j| i.wrapping_mul(37).wrapping_add(j as u8)).collect())
+        .collect();
+
+    // The paper's two contenders.
+    let rs: ReedSolomon = ReedSolomon::new(10, 4).expect("RS(10,4)");
+    let lrc = Lrc::xorbas_10_6_5().expect("LRC(10,6,5)");
+
+    println!("scheme          blocks  overhead  single-repair reads");
+    for (name, n, overhead, reads) in [
+        ("3-replication", 3, 2.0, 1),
+        ("RS (10, 4)", rs.total_blocks(), rs.spec().storage_overhead(), 10),
+        ("LRC (10, 6, 5)", lrc.total_blocks(), lrc.spec().storage_overhead(), 5),
+    ] {
+        println!("{name:<15} {n:>6}  {overhead:>7.1}x  {reads:>19}");
+    }
+    println!();
+
+    // Encode once with each scheme.
+    let rs_stripe = rs.encode_stripe(&data).expect("encode");
+    let lrc_stripe = lrc.encode_stripe(&data).expect("encode");
+
+    // Lose data block 3 and repair it.
+    let mut shards: Vec<Option<Vec<u8>>> = rs_stripe.iter().cloned().map(Some).collect();
+    shards[3] = None;
+    let report = rs.reconstruct(&mut shards).expect("RS repair");
+    println!(
+        "RS  repair of X4: read {} blocks ({} light decoder)",
+        report.blocks_read,
+        if report.used_light_decoder { "with" } else { "without" }
+    );
+    assert_eq!(shards[3].as_deref(), Some(&rs_stripe[3][..]));
+
+    let mut shards: Vec<Option<Vec<u8>>> = lrc_stripe.iter().cloned().map(Some).collect();
+    shards[3] = None;
+    let report = lrc.reconstruct(&mut shards).expect("LRC repair");
+    println!(
+        "LRC repair of X4: read {} blocks ({} light decoder)",
+        report.blocks_read,
+        if report.used_light_decoder { "with" } else { "without" }
+    );
+    assert_eq!(shards[3].as_deref(), Some(&lrc_stripe[3][..]));
+
+    // The LRC tolerates any 4 erasures, like the RS code…
+    let mut shards: Vec<Option<Vec<u8>>> = lrc_stripe.iter().cloned().map(Some).collect();
+    for i in [0, 7, 11, 15] {
+        shards[i] = None;
+    }
+    let report = lrc.reconstruct(&mut shards).expect("multi-failure repair");
+    println!(
+        "LRC repair of X1, X8, P2, S2 together: {} distinct blocks read, light = {}",
+        report.blocks_read, report.used_light_decoder
+    );
+    for (i, s) in shards.iter().enumerate() {
+        assert_eq!(s.as_deref(), Some(&lrc_stripe[i][..]));
+    }
+
+    // …at 14% more storage than RS, which Table 1 shows buys two extra
+    // zeros of MTTDL. See examples/reliability_planner.rs.
+    println!("\nall repairs verified bit-exact ✔");
+}

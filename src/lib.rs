@@ -1,0 +1,60 @@
+//! # Xorbas-RS
+//!
+//! A Rust reproduction of **"XORing Elephants: Novel Erasure Codes for Big
+//! Data"** (Sathiamoorthy et al., VLDB 2013): Locally Repairable Codes
+//! (LRCs), the Reed-Solomon baseline they extend, and the evaluation
+//! apparatus around them — an HDFS-RAID cluster simulator, a Markov
+//! reliability model, and the information-flow-graph machinery of the
+//! paper's appendix.
+//!
+//! This facade crate re-exports the workspace members under stable paths:
+//!
+//! * [`gf`] — GF(2^m) arithmetic ([`xorbas_gf`])
+//! * [`linalg`] — dense matrices over GF(2^m) ([`xorbas_linalg`])
+//! * [`codes`] — RS and LRC codecs, locality/distance analysis
+//!   ([`xorbas_core`])
+//! * [`flowgraph`] — Appendix-C information flow graphs
+//!   ([`xorbas_flowgraph`])
+//! * [`reliability`] — §4 MTTDL Markov chains ([`xorbas_reliability`])
+//! * [`sim`] — §5 cluster simulator ([`xorbas_sim`])
+//!
+//! # Quickstart
+//!
+//! ```
+//! use xorbas::codes::{ErasureCodec, Lrc};
+//!
+//! // The (10,6,5) LRC deployed in HDFS-Xorbas: 10 data blocks, 4
+//! // Reed-Solomon parities, 2 stored local XOR parities (plus one
+//! // implied), block locality 5, minimum distance 5.
+//! let lrc = Lrc::xorbas_10_6_5().expect("construction is deterministic");
+//! let data: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8; 64]).collect();
+//! let stripe = lrc.encode_stripe(&data).expect("encode");
+//!
+//! // Lose a data block; light-decode it back from its 5-block repair group.
+//! let mut shards: Vec<Option<Vec<u8>>> = stripe.iter().cloned().map(Some).collect();
+//! shards[3] = None;
+//! let report = lrc.reconstruct(&mut shards).expect("repair");
+//! assert_eq!(shards[3].as_deref(), Some(&stripe[3][..]));
+//! assert_eq!(report.blocks_read, 5); // vs 10+ for Reed-Solomon
+//! ```
+//!
+//! See `examples/` for cluster-scale scenarios and `crates/bench` for the
+//! harnesses that regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+
+pub use xorbas_core as codes;
+pub use xorbas_flowgraph as flowgraph;
+pub use xorbas_gf as gf;
+pub use xorbas_linalg as linalg;
+pub use xorbas_reliability as reliability;
+pub use xorbas_sim as sim;
+
+/// Commonly used items, importable with `use xorbas::prelude::*`.
+pub mod prelude {
+    pub use xorbas_core::{
+        CodeSpec, ErasureCodec, Lrc, LrcSpec, ReedSolomon, RepairReport,
+    };
+    pub use xorbas_gf::{Field, Gf256};
+    pub use xorbas_linalg::Matrix;
+}

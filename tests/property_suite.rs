@@ -1,0 +1,205 @@
+//! Workspace-wide property tests: invariants that must hold for *any*
+//! valid inputs, not just the paper's parameters.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xorbas::codes::analysis::{combinations, minimum_distance};
+use xorbas::codes::bounds::lrc_distance_bound;
+use xorbas::codes::peeling::{peel, XorEquation};
+use xorbas::codes::{ErasureCodec, Lrc, LrcSpec, ReedSolomon};
+use xorbas::gf::{Field, Gf256};
+use xorbas::linalg::{special, Matrix};
+
+/// Strategy: valid small LRC specs (k ≤ 12, r | k, g ≤ 4).
+fn arb_lrc_spec() -> impl Strategy<Value = LrcSpec> {
+    (2usize..=12, 1usize..=4, any::<bool>()).prop_flat_map(|(k, g, implied)| {
+        let divisors: Vec<usize> = (1..=k).filter(|r| k % r == 0).collect();
+        (0..divisors.len()).prop_map(move |i| LrcSpec {
+            k,
+            global_parities: g,
+            group_size: divisors[i],
+            implied_parity: implied,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every constructible LRC round-trips random data under every
+    /// single-block erasure, always via the light decoder.
+    #[test]
+    fn any_lrc_single_erasure_light_decodes(
+        spec in arb_lrc_spec(),
+        seed in any::<u64>(),
+    ) {
+        let Ok(lrc) = Lrc::<Gf256>::new(spec) else { return Ok(()) };
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u8
+        };
+        let data: Vec<Vec<u8>> =
+            (0..spec.k).map(|_| (0..24).map(|_| next()).collect()).collect();
+        let stripe = lrc.encode_stripe(&data).unwrap();
+        for lost in 0..lrc.total_blocks() {
+            let mut shards: Vec<Option<Vec<u8>>> =
+                stripe.iter().cloned().map(Some).collect();
+            shards[lost] = None;
+            let report = lrc.reconstruct(&mut shards).unwrap();
+            prop_assert!(report.used_light_decoder, "block {lost} went heavy");
+            prop_assert_eq!(shards[lost].as_ref().unwrap(), &stripe[lost]);
+        }
+    }
+
+    /// The measured distance of every constructible LRC respects the
+    /// Theorem-2 bound and exceeds the global-parity count.
+    #[test]
+    fn any_lrc_distance_within_bounds(spec in arb_lrc_spec()) {
+        let Ok(lrc) = Lrc::<Gf256>::new(spec) else { return Ok(()) };
+        let n = lrc.total_blocks();
+        if n > 18 {
+            return Ok(()); // keep the exhaustive search fast
+        }
+        let d = minimum_distance(lrc.generator());
+        prop_assert!(d <= lrc_distance_bound(n, spec.k, spec.locality()));
+        // At least the base code's erasure tolerance survives.
+        prop_assert!(d >= spec.global_parities + 1);
+    }
+
+    /// RS: any erasure pattern up to m recovers; every pattern of
+    /// m+1 data-heavy erasures still leaves a consistent report.
+    #[test]
+    fn rs_roundtrip_random_patterns(
+        k in 2usize..=8,
+        m in 1usize..=4,
+        pattern_seed in any::<u64>(),
+        len in 1usize..32,
+    ) {
+        let rs = ReedSolomon::<Gf256>::new(k, m).unwrap();
+        let data: Vec<Vec<u8>> =
+            (0..k).map(|i| vec![(i * 41 + 3) as u8; len]).collect();
+        let stripe = rs.encode_stripe(&data).unwrap();
+        // Deterministically pick an erasure pattern of size <= m.
+        let mut rng = StdRng::seed_from_u64(pattern_seed);
+        use rand::seq::SliceRandom;
+        let mut idx: Vec<usize> = (0..k + m).collect();
+        idx.shuffle(&mut rng);
+        let erased = &idx[..m];
+        let mut shards: Vec<Option<Vec<u8>>> =
+            stripe.iter().cloned().map(Some).collect();
+        for &e in erased {
+            shards[e] = None;
+        }
+        let report = rs.reconstruct(&mut shards).unwrap();
+        prop_assert_eq!(report.blocks_read, k);
+        for (i, s) in shards.iter().enumerate() {
+            prop_assert_eq!(s.as_ref().unwrap(), &stripe[i]);
+        }
+    }
+
+    /// Peeling soundness: whatever the decoder resolves satisfies the
+    /// original equations exactly.
+    #[test]
+    fn peeling_solutions_satisfy_equations(
+        values in proptest::collection::vec(0u32..256, 6..=10),
+        missing_mask in proptest::collection::vec(any::<bool>(), 6..=10),
+    ) {
+        let n = values.len().min(missing_mask.len());
+        let vals: Vec<Gf256> =
+            values[..n].iter().map(|&v| Gf256::from_index(v)).collect();
+        // Build chained equations y_i + y_{i+1} + y_{i+2} = rhs-free form:
+        // use coefficient structure c1*y_a + c2*y_b + c3*y_c = 0 by
+        // defining y_c accordingly; simpler: equations over consecutive
+        // triples with the third element *defined* as the XOR of the
+        // first two (unit coefficients).
+        let mut y = vals.clone();
+        let mut eqs = Vec::new();
+        for i in (0..n.saturating_sub(2)).step_by(3) {
+            y[i + 2] = y[i] + y[i + 1];
+            eqs.push(XorEquation::new(vec![
+                (i, Gf256::ONE),
+                (i + 1, Gf256::ONE),
+                (i + 2, Gf256::ONE),
+            ]));
+        }
+        let available: Vec<bool> =
+            missing_mask[..n].iter().map(|&m| !m).collect();
+        let targets: Vec<usize> =
+            (0..n).filter(|&i| !available[i]).collect();
+        let outcome = peel(&eqs, &available, &targets);
+        // Execute the steps on a copy where missing values are wiped.
+        let mut working: Vec<Option<Gf256>> = y
+            .iter()
+            .zip(&available)
+            .map(|(&v, &a)| a.then_some(v))
+            .collect();
+        for step in &outcome.steps {
+            let mut acc = Gf256::ZERO;
+            for &(src, c) in &step.sources {
+                acc += c * working[src].expect("peel sources available");
+            }
+            working[step.repaired] = Some(acc);
+        }
+        for step in &outcome.steps {
+            prop_assert_eq!(working[step.repaired].unwrap(), y[step.repaired]);
+        }
+    }
+
+    /// Generator-matrix invariant: for any LRC, erasing fewer than d
+    /// blocks never breaks rank (cross-check distance definition).
+    #[test]
+    fn distance_definition_consistency(spec in arb_lrc_spec()) {
+        let Ok(lrc) = Lrc::<Gf256>::new(spec) else { return Ok(()) };
+        let n = lrc.total_blocks();
+        if n > 14 {
+            return Ok(());
+        }
+        let d = minimum_distance(lrc.generator());
+        if d >= 2 {
+            for pattern in combinations(n, d - 1) {
+                prop_assert!(
+                    xorbas::codes::analysis::reconstructable(lrc.generator(), &pattern)
+                );
+            }
+        }
+    }
+
+    /// Vandermonde systematization always preserves the row space:
+    /// parity checks annihilate both forms.
+    #[test]
+    fn systematize_preserves_code(m in 1usize..=4, extra in 1usize..=6) {
+        let k = extra + 1;
+        let n = k + m;
+        if n > 50 {
+            return Ok(());
+        }
+        let h: Matrix<Gf256> = special::vandermonde(m, n);
+        let g = h.right_null_space();
+        let gs = special::systematize(&g).expect("MDS leading block");
+        prop_assert!(gs.mul(&h.transpose()).is_zero());
+        prop_assert_eq!(gs.rank(), k);
+    }
+}
+
+/// Non-proptest cross-check: the (10,6,5) code's light-decoder reads
+/// exactly match its equations for every single failure.
+#[test]
+fn equations_are_the_light_decoder() {
+    let lrc = Lrc::xorbas_10_6_5().unwrap();
+    for lost in 0..16 {
+        let plan = lrc.repair_plan(&[lost]).unwrap();
+        let eq = lrc
+            .equations()
+            .iter()
+            .find(|eq| eq.indices().any(|i| i == lost))
+            .expect("every block belongs to a repair group");
+        let mut expected: Vec<usize> = eq.indices().filter(|&i| i != lost).collect();
+        expected.sort_unstable();
+        let mut got = plan.tasks[0].reads.clone();
+        got.sort_unstable();
+        assert_eq!(got, expected, "block {lost}");
+    }
+}

@@ -1,0 +1,81 @@
+//! The §4 reliability model driven end-to-end by the real codecs.
+
+use xorbas::codes::{Lrc, LrcSpec, ReedSolomon};
+use xorbas::reliability::{
+    analyze_codec, analyze_replication, table1, ClusterParams, PAPER_TABLE1_MTTDL_DAYS,
+};
+
+#[test]
+fn table1_replication_row_matches_paper_within_5_percent() {
+    let rows = table1(&ClusterParams::facebook());
+    let ratio = rows[0].mttdl_days / PAPER_TABLE1_MTTDL_DAYS[0];
+    assert!(
+        (0.95..1.05).contains(&ratio),
+        "replication MTTDL {:.4e} vs paper {:.4e}",
+        rows[0].mttdl_days,
+        PAPER_TABLE1_MTTDL_DAYS[0]
+    );
+}
+
+#[test]
+fn table1_ordering_and_coded_gap_match_paper_shape() {
+    let rows = table1(&ClusterParams::facebook());
+    assert!(rows[0].mttdl_days < rows[1].mttdl_days);
+    assert!(rows[1].mttdl_days < rows[2].mttdl_days);
+    // Coded schemes are >= 3 zeros above replication (paper: >= 3).
+    assert!(rows[1].zeros_over(&rows[0]) >= 3.0);
+    // The LRC's faster repairs more than compensate its extra stripe
+    // width (paper: ~1.5 zeros; our clean chain yields a smaller but
+    // strictly positive gap — see EXPERIMENTS.md E3).
+    assert!(rows[2].zeros_over(&rows[1]) > 0.25);
+}
+
+#[test]
+fn lrc_light_decoder_probabilities_decay_with_failures() {
+    let lrc = Lrc::xorbas_10_6_5().unwrap();
+    let a = analyze_codec(&lrc, &ClusterParams::facebook());
+    let p = &a.light_probability_per_state;
+    assert_eq!(p.len(), 4);
+    assert_eq!(p[0], 1.0, "single failures always light-decode");
+    for w in p.windows(2) {
+        assert!(w[1] <= w[0] + 1e-12, "light probability must not increase");
+    }
+    assert!(p[3] > 0.0, "even at 4 failures some repairs stay local");
+}
+
+#[test]
+fn wider_stripes_lower_mttdl_at_fixed_redundancy_style() {
+    // RS(10,4) vs RS(12,4): more blocks at risk per stripe, same
+    // tolerance, and longer repair reads => lower MTTDL.
+    let p = ClusterParams::facebook();
+    let narrow: ReedSolomon = ReedSolomon::new(10, 4).unwrap();
+    let wide: ReedSolomon = ReedSolomon::new(12, 4).unwrap();
+    let narrow = analyze_codec(&narrow, &p);
+    let wide = analyze_codec(&wide, &p);
+    assert!(wide.mttdl_days < narrow.mttdl_days);
+}
+
+#[test]
+fn stored_parity_lrc_slightly_beats_implied_on_reliability() {
+    // The 17th block adds repair options for the parity group and one
+    // more failure must accumulate before distance is threatened; the
+    // implied-parity variant trades that margin for 1 block of storage.
+    let p = ClusterParams::facebook();
+    let implied = analyze_codec(&Lrc::xorbas_10_6_5().unwrap(), &p);
+    let stored: Lrc =
+        Lrc::new(LrcSpec { implied_parity: false, ..LrcSpec::XORBAS }).unwrap();
+    let stored = analyze_codec(&stored, &p);
+    assert_eq!(implied.distance, 5);
+    assert_eq!(stored.distance, 5);
+    // Both live in the same reliability class; neither collapses.
+    let zeros = stored.zeros_over(&implied).abs();
+    assert!(zeros < 1.0, "variants within one order of magnitude: {zeros}");
+}
+
+#[test]
+fn more_replicas_help_replication_dramatically() {
+    let p = ClusterParams::facebook();
+    let two = analyze_replication(2, &p);
+    let three = analyze_replication(3, &p);
+    assert!(three.mttdl_days / two.mttdl_days > 1e3);
+}
