@@ -17,11 +17,20 @@ fn main() {
         "implied parity vs stored S3 for the (10, 6, 5) LRC",
     );
     let implied = Lrc::xorbas_10_6_5().expect("implied-parity construction");
-    let stored: Lrc =
-        Lrc::new(LrcSpec { implied_parity: false, ..LrcSpec::XORBAS })
-            .expect("stored-parity construction");
+    let stored: Lrc = Lrc::new(LrcSpec {
+        implied_parity: false,
+        ..LrcSpec::XORBAS
+    })
+    .expect("stored-parity construction");
 
-    let header = ["variant", "n", "overhead", "d", "data repair", "parity repair"];
+    let header = [
+        "variant",
+        "n",
+        "overhead",
+        "d",
+        "data repair",
+        "parity repair",
+    ];
     let mut rows = Vec::new();
     for (name, lrc) in [("implied S3", &implied), ("stored S3", &stored)] {
         let d = minimum_distance(lrc.generator());

@@ -50,8 +50,7 @@ fn main() {
         ];
         for (name, codec) in configs {
             let reads = codec.repair_plan(&[0]).unwrap().blocks_read();
-            let data: Vec<Vec<u8>> =
-                (0..k).map(|i| vec![(i % 251) as u8; block]).collect();
+            let data: Vec<Vec<u8>> = (0..k).map(|i| vec![(i % 251) as u8; block]).collect();
             let start = Instant::now();
             let iters = 8;
             for _ in 0..iters {

@@ -15,7 +15,11 @@ const BLOCK: usize = 1 << 20; // 1 MiB payloads
 
 fn sample_data(k: usize) -> Vec<Vec<u8>> {
     (0..k)
-        .map(|i| (0..BLOCK).map(|j| ((i * 31 + j * 7 + 13) % 256) as u8).collect())
+        .map(|i| {
+            (0..BLOCK)
+                .map(|j| ((i * 31 + j * 7 + 13) % 256) as u8)
+                .collect()
+        })
         .collect()
 }
 
@@ -57,24 +61,21 @@ fn bench_repair(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("rs_heavy_decode", |b| {
         b.iter(|| {
-            let mut shards: Vec<Option<Vec<u8>>> =
-                rs_stripe.iter().cloned().map(Some).collect();
+            let mut shards: Vec<Option<Vec<u8>>> = rs_stripe.iter().cloned().map(Some).collect();
             shards[3] = None;
             rs.reconstruct(black_box(&mut shards)).unwrap()
         })
     });
     g.bench_function("lrc_light_decode", |b| {
         b.iter(|| {
-            let mut shards: Vec<Option<Vec<u8>>> =
-                lrc_stripe.iter().cloned().map(Some).collect();
+            let mut shards: Vec<Option<Vec<u8>>> = lrc_stripe.iter().cloned().map(Some).collect();
             shards[3] = None;
             lrc.reconstruct(black_box(&mut shards)).unwrap()
         })
     });
     g.bench_function("lrc_heavy_decode_two_in_group", |b| {
         b.iter(|| {
-            let mut shards: Vec<Option<Vec<u8>>> =
-                lrc_stripe.iter().cloned().map(Some).collect();
+            let mut shards: Vec<Option<Vec<u8>>> = lrc_stripe.iter().cloned().map(Some).collect();
             shards[2] = None;
             shards[3] = None;
             lrc.reconstruct(black_box(&mut shards)).unwrap()

@@ -37,7 +37,11 @@ fn drain(code: CodeSpec, via_repair: bool) -> DrainResult {
         label: format!(
             "{} / {}",
             code.name(),
-            if via_repair { "repair-based" } else { "copy-out" }
+            if via_repair {
+                "repair-based"
+            } else {
+                "copy-out"
+            }
         ),
         minutes: (sim.clock.saturating_sub(start)).as_mins_f64(),
         gb_read: sim.metrics.snapshot().hdfs_bytes_read / 1e9,
@@ -50,7 +54,7 @@ fn main() {
         "§1.1 extension",
         "decommissioning one DataNode: classical drain vs scheduled repair",
     );
-    let results = vec![
+    let results = [
         drain(CodeSpec::RS_10_4, false),
         drain(CodeSpec::RS_10_4, true),
         drain(CodeSpec::LRC_10_6_5, false),

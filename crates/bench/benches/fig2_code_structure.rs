@@ -20,7 +20,10 @@ fn label(i: usize) -> String {
 }
 
 fn main() {
-    banner("Figure 2", "structure of the (10,6,5) LRC used in HDFS-Xorbas");
+    banner(
+        "Figure 2",
+        "structure of the (10,6,5) LRC used in HDFS-Xorbas",
+    );
     let lrc = Lrc::xorbas_10_6_5().expect("construction is deterministic");
 
     println!("stripe layout (16 stored blocks):");
@@ -39,8 +42,7 @@ fn main() {
     for i in 0..16 {
         let loc = block_locality(lrc.generator(), i, 5).expect("locality 5");
         let plan = lrc.repair_plan(&[i]).expect("single failures repair");
-        let reads: Vec<String> =
-            plan.tasks[0].reads.iter().map(|&r| label(r)).collect();
+        let reads: Vec<String> = plan.tasks[0].reads.iter().map(|&r| label(r)).collect();
         println!("{:>5}  {:>8}  {}", label(i), loc, reads.join(", "));
         assert_eq!(loc, 5);
         assert_eq!(plan.blocks_read(), 5);

@@ -60,7 +60,14 @@ fn main() {
         fits.push((code.name(), read_fit, net_fit, dur_fit));
     }
 
-    let header = ["scheme", "read GB/block", "blocks/block", "net GB/block", "min/block", "r2(read)"];
+    let header = [
+        "scheme",
+        "read GB/block",
+        "blocks/block",
+        "net GB/block",
+        "min/block",
+        "r2(read)",
+    ];
     let rows: Vec<Vec<String>> = fits
         .iter()
         .map(|(name, read, net, dur)| {

@@ -1,0 +1,61 @@
+//! Ablation A5 — GF(2^m) byte-slice kernel throughput.
+//!
+//! The hot path of every encode and repair is a handful of slice
+//! kernels: pure XOR (`xor_into`, what the LRC light decoder runs),
+//! table-driven GF(2^8) multiply (`mul_into` / `mul_acc`, what RS
+//! encode and heavy decode run), and the generic symbol-payload kernel
+//! used by wider fields. Tracking them separately from whole-codec
+//! benches isolates kernel regressions from planner changes, and sets
+//! the baseline for the SIMD work on the roadmap (cf. Uezato,
+//! "Accelerating XOR-based Erasure Coding", SC 2021).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use xorbas_gf::slice_ops::{mul_acc, mul_into, payload_mul_acc, scale, xor_into};
+use xorbas_gf::{Field, Gf256, Gf65536};
+
+const BLOCK: usize = 1 << 20; // 1 MiB payloads, matching codec_throughput
+
+fn bench_xor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf_kernels_xor");
+    g.throughput(Throughput::Bytes(BLOCK as u64));
+    let src = vec![0x3Cu8; BLOCK];
+    let mut dst = vec![0xC3u8; BLOCK];
+    g.bench_function("xor_into_1MiB", |b| {
+        b.iter(|| xor_into(black_box(&mut dst), black_box(&src)))
+    });
+    g.finish();
+}
+
+fn bench_gf256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf_kernels_gf256");
+    g.throughput(Throughput::Bytes(BLOCK as u64));
+    let src = vec![0xA5u8; BLOCK];
+    let mut dst = vec![0x5Au8; BLOCK];
+    let coeff = Gf256::from_index(0x1D);
+    g.bench_function("mul_into_1MiB", |b| {
+        b.iter(|| mul_into(black_box(&mut dst), black_box(&src), coeff))
+    });
+    g.bench_function("mul_acc_1MiB", |b| {
+        b.iter(|| mul_acc(black_box(&mut dst), black_box(&src), coeff))
+    });
+    g.bench_function("scale_1MiB", |b| {
+        b.iter(|| scale(black_box(&mut dst), coeff))
+    });
+    g.finish();
+}
+
+fn bench_gf65536(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf_kernels_gf65536");
+    g.throughput(Throughput::Bytes(BLOCK as u64));
+    let src = vec![0x7Eu8; BLOCK];
+    let mut dst = vec![0xE7u8; BLOCK];
+    let coeff = Gf65536::from_index(0x1021);
+    g.bench_function("payload_mul_acc_1MiB", |b| {
+        b.iter(|| payload_mul_acc(black_box(&mut dst), black_box(&src), coeff))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_xor, bench_gf256, bench_gf65536);
+criterion_main!(benches);

@@ -31,8 +31,16 @@ pub fn least_squares(points: &[(f64, f64)]) -> LineFit {
         .iter()
         .map(|p| (p.1 - slope * p.0 - intercept).powi(2))
         .sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
-    LineFit { slope, intercept, r2 }
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    LineFit {
+        slope,
+        intercept,
+        r2,
+    }
 }
 
 #[cfg(test)]
@@ -41,8 +49,7 @@ mod tests {
 
     #[test]
     fn exact_line_recovered() {
-        let pts: Vec<(f64, f64)> =
-            (0..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
         let fit = least_squares(&pts);
         assert!((fit.slope - 3.0).abs() < 1e-12);
         assert!((fit.intercept - 2.0).abs() < 1e-12);

@@ -19,9 +19,7 @@ pub fn results_dir() -> PathBuf {
     // CARGO_TARGET_DIR relocates the target directory outright.
     let dir = std::env::var_os("CARGO_TARGET_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(|| {
-            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target")
-        })
+        .unwrap_or_else(|| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target"))
         .join("paper_results");
     fs::create_dir_all(&dir).expect("create results directory");
     dir
@@ -62,10 +60,17 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    out.push_str(&fmt_row(header.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push_str(&fmt_row(
+        header.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
     out.push('\n');
     out.push_str(
-        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "),
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  "),
     );
     out.push('\n');
     for row in rows {
@@ -105,10 +110,7 @@ mod tests {
     fn csv_round_trips() {
         let p = write_csv(
             "unit_test_tmp.csv",
-            &[
-                vec!["a".into(), "b".into()],
-                vec!["1".into(), "2".into()],
-            ],
+            &[vec!["a".into(), "b".into()], vec!["1".into(), "2".into()]],
         );
         let content = std::fs::read_to_string(&p).unwrap();
         assert_eq!(content, "a,b\n1,2\n");

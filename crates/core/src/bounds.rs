@@ -101,8 +101,7 @@ pub fn distance_upper_bound_via_groups<F: Field>(
         }
         // Lines 6-8: take a maximal proper subset of some group.
         for group in groups {
-            let fresh: Vec<usize> =
-                group.iter().copied().filter(|j| !s.contains(j)).collect();
+            let fresh: Vec<usize> = group.iter().copied().filter(|j| !s.contains(j)).collect();
             if fresh.is_empty() {
                 continue;
             }
@@ -207,7 +206,12 @@ mod tests {
         // A (4, 2+2, 2) LRC with non-overlapping groups: the certificate
         // should equal the Theorem-2 bound (Corollary 2: non-overlapping
         // groups are optimal).
-        let spec = LrcSpec { k: 4, global_parities: 2, group_size: 2, implied_parity: false };
+        let spec = LrcSpec {
+            k: 4,
+            global_parities: 2,
+            group_size: 2,
+            implied_parity: false,
+        };
         let lrc: Lrc<Gf256> = Lrc::new(spec).unwrap();
         let n = lrc.generator().cols();
         let data_groups: Vec<Vec<usize>> = vec![vec![0, 1, 6], vec![2, 3, 7]];

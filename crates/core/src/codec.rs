@@ -41,7 +41,11 @@ impl RepairPlan {
 
     /// Number of *distinct* blocks read across all tasks.
     pub fn blocks_read(&self) -> usize {
-        let mut seen: Vec<usize> = self.tasks.iter().flat_map(|t| t.reads.iter().copied()).collect();
+        let mut seen: Vec<usize> = self
+            .tasks
+            .iter()
+            .flat_map(|t| t.reads.iter().copied())
+            .collect();
         seen.sort_unstable();
         seen.dedup();
         seen.len()
@@ -72,8 +76,11 @@ pub struct RepairReport {
 
 impl RepairReport {
     pub(crate) fn from_plan(plan: &RepairPlan) -> Self {
-        let mut reads: Vec<usize> =
-            plan.tasks.iter().flat_map(|t| t.reads.iter().copied()).collect();
+        let mut reads: Vec<usize> = plan
+            .tasks
+            .iter()
+            .flat_map(|t| t.reads.iter().copied())
+            .collect();
         reads.sort_unstable();
         reads.dedup();
         RepairReport {
@@ -135,7 +142,10 @@ pub trait ErasureCodec {
 pub(crate) fn check_shards(shards: &[Option<Vec<u8>>], expected: usize) -> Result<usize> {
     use crate::error::CodeError;
     if shards.len() != expected {
-        return Err(CodeError::ShardCountMismatch { expected, got: shards.len() });
+        return Err(CodeError::ShardCountMismatch {
+            expected,
+            got: shards.len(),
+        });
     }
     let mut len = None;
     for s in shards.iter().flatten() {
@@ -152,7 +162,10 @@ pub(crate) fn check_shards(shards: &[Option<Vec<u8>>], expected: usize) -> Resul
 pub(crate) fn check_data(data: &[Vec<u8>], k: usize) -> Result<usize> {
     use crate::error::CodeError;
     if data.len() != k {
-        return Err(CodeError::ShardCountMismatch { expected: k, got: data.len() });
+        return Err(CodeError::ShardCountMismatch {
+            expected: k,
+            got: data.len(),
+        });
     }
     let len = data.first().map_or(0, Vec::len);
     if data.iter().any(|d| d.len() != len) {

@@ -81,8 +81,7 @@ pub fn random_lrc<F: Field, R: Rng>(
 ) -> Result<Lrc<F>> {
     spec.validate()?;
     for _ in 0..attempts {
-        let Ok(rs) = random_aligned_mds::<F, R>(spec.k, spec.global_parities, rng, 16)
-        else {
+        let Ok(rs) = random_aligned_mds::<F, R>(spec.k, spec.global_parities, rng, 16) else {
             continue;
         };
         let coeffs = vec![vec![F::ONE; spec.group_size]; spec.data_groups()];
@@ -104,9 +103,9 @@ pub fn random_lrc<F: Field, R: Rng>(
 pub fn exhaustive_search_small<F: Field>(k: usize, m: usize) -> Result<ReedSolomon<F>> {
     let q = F::ORDER as u64;
     let cells = k * (m - 1);
-    let space = q.checked_pow(cells as u32).ok_or_else(|| {
-        CodeError::InvalidParameters("search space exceeds u64".into())
-    })?;
+    let space = q
+        .checked_pow(cells as u32)
+        .ok_or_else(|| CodeError::InvalidParameters("search space exceeds u64".into()))?;
     if space > 1 << 24 {
         return Err(CodeError::InvalidParameters(format!(
             "search space {space} too large for exhaustive search"
@@ -170,7 +169,12 @@ mod tests {
 
     #[test]
     fn random_lrc_reaches_target_distance() {
-        let spec = LrcSpec { k: 6, global_parities: 3, group_size: 3, implied_parity: true };
+        let spec = LrcSpec {
+            k: 6,
+            global_parities: 3,
+            group_size: 3,
+            implied_parity: true,
+        };
         let mut rng = StdRng::seed_from_u64(11);
         // n = 6 + 3 + 2 = 11; Theorem-2 bound: 11 - 2 - 6 + 2 = 5.
         // A random draw reaches at least 4 (and 5 when no minimum-weight
@@ -183,7 +187,12 @@ mod tests {
 
     #[test]
     fn random_lrc_round_trips_payloads() {
-        let spec = LrcSpec { k: 4, global_parities: 2, group_size: 2, implied_parity: true };
+        let spec = LrcSpec {
+            k: 4,
+            global_parities: 2,
+            group_size: 2,
+            implied_parity: true,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let lrc = random_lrc::<Gf256, _>(spec, 3, &mut rng, 8).unwrap();
         let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8 * 13 + 1; 8]).collect();

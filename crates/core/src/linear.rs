@@ -70,8 +70,7 @@ mod tests {
 
     #[test]
     fn select_independent_columns_respects_order() {
-        let g: Matrix<Gf256> =
-            special::systematize(&special::vandermonde(3, 6)).unwrap();
+        let g: Matrix<Gf256> = special::systematize(&special::vandermonde(3, 6)).unwrap();
         let sel = select_independent_columns(&g, &[5, 4, 3, 2, 1, 0]).unwrap();
         assert_eq!(sel, vec![5, 4, 3]); // first three candidates are independent (MDS)
     }
@@ -94,11 +93,9 @@ mod tests {
 
     #[test]
     fn solve_then_encode_round_trips() {
-        let g: Matrix<Gf256> =
-            special::systematize(&special::vandermonde(3, 6)).unwrap();
+        let g: Matrix<Gf256> = special::systematize(&special::vandermonde(3, 6)).unwrap();
         let data = vec![vec![1u8, 2], vec![3u8, 4], vec![5u8, 6]];
-        let stripe: Vec<Vec<u8>> =
-            (0..6).map(|c| encode_column(&g, &data, c, 2)).collect();
+        let stripe: Vec<Vec<u8>> = (0..6).map(|c| encode_column(&g, &data, c, 2)).collect();
         // Recover from parity columns only.
         let shards: Vec<Option<Vec<u8>>> = stripe.iter().cloned().map(Some).collect();
         let sel = vec![3, 4, 5];

@@ -23,8 +23,7 @@ use xorbas_gf::{Field, Gf256};
 use xorbas_linalg::Matrix;
 
 use crate::codec::{
-    check_data, check_shards, normalize_indices, ErasureCodec, RepairPlan, RepairReport,
-    RepairTask,
+    check_data, check_shards, normalize_indices, ErasureCodec, RepairPlan, RepairReport, RepairTask,
 };
 use crate::error::{CodeError, Result};
 use crate::linear;
@@ -75,11 +74,7 @@ impl<F: Field> Lrc<F> {
     /// The implied-parity optimization additionally requires the aligned
     /// base construction with unit coefficients, since the alignment
     /// identity `S1 + S2 + S3 = 0` is what replaces the stored block.
-    pub fn with_base(
-        spec: LrcSpec,
-        rs: ReedSolomon<F>,
-        local_coeffs: Vec<Vec<F>>,
-    ) -> Result<Self> {
+    pub fn with_base(spec: LrcSpec, rs: ReedSolomon<F>, local_coeffs: Vec<Vec<F>>) -> Result<Self> {
         spec.validate()?;
         if rs.data_blocks() != spec.k || rs.parity_blocks() != spec.global_parities {
             return Err(CodeError::InvalidParameters(format!(
@@ -117,14 +112,16 @@ impl<F: Field> Lrc<F> {
 
         let generator = Self::build_generator(&spec, &rs, &local_coeffs);
         let equations = Self::build_equations(&spec, &local_coeffs);
-        Ok(Self { spec, rs, local_coeffs, generator, equations })
+        Ok(Self {
+            spec,
+            rs,
+            local_coeffs,
+            generator,
+            equations,
+        })
     }
 
-    fn build_generator(
-        spec: &LrcSpec,
-        rs: &ReedSolomon<F>,
-        coeffs: &[Vec<F>],
-    ) -> Matrix<F> {
+    fn build_generator(spec: &LrcSpec, rs: &ReedSolomon<F>, coeffs: &[Vec<F>]) -> Matrix<F> {
         let k = spec.k;
         let g = spec.global_parities;
         let mut gen = rs.generator().clone();
@@ -263,8 +260,11 @@ impl<F: Field> Lrc<F> {
         let (data, parity): (Vec<usize>, Vec<usize>) =
             available.iter().partition(|&&i| i < self.spec.k);
         let ordered: Vec<usize> = data.into_iter().chain(parity).collect();
-        let selection = linear::select_independent_columns(&self.generator, &ordered)
-            .ok_or(CodeError::Unrecoverable { erased: unavailable })?;
+        let selection = linear::select_independent_columns(&self.generator, &ordered).ok_or(
+            CodeError::Unrecoverable {
+                erased: unavailable,
+            },
+        )?;
         Ok((steps, Some((outcome.unresolved, selection))))
     }
 }
@@ -316,15 +316,21 @@ impl<F: Field> ErasureCodec for Lrc<F> {
             })
             .collect();
         if let Some((unresolved, selection)) = heavy {
-            tasks.push(RepairTask { repairs: unresolved, reads: selection, light: false });
+            tasks.push(RepairTask {
+                repairs: unresolved,
+                reads: selection,
+                light: false,
+            });
         }
-        Ok(RepairPlan { missing: normalize_indices(targets, self.total_blocks())?, tasks })
+        Ok(RepairPlan {
+            missing: normalize_indices(targets, self.total_blocks())?,
+            tasks,
+        })
     }
 
     fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<RepairReport> {
         let len = check_shards(shards, self.total_blocks())?;
-        let missing: Vec<usize> =
-            (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
+        let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
         if missing.is_empty() {
             return Ok(RepairReport::from_plan(&RepairPlan {
                 missing: vec![],
@@ -356,7 +362,11 @@ impl<F: Field> ErasureCodec for Lrc<F> {
                 };
                 shards[b] = Some(payload);
             }
-            tasks.push(RepairTask { repairs: unresolved, reads: selection, light: false });
+            tasks.push(RepairTask {
+                repairs: unresolved,
+                reads: selection,
+                light: false,
+            });
         }
         Ok(RepairReport::from_plan(&RepairPlan { missing, tasks }))
     }
@@ -369,7 +379,11 @@ mod tests {
 
     fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 37 + j * 101 + 3) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 37 + j * 101 + 3) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -418,8 +432,7 @@ mod tests {
         let lrc = xorbas();
         let stripe = lrc.encode_stripe(&sample_data(10, 16)).unwrap();
         for lost in 0..16 {
-            let mut shards: Vec<Option<Vec<u8>>> =
-                stripe.iter().cloned().map(Some).collect();
+            let mut shards: Vec<Option<Vec<u8>>> = stripe.iter().cloned().map(Some).collect();
             shards[lost] = None;
             let report = lrc.reconstruct(&mut shards).unwrap();
             assert!(report.used_light_decoder, "block {lost} went heavy");
@@ -489,8 +502,7 @@ mod tests {
         let lrc = xorbas();
         let stripe = lrc.encode_stripe(&sample_data(10, 4)).unwrap();
         for pattern in crate::analysis::combinations(16, 4) {
-            let mut shards: Vec<Option<Vec<u8>>> =
-                stripe.iter().cloned().map(Some).collect();
+            let mut shards: Vec<Option<Vec<u8>>> = stripe.iter().cloned().map(Some).collect();
             for &i in &pattern {
                 shards[i] = None;
             }
@@ -511,8 +523,7 @@ mod tests {
         let stripe = lrc.encode_stripe(&sample_data(10, 4)).unwrap();
         let mut found_failure = false;
         for pattern in crate::analysis::combinations(16, 5) {
-            let mut shards: Vec<Option<Vec<u8>>> =
-                stripe.iter().cloned().map(Some).collect();
+            let mut shards: Vec<Option<Vec<u8>>> = stripe.iter().cloned().map(Some).collect();
             for &i in &pattern {
                 shards[i] = None;
             }
@@ -526,7 +537,10 @@ mod tests {
 
     #[test]
     fn stored_parity_variant_encodes_s3_explicitly() {
-        let spec = LrcSpec { implied_parity: false, ..LrcSpec::XORBAS };
+        let spec = LrcSpec {
+            implied_parity: false,
+            ..LrcSpec::XORBAS
+        };
         let lrc: Lrc<Gf256> = Lrc::new(spec).unwrap();
         assert_eq!(lrc.total_blocks(), 17);
         let stripe = lrc.encode_stripe(&sample_data(10, 16)).unwrap();
@@ -555,10 +569,17 @@ mod tests {
     #[test]
     fn non_unit_coefficients_decode_via_equation_1() {
         // General c_i with a stored (non-implied) parity-group parity.
-        let spec = LrcSpec { implied_parity: false, ..LrcSpec::XORBAS };
+        let spec = LrcSpec {
+            implied_parity: false,
+            ..LrcSpec::XORBAS
+        };
         let rs = ReedSolomon::<Gf256>::new(10, 4).unwrap();
         let coeffs: Vec<Vec<Gf256>> = (0..2)
-            .map(|t| (0..5).map(|i| Gf256::from_index((t * 5 + i + 2) as u32)).collect())
+            .map(|t| {
+                (0..5)
+                    .map(|i| Gf256::from_index((t * 5 + i + 2) as u32))
+                    .collect()
+            })
             .collect();
         let lrc = Lrc::with_base(spec, rs, coeffs).unwrap();
         let stripe = lrc.encode_stripe(&sample_data(10, 16)).unwrap();
@@ -589,7 +610,10 @@ mod tests {
 
     #[test]
     fn zero_coefficient_rejected() {
-        let spec = LrcSpec { implied_parity: false, ..LrcSpec::XORBAS };
+        let spec = LrcSpec {
+            implied_parity: false,
+            ..LrcSpec::XORBAS
+        };
         let rs = ReedSolomon::<Gf256>::new(10, 4).unwrap();
         let mut coeffs = vec![vec![Gf256::ONE; 5]; 2];
         coeffs[1][2] = Gf256::ZERO;
@@ -606,8 +630,7 @@ mod tests {
         // Σ c_i · g_{idx_i} = 0 columnwise.
         for eq in lrc.equations() {
             for row in 0..10 {
-                let sum: Gf256 =
-                    eq.members.iter().map(|&(i, c)| c * g[(row, i)]).sum();
+                let sum: Gf256 = eq.members.iter().map(|&(i, c)| c * g[(row, i)]).sum();
                 assert!(sum.is_zero());
             }
         }
@@ -640,6 +663,55 @@ mod tests {
         lrc.reconstruct(&mut shards).unwrap();
         for (i, s) in shards.iter().enumerate() {
             assert_eq!(s.as_ref().unwrap(), &stripe[i]);
+        }
+    }
+
+    #[test]
+    fn roundtrip_light_repair_at_assorted_payload_lengths() {
+        // The (10,6,5) encode → lose-block → light-repair loop must be
+        // payload-length agnostic: single bytes, odd lengths that don't
+        // divide the table-kernel stride, and block-sized payloads.
+        let lrc = xorbas();
+        for len in [1, 7, 64, 1000] {
+            let stripe = lrc.encode_stripe(&sample_data(10, len)).unwrap();
+            for lost in 0..16 {
+                let mut shards: Vec<Option<Vec<u8>>> = stripe.iter().cloned().map(Some).collect();
+                shards[lost] = None;
+                let report = lrc.reconstruct(&mut shards).unwrap();
+                assert!(report.used_light_decoder, "len {len} block {lost}");
+                assert_eq!(report.blocks_read, 5, "len {len} block {lost}");
+                assert_eq!(
+                    shards[lost].as_ref().unwrap(),
+                    &stripe[lost],
+                    "len {len} block {lost}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn implied_parity_identity_beyond_the_paper_geometry() {
+        // §3.1.1 generalizes: with the aligned base code and unit local
+        // coefficients, the XOR of all stored local parities equals the
+        // XOR of all RS parities, whatever the (k, g, r) geometry.
+        for (k, g, r) in [(4, 2, 2), (6, 3, 3), (12, 4, 4), (9, 2, 3)] {
+            let spec = LrcSpec {
+                k,
+                global_parities: g,
+                group_size: r,
+                implied_parity: true,
+            };
+            let lrc: Lrc<Gf256> = Lrc::new(spec).unwrap();
+            let stripe = lrc.encode_stripe(&sample_data(k, 48)).unwrap();
+            let mut locals_xor = vec![0u8; 48];
+            for s in &stripe[k + g..] {
+                xor_into(&mut locals_xor, s);
+            }
+            let mut globals_xor = vec![0u8; 48];
+            for p in &stripe[k..k + g] {
+                xor_into(&mut globals_xor, p);
+            }
+            assert_eq!(locals_xor, globals_xor, "({k},{g},{r})");
         }
     }
 }

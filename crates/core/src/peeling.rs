@@ -74,8 +74,7 @@ pub fn peel<F: Field>(
     'progress: while !remaining.is_empty() {
         for eq in equations {
             let mut missing_iter = eq.members.iter().filter(|&&(i, _)| !avail[i]);
-            let (Some(&(idx, coeff)), None) = (missing_iter.next(), missing_iter.next())
-            else {
+            let (Some(&(idx, coeff)), None) = (missing_iter.next(), missing_iter.next()) else {
                 continue;
             };
             // Solve c·Y = Σ others  =>  Y = c⁻¹ · Σ cᵢ·Yᵢ (char 2 drops signs).
@@ -87,14 +86,20 @@ pub fn peel<F: Field>(
                 .map(|&(i, c)| (i, inv * c))
                 .collect();
             avail[idx] = true;
-            steps.push(PeelStep { repaired: idx, sources });
+            steps.push(PeelStep {
+                repaired: idx,
+                sources,
+            });
             remaining.retain(|&t| t != idx);
             continue 'progress;
         }
         break; // no equation with exactly one unknown
     }
 
-    PeelOutcome { steps, unresolved: remaining }
+    PeelOutcome {
+        steps,
+        unresolved: remaining,
+    }
 }
 
 #[cfg(test)]

@@ -20,8 +20,7 @@ use xorbas_gf::{Field, Gf256};
 use xorbas_linalg::{special, Matrix};
 
 use crate::codec::{
-    check_data, check_shards, normalize_indices, ErasureCodec, RepairPlan, RepairReport,
-    RepairTask,
+    check_data, check_shards, normalize_indices, ErasureCodec, RepairPlan, RepairReport, RepairTask,
 };
 use crate::error::{CodeError, Result};
 use crate::spec::CodeSpec;
@@ -49,12 +48,15 @@ impl<F: Field> ReedSolomon<F> {
         let g = h.right_null_space();
         debug_assert_eq!(g.rows(), k);
         let gs = special::systematize(&g).ok_or_else(|| {
-            CodeError::ConstructionFailed(
-                "null-space generator could not be systematized".into(),
-            )
+            CodeError::ConstructionFailed("null-space generator could not be systematized".into())
         })?;
         debug_assert!(gs.mul(&h.transpose()).is_zero());
-        Ok(Self { k, m, generator: gs, aligned: true })
+        Ok(Self {
+            k,
+            m,
+            generator: gs,
+            aligned: true,
+        })
     }
 
     /// Builds the textbook systematic-Vandermonde code (not aligned).
@@ -63,12 +65,15 @@ impl<F: Field> ReedSolomon<F> {
         let n = k + m;
         let w = special::vandermonde::<F>(k, n);
         let gs = special::systematize(&w).ok_or_else(|| {
-            CodeError::ConstructionFailed(
-                "Vandermonde generator could not be systematized".into(),
-            )
+            CodeError::ConstructionFailed("Vandermonde generator could not be systematized".into())
         })?;
         let aligned = (0..k).all(|r| gs.row(r).iter().copied().sum::<F>().is_zero());
-        Ok(Self { k, m, generator: gs, aligned })
+        Ok(Self {
+            k,
+            m,
+            generator: gs,
+            aligned,
+        })
     }
 
     /// Builds a code from an explicit `k × m` parity submatrix `P`
@@ -84,9 +89,13 @@ impl<F: Field> ReedSolomon<F> {
             )));
         }
         let generator = Matrix::identity(k).hcat(&p);
-        let aligned =
-            (0..k).all(|r| generator.row(r).iter().copied().sum::<F>().is_zero());
-        Ok(Self { k, m, generator, aligned })
+        let aligned = (0..k).all(|r| generator.row(r).iter().copied().sum::<F>().is_zero());
+        Ok(Self {
+            k,
+            m,
+            generator,
+            aligned,
+        })
     }
 
     fn validate_params(k: usize, m: usize) -> Result<()> {
@@ -126,18 +135,17 @@ impl<F: Field> ReedSolomon<F> {
     /// (identity columns make the solve cheap and mirror HDFS-RAID's
     /// preference for reading surviving data).
     fn select_decode_columns(&self, available: &[usize]) -> Result<Vec<usize>> {
-        let (data, parity): (Vec<usize>, Vec<usize>) =
-            available.iter().partition(|&&i| i < self.k);
+        let (data, parity): (Vec<usize>, Vec<usize>) = available.iter().partition(|&&i| i < self.k);
         let ordered: Vec<usize> = data.into_iter().chain(parity).collect();
         // For an MDS code any k columns are independent, so the selection
         // fails exactly when fewer than k blocks survive.
-        crate::linear::select_independent_columns(&self.generator, &ordered).ok_or_else(
-            || CodeError::Unrecoverable {
+        crate::linear::select_independent_columns(&self.generator, &ordered).ok_or_else(|| {
+            CodeError::Unrecoverable {
                 erased: (0..self.total_blocks())
                     .filter(|i| !available.contains(i))
                     .collect(),
-            },
-        )
+            }
+        })
     }
 }
 
@@ -151,7 +159,10 @@ impl<F: Field> ErasureCodec for ReedSolomon<F> {
     }
 
     fn spec(&self) -> CodeSpec {
-        CodeSpec::ReedSolomon { k: self.k, m: self.m }
+        CodeSpec::ReedSolomon {
+            k: self.k,
+            m: self.m,
+        }
     }
 
     fn encode_stripe(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
@@ -159,7 +170,12 @@ impl<F: Field> ErasureCodec for ReedSolomon<F> {
         let mut stripe = data.to_vec();
         stripe.reserve(self.m);
         for p in 0..self.m {
-            stripe.push(crate::linear::encode_column(&self.generator, data, self.k + p, len));
+            stripe.push(crate::linear::encode_column(
+                &self.generator,
+                data,
+                self.k + p,
+                len,
+            ));
         }
         Ok(stripe)
     }
@@ -174,23 +190,28 @@ impl<F: Field> ErasureCodec for ReedSolomon<F> {
             )));
         }
         if targets.is_empty() {
-            return Ok(RepairPlan { missing: vec![], tasks: vec![] });
+            return Ok(RepairPlan {
+                missing: vec![],
+                tasks: vec![],
+            });
         }
-        let available: Vec<usize> =
-            (0..n).filter(|i| !unavailable.contains(i)).collect();
+        let available: Vec<usize> = (0..n).filter(|i| !unavailable.contains(i)).collect();
         let selection = self.select_decode_columns(&available)?;
         // RS repair is always heavy: one task rebuilds every target from
         // the same k streams.
         Ok(RepairPlan {
             missing: targets.clone(),
-            tasks: vec![RepairTask { repairs: targets, reads: selection, light: false }],
+            tasks: vec![RepairTask {
+                repairs: targets,
+                reads: selection,
+                light: false,
+            }],
         })
     }
 
     fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<RepairReport> {
         let len = check_shards(shards, self.total_blocks())?;
-        let missing: Vec<usize> =
-            (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
+        let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
         let plan = self.repair_plan(&missing)?;
         if missing.is_empty() {
             return Ok(RepairReport::from_plan(&plan));
@@ -217,7 +238,11 @@ mod tests {
 
     fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 131 + j * 17 + 7) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 131 + j * 17 + 7) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -265,8 +290,7 @@ mod tests {
         let data = sample_data(10, 8);
         let stripe = rs.encode_stripe(&data).unwrap();
         for pattern in crate::analysis::combinations(14, 4) {
-            let mut shards: Vec<Option<Vec<u8>>> =
-                stripe.iter().cloned().map(Some).collect();
+            let mut shards: Vec<Option<Vec<u8>>> = stripe.iter().cloned().map(Some).collect();
             for &i in &pattern {
                 shards[i] = None;
             }
@@ -297,8 +321,10 @@ mod tests {
     fn works_over_gf16_and_gf65536() {
         let rs4 = ReedSolomon::<Gf16>::new(4, 2).unwrap();
         // GF(2^4) payloads carry one 4-bit symbol per byte.
-        let data: Vec<Vec<u8>> =
-            sample_data(4, 6).into_iter().map(|d| d.iter().map(|b| b % 16).collect()).collect();
+        let data: Vec<Vec<u8>> = sample_data(4, 6)
+            .into_iter()
+            .map(|d| d.iter().map(|b| b % 16).collect())
+            .collect();
         let stripe = rs4.encode_stripe(&data).unwrap();
         let mut shards: Vec<Option<Vec<u8>>> = stripe.iter().cloned().map(Some).collect();
         shards[0] = None;
@@ -329,11 +355,17 @@ mod tests {
         let rs = ReedSolomon::<Gf256>::new(4, 2).unwrap();
         assert!(matches!(
             rs.encode_stripe(&sample_data(3, 8)),
-            Err(CodeError::ShardCountMismatch { expected: 4, got: 3 })
+            Err(CodeError::ShardCountMismatch {
+                expected: 4,
+                got: 3
+            })
         ));
         let mut ragged = sample_data(4, 8);
         ragged[2].pop();
-        assert!(matches!(rs.encode_stripe(&ragged), Err(CodeError::ShardSizeMismatch)));
+        assert!(matches!(
+            rs.encode_stripe(&ragged),
+            Err(CodeError::ShardSizeMismatch)
+        ));
         let mut shards: Vec<Option<Vec<u8>>> = vec![None; 5];
         shards[0] = Some(vec![0u8; 4]);
         assert!(rs.reconstruct(&mut shards).is_err());

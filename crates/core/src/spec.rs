@@ -211,7 +211,10 @@ mod tests {
 
     #[test]
     fn stored_parity_variant_costs_one_more_block() {
-        let stored = LrcSpec { implied_parity: false, ..LrcSpec::XORBAS };
+        let stored = LrcSpec {
+            implied_parity: false,
+            ..LrcSpec::XORBAS
+        };
         assert_eq!(stored.total_blocks(), 17);
         assert_eq!(stored.locality(), 5);
     }
@@ -250,9 +253,15 @@ mod tests {
 
     #[test]
     fn invalid_group_size_rejected() {
-        let bad = LrcSpec { group_size: 3, ..LrcSpec::XORBAS };
+        let bad = LrcSpec {
+            group_size: 3,
+            ..LrcSpec::XORBAS
+        };
         assert!(bad.validate().is_err());
-        let zero = LrcSpec { k: 0, ..LrcSpec::XORBAS };
+        let zero = LrcSpec {
+            k: 0,
+            ..LrcSpec::XORBAS
+        };
         assert!(zero.validate().is_err());
     }
 

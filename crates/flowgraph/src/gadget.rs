@@ -88,7 +88,12 @@ impl FlowGadget {
             net.add_edge(yin, yout, 1);
             y_out.push(yout);
         }
-        Self { network: net, source, y_out, params }
+        Self {
+            network: net,
+            source,
+            y_out,
+            params,
+        }
     }
 
     /// Max flow into a data collector attached to the given blocks.
@@ -157,11 +162,21 @@ mod tests {
         // k=4, n=6, r=2 (groups of 3): bound d ≤ 2.
         for d in 1..=2 {
             assert!(
-                all_collectors_feasible(GadgetParams { k: 4, n: 6, r: 2, d }),
+                all_collectors_feasible(GadgetParams {
+                    k: 4,
+                    n: 6,
+                    r: 2,
+                    d
+                }),
                 "d={d} should be feasible"
             );
         }
-        assert!(!all_collectors_feasible(GadgetParams { k: 4, n: 6, r: 2, d: 3 }));
+        assert!(!all_collectors_feasible(GadgetParams {
+            k: 4,
+            n: 6,
+            r: 2,
+            d: 3
+        }));
     }
 
     #[test]
@@ -169,7 +184,12 @@ mod tests {
         // k=6, n=9, r=2 (groups of 3): bound = 9 - 3 - 6 + 2 = 2.
         let bound = lemma2_bound(9, 6, 2);
         assert_eq!(bound, 2);
-        assert!(all_collectors_feasible(GadgetParams { k: 6, n: 9, r: 2, d: bound }));
+        assert!(all_collectors_feasible(GadgetParams {
+            k: 6,
+            n: 9,
+            r: 2,
+            d: bound
+        }));
         assert!(!all_collectors_feasible(GadgetParams {
             k: 6,
             n: 9,
@@ -181,7 +201,12 @@ mod tests {
     #[test]
     fn trivial_locality_reaches_singleton() {
         // r = k = 2, n = 3 (one group of 3): MDS point, d = n - k + 1 = 2.
-        assert!(all_collectors_feasible(GadgetParams { k: 2, n: 3, r: 2, d: 2 }));
+        assert!(all_collectors_feasible(GadgetParams {
+            k: 2,
+            n: 3,
+            r: 2,
+            d: 2
+        }));
     }
 
     #[test]
@@ -190,7 +215,12 @@ mod tests {
         // two blocks of the other extracts at most r + 2 = 4 units; with
         // d=2 collectors read 5 blocks, so the worst collector reads a
         // full group (3) + 2 = at most 2 + 2 = 4 = k. Exactly feasible.
-        let gadget = FlowGadget::build(GadgetParams { k: 4, n: 6, r: 2, d: 2 });
+        let gadget = FlowGadget::build(GadgetParams {
+            k: 4,
+            n: 6,
+            r: 2,
+            d: 2,
+        });
         assert_eq!(gadget.collector_flow(&[0, 1, 2, 3, 4]), 4);
         // Reading both full groups caps at 2r = 4 units too.
         assert_eq!(gadget.collector_flow(&[0, 1, 2, 3, 4, 5]), 4);
@@ -203,7 +233,12 @@ mod tests {
         // k=8, r=3, n=12 (groups of 4): bound = 12 - 3 - 8 + 2 = 3.
         let bound = lemma2_bound(12, 8, 3);
         assert_eq!(bound, 3);
-        assert!(all_collectors_feasible(GadgetParams { k: 8, n: 12, r: 3, d: bound }));
+        assert!(all_collectors_feasible(GadgetParams {
+            k: 8,
+            n: 12,
+            r: 3,
+            d: bound
+        }));
         assert!(!all_collectors_feasible(GadgetParams {
             k: 8,
             n: 12,
@@ -215,12 +250,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "(r+1) | n")]
     fn rejects_non_divisible_group_structure() {
-        let _ = FlowGadget::build(GadgetParams { k: 10, n: 16, r: 5, d: 5 });
+        let _ = FlowGadget::build(GadgetParams {
+            k: 10,
+            n: 16,
+            r: 5,
+            d: 5,
+        });
     }
 
     #[test]
     #[should_panic(expected = "Singleton")]
     fn rejects_distance_beyond_singleton() {
-        let _ = FlowGadget::build(GadgetParams { k: 4, n: 6, r: 2, d: 4 });
+        let _ = FlowGadget::build(GadgetParams {
+            k: 4,
+            n: 6,
+            r: 2,
+            d: 4,
+        });
     }
 }

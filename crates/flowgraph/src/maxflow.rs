@@ -21,7 +21,10 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// An empty network with `nodes` vertices.
     pub fn new(nodes: usize) -> Self {
-        Self { edges: Vec::new(), adj: vec![Vec::new(); nodes] }
+        Self {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); nodes],
+        }
     }
 
     /// Adds a vertex, returning its id.
@@ -37,7 +40,10 @@ impl FlowNetwork {
 
     /// Adds a directed edge `from → to` with the given capacity.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) {
-        assert!(from < self.adj.len() && to < self.adj.len(), "node out of range");
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "node out of range"
+        );
         let id = self.edges.len();
         self.edges.push(Edge { to, cap });
         self.edges.push(Edge { to: from, cap: 0 });
@@ -96,8 +102,7 @@ impl FlowNetwork {
             let eid = self.adj[u][it[u]];
             let to = self.edges[eid].to;
             if caps[eid] > 0 && level[to] == level[u] + 1 {
-                let pushed =
-                    self.dfs(to, t, limit.min(caps[eid]), level, it, caps);
+                let pushed = self.dfs(to, t, limit.min(caps[eid]), level, it, caps);
                 if pushed > 0 {
                     caps[eid] -= pushed;
                     caps[eid ^ 1] += pushed;

@@ -94,7 +94,10 @@ pub trait Field:
 
     /// Iterates over every element of the field, starting with zero.
     fn elements() -> FieldElements<Self> {
-        FieldElements { next: 0, _marker: std::marker::PhantomData }
+        FieldElements {
+            next: 0,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Reads a symbol from the first `SYMBOL_BYTES` bytes (little-endian).

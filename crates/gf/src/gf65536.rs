@@ -26,8 +26,10 @@ mod tests {
     #[test]
     fn matches_reference_on_structured_sample() {
         // Exhaustive is 2^32 pairs; sample a structured grid instead.
-        let points: Vec<u32> =
-            (0..=16).map(|i| (i * 4099) % 65536).chain([1, 2, 65535]).collect();
+        let points: Vec<u32> = (0..=16)
+            .map(|i| (i * 4099) % 65536)
+            .chain([1, 2, 65535])
+            .collect();
         for &a in &points {
             for &b in &points {
                 let expect = clmul_mod(a, b, PRIMITIVE_POLY_16, 16);

@@ -113,9 +113,7 @@ mod tests {
         // p(y) = 3 + 5y + y^2 over GF(2^8), at y = 7.
         let poly = PRIMITIVE_POLY_8;
         let y = 7;
-        let manual = 3
-            ^ clmul_mod(5, y, poly, 8)
-            ^ clmul_mod(clmul_mod(y, y, poly, 8), 1, poly, 8);
+        let manual = 3 ^ clmul_mod(5, y, poly, 8) ^ clmul_mod(clmul_mod(y, y, poly, 8), 1, poly, 8);
         assert_eq!(eval_poly(&[3, 5, 1], y, poly, 8), manual);
     }
 }

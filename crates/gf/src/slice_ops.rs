@@ -175,7 +175,10 @@ pub fn bytes_to_symbols<F: Field>(bytes: &[u8]) -> Vec<F> {
         0,
         "payload not a whole number of symbols"
     );
-    bytes.chunks_exact(F::SYMBOL_BYTES).map(F::read_symbol).collect()
+    bytes
+        .chunks_exact(F::SYMBOL_BYTES)
+        .map(F::read_symbol)
+        .collect()
 }
 
 /// Converts field symbols back into a byte payload.

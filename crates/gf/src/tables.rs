@@ -21,7 +21,11 @@ pub(crate) fn build_tables(poly: u32, bits: u32) -> RawTables {
     #[allow(clippy::needless_range_loop)] // e is the exponent, not just an index
     for e in 0..(q - 1) {
         exp[e] = v;
-        assert_eq!(log[v as usize], u32::MAX, "x is not primitive for {poly:#x}");
+        assert_eq!(
+            log[v as usize],
+            u32::MAX,
+            "x is not primitive for {poly:#x}"
+        );
         log[v as usize] = e as u32;
         v <<= 1;
         if v & high != 0 {

@@ -97,7 +97,11 @@ impl<F: Field> Matrix<F> {
         if pivots.iter().any(|&p| p >= self.cols()) {
             return None;
         }
-        Some((0..self.cols()).map(|i| reduced[(i, self.cols())]).collect())
+        Some(
+            (0..self.cols())
+                .map(|i| reduced[(i, self.cols())])
+                .collect(),
+        )
     }
 
     /// A basis of the right null space, returned as the rows of a
@@ -107,8 +111,7 @@ impl<F: Field> Matrix<F> {
     /// parity-check matrix: `G = H.right_null_space()` (Appendix D).
     pub fn right_null_space(&self) -> Self {
         let (reduced, pivots) = self.rref();
-        let free: Vec<usize> =
-            (0..self.cols()).filter(|c| !pivots.contains(c)).collect();
+        let free: Vec<usize> = (0..self.cols()).filter(|c| !pivots.contains(c)).collect();
         let mut basis = Matrix::zero(free.len(), self.cols());
         for (i, &fc) in free.iter().enumerate() {
             basis[(i, fc)] = F::ONE;
@@ -178,7 +181,10 @@ mod tests {
     #[test]
     fn solve_recovers_known_vector() {
         let a = m(vec![vec![1, 2, 3], vec![4, 5, 6], vec![7, 9, 2]]);
-        let x: Vec<Gf256> = [11u32, 12, 13].iter().map(|&v| Gf256::from_index(v)).collect();
+        let x: Vec<Gf256> = [11u32, 12, 13]
+            .iter()
+            .map(|&v| Gf256::from_index(v))
+            .collect();
         let b = a.mul_vec(&x);
         assert_eq!(a.solve(&b), Some(x));
     }
@@ -208,9 +214,8 @@ mod tests {
     }
 
     fn arb_matrix(n: usize) -> impl Strategy<Value = Matrix<Gf256>> {
-        proptest::collection::vec(0u32..256, n * n).prop_map(move |vals| {
-            Matrix::from_fn(n, n, |r, c| Gf256::from_index(vals[r * n + c]))
-        })
+        proptest::collection::vec(0u32..256, n * n)
+            .prop_map(move |vals| Matrix::from_fn(n, n, |r, c| Gf256::from_index(vals[r * n + c])))
     }
 
     proptest! {

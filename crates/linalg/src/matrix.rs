@@ -20,7 +20,11 @@ pub struct Matrix<F> {
 impl<F: Field> Matrix<F> {
     /// An all-zero matrix.
     pub fn zero(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![F::ZERO; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![F::ZERO; rows * cols],
+        }
     }
 
     /// The identity matrix of size `n`.
@@ -52,7 +56,11 @@ impl<F: Field> Matrix<F> {
             "all rows must have the same length"
         );
         let data = rows.into_iter().flatten().collect();
-        Self { rows: nrows, cols: ncols, data }
+        Self {
+            rows: nrows,
+            cols: ncols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -110,7 +118,11 @@ impl<F: Field> Matrix<F> {
 
     /// Matrix-vector product `self * v`; panics on dimension mismatch.
     pub fn mul_vec(&self, v: &[F]) -> Vec<F> {
-        assert_eq!(self.cols, v.len(), "dimension mismatch in matrix-vector multiply");
+        assert_eq!(
+            self.cols,
+            v.len(),
+            "dimension mismatch in matrix-vector multiply"
+        );
         (0..self.rows)
             .map(|i| self.row(i).iter().zip(v).map(|(&a, &b)| a * b).sum())
             .collect()
@@ -118,7 +130,11 @@ impl<F: Field> Matrix<F> {
 
     /// Row-vector-matrix product `v * self`; panics on dimension mismatch.
     pub fn vec_mul(&self, v: &[F]) -> Vec<F> {
-        assert_eq!(self.rows, v.len(), "dimension mismatch in vector-matrix multiply");
+        assert_eq!(
+            self.rows,
+            v.len(),
+            "dimension mismatch in vector-matrix multiply"
+        );
         let mut out = vec![F::ZERO; self.cols];
         for (i, &coef) in v.iter().enumerate() {
             if coef.is_zero() {
@@ -209,8 +225,11 @@ impl<F: Field> Matrix<F> {
         let (lo, hi) = (dst.min(src), dst.max(src));
         let (head, tail) = self.data.split_at_mut(hi * cols);
         let (first, second) = (&mut head[lo * cols..(lo + 1) * cols], &mut tail[..cols]);
-        let (dst_row, src_row): (&mut [F], &[F]) =
-            if dst < src { (first, second) } else { (second, first) };
+        let (dst_row, src_row): (&mut [F], &[F]) = if dst < src {
+            (first, second)
+        } else {
+            (second, first)
+        };
         for (d, &s) in dst_row.iter_mut().zip(src_row.iter()) {
             *d += c * s;
         }

@@ -38,7 +38,9 @@ pub fn vandermonde_with_points<F: Field>(rows: usize, points: &[F]) -> Matrix<F>
 /// all submatrices are then invertible — the other classical MDS family.
 pub fn cauchy<F: Field>(xs: &[F], ys: &[F]) -> Matrix<F> {
     Matrix::from_fn(xs.len(), ys.len(), |r, c| {
-        (xs[r] + ys[c]).inv().expect("x and y sets must be disjoint")
+        (xs[r] + ys[c])
+            .inv()
+            .expect("x and y sets must be disjoint")
     })
 }
 

@@ -23,7 +23,10 @@ impl BirthDeathChain {
         );
         assert!(!forward.is_empty(), "need at least one transient state");
         assert!(
-            forward.iter().chain(&backward).all(|&r| r > 0.0 && r.is_finite()),
+            forward
+                .iter()
+                .chain(&backward)
+                .all(|&r| r > 0.0 && r.is_finite()),
             "rates must be positive and finite"
         );
         Self { forward, backward }
@@ -136,7 +139,11 @@ mod tests {
                 let (l, r) = if state == 0 { (0.5, 0.0) } else { (0.4, 2.0) };
                 let rate = l + r;
                 t += -(1.0 - uniform()).ln() / rate;
-                state = if uniform() < l / rate { state + 1 } else { state - 1 };
+                state = if uniform() < l / rate {
+                    state + 1
+                } else {
+                    state - 1
+                };
             }
             total += t;
         }

@@ -54,8 +54,10 @@ fn finish(
 ) -> SchemeAnalysis {
     let lambda = params.lambda_per_day();
     let forward: Vec<f64> = (0..distance).map(|i| (n - i) as f64 * lambda).collect();
-    let backward: Vec<f64> =
-        repair_reads.iter().map(|&b| params.repair_rate_per_day(b)).collect();
+    let backward: Vec<f64> = repair_reads
+        .iter()
+        .map(|&b| params.repair_rate_per_day(b))
+        .collect();
     let chain = BirthDeathChain::new(forward, backward);
     let mttdl_stripe_days = chain.mean_time_to_absorption();
     let num_stripes = params.num_stripes(n);
@@ -193,7 +195,10 @@ mod tests {
     #[test]
     fn sensitivity_slower_network_hurts_coded_schemes_more() {
         let fast = ClusterParams::facebook();
-        let slow = ClusterParams { cross_rack_bps: 1e8, ..fast };
+        let slow = ClusterParams {
+            cross_rack_bps: 1e8,
+            ..fast
+        };
         let rs: ReedSolomon = ReedSolomon::new(10, 4).unwrap();
         let f = analyze_codec(&rs, &fast);
         let s = analyze_codec(&rs, &slow);

@@ -25,12 +25,8 @@ pub fn table1(params: &ClusterParams) -> Vec<SchemeAnalysis> {
 /// MTTDL figures alongside for comparison.
 pub fn format_table1(rows: &[SchemeAnalysis]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "Storage Scheme     overhead  repair traffic  MTTDL (days)   paper MTTDL\n",
-    );
-    out.push_str(
-        "-----------------  --------  --------------  -------------  -------------\n",
-    );
+    out.push_str("Storage Scheme     overhead  repair traffic  MTTDL (days)   paper MTTDL\n");
+    out.push_str("-----------------  --------  --------------  -------------  -------------\n");
     for (i, row) in rows.iter().enumerate() {
         let paper = PAPER_TABLE1_MTTDL_DAYS
             .get(i)

@@ -2,9 +2,7 @@
 //! repair planning over stripe positions, zero-padding masks, and
 //! verify-mode payload reconstruction.
 
-use xorbas_core::{
-    CodeError, CodeSpec, ErasureCodec, Lrc, ReedSolomon, RepairPlan, RepairTask,
-};
+use xorbas_core::{CodeError, CodeSpec, ErasureCodec, Lrc, ReedSolomon, RepairPlan, RepairTask};
 
 /// A concrete redundancy implementation for one [`CodeSpec`].
 #[derive(Debug, Clone)]
@@ -40,9 +38,9 @@ impl CodecInstance {
     /// The spec this instance implements.
     pub fn spec(&self) -> CodeSpec {
         match self {
-            CodecInstance::Replication { replicas } => {
-                CodeSpec::Replication { replicas: *replicas }
-            }
+            CodecInstance::Replication { replicas } => CodeSpec::Replication {
+                replicas: *replicas,
+            },
             CodecInstance::Rs(rs) => rs.spec(),
             CodecInstance::Lrc(lrc) => lrc.spec(),
         }
@@ -63,7 +61,9 @@ impl CodecInstance {
             CodecInstance::Replication { replicas } => {
                 let survivor = (0..*replicas).find(|p| !unavailable.contains(p));
                 let Some(survivor) = survivor else {
-                    return Err(CodeError::Unrecoverable { erased: unavailable.to_vec() });
+                    return Err(CodeError::Unrecoverable {
+                        erased: unavailable.to_vec(),
+                    });
                 };
                 Ok(RepairPlan {
                     missing: targets.to_vec(),
@@ -134,10 +134,7 @@ impl CodecInstance {
     }
 
     /// Verify-mode reconstruction of every `None` shard in place.
-    pub fn reconstruct_payloads(
-        &self,
-        shards: &mut [Option<Vec<u8>>],
-    ) -> Result<(), CodeError> {
+    pub fn reconstruct_payloads(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodeError> {
         match self {
             CodecInstance::Replication { .. } => {
                 let survivor = shards
@@ -214,8 +211,7 @@ mod tests {
         for spec in [CodeSpec::RS_10_4, CodeSpec::LRC_10_6_5] {
             let c = CodecInstance::build(spec).unwrap();
             let stripe = c.encode_payloads(&data).unwrap();
-            let mut shards: Vec<Option<Vec<u8>>> =
-                stripe.iter().cloned().map(Some).collect();
+            let mut shards: Vec<Option<Vec<u8>>> = stripe.iter().cloned().map(Some).collect();
             shards[0] = None;
             shards[11] = None;
             c.reconstruct_payloads(&mut shards).unwrap();

@@ -80,7 +80,11 @@ pub struct ComputeRates {
 
 impl Default for ComputeRates {
     fn default() -> Self {
-        Self { xor_bps: 400e6, rs_decode_bps: 300e6, wordcount_bps: 150e3 }
+        Self {
+            xor_bps: 400e6,
+            rs_decode_bps: 300e6,
+            wordcount_bps: 150e3,
+        }
     }
 }
 

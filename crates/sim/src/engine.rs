@@ -56,7 +56,11 @@ enum TaskState {
 #[derive(Debug, Clone)]
 enum TaskKind {
     /// Reconstruct stripe positions and write them back.
-    Repair { stripe: StripeId, targets: Vec<usize>, light: bool },
+    Repair {
+        stripe: StripeId,
+        targets: Vec<usize>,
+        light: bool,
+    },
     /// Read one block (degraded if necessary) and run map compute.
     Map { block: BlockId },
     /// Move a block off a draining node: either stream it out directly
@@ -215,8 +219,7 @@ impl Simulation {
                         }
                     })
                     .collect();
-                let stripe =
-                    self.codec.encode_payloads(&data).expect("encode succeeds");
+                let stripe = self.codec.encode_payloads(&data).expect("encode succeeds");
                 payload_table.insert(base + j, stripe);
                 j += 1;
                 if remaining == 0 {
@@ -332,9 +335,7 @@ impl Simulation {
     pub fn node_with_block_count_near(&self, target: usize) -> Option<NodeId> {
         (0..self.alive.len())
             .filter(|&n| self.alive[n])
-            .min_by_key(|&n| {
-                (self.hdfs.blocks_on(n).len() as i64 - target as i64).abs()
-            })
+            .min_by_key(|&n| (self.hdfs.blocks_on(n).len() as i64 - target as i64).abs())
     }
 
     /// Whether a node is alive.
@@ -346,17 +347,17 @@ impl Simulation {
     /// closest to the alive-node average — the paper's methodology of
     /// terminating comparably-loaded DataNodes in both clusters.
     pub fn pick_victims(&self, count: usize) -> Vec<NodeId> {
-        let alive: Vec<NodeId> =
-            (0..self.alive.len()).filter(|&n| self.alive[n]).collect();
+        let alive: Vec<NodeId> = (0..self.alive.len()).filter(|&n| self.alive[n]).collect();
         if alive.is_empty() {
             return vec![];
         }
-        let avg = alive.iter().map(|&n| self.hdfs.blocks_on(n).len()).sum::<usize>()
+        let avg = alive
+            .iter()
+            .map(|&n| self.hdfs.blocks_on(n).len())
+            .sum::<usize>()
             / alive.len();
         let mut sorted = alive;
-        sorted.sort_by_key(|&n| {
-            ((self.hdfs.blocks_on(n).len() as i64 - avg as i64).abs(), n)
-        });
+        sorted.sort_by_key(|&n| ((self.hdfs.blocks_on(n).len() as i64 - avg as i64).abs(), n));
         sorted.truncate(count);
         sorted
     }
@@ -425,7 +426,8 @@ impl Simulation {
             let (bytes, completed) = self.network.advance(dt);
             self.metrics.record_network(start, dt, bytes);
             if self.computing_slots > 0 {
-                self.metrics.record_cpu_busy(start, dt, self.computing_slots);
+                self.metrics
+                    .record_cpu_busy(start, dt, self.computing_slots);
             }
             self.clock = t;
             for (id, flow) in completed {
@@ -530,9 +532,7 @@ impl Simulation {
         let mut repair_tasks: Vec<TaskId> = self
             .tasks
             .values()
-            .filter(|t| {
-                matches!(t.kind, TaskKind::Repair { .. }) && t.state != TaskState::Done
-            })
+            .filter(|t| matches!(t.kind, TaskKind::Repair { .. }) && t.state != TaskState::Done)
             .map(|t| t.id)
             .collect();
         repair_tasks.sort_unstable();
@@ -543,7 +543,11 @@ impl Simulation {
             self.repair_in_flight.clear();
         }
         for tid in hit_tasks {
-            if self.tasks.get(&tid).is_some_and(|t| t.state != TaskState::Done) {
+            if self
+                .tasks
+                .get(&tid)
+                .is_some_and(|t| t.state != TaskState::Done)
+            {
                 self.abort_task(tid, true);
             }
         }
@@ -557,7 +561,9 @@ impl Simulation {
     fn abort_task(&mut self, tid: TaskId, requeue: bool) {
         // Gather state under a short borrow.
         let (state, node, job, flows, repair_targets, requeueable) = {
-            let Some(task) = self.tasks.get_mut(&tid) else { return };
+            let Some(task) = self.tasks.get_mut(&tid) else {
+                return;
+            };
             if task.state == TaskState::Done {
                 return;
             }
@@ -568,16 +574,24 @@ impl Simulation {
                 .collect();
             task.write_queue.clear();
             let repair_targets = match task.kind {
-                TaskKind::Repair { stripe, ref targets, .. } => {
-                    targets.iter().map(|&p| (stripe, p)).collect()
-                }
+                TaskKind::Repair {
+                    stripe,
+                    ref targets,
+                    ..
+                } => targets.iter().map(|&p| (stripe, p)).collect(),
                 TaskKind::Map { .. } | TaskKind::Relocate { .. } => Vec::new(),
             };
             // Map and Relocate tasks re-plan cleanly from scratch;
             // repair tasks are re-created by the rescan instead.
-            let requeueable =
-                matches!(task.kind, TaskKind::Map { .. } | TaskKind::Relocate { .. });
-            (task.state, task.node.take(), task.job, flows, repair_targets, requeueable)
+            let requeueable = matches!(task.kind, TaskKind::Map { .. } | TaskKind::Relocate { .. });
+            (
+                task.state,
+                task.node.take(),
+                task.job,
+                flows,
+                repair_targets,
+                requeueable,
+            )
         };
         for key in repair_targets {
             self.repair_in_flight.remove(&key);
@@ -660,13 +674,11 @@ impl Simulation {
                     .flat_map(|t| {
                         let light = t.light;
                         let reads = t.reads;
-                        t.repairs
-                            .into_iter()
-                            .map(move |p| xorbas_core::RepairTask {
-                                repairs: vec![p],
-                                reads: reads.clone(),
-                                light,
-                            })
+                        t.repairs.into_iter().map(move |p| xorbas_core::RepairTask {
+                            repairs: vec![p],
+                            reads: reads.clone(),
+                            light,
+                        })
                     })
                     .collect();
             }
@@ -782,7 +794,11 @@ impl Simulation {
                 return;
             };
             let tid = self.jobs[job_id].queued.pop_front().expect("non-empty");
-            if self.tasks.get(&tid).is_none_or(|t| t.state != TaskState::Queued) {
+            if self
+                .tasks
+                .get(&tid)
+                .is_none_or(|t| t.state != TaskState::Queued)
+            {
                 continue; // lazily dropped (aborted while queued)
             }
             let preferred = self.tasks[&tid].preferred_node;
@@ -816,10 +832,18 @@ impl Simulation {
         let task = self.tasks[&tid].clone();
         let block_bytes = self.cfg.cluster.block_bytes as f64;
         match task.kind {
-            TaskKind::Repair { stripe, ref targets, light } => {
+            TaskKind::Repair {
+                stripe,
+                ref targets,
+                light,
+            } => {
                 let still_lost: Vec<usize> = {
                     let unavail = self.hdfs.unavailable_positions(stripe);
-                    targets.iter().copied().filter(|p| unavail.contains(p)).collect()
+                    targets
+                        .iter()
+                        .copied()
+                        .filter(|p| unavail.contains(p))
+                        .collect()
                 };
                 if still_lost.is_empty() {
                     return Some((vec![], 0.0, vec![]));
@@ -829,8 +853,7 @@ impl Simulation {
                 let read_positions: Vec<usize> = if light {
                     // The planned light reads were fixed at scan time; they
                     // remain exactly the repair group, re-derived here.
-                    let plan =
-                        self.codec.repair_plan_for(&unavailable, &still_lost).ok()?;
+                    let plan = self.codec.repair_plan_for(&unavailable, &still_lost).ok()?;
                     let mut reads: HashSet<usize> = HashSet::new();
                     let mut repaired: HashSet<usize> = HashSet::new();
                     for t in &plan.tasks {
@@ -850,10 +873,8 @@ impl Simulation {
                             .filter(|p| !unavailable.contains(p))
                             .collect(),
                         ReadPolicy::Minimal => {
-                            let plan = self
-                                .codec
-                                .repair_plan_for(&unavailable, &still_lost)
-                                .ok()?;
+                            let plan =
+                                self.codec.repair_plan_for(&unavailable, &still_lost).ok()?;
                             let mut reads: Vec<usize> = plan
                                 .tasks
                                 .iter()
@@ -984,8 +1005,7 @@ impl Simulation {
     }
 
     fn start_task(&mut self, tid: TaskId, node: NodeId) {
-        let Some((read_blocks, compute_secs, restores)) = self.resolve_task_work(tid)
-        else {
+        let Some((read_blocks, compute_secs, restores)) = self.resolve_task_work(tid) else {
             // Impossible task (data loss): complete it vacuously.
             self.complete_task(tid);
             return;
@@ -1046,7 +1066,9 @@ impl Simulation {
         if self.cancelled.remove(&tid) {
             return;
         }
-        let Some(task) = self.tasks.get(&tid) else { return };
+        let Some(task) = self.tasks.get(&tid) else {
+            return;
+        };
         if task.state != TaskState::Computing {
             return;
         }
@@ -1067,7 +1089,10 @@ impl Simulation {
             let target = self
                 .placement
                 .place_one(&placeable, &exclude, &mut self.rng)
-                .or_else(|| self.placement.place_one(&placeable, &HashSet::new(), &mut self.rng))
+                .or_else(|| {
+                    self.placement
+                        .place_one(&placeable, &HashSet::new(), &mut self.rng)
+                })
                 .expect("some node is alive");
             if target == node {
                 self.settle_block(tid, block, target);
@@ -1115,7 +1140,11 @@ impl Simulation {
         // Wake tasks waiting on this block.
         if let Some(waiters) = self.waiting_on_block.remove(&block) {
             for tid in waiters {
-                if self.tasks.get(&tid).is_some_and(|t| t.state == TaskState::Waiting) {
+                if self
+                    .tasks
+                    .get(&tid)
+                    .is_some_and(|t| t.state == TaskState::Waiting)
+                {
                     let task = self.tasks.get_mut(&tid).expect("exists");
                     task.state = TaskState::Queued;
                     let job = task.job;
@@ -1155,7 +1184,9 @@ impl Simulation {
     }
 
     fn on_flow_complete(&mut self, fid: FlowId, owner: TaskId, _src: NodeId) {
-        let Some(task) = self.tasks.get_mut(&owner) else { return };
+        let Some(task) = self.tasks.get_mut(&owner) else {
+            return;
+        };
         if task.pending_reads.remove(&fid) {
             if task.pending_reads.is_empty() && task.state == TaskState::Reading {
                 self.begin_compute(owner);
@@ -1194,7 +1225,12 @@ impl Simulation {
             }
             self.jobs[job].running -= 1;
         }
-        if let TaskKind::Repair { stripe, ref targets, .. } = self.tasks[&tid].kind {
+        if let TaskKind::Repair {
+            stripe,
+            ref targets,
+            ..
+        } = self.tasks[&tid].kind
+        {
             let targets = targets.clone();
             for p in targets {
                 self.repair_in_flight.remove(&(stripe, p));
@@ -1210,12 +1246,8 @@ impl Simulation {
         if self.jobs[job].outstanding == 0 {
             let j = &self.jobs[job];
             match j.kind {
-                JobKind::Repair => {
-                    self.metrics.record_repair_job(j.submitted, self.clock)
-                }
-                JobKind::Workload => {
-                    self.metrics.record_workload_job(j.submitted, self.clock)
-                }
+                JobKind::Repair => self.metrics.record_repair_job(j.submitted, self.clock),
+                JobKind::Workload => self.metrics.record_workload_job(j.submitted, self.clock),
             }
         }
     }

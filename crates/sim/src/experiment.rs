@@ -47,7 +47,14 @@ impl Ec2ExperimentResult {
     pub fn scatter_points(&self) -> Vec<(usize, f64, f64, f64)> {
         self.events
             .iter()
-            .map(|e| (e.blocks_lost, e.hdfs_gb_read, e.network_gb, e.repair_minutes))
+            .map(|e| {
+                (
+                    e.blocks_lost,
+                    e.hdfs_gb_read,
+                    e.network_gb,
+                    e.repair_minutes,
+                )
+            })
             .collect()
     }
 }
@@ -82,8 +89,7 @@ pub fn ec2_experiment(code: CodeSpec, files: usize, seed: u64) -> Ec2ExperimentR
         let jobs_mark = sim.metrics.repair_jobs.len();
         let victims = sim.pick_victims(kills);
         assert_eq!(victims.len(), kills, "not enough alive nodes");
-        let blocks_lost: usize =
-            victims.iter().map(|&v| sim.hdfs.blocks_on(v).len()).sum();
+        let blocks_lost: usize = victims.iter().map(|&v| sim.hdfs.blocks_on(v).len()).sum();
         let at = sim.clock + EVENT_PAUSE;
         for v in victims {
             sim.kill_node_at(at, v);
@@ -189,11 +195,7 @@ pub struct WorkloadResult {
 /// 3 GB files, ten WordCount jobs under the fair scheduler, with
 /// `missing_fraction` of the data blocks simulated as lost (degraded
 /// reads reconstruct them in memory; nothing is written back).
-pub fn workload_experiment(
-    code: CodeSpec,
-    missing_fraction: f64,
-    seed: u64,
-) -> WorkloadResult {
+pub fn workload_experiment(code: CodeSpec, missing_fraction: f64, seed: u64) -> WorkloadResult {
     assert!((0.0..1.0).contains(&missing_fraction), "fraction in [0,1)");
     let mut cfg = SimConfig::ec2(code);
     cfg.cluster.nodes = 15;
@@ -223,10 +225,7 @@ pub fn workload_experiment(
     }
     // Ten jobs, two per file, submitted back to back.
     for j in 0..10 {
-        sim.submit_wordcount_at(
-            SimTime::from_secs(1 + j as u64),
-            files[j % files.len()],
-        );
+        sim.submit_wordcount_at(SimTime::from_secs(1 + j as u64), files[j % files.len()]);
     }
     sim.run_until_idle(PHASE_LIMIT);
     let job_minutes: Vec<f64> = sim
@@ -283,10 +282,16 @@ mod tests {
             assert!(e.repair_minutes > 0.0);
         }
         // Multi-node events lose more blocks than single-node ones.
-        let single_avg: f64 =
-            res.events[..4].iter().map(|e| e.blocks_lost as f64).sum::<f64>() / 4.0;
-        let triple_avg: f64 =
-            res.events[4..6].iter().map(|e| e.blocks_lost as f64).sum::<f64>() / 2.0;
+        let single_avg: f64 = res.events[..4]
+            .iter()
+            .map(|e| e.blocks_lost as f64)
+            .sum::<f64>()
+            / 4.0;
+        let triple_avg: f64 = res.events[4..6]
+            .iter()
+            .map(|e| e.blocks_lost as f64)
+            .sum::<f64>()
+            / 2.0;
         assert!(triple_avg > 1.5 * single_avg);
     }
 

@@ -25,7 +25,12 @@ pub struct TraceConfig {
 impl Default for TraceConfig {
     fn default() -> Self {
         // Calibrated to Fig. 1: median ≈ 20, occasional days near 100.
-        Self { days: 30, base_mean: 18.0, burst_prob: 0.12, burst_mean: 40.0 }
+        Self {
+            days: 30,
+            base_mean: 18.0,
+            burst_prob: 0.12,
+            burst_mean: 40.0,
+        }
     }
 }
 
@@ -108,8 +113,7 @@ mod tests {
     fn poisson_mean_is_close() {
         let mut rng = StdRng::seed_from_u64(1);
         let n = 20_000;
-        let total: u64 =
-            (0..n).map(|_| sample_poisson(18.0, &mut rng) as u64).sum();
+        let total: u64 = (0..n).map(|_| sample_poisson(18.0, &mut rng) as u64).sum();
         let mean = total as f64 / n as f64;
         assert!((mean - 18.0).abs() < 0.2, "mean {mean}");
     }
@@ -118,7 +122,13 @@ mod tests {
     fn trace_matches_figure_1_statistics() {
         let mut rng = StdRng::seed_from_u64(99);
         // Aggregate several months so the statistics are stable.
-        let trace = generate_trace(TraceConfig { days: 600, ..Default::default() }, &mut rng);
+        let trace = generate_trace(
+            TraceConfig {
+                days: 600,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         let stats = trace_stats(&trace);
         // "quite typical to have 20 or more node failures per day".
         assert!(stats.median >= 15.0 && stats.median <= 25.0, "{stats:?}");

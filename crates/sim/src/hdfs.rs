@@ -144,6 +144,7 @@ impl Hdfs {
     }
 
     /// Registers a new stored block at a location.
+    #[allow(clippy::too_many_arguments)] // mirrors the BlockMeta fields
     fn add_block(
         &mut self,
         file: FileId,
@@ -199,8 +200,7 @@ impl Hdfs {
             let mask = virtual_mask(real_data);
             assert_eq!(mask.len(), n, "virtual mask must cover the stripe");
             let real_count = mask.iter().filter(|&&v| !v).count();
-            let nodes =
-                placement.place_best_effort(real_count, alive, &HashSet::new(), rng)?;
+            let nodes = placement.place_best_effort(real_count, alive, &HashSet::new(), rng)?;
             let mut positions = Vec::with_capacity(n);
             let mut node_iter = nodes.into_iter();
             for (pos, &is_virtual) in mask.iter().enumerate() {
@@ -392,7 +392,9 @@ impl Placement {
     /// Assigns `nodes` round-robin over `racks`.
     pub fn new(nodes: usize, racks: usize) -> Self {
         assert!(racks >= 1, "need at least one rack");
-        Self { rack_of: (0..nodes).map(|n| n % racks).collect() }
+        Self {
+            rack_of: (0..nodes).map(|n| n % racks).collect(),
+        }
     }
 
     /// The rack of a node.
@@ -501,8 +503,15 @@ mod tests {
         let code = CodeSpec::RS_10_4;
         let f = fs
             .create_raided_file(
-                "f1", 20, code, 64, &placement, &alive, &mut rng,
-                full_mask(code), |_, _| None,
+                "f1",
+                20,
+                code,
+                64,
+                &placement,
+                &alive,
+                &mut rng,
+                full_mask(code),
+                |_, _| None,
             )
             .unwrap();
         assert_eq!(fs.files()[f].stripes.len(), 2);
@@ -526,8 +535,11 @@ mod tests {
         for s in fs.stripes() {
             assert_eq!(fs.stripe_nodes(s.id).len(), 3);
             // 3 replicas over 2 racks: both racks used.
-            let racks: HashSet<usize> =
-                fs.stripe_nodes(s.id).iter().map(|&n| placement.rack_of(n)).collect();
+            let racks: HashSet<usize> = fs
+                .stripe_nodes(s.id)
+                .iter()
+                .map(|&n| placement.rack_of(n))
+                .collect();
             assert_eq!(racks.len(), 2);
         }
     }
@@ -540,7 +552,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let code = CodeSpec::RS_10_4;
         fs.create_raided_file(
-            "f", 10, code, 64, &placement, &alive, &mut rng, full_mask(code),
+            "f",
+            10,
+            code,
+            64,
+            &placement,
+            &alive,
+            &mut rng,
+            full_mask(code),
             |_, _| None,
         )
         .unwrap();
@@ -549,7 +568,9 @@ mod tests {
         assert!(!lost.is_empty());
         assert_eq!(fs.lost_blocks().len(), lost.len());
         let stripe = fs.block(lost[0]).stripe;
-        assert!(fs.unavailable_positions(stripe).contains(&fs.block(lost[0]).pos));
+        assert!(fs
+            .unavailable_positions(stripe)
+            .contains(&fs.block(lost[0]).pos));
         fs.restore_block(lost[0], victim);
         assert!(!fs.lost_blocks().contains(&lost[0]));
     }
@@ -564,7 +585,13 @@ mod tests {
         // 3 real data blocks: positions 3..10 virtual, parities real.
         let f = fs
             .create_raided_file(
-                "small", 3, code, 64, &placement, &alive, &mut rng,
+                "small",
+                3,
+                code,
+                64,
+                &placement,
+                &alive,
+                &mut rng,
                 |real| (0..14).map(|p| p < 10 && p >= real).collect(),
                 |_, _| None,
             )
@@ -572,8 +599,11 @@ mod tests {
         let s = fs.files()[f].stripes[0];
         let stripe = fs.stripe(s);
         assert_eq!(stripe.real_data, 3);
-        let virtuals =
-            stripe.positions.iter().filter(|p| **p == Position::Virtual).count();
+        let virtuals = stripe
+            .positions
+            .iter()
+            .filter(|p| **p == Position::Virtual)
+            .count();
         assert_eq!(virtuals, 7);
         assert_eq!(fs.block_count(), 7); // 3 data + 4 parities
     }
@@ -583,10 +613,14 @@ mod tests {
         let placement = Placement::new(5, 1);
         let alive = vec![true; 5];
         let mut rng = StdRng::seed_from_u64(5);
-        assert!(placement.place_many(6, &alive, &HashSet::new(), &mut rng).is_none());
+        assert!(placement
+            .place_many(6, &alive, &HashSet::new(), &mut rng)
+            .is_none());
         let mut dead = alive;
         dead[0] = false;
-        assert!(placement.place_many(5, &dead, &HashSet::new(), &mut rng).is_none());
+        assert!(placement
+            .place_many(5, &dead, &HashSet::new(), &mut rng)
+            .is_none());
     }
 
     #[test]
@@ -597,7 +631,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let code = CodeSpec::LRC_10_6_5;
         fs.create_raided_file(
-            "f", 10, code, 64, &placement, &alive, &mut rng, full_mask(code),
+            "f",
+            10,
+            code,
+            64,
+            &placement,
+            &alive,
+            &mut rng,
+            full_mask(code),
             |_, _| None,
         )
         .unwrap();

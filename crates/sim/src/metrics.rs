@@ -163,12 +163,18 @@ impl Metrics {
 
     /// Records a finished repair job.
     pub fn record_repair_job(&mut self, submitted: SimTime, finished: SimTime) {
-        self.repair_jobs.push(JobSpan { submitted, finished });
+        self.repair_jobs.push(JobSpan {
+            submitted,
+            finished,
+        });
     }
 
     /// Records a finished workload job.
     pub fn record_workload_job(&mut self, submitted: SimTime, finished: SimTime) {
-        self.workload_jobs.push(JobSpan { submitted, finished });
+        self.workload_jobs.push(JobSpan {
+            submitted,
+            finished,
+        });
     }
 
     /// Records an unrecoverable stripe.
@@ -179,7 +185,10 @@ impl Metrics {
     /// CPU utilization per bucket as a fraction of `total_slots`.
     pub fn cpu_utilization(&self, total_slots: usize) -> Vec<f64> {
         let cap = (total_slots as f64) * self.bucket_secs as f64;
-        self.cpu_busy_series.iter().map(|&busy| (busy / cap).min(1.0)).collect()
+        self.cpu_busy_series
+            .iter()
+            .map(|&busy| (busy / cap).min(1.0))
+            .collect()
     }
 
     /// Repair span between two snapshots: earliest submit / latest finish
@@ -250,7 +259,10 @@ mod tests {
 
     #[test]
     fn job_span_duration() {
-        let j = JobSpan { submitted: SimTime::from_secs(10), finished: SimTime::from_secs(70) };
+        let j = JobSpan {
+            submitted: SimTime::from_secs(10),
+            finished: SimTime::from_secs(70),
+        };
         assert_eq!(j.duration(), SimTime::from_secs(60));
     }
 }

@@ -46,7 +46,10 @@ pub struct Network {
 impl Network {
     /// A network of `nodes` full-duplex NICs behind one core switch.
     pub fn new(nodes: usize, nic_bps: f64, core_bps: f64) -> Self {
-        assert!(nic_bps > 0.0 && core_bps > 0.0, "bandwidths must be positive");
+        assert!(
+            nic_bps > 0.0 && core_bps > 0.0,
+            "bandwidths must be positive"
+        );
         Self {
             nodes,
             nic_bytes_per_sec: nic_bps / 8.0,
@@ -63,7 +66,16 @@ impl Network {
         assert!(bytes > 0.0, "flows must carry bytes");
         let id = self.next_id;
         self.next_id += 1;
-        self.flows.insert(id, Flow { src, dst, remaining: bytes, rate: 0.0, owner });
+        self.flows.insert(
+            id,
+            Flow {
+                src,
+                dst,
+                remaining: bytes,
+                rate: 0.0,
+                owner,
+            },
+        );
         self.recompute_rates();
         id
     }

@@ -33,7 +33,13 @@ fn run(code: CodeSpec) -> (String, f64, f64, f64, u64) {
         .repair_span_since(0)
         .map(|(a, b)| (b.saturating_sub(a)).as_mins_f64())
         .unwrap_or(0.0);
-    (code.name(), s.hdfs_bytes_read / 1e9, s.network_bytes / 1e9, dur, s.blocks_repaired)
+    (
+        code.name(),
+        s.hdfs_bytes_read / 1e9,
+        s.network_bytes / 1e9,
+        dur,
+        s.blocks_repaired,
+    )
 }
 
 fn main() {

@@ -14,7 +14,12 @@ use xorbas::codes::{ErasureCodec, Lrc, LrcSpec};
 use xorbas::flowgraph::{all_collectors_feasible, GadgetParams};
 
 fn design(k: usize, global_parities: usize, group_size: usize) {
-    let spec = LrcSpec { k, global_parities, group_size, implied_parity: true };
+    let spec = LrcSpec {
+        k,
+        global_parities,
+        group_size,
+        implied_parity: true,
+    };
     let lrc: Lrc = match Lrc::new(spec) {
         Ok(l) => l,
         Err(e) => {
@@ -34,12 +39,21 @@ fn design(k: usize, global_parities: usize, group_size: usize) {
     );
     println!("  locality (measured) : {locality}");
     println!("  distance (measured) : {d}");
-    println!("  Theorem-2 bound     : {bound}   MDS at same (n,k): {}", mds_distance(n, k));
+    println!(
+        "  Theorem-2 bound     : {bound}   MDS at same (n,k): {}",
+        mds_distance(n, k)
+    );
     if n % (r + 1) == 0 {
         let ok = all_collectors_feasible(GadgetParams { k, n, r, d });
-        println!("  flow-graph check    : d = {d} is {}", if ok { "achievable" } else { "NOT achievable" });
+        println!(
+            "  flow-graph check    : d = {d} is {}",
+            if ok { "achievable" } else { "NOT achievable" }
+        );
     }
-    println!("  repair equations    : {} XOR groups", lrc.equations().len());
+    println!(
+        "  repair equations    : {} XOR groups",
+        lrc.equations().len()
+    );
     for eq in lrc.equations() {
         let ids: Vec<String> = eq.indices().map(|i| format!("y{i}")).collect();
         println!("      {} = 0", ids.join(" + "));

@@ -8,7 +8,11 @@ use xorbas::prelude::*;
 fn main() {
     // Ten 1 MiB data blocks — one HDFS-Xorbas stripe's worth of data.
     let data: Vec<Vec<u8>> = (0..10u8)
-        .map(|i| (0..1 << 20).map(|j| i.wrapping_mul(37).wrapping_add(j as u8)).collect())
+        .map(|i| {
+            (0..1 << 20)
+                .map(|j| i.wrapping_mul(37).wrapping_add(j as u8))
+                .collect()
+        })
         .collect();
 
     // The paper's two contenders.
@@ -18,8 +22,18 @@ fn main() {
     println!("scheme          blocks  overhead  single-repair reads");
     for (name, n, overhead, reads) in [
         ("3-replication", 3, 2.0, 1),
-        ("RS (10, 4)", rs.total_blocks(), rs.spec().storage_overhead(), 10),
-        ("LRC (10, 6, 5)", lrc.total_blocks(), lrc.spec().storage_overhead(), 5),
+        (
+            "RS (10, 4)",
+            rs.total_blocks(),
+            rs.spec().storage_overhead(),
+            10,
+        ),
+        (
+            "LRC (10, 6, 5)",
+            lrc.total_blocks(),
+            lrc.spec().storage_overhead(),
+            5,
+        ),
     ] {
         println!("{name:<15} {n:>6}  {overhead:>7.1}x  {reads:>19}");
     }
@@ -36,7 +50,11 @@ fn main() {
     println!(
         "RS  repair of X4: read {} blocks ({} light decoder)",
         report.blocks_read,
-        if report.used_light_decoder { "with" } else { "without" }
+        if report.used_light_decoder {
+            "with"
+        } else {
+            "without"
+        }
     );
     assert_eq!(shards[3].as_deref(), Some(&rs_stripe[3][..]));
 
@@ -46,7 +64,11 @@ fn main() {
     println!(
         "LRC repair of X4: read {} blocks ({} light decoder)",
         report.blocks_read,
-        if report.used_light_decoder { "with" } else { "without" }
+        if report.used_light_decoder {
+            "with"
+        } else {
+            "without"
+        }
     );
     assert_eq!(shards[3].as_deref(), Some(&lrc_stripe[3][..]));
 

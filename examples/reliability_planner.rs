@@ -23,7 +23,10 @@ fn main() {
     println!("sensitivity: MTTDL (days) vs cross-rack repair bandwidth\n");
     println!("γ (Gbps)   3-replication   RS (10,4)      LRC (10,6,5)   LRC/RS");
     for gbps in [0.1, 0.5, 1.0, 5.0, 10.0] {
-        let params = ClusterParams { cross_rack_bps: gbps * 1e9, ..base };
+        let params = ClusterParams {
+            cross_rack_bps: gbps * 1e9,
+            ..base
+        };
         let rows = table1(&params);
         println!(
             "{gbps:>7.1}   {:>13.3e}   {:>12.3e}   {:>12.3e}   {:>5.1}x",

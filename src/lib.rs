@@ -52,9 +52,7 @@ pub use xorbas_sim as sim;
 
 /// Commonly used items, importable with `use xorbas::prelude::*`.
 pub mod prelude {
-    pub use xorbas_core::{
-        CodeSpec, ErasureCodec, Lrc, LrcSpec, ReedSolomon, RepairReport,
-    };
+    pub use xorbas_core::{CodeSpec, ErasureCodec, Lrc, LrcSpec, ReedSolomon, RepairReport};
     pub use xorbas_gf::{Field, Gf256};
     pub use xorbas_linalg::Matrix;
 }

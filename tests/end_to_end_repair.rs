@@ -36,7 +36,10 @@ fn full_failure_sequence_repairs_bit_exactly_lrc() {
             sim.hdfs.lost_blocks().is_empty(),
             "event {event}: all blocks restored"
         );
-        assert!(placement_invariant_holds(&sim), "event {event}: placement ok");
+        assert!(
+            placement_invariant_holds(&sim),
+            "event {event}: placement ok"
+        );
     }
     assert_eq!(sim.hdfs.block_count(), total_blocks);
     assert!(sim.metrics.snapshot().blocks_repaired > 0);

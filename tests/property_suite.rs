@@ -66,7 +66,7 @@ proptest! {
         let d = minimum_distance(lrc.generator());
         prop_assert!(d <= lrc_distance_bound(n, spec.k, spec.locality()));
         // At least the base code's erasure tolerance survives.
-        prop_assert!(d >= spec.global_parities + 1);
+        prop_assert!(d > spec.global_parities);
     }
 
     /// RS: any erasure pattern up to m recovers; every pattern of

@@ -62,14 +62,20 @@ fn stored_parity_lrc_slightly_beats_implied_on_reliability() {
     // implied-parity variant trades that margin for 1 block of storage.
     let p = ClusterParams::facebook();
     let implied = analyze_codec(&Lrc::xorbas_10_6_5().unwrap(), &p);
-    let stored: Lrc =
-        Lrc::new(LrcSpec { implied_parity: false, ..LrcSpec::XORBAS }).unwrap();
+    let stored: Lrc = Lrc::new(LrcSpec {
+        implied_parity: false,
+        ..LrcSpec::XORBAS
+    })
+    .unwrap();
     let stored = analyze_codec(&stored, &p);
     assert_eq!(implied.distance, 5);
     assert_eq!(stored.distance, 5);
     // Both live in the same reliability class; neither collapses.
     let zeros = stored.zeros_over(&implied).abs();
-    assert!(zeros < 1.0, "variants within one order of magnitude: {zeros}");
+    assert!(
+        zeros < 1.0,
+        "variants within one order of magnitude: {zeros}"
+    );
 }
 
 #[test]

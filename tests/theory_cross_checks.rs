@@ -2,9 +2,7 @@
 //! the information-flow-graph achievability machinery (xorbas-flowgraph)
 //! and the codecs must all tell the same story.
 
-use xorbas::codes::analysis::{
-    code_locality, combinations, minimum_distance, reconstructable,
-};
+use xorbas::codes::analysis::{code_locality, combinations, minimum_distance, reconstructable};
 use xorbas::codes::bounds::{lrc_distance_bound, mds_distance};
 use xorbas::codes::{CodeSpec, ErasureCodec, Lrc, LrcSpec, ReedSolomon};
 use xorbas::flowgraph::{all_collectors_feasible, lemma2_bound, GadgetParams};
@@ -27,7 +25,10 @@ fn analytic_and_operational_distance_agree() {
     assert_eq!(minimum_distance(rs.generator()), operational_distance(&rs));
 
     let lrc = Lrc::xorbas_10_6_5().unwrap();
-    assert_eq!(minimum_distance(lrc.generator()), operational_distance(&lrc));
+    assert_eq!(
+        minimum_distance(lrc.generator()),
+        operational_distance(&lrc)
+    );
 
     let small: Lrc = Lrc::new(LrcSpec {
         k: 6,
@@ -36,7 +37,10 @@ fn analytic_and_operational_distance_agree() {
         implied_parity: true,
     })
     .unwrap();
-    assert_eq!(minimum_distance(small.generator()), operational_distance(&small));
+    assert_eq!(
+        minimum_distance(small.generator()),
+        operational_distance(&small)
+    );
 }
 
 #[test]
@@ -58,8 +62,18 @@ fn reconstructability_matches_repair_planning_exhaustively() {
 fn spec_locality_matches_measured_locality() {
     for spec in [
         LrcSpec::XORBAS,
-        LrcSpec { k: 12, global_parities: 4, group_size: 4, implied_parity: true },
-        LrcSpec { k: 6, global_parities: 3, group_size: 3, implied_parity: false },
+        LrcSpec {
+            k: 12,
+            global_parities: 4,
+            group_size: 4,
+            implied_parity: true,
+        },
+        LrcSpec {
+            k: 6,
+            global_parities: 3,
+            group_size: 3,
+            implied_parity: false,
+        },
     ] {
         let lrc: Lrc = Lrc::new(spec).unwrap();
         let measured = code_locality(lrc.generator(), spec.locality())
@@ -83,7 +97,12 @@ fn theorem2_bound_consistent_between_crates() {
 fn flowgraph_feasibility_matches_constructed_code_distance() {
     // (k=4, g=2, r=2, implied): n = 4 + 2 + 2 = 8, (r+1) | n fails (3 ∤ 8),
     // so use (k=6, g=2, r=2, stored): n = 6 + 2 + 3 + 1 = 12, (r+1) | 12 ✓.
-    let spec = LrcSpec { k: 6, global_parities: 2, group_size: 2, implied_parity: false };
+    let spec = LrcSpec {
+        k: 6,
+        global_parities: 2,
+        group_size: 2,
+        implied_parity: false,
+    };
     let lrc: Lrc = Lrc::new(spec).unwrap();
     let n = lrc.total_blocks();
     let k = spec.k;
@@ -99,7 +118,12 @@ fn flowgraph_feasibility_matches_constructed_code_distance() {
     // …and refuse anything beyond the Theorem-2 bound.
     let bound = lrc_distance_bound(n, k, r);
     if bound < n - k + 1 {
-        assert!(!all_collectors_feasible(GadgetParams { k, n, r, d: bound + 1 }));
+        assert!(!all_collectors_feasible(GadgetParams {
+            k,
+            n,
+            r,
+            d: bound + 1
+        }));
     }
 }
 

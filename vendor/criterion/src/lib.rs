@@ -1,0 +1,262 @@
+//! Vendored miniature of the `criterion` 0.5 API surface used by this
+//! workspace (see `vendor/README.md`).
+//!
+//! Measurement model: every `bench_function` warms up once, then times
+//! `sample_size` batches of an adaptively chosen iteration count
+//! (targeting ~50 ms per batch) and reports the best batch's mean
+//! per-iteration time, plus throughput when the group declares one.
+//! No plots, no statistics files — a line per benchmark on stdout.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for reporting per-iteration throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration (reported in binary units).
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` setup costs relate to measurement batches.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI args are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_one("", id, None, sample_size, f);
+        self
+    }
+
+    /// No-op; present so `criterion_main!`-style drivers can call it.
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed per iteration, enabling rate output.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of measured batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Measures `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &self.name,
+            &id.to_string(),
+            self.throughput,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs built by `setup`, excluding setup cost
+    /// by timing each call individually.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_one<F>(group: &str, id: &str, throughput: Option<Throughput>, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: one iteration to size batches near ~50 ms each.
+    let mut calib = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut calib);
+    let per_iter = calib.elapsed.max(Duration::from_nanos(1));
+    let batch_iters =
+        (Duration::from_millis(50).as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+
+    // Only batch means compete: the one-shot calibration measurement is
+    // too quantized to be allowed to win.
+    let mut best = Duration::MAX;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: batch_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean = b.elapsed / batch_iters as u32;
+        if mean < best {
+            best = mean;
+        }
+    }
+
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let gib_s = bytes as f64 / best.as_secs_f64() / (1u64 << 30) as f64;
+            format!("  [{gib_s:.3} GiB/s]")
+        }
+        Some(Throughput::Elements(n)) => {
+            let elems_s = n as f64 / best.as_secs_f64();
+            format!("  [{elems_s:.0} elem/s]")
+        }
+        None => String::new(),
+    };
+    println!("{label:<48} time: {best:>12.3?}/iter{rate}");
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Generates `fn main` invoking each group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Bytes(64));
+        g.sample_size(2);
+        let mut ran = 0u64;
+        g.bench_function("xor", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(0xA5u8 ^ 0x5A)
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut b = Bencher {
+            iters: 3,
+            elapsed: Duration::ZERO,
+        };
+        b.iter_batched(
+            || vec![1u8; 16],
+            |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.elapsed > Duration::ZERO || b.iters == 3);
+    }
+}
