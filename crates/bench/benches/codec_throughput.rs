@@ -2,16 +2,24 @@
 //!
 //! §5.2.3 concludes from the CPU plots that "HDFS RS and Xorbas have
 //! very similar CPU requirements". These benches measure the arithmetic
-//! behind that claim: stripe encoding, light (XOR) repair, heavy
-//! (Vandermonde-solve) repair, and the GF(2^8) bulk kernel they sit on.
+//! behind that claim on both API surfaces:
+//!
+//! * the legacy owned-`Vec` path (`encode_stripe` / `reconstruct`),
+//!   which allocates a fresh stripe per call — kept as the before/after
+//!   baseline;
+//! * the zero-copy path (`encode_into` into preallocated parity lanes,
+//!   `encode_into_parallel` sharded over scoped threads, and a
+//!   [`xorbas_core::RepairSession`] compiled once and replayed), which
+//!   allocates nothing per stripe after warmup.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
-use xorbas_core::{ErasureCodec, Lrc, ReedSolomon};
+use xorbas_core::{encode_into_parallel, ErasureCodec, Lrc, ReedSolomon, StripeViewMut};
 use xorbas_gf::slice_ops::mul_acc;
 use xorbas_gf::Gf256;
 
 const BLOCK: usize = 1 << 20; // 1 MiB payloads
+const PAR_THREADS: usize = 4;
 
 fn sample_data(k: usize) -> Vec<Vec<u8>> {
     (0..k)
@@ -42,12 +50,49 @@ fn bench_encode(c: &mut Criterion) {
     let mut g = c.benchmark_group("encode_stripe_10x1MiB");
     g.throughput(Throughput::Bytes((10 * BLOCK) as u64));
     g.sample_size(20);
+    // Legacy owned path: allocates the whole output stripe every call.
     g.bench_function("rs_10_4", |b| {
         b.iter(|| rs.encode_stripe(black_box(&data)).unwrap())
     });
     g.bench_function("lrc_10_6_5", |b| {
         b.iter(|| lrc.encode_stripe(black_box(&data)).unwrap())
     });
+    // Zero-copy path: parity lanes preallocated once, zero heap traffic
+    // per stripe thereafter.
+    let data_refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+    let mut rs_parity = vec![vec![0u8; BLOCK]; 4];
+    {
+        let mut parity_refs: Vec<&mut [u8]> = rs_parity.iter_mut().map(Vec::as_mut_slice).collect();
+        g.bench_function("rs_10_4_into", |b| {
+            b.iter(|| {
+                rs.encode_into(black_box(&data_refs), &mut parity_refs)
+                    .unwrap()
+            })
+        });
+        g.bench_function(format!("rs_10_4_into_par{PAR_THREADS}"), |b| {
+            b.iter(|| {
+                encode_into_parallel(&rs, black_box(&data_refs), &mut parity_refs, PAR_THREADS)
+                    .unwrap()
+            })
+        });
+    }
+    let mut lrc_parity = vec![vec![0u8; BLOCK]; 6];
+    {
+        let mut parity_refs: Vec<&mut [u8]> =
+            lrc_parity.iter_mut().map(Vec::as_mut_slice).collect();
+        g.bench_function("lrc_10_6_5_into", |b| {
+            b.iter(|| {
+                lrc.encode_into(black_box(&data_refs), &mut parity_refs)
+                    .unwrap()
+            })
+        });
+        g.bench_function(format!("lrc_10_6_5_into_par{PAR_THREADS}"), |b| {
+            b.iter(|| {
+                encode_into_parallel(&lrc, black_box(&data_refs), &mut parity_refs, PAR_THREADS)
+                    .unwrap()
+            })
+        });
+    }
     g.finish();
 }
 
@@ -59,6 +104,7 @@ fn bench_repair(c: &mut Criterion) {
     let mut g = c.benchmark_group("repair_single_block_1MiB");
     g.throughput(Throughput::Bytes(BLOCK as u64));
     g.sample_size(20);
+    // Legacy owned path: replans, re-solves, and reallocates every call.
     g.bench_function("rs_heavy_decode", |b| {
         b.iter(|| {
             let mut shards: Vec<Option<Vec<u8>>> = rs_stripe.iter().cloned().map(Some).collect();
@@ -79,6 +125,36 @@ fn bench_repair(c: &mut Criterion) {
             shards[2] = None;
             shards[3] = None;
             lrc.reconstruct(black_box(&mut shards)).unwrap()
+        })
+    });
+    // Session path: compile once per failure pattern, then replay against
+    // borrowed lanes — what the simulator's BlockFixer does per stripe.
+    let rs_session = rs.repair_session(&[3]).unwrap();
+    let mut rs_lanes = rs_stripe.clone();
+    g.bench_function("rs_heavy_session_replay", |b| {
+        b.iter(|| {
+            let mut refs: Vec<&mut [u8]> = rs_lanes.iter_mut().map(Vec::as_mut_slice).collect();
+            let mut view = StripeViewMut::new(&mut refs, &[3]).unwrap();
+            rs_session.repair(black_box(&mut view)).unwrap()
+        })
+    });
+    let lrc_session = lrc.repair_session(&[3]).unwrap();
+    let mut lrc_lanes = lrc_stripe.clone();
+    g.bench_function("lrc_light_session_replay", |b| {
+        b.iter(|| {
+            let mut refs: Vec<&mut [u8]> = lrc_lanes.iter_mut().map(Vec::as_mut_slice).collect();
+            let mut view = StripeViewMut::new(&mut refs, &[3]).unwrap();
+            lrc_session.repair(black_box(&mut view)).unwrap()
+        })
+    });
+    let lrc_heavy_session = lrc.repair_session(&[2, 3]).unwrap();
+    let mut lrc_heavy_lanes = lrc_stripe.clone();
+    g.bench_function("lrc_heavy_session_replay_two_in_group", |b| {
+        b.iter(|| {
+            let mut refs: Vec<&mut [u8]> =
+                lrc_heavy_lanes.iter_mut().map(Vec::as_mut_slice).collect();
+            let mut view = StripeViewMut::new(&mut refs, &[2, 3]).unwrap();
+            lrc_heavy_session.repair(black_box(&mut view)).unwrap()
         })
     });
     g.finish();

@@ -11,6 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use xorbas_core::{ErasureCodec, Lrc};
 use xorbas_gf::slice_ops::{mul_acc, mul_into, payload_mul_acc, scale, xor_into};
 use xorbas_gf::{Field, Gf256, Gf65536};
 
@@ -57,5 +58,39 @@ fn bench_gf65536(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_xor, bench_gf256, bench_gf65536);
+fn bench_encode_into_e2e(c: &mut Criterion) {
+    // End-to-end stripe encode over the zero-copy path: the (10,6,5)
+    // LRC at 1 MiB payloads, parity lanes preallocated. This is the
+    // stripe-level number the SIMD kernel work will be judged against —
+    // per-kernel gains must survive the full column-combination loop.
+    let lrc = Lrc::xorbas_10_6_5().unwrap();
+    let data: Vec<Vec<u8>> = (0..10)
+        .map(|i| {
+            (0..BLOCK)
+                .map(|j| ((i * 31 + j * 7 + 13) % 256) as u8)
+                .collect()
+        })
+        .collect();
+    let data_refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+    let mut parity = vec![vec![0u8; BLOCK]; 6];
+    let mut parity_refs: Vec<&mut [u8]> = parity.iter_mut().map(Vec::as_mut_slice).collect();
+    let mut g = c.benchmark_group("gf_kernels_stripe_e2e");
+    g.throughput(Throughput::Bytes((10 * BLOCK) as u64));
+    g.sample_size(20);
+    g.bench_function("lrc_10_6_5_encode_into_10x1MiB", |b| {
+        b.iter(|| {
+            lrc.encode_into(black_box(&data_refs), &mut parity_refs)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_xor,
+    bench_gf256,
+    bench_gf65536,
+    bench_encode_into_e2e
+);
 criterion_main!(benches);

@@ -1,7 +1,338 @@
-//! The [`ErasureCodec`] trait and repair accounting types.
+//! The [`ErasureCodec`] trait, borrowed stripe views, and repair
+//! accounting types.
+//!
+//! # The zero-copy surface
+//!
+//! The codecs operate on *borrowed* stripe storage: the caller owns the
+//! lane buffers (one per stripe position) and the codec reads and writes
+//! through slices. The owned-`Vec` methods remain as thin wrappers so
+//! existing call sites keep working, but every hot path should move to
+//! the slice-first API:
+//!
+//! | old call (owned)                               | new call (zero-copy)                              |
+//! |------------------------------------------------|---------------------------------------------------|
+//! | `encode_stripe(&[Vec<u8>]) -> Vec<Vec<u8>>`    | [`ErasureCodec::encode_into`] into caller buffers |
+//! | `encode_stripe` + a thread pool                | [`crate::encode_into_parallel`]                   |
+//! | `reconstruct(&mut [Option<Vec<u8>>])` per call | [`ErasureCodec::repair_session`] compiled once, then [`crate::RepairSession::repair`] on a [`StripeViewMut`] |
+//! | `verify_stripe(&[Vec<u8>])` (full re-encode + full compare) | still `verify_stripe`, now re-encoding parity only into scratch and comparing parity lanes |
+//!
+//! A [`RepairSession`](crate::RepairSession) caches the compiled decode
+//! (the inverted submatrix folded into per-target coefficient rows), so
+//! repeated repairs of one failure pattern — the simulator's common case
+//! — run no Gaussian elimination and allocate nothing after compilation.
+//! The number of eliminations ever performed is observable through
+//! [`crate::decode_solve_count`].
 
-use crate::error::Result;
+use crate::error::{CodeError, Result};
+use crate::session::RepairSession;
 use crate::spec::CodeSpec;
+
+/// Maximum lane count a [`LaneMask`] stores without heap spill.
+const INLINE_LANES: usize = 256;
+
+/// A small bitset over stripe lane indices.
+///
+/// Stripes up to 256 lanes (every code in the paper, and anything that
+/// fits GF(2^8)) are tracked inline without heap allocation; wider
+/// stripes over larger fields spill to a heap vector at construction
+/// time only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneMask {
+    lanes: usize,
+    bits: MaskBits,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum MaskBits {
+    Inline([u64; INLINE_LANES / 64]),
+    Spilled(Vec<u64>),
+}
+
+impl LaneMask {
+    /// An all-clear mask over `lanes` lane indices.
+    pub fn empty(lanes: usize) -> Self {
+        let bits = if lanes <= INLINE_LANES {
+            MaskBits::Inline([0; INLINE_LANES / 64])
+        } else {
+            MaskBits::Spilled(vec![0; lanes.div_ceil(64)])
+        };
+        Self { lanes, bits }
+    }
+
+    /// An all-set mask over `lanes` lane indices.
+    pub fn full(lanes: usize) -> Self {
+        let mut mask = Self::empty(lanes);
+        for i in 0..lanes {
+            mask.set(i);
+        }
+        mask
+    }
+
+    /// Number of lane indices this mask covers.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    fn words(&self) -> &[u64] {
+        match &self.bits {
+            MaskBits::Inline(w) => w,
+            MaskBits::Spilled(w) => w,
+        }
+    }
+
+    fn words_mut(&mut self) -> &mut [u64] {
+        match &mut self.bits {
+            MaskBits::Inline(w) => w,
+            MaskBits::Spilled(w) => w,
+        }
+    }
+
+    /// Sets bit `i`. Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.lanes, "lane {i} out of range for {}", self.lanes);
+        self.words_mut()[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`. Panics if `i` is out of range.
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.lanes, "lane {i} out of range for {}", self.lanes);
+        self.words_mut()[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether bit `i` is set. Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.lanes, "lane {i} out of range for {}", self.lanes);
+        self.words()[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether every set bit of `self` is also set in `other`.
+    ///
+    /// Panics if the masks cover different lane counts — a truncated
+    /// word-wise comparison would silently answer wrong.
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        assert_eq!(self.lanes, other.lanes, "mask width mismatch");
+        self.words()
+            .iter()
+            .zip(other.words())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// The set lane indices, ascending.
+    pub fn indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.lanes).filter(|&i| self.get(i))
+    }
+}
+
+/// Validates a set of borrowed lanes: expected count, one shared length.
+fn check_lane_shape(lens: impl Iterator<Item = usize>, expected: usize) -> Result<usize> {
+    let mut count = 0;
+    let mut shared = None;
+    for len in lens {
+        count += 1;
+        match shared {
+            None => shared = Some(len),
+            Some(l) if l != len => return Err(CodeError::ShardSizeMismatch),
+            _ => {}
+        }
+    }
+    if count != expected {
+        return Err(CodeError::ShardCountMismatch {
+            expected,
+            got: count,
+        });
+    }
+    Ok(shared.unwrap_or(0))
+}
+
+/// Validates encode input lanes: exactly `k` borrowed payloads of one
+/// shared length, returned.
+pub(crate) fn check_data_lanes(data: &[&[u8]], k: usize) -> Result<usize> {
+    check_lane_shape(data.iter().map(|d| d.len()), k)
+}
+
+/// Validates encode output lanes: exactly `m` borrowed buffers of length
+/// `len` each.
+pub(crate) fn check_parity_lanes(parity: &[&mut [u8]], m: usize, len: usize) -> Result<()> {
+    let got = check_lane_shape(parity.iter().map(|p| p.len()), m)?;
+    if m > 0 && got != len {
+        return Err(CodeError::ShardSizeMismatch);
+    }
+    Ok(())
+}
+
+/// A borrowed read-only stripe: `n` equal-length payload lanes over
+/// caller-owned storage, plus a present/missing mask.
+///
+/// Missing lanes still have backing storage (their contents are simply
+/// meaningless); the mask records which lanes carry real data.
+#[derive(Debug)]
+pub struct StripeView<'a> {
+    lanes: &'a [&'a [u8]],
+    present: LaneMask,
+}
+
+impl<'a> StripeView<'a> {
+    /// A view with every lane present. Fails on ragged lane lengths.
+    pub fn new(lanes: &'a [&'a [u8]]) -> Result<Self> {
+        Self::with_missing(lanes, &[])
+    }
+
+    /// A view whose `missing` lane indices carry no data.
+    ///
+    /// Fails on ragged lane lengths or out-of-range indices.
+    pub fn with_missing(lanes: &'a [&'a [u8]], missing: &[usize]) -> Result<Self> {
+        check_lane_shape(lanes.iter().map(|l| l.len()), lanes.len())?;
+        let mut present = LaneMask::full(lanes.len());
+        for &i in missing {
+            if i >= lanes.len() {
+                return Err(CodeError::InvalidParameters(format!(
+                    "missing lane {i} out of range for {} lanes",
+                    lanes.len()
+                )));
+            }
+            present.clear(i);
+        }
+        Ok(Self { lanes, present })
+    }
+
+    /// Number of lanes (the stripe blocklength `n`).
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Shared payload length in bytes.
+    pub fn lane_len(&self) -> usize {
+        self.lanes.first().map_or(0, |l| l.len())
+    }
+
+    /// Lane `i`'s payload (meaningless when the lane is missing).
+    pub fn lane(&self, i: usize) -> &[u8] {
+        self.lanes[i]
+    }
+
+    /// All lanes, in stripe order.
+    pub fn lanes(&self) -> &[&'a [u8]] {
+        self.lanes
+    }
+
+    /// Whether lane `i` carries real data.
+    pub fn is_present(&self, i: usize) -> bool {
+        self.present.get(i)
+    }
+
+    /// The present/missing mask.
+    pub fn present_mask(&self) -> &LaneMask {
+        &self.present
+    }
+
+    /// The missing lane indices, ascending.
+    pub fn missing_lanes(&self) -> Vec<usize> {
+        (0..self.lanes.len())
+            .filter(|&i| !self.present.get(i))
+            .collect()
+    }
+}
+
+/// A borrowed mutable stripe: `n` equal-length payload lanes over
+/// caller-owned storage, plus a present/missing mask.
+///
+/// This is the repair surface: a [`RepairSession`] reads the present
+/// lanes and writes reconstructed payloads into the missing ones,
+/// marking them present as it goes. Construct one per repair over
+/// whatever storage the caller keeps (arena lanes, pooled buffers,
+/// `Vec<Vec<u8>>` shards) — construction allocates nothing.
+#[derive(Debug)]
+pub struct StripeViewMut<'s, 'l> {
+    lanes: &'s mut [&'l mut [u8]],
+    present: LaneMask,
+    lane_len: usize,
+}
+
+impl<'s, 'l> StripeViewMut<'s, 'l> {
+    /// A view over `lanes` whose `missing` indices await reconstruction.
+    ///
+    /// Fails on ragged lane lengths or out-of-range indices.
+    pub fn new(lanes: &'s mut [&'l mut [u8]], missing: &[usize]) -> Result<Self> {
+        let lane_len = check_lane_shape(lanes.iter().map(|l| l.len()), lanes.len())?;
+        let mut present = LaneMask::full(lanes.len());
+        for &i in missing {
+            if i >= lanes.len() {
+                return Err(CodeError::InvalidParameters(format!(
+                    "missing lane {i} out of range for {} lanes",
+                    lanes.len()
+                )));
+            }
+            present.clear(i);
+        }
+        Ok(Self {
+            lanes,
+            present,
+            lane_len,
+        })
+    }
+
+    /// Number of lanes (the stripe blocklength `n`).
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Shared payload length in bytes.
+    pub fn lane_len(&self) -> usize {
+        self.lane_len
+    }
+
+    /// Lane `i`'s payload (meaningless while the lane is missing).
+    pub fn lane(&self, i: usize) -> &[u8] {
+        self.lanes[i]
+    }
+
+    /// Mutable access to lane `i`'s payload.
+    pub fn lane_mut(&mut self, i: usize) -> &mut [u8] {
+        self.lanes[i]
+    }
+
+    /// Whether lane `i` carries real data.
+    pub fn is_present(&self, i: usize) -> bool {
+        self.present.get(i)
+    }
+
+    /// Marks lane `i` as carrying real data (a decoder finished it).
+    pub fn mark_present(&mut self, i: usize) {
+        self.present.set(i);
+    }
+
+    /// The present/missing mask.
+    pub fn present_mask(&self) -> &LaneMask {
+        &self.present
+    }
+
+    /// The missing lane indices, ascending.
+    pub fn missing_lanes(&self) -> Vec<usize> {
+        (0..self.lanes.len())
+            .filter(|&i| !self.present.get(i))
+            .collect()
+    }
+
+    /// Simultaneous `(&mut dst, &src)` access to two distinct lanes —
+    /// the split borrow every `dst ^= c · src` decode step needs.
+    ///
+    /// Panics if `dst == src`.
+    pub fn lane_pair_mut(&mut self, dst: usize, src: usize) -> (&mut [u8], &[u8]) {
+        assert_ne!(dst, src, "decode step reads and writes one lane");
+        if dst < src {
+            let (head, tail) = self.lanes.split_at_mut(src);
+            (&mut *head[dst], &*tail[0])
+        } else {
+            let (head, tail) = self.lanes.split_at_mut(dst);
+            (&mut *tail[0], &*head[src])
+        }
+    }
+}
 
 /// One reconstruction task: the unit of work a BlockFixer map task
 /// performs (§3.1.2 — "a single map task opens parallel streams to the
@@ -40,15 +371,23 @@ impl RepairPlan {
     }
 
     /// Number of *distinct* blocks read across all tasks.
+    ///
+    /// Computed with a lane bitset — no sorting, and no heap traffic for
+    /// stripes up to 256 blocks.
     pub fn blocks_read(&self) -> usize {
-        let mut seen: Vec<usize> = self
+        let width = self
             .tasks
             .iter()
-            .flat_map(|t| t.reads.iter().copied())
-            .collect();
-        seen.sort_unstable();
-        seen.dedup();
-        seen.len()
+            .flat_map(|t| t.reads.iter())
+            .max()
+            .map_or(0, |&m| m + 1);
+        let mut seen = LaneMask::empty(width);
+        for task in &self.tasks {
+            for &r in &task.reads {
+                seen.set(r);
+            }
+        }
+        seen.count_ones()
     }
 
     /// Total block-read events, counting a block once per task that reads
@@ -96,10 +435,23 @@ impl RepairReport {
 /// A systematic erasure codec operating on equal-length block payloads.
 ///
 /// Block indices are stripe positions: `0..k` are data blocks, the rest
-/// parity blocks (layout is codec-specific). `encode_stripe` returns all
-/// `n` blocks with the data blocks bit-identical to the input (the codes
-/// here are systematic — the paper's §6 explains why exact/systematic
-/// repair is required for MapReduce workloads).
+/// parity blocks (layout is codec-specific). Encoding leaves the data
+/// lanes untouched (the codes here are systematic — the paper's §6
+/// explains why exact/systematic repair is required for MapReduce
+/// workloads) and derives only the parity lanes.
+///
+/// Implementors provide the borrowed-buffer core ([`encode_into`],
+/// [`repair_session`]); the owned-`Vec` methods are default wrappers
+/// over it:
+///
+/// | old call (owned)                            | new call (zero-copy)                            |
+/// |---------------------------------------------|-------------------------------------------------|
+/// | `encode_stripe(&[Vec<u8>]) -> Vec<Vec<u8>>` | [`encode_into`] into caller buffers             |
+/// | `encode_stripe` + a thread pool             | [`crate::encode_into_parallel`]                 |
+/// | `reconstruct(&mut [Option<Vec<u8>>])`       | [`repair_session`] once, then [`crate::RepairSession::repair`] on a [`StripeViewMut`] |
+///
+/// [`encode_into`]: ErasureCodec::encode_into
+/// [`repair_session`]: ErasureCodec::repair_session
 pub trait ErasureCodec {
     /// Number of data blocks `k`.
     fn data_blocks(&self) -> usize;
@@ -110,8 +462,21 @@ pub trait ErasureCodec {
     /// This codec's [`CodeSpec`].
     fn spec(&self) -> CodeSpec;
 
-    /// Encodes `k` equal-length data payloads into `n` stored payloads.
-    fn encode_stripe(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>>;
+    /// Bytes per field symbol in a payload — the granularity at which a
+    /// payload may be split without breaking symbol boundaries (1 for
+    /// GF(2^8), 2 for GF(2^16)). [`crate::encode_into_parallel`] aligns
+    /// its range shards to this.
+    fn symbol_bytes(&self) -> usize {
+        1
+    }
+
+    /// Encodes `k` borrowed data payloads into `n - k` caller-provided
+    /// parity buffers, allocating nothing.
+    ///
+    /// `data` must hold `k` equal-length lanes and `parity` the code's
+    /// parity-lane count at the same length. Parity lanes are fully
+    /// overwritten (no pre-zeroing needed).
+    fn encode_into(&self, data: &[&[u8]], parity: &mut [&mut [u8]]) -> Result<()>;
 
     /// Plans reconstruction of `targets` when `unavailable` blocks cannot
     /// be read. `targets ⊆ unavailable`. Degraded reads plan a single
@@ -123,16 +488,87 @@ pub trait ErasureCodec {
         self.repair_plan_for(missing, missing)
     }
 
-    /// Restores every `None` shard in place and reports what was read.
+    /// Compiles a reusable repair for one failure pattern.
+    ///
+    /// Compilation runs the planner and (for heavy patterns) a single
+    /// Gaussian elimination, folding the inverted decode submatrix into
+    /// per-target coefficient rows. The returned session repairs any
+    /// stripe with this pattern via [`RepairSession::repair`] with no
+    /// further solves and no allocation — compile once per pattern, reuse
+    /// across stripes.
+    fn repair_session(&self, unavailable: &[usize]) -> Result<RepairSession>;
+
+    /// Convenience wrapper: encodes `k` owned data payloads into all `n`
+    /// stored payloads (data lanes copied through bit-identically).
+    ///
+    /// Allocates the output stripe; hot paths should hold reusable
+    /// buffers and call [`ErasureCodec::encode_into`] directly.
+    fn encode_stripe(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
+        let len = check_data(data, self.data_blocks())?;
+        let m = self.total_blocks() - self.data_blocks();
+        let mut parity = vec![vec![0u8; len]; m];
+        {
+            let data_refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+            let mut parity_refs: Vec<&mut [u8]> =
+                parity.iter_mut().map(Vec::as_mut_slice).collect();
+            self.encode_into(&data_refs, &mut parity_refs)?;
+        }
+        let mut stripe = data.to_vec();
+        stripe.extend(parity);
+        Ok(stripe)
+    }
+
+    /// Convenience wrapper: restores every `None` shard in place and
+    /// reports what was read.
     ///
     /// `shards` must have length `n`; present shards must share one size.
-    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<RepairReport>;
+    /// Compiles a fresh [`RepairSession`] per call; repeated repairs of
+    /// one pattern should compile once and reuse the session.
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<RepairReport> {
+        let len = check_shards(shards, self.total_blocks())?;
+        let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
+        let session = self.repair_session(&missing)?;
+        if missing.is_empty() {
+            return Ok(session.report());
+        }
+        for &b in &missing {
+            shards[b] = Some(vec![0u8; len]);
+        }
+        let mut lane_refs: Vec<&mut [u8]> = shards
+            .iter_mut()
+            .map(|s| s.as_mut().expect("all lanes materialized").as_mut_slice())
+            .collect();
+        let mut view = StripeViewMut::new(&mut lane_refs, &missing)?;
+        session.repair(&mut view)?;
+        Ok(session.report())
+    }
 
     /// Convenience: verifies a full stripe round-trips through encoding.
+    ///
+    /// Re-derives only the parity lanes (into scratch buffers) and
+    /// compares them against the stored parity — the data half is
+    /// systematic by construction and is neither cloned nor compared.
     fn verify_stripe(&self, stripe: &[Vec<u8>]) -> Result<bool> {
-        let data: Vec<Vec<u8>> = stripe[..self.data_blocks()].to_vec();
-        let re = self.encode_stripe(&data)?;
-        Ok(re == stripe)
+        let k = self.data_blocks();
+        let n = self.total_blocks();
+        if stripe.len() != n {
+            return Err(CodeError::ShardCountMismatch {
+                expected: n,
+                got: stripe.len(),
+            });
+        }
+        let data_refs: Vec<&[u8]> = stripe[..k].iter().map(Vec::as_slice).collect();
+        let len = check_data_lanes(&data_refs, k)?;
+        let mut parity = vec![vec![0u8; len]; n - k];
+        {
+            let mut parity_refs: Vec<&mut [u8]> =
+                parity.iter_mut().map(Vec::as_mut_slice).collect();
+            self.encode_into(&data_refs, &mut parity_refs)?;
+        }
+        Ok(parity
+            .iter()
+            .zip(&stripe[k..])
+            .all(|(re, stored)| re == stored))
     }
 }
 
@@ -140,7 +576,6 @@ pub trait ErasureCodec {
 ///
 /// Returns the common payload length (0 when everything is missing).
 pub(crate) fn check_shards(shards: &[Option<Vec<u8>>], expected: usize) -> Result<usize> {
-    use crate::error::CodeError;
     if shards.len() != expected {
         return Err(CodeError::ShardCountMismatch {
             expected,
@@ -160,7 +595,6 @@ pub(crate) fn check_shards(shards: &[Option<Vec<u8>>], expected: usize) -> Resul
 
 /// Validates encode input: exactly `k` payloads of one shared length.
 pub(crate) fn check_data(data: &[Vec<u8>], k: usize) -> Result<usize> {
-    use crate::error::CodeError;
     if data.len() != k {
         return Err(CodeError::ShardCountMismatch {
             expected: k,
@@ -176,7 +610,6 @@ pub(crate) fn check_data(data: &[Vec<u8>], k: usize) -> Result<usize> {
 
 /// Sorted, deduplicated copy of an index list; rejects out-of-range.
 pub(crate) fn normalize_indices(indices: &[usize], n: usize) -> Result<Vec<usize>> {
-    use crate::error::CodeError;
     let mut v = indices.to_vec();
     v.sort_unstable();
     v.dedup();
@@ -186,4 +619,135 @@ pub(crate) fn normalize_indices(indices: &[usize], n: usize) -> Result<Vec<usize
         )));
     }
     Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ErasureCodec, Lrc, ReedSolomon};
+    use xorbas_gf::Gf256;
+
+    #[test]
+    fn lane_mask_inline_set_get_count() {
+        let mut m = LaneMask::empty(16);
+        assert_eq!(m.count_ones(), 0);
+        m.set(0);
+        m.set(15);
+        m.set(15);
+        assert!(m.get(0) && m.get(15) && !m.get(7));
+        assert_eq!(m.count_ones(), 2);
+        m.clear(0);
+        assert_eq!(m.indices().collect::<Vec<_>>(), vec![15]);
+    }
+
+    #[test]
+    fn lane_mask_spills_past_256_lanes() {
+        let mut m = LaneMask::empty(300);
+        m.set(299);
+        m.set(0);
+        assert_eq!(m.count_ones(), 2);
+        assert!(m.get(299));
+        let full = LaneMask::full(300);
+        assert!(m.is_subset_of(&full));
+        assert!(!full.is_subset_of(&m));
+    }
+
+    #[test]
+    fn lane_mask_subset() {
+        let mut a = LaneMask::empty(64);
+        let mut b = LaneMask::empty(64);
+        a.set(3);
+        b.set(3);
+        b.set(9);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+    }
+
+    #[test]
+    fn blocks_read_is_5_for_xorbas_single_failure_plan() {
+        // The headline locality: one lost block of the (10,6,5) LRC reads
+        // exactly its 5-block repair group (Fig. 2 / §3.1.2). Pinned here
+        // against the bitset rewrite of `blocks_read`.
+        let lrc = Lrc::xorbas_10_6_5().unwrap();
+        let plan = lrc.repair_plan(&[0]).unwrap();
+        assert_eq!(plan.blocks_read(), 5);
+        assert_eq!(plan.read_events(), 5);
+    }
+
+    #[test]
+    fn blocks_read_dedups_across_tasks() {
+        let plan = RepairPlan {
+            missing: vec![1, 2],
+            tasks: vec![
+                RepairTask {
+                    repairs: vec![1],
+                    reads: vec![0, 3, 4],
+                    light: true,
+                },
+                RepairTask {
+                    repairs: vec![2],
+                    reads: vec![0, 3, 5],
+                    light: true,
+                },
+            ],
+        };
+        assert_eq!(plan.blocks_read(), 4); // {0, 3, 4, 5}
+        assert_eq!(plan.read_events(), 6);
+    }
+
+    #[test]
+    fn stripe_view_rejects_ragged_lanes() {
+        let a = [1u8, 2, 3];
+        let b = [4u8, 5];
+        let lanes: Vec<&[u8]> = vec![&a, &b];
+        assert!(matches!(
+            StripeView::new(&lanes),
+            Err(CodeError::ShardSizeMismatch)
+        ));
+    }
+
+    #[test]
+    fn stripe_view_tracks_missing() {
+        let a = [1u8, 2];
+        let b = [3u8, 4];
+        let lanes: Vec<&[u8]> = vec![&a, &b];
+        let v = StripeView::with_missing(&lanes, &[1]).unwrap();
+        assert!(v.is_present(0) && !v.is_present(1));
+        assert_eq!(v.missing_lanes(), vec![1]);
+        assert_eq!(v.lane_len(), 2);
+        assert!(StripeView::with_missing(&lanes, &[2]).is_err());
+    }
+
+    #[test]
+    fn stripe_view_mut_lane_pair_splits_both_ways() {
+        let mut a = vec![1u8, 1];
+        let mut b = vec![2u8, 2];
+        let mut lanes: Vec<&mut [u8]> = vec![&mut a, &mut b];
+        let mut v = StripeViewMut::new(&mut lanes, &[0]).unwrap();
+        {
+            let (dst, src) = v.lane_pair_mut(0, 1);
+            dst.copy_from_slice(src);
+        }
+        v.mark_present(0);
+        assert!(v.is_present(0));
+        assert_eq!(v.lane(0), &[2, 2]);
+        let (dst, src) = v.lane_pair_mut(1, 0);
+        assert_eq!(dst.len(), src.len());
+    }
+
+    #[test]
+    fn verify_stripe_checks_parity_lanes_only() {
+        let rs: ReedSolomon<Gf256> = ReedSolomon::new(4, 2).unwrap();
+        let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8 + 1; 8]).collect();
+        let mut stripe = rs.encode_stripe(&data).unwrap();
+        assert!(rs.verify_stripe(&stripe).unwrap());
+        stripe[5][0] ^= 0xFF; // corrupt a parity lane
+        assert!(!rs.verify_stripe(&stripe).unwrap());
+        stripe[5][0] ^= 0xFF;
+        stripe.pop();
+        assert!(matches!(
+            rs.verify_stripe(&stripe),
+            Err(CodeError::ShardCountMismatch { .. })
+        ));
+    }
 }

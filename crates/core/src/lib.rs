@@ -38,12 +38,19 @@ pub mod construction;
 mod error;
 mod linear;
 mod lrc;
+mod parallel;
 pub mod peeling;
 mod reed_solomon;
+mod session;
 mod spec;
 
-pub use codec::{ErasureCodec, RepairPlan, RepairReport, RepairTask};
+pub use codec::{
+    ErasureCodec, LaneMask, RepairPlan, RepairReport, RepairTask, StripeView, StripeViewMut,
+};
 pub use error::{CodeError, Result};
+pub use linear::decode_solve_count;
 pub use lrc::Lrc;
+pub use parallel::encode_into_parallel;
 pub use reed_solomon::ReedSolomon;
+pub use session::RepairSession;
 pub use spec::{CodeSpec, LrcSpec};

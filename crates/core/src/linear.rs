@@ -1,13 +1,33 @@
-//! Shared generator-matrix payload operations.
+//! Shared generator-matrix decode compilation.
 //!
 //! Both codecs express a stripe as `y = x · G` (row vector of `k` data
 //! payloads times a `k × n` generator). Heavy decoding picks `k`
 //! independent surviving columns `S`, inverts `G_S`, and recovers
-//! `x = y_S · G_S⁻¹`; re-encoding any block is a column combination.
+//! `x = y_S · G_S⁻¹`; any block `b` is then `y_b = x · g_b`. The
+//! compiler below folds those two products into one coefficient row per
+//! target — `y_b = y_S · (G_S⁻¹ · g_b)` — so executing a repair is pure
+//! slice arithmetic with no matrix work left.
 
-use xorbas_gf::slice_ops::payload_mul_acc;
+use std::cell::Cell;
+
 use xorbas_gf::Field;
 use xorbas_linalg::Matrix;
+
+use crate::session::CompiledStep;
+
+thread_local! {
+    static DECODE_SOLVES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of decode linear solves (Gaussian eliminations of a selected
+/// `k × k` generator submatrix) this thread has ever run.
+///
+/// A diagnostic/test hook: compiling a heavy [`crate::RepairSession`]
+/// adds exactly one; executing a compiled session adds zero, however
+/// many stripes it repairs.
+pub fn decode_solve_count() -> u64 {
+    DECODE_SOLVES.with(Cell::get)
+}
 
 /// Greedily selects independent columns from `candidates` (in order)
 /// until `gen.rows()` of them are found. Returns `None` if the candidate
@@ -24,47 +44,43 @@ pub(crate) fn select_independent_columns<F: Field>(
     Some(pivots.into_iter().map(|p| candidates[p]).collect())
 }
 
-/// Recovers all `k` data payloads from the shards at `selection`
-/// (which must index `k` independent, present columns).
-pub(crate) fn solve_data_payloads<F: Field>(
+/// Compiles the heavy decode of `targets` from the shards at `selection`
+/// (which must index `k` independent, present columns) into one
+/// [`CompiledStep`] per target: `y_b = Σ_j (G_S⁻¹ · g_b)_j · y_{S_j}`.
+///
+/// Runs the one Gaussian elimination of the repair (counted in
+/// [`decode_solve_count`]); the inverse is folded into the returned
+/// coefficients and never needed again.
+pub(crate) fn compile_combination_steps<F: Field>(
     gen: &Matrix<F>,
-    shards: &[Option<Vec<u8>>],
     selection: &[usize],
-    len: usize,
-) -> Vec<Vec<u8>> {
+    targets: &[usize],
+) -> Vec<CompiledStep> {
     let k = gen.rows();
     debug_assert_eq!(selection.len(), k);
     let sub = gen.select_columns(selection);
     let inv = sub.invert().expect("selected columns are independent");
-    // x = y_S · inv  =>  x_i = Σ_j y_{S_j} · inv[j][i]
-    let mut data = vec![vec![0u8; len]; k];
-    for (j, &s) in selection.iter().enumerate() {
-        let payload = shards[s].as_ref().expect("selected shard is present");
-        for (i, out) in data.iter_mut().enumerate() {
-            payload_mul_acc(out, payload, inv[(j, i)]);
-        }
-    }
-    data
-}
-
-/// Encodes stripe position `col` from the data payloads:
-/// `y_col = Σ_i x_i · G[i, col]`.
-pub(crate) fn encode_column<F: Field>(
-    gen: &Matrix<F>,
-    data: &[Vec<u8>],
-    col: usize,
-    len: usize,
-) -> Vec<u8> {
-    let mut out = vec![0u8; len];
-    for (i, d) in data.iter().enumerate() {
-        payload_mul_acc(&mut out, d, gen[(i, col)]);
-    }
-    out
+    DECODE_SOLVES.with(|c| c.set(c.get() + 1));
+    targets
+        .iter()
+        .map(|&b| {
+            let sources = selection
+                .iter()
+                .enumerate()
+                .filter_map(|(j, &s)| {
+                    let c: F = (0..k).map(|i| inv[(j, i)] * gen[(i, b)]).sum();
+                    (!c.is_zero()).then(|| (s, c.index()))
+                })
+                .collect();
+            CompiledStep { target: b, sources }
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xorbas_gf::slice_ops::payload_mul_acc;
     use xorbas_gf::Gf256;
     use xorbas_linalg::special;
 
@@ -92,14 +108,42 @@ mod tests {
     }
 
     #[test]
-    fn solve_then_encode_round_trips() {
+    fn compiled_steps_reproduce_the_stripe() {
         let g: Matrix<Gf256> = special::systematize(&special::vandermonde(3, 6)).unwrap();
-        let data = vec![vec![1u8, 2], vec![3u8, 4], vec![5u8, 6]];
-        let stripe: Vec<Vec<u8>> = (0..6).map(|c| encode_column(&g, &data, c, 2)).collect();
-        // Recover from parity columns only.
-        let shards: Vec<Option<Vec<u8>>> = stripe.iter().cloned().map(Some).collect();
-        let sel = vec![3, 4, 5];
-        let solved = solve_data_payloads(&g, &shards, &sel, 2);
-        assert_eq!(solved, data);
+        let data = [vec![1u8, 2], vec![3u8, 4], vec![5u8, 6]];
+        let stripe: Vec<Vec<u8>> = (0..6)
+            .map(|c| {
+                let mut out = vec![0u8; 2];
+                for (i, d) in data.iter().enumerate() {
+                    payload_mul_acc(&mut out, d, g[(i, c)]);
+                }
+                out
+            })
+            .collect();
+        // Recover blocks 0..3 (the data half) from the parity columns.
+        let before = decode_solve_count();
+        let steps = compile_combination_steps(&g, &[3, 4, 5], &[0, 1, 2]);
+        assert_eq!(decode_solve_count(), before + 1);
+        for step in steps {
+            let mut out = vec![0u8; 2];
+            for (src, c) in step.sources {
+                payload_mul_acc(&mut out, &stripe[src], Gf256::from_index(c));
+            }
+            assert_eq!(out, stripe[step.target], "target {}", step.target);
+        }
+    }
+
+    #[test]
+    fn identity_targets_compile_to_single_source_steps() {
+        // Selecting the systematic columns makes each data target a
+        // trivial copy: exactly one source with coefficient 1.
+        let g: Matrix<Gf256> = special::systematize(&special::vandermonde(2, 4)).unwrap();
+        let steps = compile_combination_steps(&g, &[0, 1], &[2, 3]);
+        assert_eq!(steps.len(), 2);
+        for s in &steps {
+            assert!(!s.sources.is_empty());
+        }
+        let copy = compile_combination_steps(&g, &[0, 1], &[0]);
+        assert_eq!(copy[0].sources, vec![(0, 1)]);
     }
 }

@@ -18,16 +18,17 @@
 //! Every block has locality 5 and the code has optimal distance 5 for
 //! that locality (Theorem 5); tests verify both by brute force.
 
-use xorbas_gf::slice_ops::payload_mul_acc;
+use xorbas_gf::slice_ops::{payload_mul_acc, payload_mul_into};
 use xorbas_gf::{Field, Gf256};
 use xorbas_linalg::Matrix;
 
 use crate::codec::{
-    check_data, check_shards, normalize_indices, ErasureCodec, RepairPlan, RepairReport, RepairTask,
+    check_data_lanes, check_parity_lanes, normalize_indices, ErasureCodec, RepairPlan, RepairTask,
 };
 use crate::error::{CodeError, Result};
 use crate::linear;
 use crate::peeling::{peel, PeelStep, XorEquation};
+use crate::session::{CompiledStep, RepairSession};
 use crate::spec::{CodeSpec, LrcSpec};
 use crate::ReedSolomon;
 
@@ -267,6 +268,30 @@ impl<F: Field> Lrc<F> {
         )?;
         Ok((steps, Some((outcome.unresolved, selection))))
     }
+
+    /// Assembles the public [`RepairPlan`] from a planner outcome.
+    fn assemble_plan(
+        missing: Vec<usize>,
+        steps: &[PeelStep<F>],
+        heavy: Option<&(Vec<usize>, Vec<usize>)>,
+    ) -> RepairPlan {
+        let mut tasks: Vec<RepairTask> = steps
+            .iter()
+            .map(|s| RepairTask {
+                repairs: vec![s.repaired],
+                reads: s.sources.iter().map(|&(i, _)| i).collect(),
+                light: true,
+            })
+            .collect();
+        if let Some((unresolved, selection)) = heavy {
+            tasks.push(RepairTask {
+                repairs: unresolved.clone(),
+                reads: selection.clone(),
+                light: false,
+            });
+        }
+        RepairPlan { missing, tasks }
+    }
 }
 
 impl<F: Field> ErasureCodec for Lrc<F> {
@@ -282,93 +307,82 @@ impl<F: Field> ErasureCodec for Lrc<F> {
         CodeSpec::Lrc(self.spec)
     }
 
-    fn encode_stripe(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
-        let len = check_data(data, self.spec.k)?;
-        let mut stripe = self.rs.encode_stripe(data)?;
-        for group in &self.local_coeffs {
-            let t = stripe.len() - (self.spec.k + self.spec.global_parities);
+    fn symbol_bytes(&self) -> usize {
+        F::SYMBOL_BYTES
+    }
+
+    fn encode_into(&self, data: &[&[u8]], parity: &mut [&mut [u8]]) -> Result<()> {
+        let k = self.spec.k;
+        let g = self.spec.global_parities;
+        let len = check_data_lanes(data, k)?;
+        check_parity_lanes(parity, self.total_blocks() - k, len)?;
+        let (globals, locals) = parity.split_at_mut(g);
+        // Global (Reed-Solomon) parities: columns k..k+g of the generator.
+        for (p, out) in globals.iter_mut().enumerate() {
+            let col = k + p;
+            payload_mul_into(out, data[0], self.generator[(0, col)]);
+            for (i, d) in data.iter().enumerate().skip(1) {
+                payload_mul_acc(out, d, self.generator[(i, col)]);
+            }
+        }
+        // Local parities: Σ cᵢ · Xᵢ over each data group.
+        for (t, group) in self.local_coeffs.iter().enumerate() {
             let base = t * self.spec.group_size;
-            let mut parity = vec![0u8; len];
-            for (i, &c) in group.iter().enumerate() {
-                payload_mul_acc(&mut parity, &data[base + i], c);
+            let out = &mut *locals[t];
+            payload_mul_into(out, data[base], group[0]);
+            for (i, &c) in group.iter().enumerate().skip(1) {
+                payload_mul_acc(out, data[base + i], c);
             }
-            stripe.push(parity);
         }
+        // Stored parity-group parity S_p = Σ_j P_j (implied codes omit it).
         if !self.spec.implied_parity {
-            let mut parity = vec![0u8; len];
-            for j in 0..self.spec.global_parities {
-                payload_mul_acc(&mut parity, &stripe[self.spec.k + j], F::ONE);
+            let (_, tail) = locals.split_at_mut(self.spec.data_groups());
+            let out = &mut *tail[0];
+            payload_mul_into(out, &*globals[0], F::ONE);
+            for global in globals.iter().skip(1) {
+                payload_mul_acc(out, global, F::ONE);
             }
-            stripe.push(parity);
         }
-        debug_assert_eq!(stripe.len(), self.total_blocks());
-        Ok(stripe)
+        Ok(())
     }
 
     fn repair_plan_for(&self, unavailable: &[usize], targets: &[usize]) -> Result<RepairPlan> {
         let (steps, heavy) = self.plan_internal(unavailable, targets)?;
-        let mut tasks: Vec<RepairTask> = steps
-            .iter()
-            .map(|s| RepairTask {
-                repairs: vec![s.repaired],
-                reads: s.sources.iter().map(|&(i, _)| i).collect(),
-                light: true,
-            })
-            .collect();
-        if let Some((unresolved, selection)) = heavy {
-            tasks.push(RepairTask {
-                repairs: unresolved,
-                reads: selection,
-                light: false,
-            });
-        }
-        Ok(RepairPlan {
-            missing: normalize_indices(targets, self.total_blocks())?,
-            tasks,
-        })
+        Ok(Self::assemble_plan(
+            normalize_indices(targets, self.total_blocks())?,
+            &steps,
+            heavy.as_ref(),
+        ))
     }
 
-    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<RepairReport> {
-        let len = check_shards(shards, self.total_blocks())?;
-        let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
-        if missing.is_empty() {
-            return Ok(RepairReport::from_plan(&RepairPlan {
-                missing: vec![],
-                tasks: vec![],
-            }));
-        }
+    fn repair_session(&self, unavailable: &[usize]) -> Result<RepairSession> {
+        let missing = normalize_indices(unavailable, self.total_blocks())?;
         let (steps, heavy) = self.plan_internal(&missing, &missing)?;
-        let mut tasks = Vec::new();
-        for step in &steps {
-            let mut payload = vec![0u8; len];
-            for &(src, c) in &step.sources {
-                let s = shards[src].as_ref().expect("peel sources are available");
-                payload_mul_acc(&mut payload, s, c);
-            }
-            shards[step.repaired] = Some(payload);
-            tasks.push(RepairTask {
-                repairs: vec![step.repaired],
-                reads: step.sources.iter().map(|&(i, _)| i).collect(),
-                light: true,
-            });
+        let plan = Self::assemble_plan(missing.clone(), &steps, heavy.as_ref());
+        // Light peeling steps translate one-to-one into compiled steps.
+        let mut compiled: Vec<CompiledStep> = steps
+            .iter()
+            .map(|s| CompiledStep {
+                target: s.repaired,
+                sources: s.sources.iter().map(|&(i, c)| (i, c.index())).collect(),
+            })
+            .collect();
+        let mut solves = 0;
+        if let Some((unresolved, selection)) = &heavy {
+            compiled.extend(linear::compile_combination_steps(
+                &self.generator,
+                selection,
+                unresolved,
+            ));
+            solves = 1;
         }
-        if let Some((unresolved, selection)) = heavy {
-            let data = linear::solve_data_payloads(&self.generator, shards, &selection, len);
-            for &b in &unresolved {
-                let payload = if b < self.spec.k {
-                    data[b].clone()
-                } else {
-                    linear::encode_column(&self.generator, &data, b, len)
-                };
-                shards[b] = Some(payload);
-            }
-            tasks.push(RepairTask {
-                repairs: unresolved,
-                reads: selection,
-                light: false,
-            });
-        }
-        Ok(RepairReport::from_plan(&RepairPlan { missing, tasks }))
+        Ok(RepairSession::from_parts::<F>(
+            self.total_blocks(),
+            missing,
+            plan,
+            compiled,
+            solves,
+        ))
     }
 }
 

@@ -16,13 +16,15 @@
 //!   systematic-Vandermonde construction, which lacks alignment; kept as
 //!   a baseline for the ablation of the implied-parity design.
 
+use xorbas_gf::slice_ops::{payload_mul_acc, payload_mul_into};
 use xorbas_gf::{Field, Gf256};
 use xorbas_linalg::{special, Matrix};
 
 use crate::codec::{
-    check_data, check_shards, normalize_indices, ErasureCodec, RepairPlan, RepairReport, RepairTask,
+    check_data_lanes, check_parity_lanes, normalize_indices, ErasureCodec, RepairPlan, RepairTask,
 };
 use crate::error::{CodeError, Result};
+use crate::session::RepairSession;
 use crate::spec::CodeSpec;
 
 /// A systematic `(k, m)` Reed-Solomon erasure code over `F`.
@@ -165,19 +167,21 @@ impl<F: Field> ErasureCodec for ReedSolomon<F> {
         }
     }
 
-    fn encode_stripe(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
-        let len = check_data(data, self.k)?;
-        let mut stripe = data.to_vec();
-        stripe.reserve(self.m);
-        for p in 0..self.m {
-            stripe.push(crate::linear::encode_column(
-                &self.generator,
-                data,
-                self.k + p,
-                len,
-            ));
+    fn symbol_bytes(&self) -> usize {
+        F::SYMBOL_BYTES
+    }
+
+    fn encode_into(&self, data: &[&[u8]], parity: &mut [&mut [u8]]) -> Result<()> {
+        let len = check_data_lanes(data, self.k)?;
+        check_parity_lanes(parity, self.m, len)?;
+        for (p, out) in parity.iter_mut().enumerate() {
+            let col = self.k + p;
+            payload_mul_into(out, data[0], self.generator[(0, col)]);
+            for (i, d) in data.iter().enumerate().skip(1) {
+                payload_mul_acc(out, d, self.generator[(i, col)]);
+            }
         }
-        Ok(stripe)
+        Ok(())
     }
 
     fn repair_plan_for(&self, unavailable: &[usize], targets: &[usize]) -> Result<RepairPlan> {
@@ -209,24 +213,28 @@ impl<F: Field> ErasureCodec for ReedSolomon<F> {
         })
     }
 
-    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<RepairReport> {
-        let len = check_shards(shards, self.total_blocks())?;
-        let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
-        let plan = self.repair_plan(&missing)?;
-        if missing.is_empty() {
-            return Ok(RepairReport::from_plan(&plan));
+    fn repair_session(&self, unavailable: &[usize]) -> Result<RepairSession> {
+        let plan = self.repair_plan(unavailable)?;
+        let missing = plan.missing.clone();
+        let mut steps = Vec::new();
+        let mut solves = 0;
+        if let Some(task) = plan.tasks.first() {
+            // RS repair is a single heavy task; fold the inverse of the
+            // selected columns into per-target coefficient rows.
+            steps = crate::linear::compile_combination_steps(
+                &self.generator,
+                &task.reads,
+                &task.repairs,
+            );
+            solves = 1;
         }
-        let selection = &plan.tasks[0].reads;
-        let data = crate::linear::solve_data_payloads(&self.generator, shards, selection, len);
-        for &b in &missing {
-            let payload = if b < self.k {
-                data[b].clone()
-            } else {
-                crate::linear::encode_column(&self.generator, &data, b, len)
-            };
-            shards[b] = Some(payload);
-        }
-        Ok(RepairReport::from_plan(&plan))
+        Ok(RepairSession::from_parts::<F>(
+            self.total_blocks(),
+            missing,
+            plan,
+            steps,
+            solves,
+        ))
     }
 }
 

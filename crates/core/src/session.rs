@@ -1,0 +1,157 @@
+//! Reusable, pre-compiled repairs: [`RepairSession`].
+//!
+//! Planning a repair and executing it have very different costs. The
+//! plan of a heavy repair hides a Gaussian elimination (inverting the
+//! `k × k` decode submatrix), and the simulator's BlockFixer replays the
+//! *same* failure pattern across thousands of stripes. A
+//! [`RepairSession`] therefore compiles the whole repair once — light
+//! peeling steps and the heavy solve alike — into a flat list of
+//! `lane_target = Σ cᵢ · lane_srcᵢ` steps with the inverse already
+//! folded into the coefficients. Executing the session against a
+//! [`StripeViewMut`] then runs pure slice kernels: no planning, no
+//! elimination, no allocation.
+
+use crate::codec::{LaneMask, RepairPlan, RepairReport, StripeViewMut};
+use crate::error::{CodeError, Result};
+use xorbas_gf::slice_ops::{payload_mul_acc, payload_mul_into};
+use xorbas_gf::Field;
+
+/// One compiled reconstruction: `lane[target] = Σ cᵢ · lane[srcᵢ]`.
+///
+/// Coefficients are stored as field bit-pattern indices so the session
+/// type stays independent of the codec's field parameter.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledStep {
+    /// The lane this step reconstructs.
+    pub(crate) target: usize,
+    /// `(source lane, coefficient index)` pairs; zero coefficients are
+    /// dropped at compile time.
+    pub(crate) sources: Vec<(usize, u32)>,
+}
+
+/// A repair compiled for one failure pattern, reusable across stripes.
+///
+/// Created by [`ErasureCodec::repair_session`]; see the
+/// [codec module docs](crate::ErasureCodec) for the migration table.
+/// [`RepairSession::repair`] takes `&self`, so one compiled session can
+/// serve many threads repairing different stripes concurrently.
+///
+/// [`ErasureCodec::repair_session`]: crate::ErasureCodec::repair_session
+#[derive(Debug, Clone)]
+pub struct RepairSession {
+    lanes: usize,
+    missing: Vec<usize>,
+    missing_mask: LaneMask,
+    plan: RepairPlan,
+    steps: Vec<CompiledStep>,
+    apply_first: fn(&mut [u8], &[u8], u32),
+    apply_acc: fn(&mut [u8], &[u8], u32),
+    solves: usize,
+}
+
+fn apply_first_in<F: Field>(dst: &mut [u8], src: &[u8], c: u32) {
+    payload_mul_into(dst, src, F::from_index(c));
+}
+
+fn apply_acc_in<F: Field>(dst: &mut [u8], src: &[u8], c: u32) {
+    payload_mul_acc(dst, src, F::from_index(c));
+}
+
+impl RepairSession {
+    /// Assembles a session from codec-compiled parts. `missing` must be
+    /// sorted and deduplicated (the codecs normalize before compiling).
+    pub(crate) fn from_parts<F: Field>(
+        lanes: usize,
+        missing: Vec<usize>,
+        plan: RepairPlan,
+        steps: Vec<CompiledStep>,
+        solves: usize,
+    ) -> Self {
+        let mut missing_mask = LaneMask::empty(lanes);
+        for &i in &missing {
+            missing_mask.set(i);
+        }
+        Self {
+            lanes,
+            missing,
+            missing_mask,
+            plan,
+            steps,
+            apply_first: apply_first_in::<F>,
+            apply_acc: apply_acc_in::<F>,
+            solves,
+        }
+    }
+
+    /// The stripe blocklength `n` this session operates on.
+    pub fn lane_count(&self) -> usize {
+        self.lanes
+    }
+
+    /// The failure pattern this session repairs (sorted lane indices).
+    pub fn missing(&self) -> &[usize] {
+        &self.missing
+    }
+
+    /// The repair plan this session was compiled from.
+    pub fn plan(&self) -> &RepairPlan {
+        &self.plan
+    }
+
+    /// Number of linear solves (Gaussian eliminations) compilation ran:
+    /// 1 for patterns needing the heavy decoder, 0 for pure-light
+    /// patterns. [`RepairSession::repair`] never adds to this — the test
+    /// hook that pins "repeated same-pattern repairs skip the solve"
+    /// (see also the global [`crate::decode_solve_count`]).
+    pub fn solve_count(&self) -> usize {
+        self.solves
+    }
+
+    /// The accounting report for one execution of this session.
+    pub fn report(&self) -> RepairReport {
+        RepairReport::from_plan(&self.plan)
+    }
+
+    /// Reconstructs this session's failure pattern in `stripe`, in place.
+    ///
+    /// Every lane the view reports missing must be part of the session's
+    /// pattern (lanes the session covers but the view already has are
+    /// simply rewritten with identical bytes). Runs no planning, no
+    /// elimination, and allocates nothing; repaired lanes are marked
+    /// present.
+    pub fn repair(&self, stripe: &mut StripeViewMut<'_, '_>) -> Result<()> {
+        if stripe.lane_count() != self.lanes {
+            return Err(CodeError::ShardCountMismatch {
+                expected: self.lanes,
+                got: stripe.lane_count(),
+            });
+        }
+        // view-missing ⊆ session-missing: every lane the view lacks must
+        // be one this session knows how to rebuild.
+        for i in 0..self.lanes {
+            if !stripe.is_present(i) && !self.missing_mask.get(i) {
+                return Err(CodeError::InvalidParameters(
+                    "stripe is missing lanes outside this session's failure pattern".into(),
+                ));
+            }
+        }
+        for step in &self.steps {
+            let mut first = true;
+            for &(src, c) in &step.sources {
+                let (dst, s) = stripe.lane_pair_mut(step.target, src);
+                if first {
+                    (self.apply_first)(dst, s, c);
+                    first = false;
+                } else {
+                    (self.apply_acc)(dst, s, c);
+                }
+            }
+            if first {
+                // A target with no sources decodes to the zero payload.
+                stripe.lane_mut(step.target).fill(0);
+            }
+            stripe.mark_present(step.target);
+        }
+        Ok(())
+    }
+}

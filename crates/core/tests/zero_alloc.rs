@@ -1,0 +1,170 @@
+//! Pins the zero-copy guarantees of the borrowed-buffer codec API:
+//!
+//! * `encode_into` performs **zero heap allocations** per stripe once
+//!   buffers exist (measured with a counting global allocator);
+//! * a compiled [`RepairSession`] repairs repeated stripes of one
+//!   failure pattern with **zero allocations** and **zero further
+//!   linear solves** (the `decode_solve_count` hook), while the legacy
+//!   owned-`Vec` `reconstruct` re-solves every call.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use xorbas_core::{decode_solve_count, ErasureCodec, Lrc, ReedSolomon, StripeViewMut};
+use xorbas_gf::Gf256;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System`; the counter update is a
+// plain thread-local `Cell` write with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs_now() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|i| {
+            (0..len)
+                .map(|j| ((i * 53 + j * 11 + 1) % 256) as u8)
+                .collect()
+        })
+        .collect()
+}
+
+fn assert_encode_into_allocates_nothing<C: ErasureCodec>(codec: &C, label: &str) {
+    let k = codec.data_blocks();
+    let m = codec.total_blocks() - k;
+    const LEN: usize = 4096;
+    let data = sample_data(k, LEN);
+    let data_refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+    let mut parity = vec![vec![0u8; LEN]; m];
+    let mut parity_refs: Vec<&mut [u8]> = parity.iter_mut().map(Vec::as_mut_slice).collect();
+    // Warmup, then count.
+    codec.encode_into(&data_refs, &mut parity_refs).unwrap();
+    let before = allocs_now();
+    for _ in 0..10 {
+        codec.encode_into(&data_refs, &mut parity_refs).unwrap();
+    }
+    let after = allocs_now();
+    assert_eq!(
+        after - before,
+        0,
+        "{label}: encode_into allocated on the steady state"
+    );
+    // The lanes really were encoded: compare against the owned path.
+    let stripe = codec.encode_stripe(&data).unwrap();
+    assert_eq!(&stripe[k..], &parity[..], "{label}: parity mismatch");
+}
+
+#[test]
+fn encode_into_is_allocation_free_after_warmup() {
+    let rs: ReedSolomon<Gf256> = ReedSolomon::new(10, 4).unwrap();
+    assert_encode_into_allocates_nothing(&rs, "rs(10,4)");
+    let lrc = Lrc::xorbas_10_6_5().unwrap();
+    assert_encode_into_allocates_nothing(&lrc, "lrc(10,6,5)");
+}
+
+#[test]
+fn session_repair_is_allocation_free_and_solve_free() {
+    let rs: ReedSolomon<Gf256> = ReedSolomon::new(10, 4).unwrap();
+    const LEN: usize = 2048;
+    let stripe = rs.encode_stripe(&sample_data(10, LEN)).unwrap();
+
+    // Compiling the session runs the one Gaussian elimination.
+    let solves_before_compile = decode_solve_count();
+    let session = rs.repair_session(&[3, 7]).unwrap();
+    assert_eq!(decode_solve_count(), solves_before_compile + 1);
+    assert_eq!(session.solve_count(), 1);
+
+    let mut lanes = stripe.clone();
+    lanes[3].fill(0);
+    lanes[7].fill(0);
+    let mut lane_refs: Vec<&mut [u8]> = lanes.iter_mut().map(Vec::as_mut_slice).collect();
+    // Warmup repair (first call touches nothing lazily, but keep the
+    // measurement honest), then count allocations and solves across many
+    // same-pattern repairs.
+    {
+        let mut view = StripeViewMut::new(&mut lane_refs, &[3, 7]).unwrap();
+        session.repair(&mut view).unwrap();
+    }
+    let solves_before = decode_solve_count();
+    let allocs_before = allocs_now();
+    for _ in 0..25 {
+        let mut view = StripeViewMut::new(&mut lane_refs, &[3, 7]).unwrap();
+        session.repair(&mut view).unwrap();
+    }
+    assert_eq!(
+        allocs_now() - allocs_before,
+        0,
+        "session repair allocated on the steady state"
+    );
+    assert_eq!(
+        decode_solve_count() - solves_before,
+        0,
+        "session repair re-ran the linear solve"
+    );
+    drop(lane_refs);
+    assert_eq!(lanes[3], stripe[3]);
+    assert_eq!(lanes[7], stripe[7]);
+
+    // Contrast: the legacy owned-Vec path re-solves on every call.
+    let solves_before_legacy = decode_solve_count();
+    for _ in 0..5 {
+        let mut shards: Vec<Option<Vec<u8>>> = stripe.iter().cloned().map(Some).collect();
+        shards[3] = None;
+        shards[7] = None;
+        rs.reconstruct(&mut shards).unwrap();
+    }
+    assert_eq!(decode_solve_count() - solves_before_legacy, 5);
+}
+
+#[test]
+fn light_lrc_session_compiles_without_any_solve() {
+    let lrc = Lrc::xorbas_10_6_5().unwrap();
+    let before = decode_solve_count();
+    let session = lrc.repair_session(&[2]).unwrap();
+    assert_eq!(session.solve_count(), 0);
+    assert_eq!(decode_solve_count(), before);
+
+    const LEN: usize = 1024;
+    let stripe = lrc.encode_stripe(&sample_data(10, LEN)).unwrap();
+    let mut lanes = stripe.clone();
+    lanes[2].fill(0xEE);
+    let mut lane_refs: Vec<&mut [u8]> = lanes.iter_mut().map(Vec::as_mut_slice).collect();
+    {
+        let mut view = StripeViewMut::new(&mut lane_refs, &[2]).unwrap();
+        session.repair(&mut view).unwrap();
+    }
+    let allocs_before = allocs_now();
+    for _ in 0..25 {
+        let mut view = StripeViewMut::new(&mut lane_refs, &[2]).unwrap();
+        session.repair(&mut view).unwrap();
+    }
+    assert_eq!(allocs_now() - allocs_before, 0);
+    drop(lane_refs);
+    assert_eq!(lanes[2], stripe[2]);
+    assert_eq!(decode_solve_count(), before, "light repair never solves");
+}

@@ -107,6 +107,41 @@ pub fn gf_scale<F: Field>(data: &mut [F], c: F) {
     }
 }
 
+/// `dst = c * src` over *byte payloads* for any field.
+///
+/// The overwrite counterpart of [`payload_mul_acc`]: encode and compiled
+/// repair steps start each output lane with this, skipping the zero-fill
+/// pass an accumulate-only kernel would need. For 8-bit fields this uses
+/// the product-row fast path directly on the bytes; for wider fields the
+/// payload is processed `SYMBOL_BYTES` at a time (its length must then
+/// be a multiple of the symbol width).
+pub fn payload_mul_into<F: Field>(dst: &mut [u8], src: &[u8], c: F) {
+    assert_eq!(dst.len(), src.len(), "payload length mismatch");
+    if c.is_zero() {
+        dst.fill(0);
+        return;
+    }
+    if c == F::ONE {
+        dst.copy_from_slice(src);
+        return;
+    }
+    if F::BITS == 8 {
+        let mut row = [0u8; 256];
+        for (x, slot) in row.iter_mut().enumerate() {
+            *slot = (c * F::from_index(x as u32)).index() as u8;
+        }
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = row[*s as usize];
+        }
+        return;
+    }
+    let b = F::SYMBOL_BYTES;
+    assert_eq!(dst.len() % b, 0, "payload not a whole number of symbols");
+    for (dc, sc) in dst.chunks_exact_mut(b).zip(src.chunks_exact(b)) {
+        (c * F::read_symbol(sc)).write_symbol(dc);
+    }
+}
+
 /// `dst ^= c * src` over *byte payloads* for any field.
 ///
 /// For 8-bit fields this uses the product-row fast path directly on the
@@ -286,6 +321,35 @@ mod tests {
             let mut specialized = data[..n].to_vec();
             mul_acc(&mut specialized, &src[..n], c);
             prop_assert_eq!(generic, specialized);
+        }
+
+        #[test]
+        fn payload_mul_into_matches_mul_into_gf256(
+            data in proptest::collection::vec(any::<u8>(), 0..256),
+            src in proptest::collection::vec(any::<u8>(), 0..256),
+            c in 0u32..256,
+        ) {
+            let n = data.len().min(src.len());
+            let c = Gf256::from_index(c);
+            let mut generic = data[..n].to_vec();
+            payload_mul_into(&mut generic, &src[..n], c);
+            let mut specialized = data[..n].to_vec();
+            mul_into(&mut specialized, &src[..n], c);
+            prop_assert_eq!(generic, specialized);
+        }
+
+        #[test]
+        fn payload_mul_into_matches_acc_over_zeroed_gf65536(
+            src in proptest::collection::vec(any::<u8>(), 0..64),
+            c in 0u32..65536,
+        ) {
+            let n = (src.len() / 2) * 2;
+            let c = Gf65536::from_index(c);
+            let mut direct = vec![0xFFu8; n]; // stale contents must not leak
+            payload_mul_into(&mut direct, &src[..n], c);
+            let mut acc = vec![0u8; n];
+            payload_mul_acc(&mut acc, &src[..n], c);
+            prop_assert_eq!(direct, acc);
         }
 
         #[test]

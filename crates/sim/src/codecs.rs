@@ -2,7 +2,9 @@
 //! repair planning over stripe positions, zero-padding masks, and
 //! verify-mode payload reconstruction.
 
-use xorbas_core::{CodeError, CodeSpec, ErasureCodec, Lrc, ReedSolomon, RepairPlan, RepairTask};
+use xorbas_core::{
+    CodeError, CodeSpec, ErasureCodec, Lrc, ReedSolomon, RepairPlan, RepairSession, RepairTask,
+};
 
 /// A concrete redundancy implementation for one [`CodeSpec`].
 #[derive(Debug, Clone)]
@@ -82,6 +84,47 @@ impl CodecInstance {
         }
     }
 
+    /// Compiles a reusable [`RepairSession`] for one failure pattern
+    /// (see [`ErasureCodec::repair_session`]). Sessions cache the decode
+    /// solve, so the BlockFixer's repeated same-pattern repairs stay
+    /// solve-free and allocation-free; `None` for replication, whose
+    /// "repair" is a plain replica copy with no codec state to compile.
+    pub fn repair_session(
+        &self,
+        unavailable: &[usize],
+    ) -> Option<Result<RepairSession, CodeError>> {
+        match self {
+            CodecInstance::Replication { .. } => None,
+            CodecInstance::Rs(rs) => Some(rs.repair_session(unavailable)),
+            CodecInstance::Lrc(lrc) => Some(lrc.repair_session(unavailable)),
+        }
+    }
+
+    /// Zero-copy encode into caller-owned parity lanes (see
+    /// [`ErasureCodec::encode_into`]). For replication, every "parity"
+    /// lane is a copy of the single data lane.
+    pub fn encode_into(&self, data: &[&[u8]], parity: &mut [&mut [u8]]) -> Result<(), CodeError> {
+        match self {
+            CodecInstance::Replication { replicas } => {
+                if data.len() != 1 || parity.len() != replicas - 1 {
+                    return Err(CodeError::ShardCountMismatch {
+                        expected: *replicas,
+                        got: data.len() + parity.len(),
+                    });
+                }
+                for lane in parity.iter_mut() {
+                    if lane.len() != data[0].len() {
+                        return Err(CodeError::ShardSizeMismatch);
+                    }
+                    lane.copy_from_slice(data[0]);
+                }
+                Ok(())
+            }
+            CodecInstance::Rs(rs) => rs.encode_into(data, parity),
+            CodecInstance::Lrc(lrc) => lrc.encode_into(data, parity),
+        }
+    }
+
     /// Which positions of a stripe with `real_data` data blocks are
     /// structurally zero and therefore not stored (§3.1.1 zero padding).
     ///
@@ -121,19 +164,28 @@ impl CodecInstance {
     }
 
     /// Verify-mode encoding: produces all `n` position payloads from `k`
-    /// data payloads (replication copies the single payload).
+    /// data payloads. A thin owned-`Vec` wrapper over
+    /// [`CodecInstance::encode_into`], mirroring the core trait's
+    /// wrapper so the two paths cannot diverge.
     pub fn encode_payloads(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodeError> {
-        match self {
-            CodecInstance::Replication { replicas } => {
-                assert_eq!(data.len(), 1, "replication stripes hold one logical block");
-                Ok(vec![data[0].clone(); *replicas])
-            }
-            CodecInstance::Rs(rs) => rs.encode_stripe(data),
-            CodecInstance::Lrc(lrc) => lrc.encode_stripe(data),
+        let len = data.first().map_or(0, Vec::len);
+        let parity_lanes = self.total_blocks().saturating_sub(data.len());
+        let mut stripe = data.to_vec();
+        let mut parity = vec![vec![0u8; len]; parity_lanes];
+        {
+            let data_refs: Vec<&[u8]> = stripe.iter().map(Vec::as_slice).collect();
+            let mut parity_refs: Vec<&mut [u8]> =
+                parity.iter_mut().map(Vec::as_mut_slice).collect();
+            self.encode_into(&data_refs, &mut parity_refs)?;
         }
+        stripe.extend(parity);
+        Ok(stripe)
     }
 
-    /// Verify-mode reconstruction of every `None` shard in place.
+    /// Verify-mode reconstruction of every `None` shard in place. A thin
+    /// owned-`Vec` wrapper over the session path ([`ErasureCodec`
+    /// default semantics](xorbas_core::ErasureCodec::reconstruct));
+    /// replication copies a surviving replica.
     pub fn reconstruct_payloads(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodeError> {
         match self {
             CodecInstance::Replication { .. } => {

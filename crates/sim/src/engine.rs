@@ -20,6 +20,9 @@ use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use xorbas_core::{RepairSession, StripeViewMut};
+
+use crate::arena::StripeArena;
 use crate::codecs::CodecInstance;
 use crate::config::{ReadPolicy, SimConfig};
 use crate::hdfs::{BlockId, FileId, Hdfs, NodeId, Placement, Position, StripeId};
@@ -129,6 +132,14 @@ pub struct Simulation {
     /// Stripe positions with an in-flight repair task.
     repair_in_flight: HashSet<(StripeId, usize)>,
     cancelled: HashSet<TaskId>,
+    /// Preallocated lane buffers for verify-mode payload work.
+    stripe_arena: StripeArena,
+    /// Reused scratch for per-event unavailable-position scans.
+    pos_scratch: Vec<usize>,
+    /// Compiled repair sessions, keyed by the stripe's failure pattern.
+    /// The BlockFixer replays the same few patterns across thousands of
+    /// stripes, so each pattern's decode solve runs exactly once.
+    session_cache: HashMap<Vec<usize>, RepairSession>,
 }
 
 impl Simulation {
@@ -157,6 +168,9 @@ impl Simulation {
             waiting_on_block: HashMap::new(),
             repair_in_flight: HashSet::new(),
             cancelled: HashSet::new(),
+            stripe_arena: StripeArena::new(),
+            pos_scratch: Vec::new(),
+            session_cache: HashMap::new(),
             cfg,
         }
     }
@@ -655,8 +669,12 @@ impl Simulation {
             if targets.is_empty() {
                 continue;
             }
-            let unavailable = self.hdfs.unavailable_positions(stripe);
-            let plan = match self.codec.repair_plan_for(&unavailable, &targets) {
+            let mut unavailable = std::mem::take(&mut self.pos_scratch);
+            self.hdfs
+                .unavailable_positions_into(stripe, &mut unavailable);
+            let plan = self.codec.repair_plan_for(&unavailable, &targets);
+            self.pos_scratch = unavailable;
+            let plan = match plan {
                 Ok(plan) => plan,
                 Err(_) => {
                     self.metrics.record_data_loss();
@@ -837,19 +855,22 @@ impl Simulation {
                 ref targets,
                 light,
             } => {
-                let still_lost: Vec<usize> = {
-                    let unavail = self.hdfs.unavailable_positions(stripe);
-                    targets
-                        .iter()
-                        .copied()
-                        .filter(|p| unavail.contains(p))
-                        .collect()
-                };
+                // One scan of the stripe serves both the still-lost
+                // filter and replanning (scratch buffer reused; nothing
+                // mutates the namespace in between).
+                let mut unavailable = std::mem::take(&mut self.pos_scratch);
+                self.hdfs
+                    .unavailable_positions_into(stripe, &mut unavailable);
+                let still_lost: Vec<usize> = targets
+                    .iter()
+                    .copied()
+                    .filter(|p| unavailable.contains(p))
+                    .collect();
                 if still_lost.is_empty() {
+                    self.pos_scratch = unavailable;
                     return Some((vec![], 0.0, vec![]));
                 }
                 let positions = self.hdfs.stripe(stripe).positions.clone();
-                let unavailable = self.hdfs.unavailable_positions(stripe);
                 let read_positions: Vec<usize> = if light {
                     // The planned light reads were fixed at scan time; they
                     // remain exactly the repair group, re-derived here.
@@ -886,6 +907,7 @@ impl Simulation {
                         }
                     }
                 };
+                self.pos_scratch = unavailable;
                 // Map to real blocks; virtual positions read for free.
                 let read_blocks: Vec<BlockId> = read_positions
                     .iter()
@@ -917,8 +939,12 @@ impl Simulation {
                 }
                 // Degraded read: reconstruct the block in memory first.
                 let stripe = meta.stripe;
-                let unavailable = self.hdfs.unavailable_positions(stripe);
-                let plan = match self.codec.repair_plan_for(&unavailable, &[meta.pos]) {
+                let mut unavailable = std::mem::take(&mut self.pos_scratch);
+                self.hdfs
+                    .unavailable_positions_into(stripe, &mut unavailable);
+                let plan = self.codec.repair_plan_for(&unavailable, &[meta.pos]);
+                self.pos_scratch = unavailable;
+                let plan = match plan {
                     Ok(p) => p,
                     Err(_) => {
                         self.metrics.record_data_loss();
@@ -967,10 +993,14 @@ impl Simulation {
                 // Scheduled-repair drain: rebuild from peers, never
                 // touching the draining node.
                 let stripe = meta.stripe;
-                let mut unavailable = self.hdfs.unavailable_positions(stripe);
+                let mut unavailable = std::mem::take(&mut self.pos_scratch);
+                self.hdfs
+                    .unavailable_positions_into(stripe, &mut unavailable);
                 unavailable.push(pos);
                 unavailable.sort_unstable();
-                let plan = self.codec.repair_plan_for(&unavailable, &[pos]).ok()?;
+                let plan = self.codec.repair_plan_for(&unavailable, &[pos]);
+                self.pos_scratch = unavailable;
+                let plan = plan.ok()?;
                 let positions = self.hdfs.stripe(stripe).positions.clone();
                 let mut reads: HashSet<usize> = HashSet::new();
                 let mut repaired: HashSet<usize> = HashSet::new();
@@ -1156,31 +1186,85 @@ impl Simulation {
 
     /// Verify mode: reconstruct the block's payload with the real codec
     /// from the other positions and compare with the original.
+    ///
+    /// Runs on the zero-copy path: surviving payloads are copied into the
+    /// preallocated [`StripeArena`] lanes (no per-repair allocation) and
+    /// decoded by a [`RepairSession`] compiled once per failure pattern
+    /// and cached — the simulator's repeated patterns never re-run the
+    /// linear solve.
     fn verify_repair(&mut self, block: BlockId) {
-        let meta = self.hdfs.block(block).clone();
-        let stripe = self.hdfs.stripe(meta.stripe).clone();
+        // Split borrows: arena and session cache mutate while the
+        // namespace and codec are only read.
+        let this = &mut *self;
+        let hdfs = &this.hdfs;
+        let codec = &this.codec;
+        let meta = hdfs.block(block);
+        let stripe = hdfs.stripe(meta.stripe);
+        let target_pos = meta.pos;
+        let want = meta.payload.as_ref().expect("verify mode stores payloads");
+        if let CodecInstance::Replication { .. } = codec {
+            // Replication repair is a replica copy; verify against any
+            // surviving replica's payload.
+            let survivor = stripe
+                .positions
+                .iter()
+                .enumerate()
+                .find_map(|(pos, p)| match p {
+                    Position::Real(b) if pos != target_pos => {
+                        let bm = hdfs.block(*b);
+                        if bm.location.is_some() {
+                            bm.payload.as_ref()
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                })
+                .expect("a replica survives");
+            assert_eq!(
+                survivor, want,
+                "repair of block {block} corrupted its payload"
+            );
+            return;
+        }
         let n = stripe.positions.len();
-        let zero = vec![0u8; self.cfg.payload_bytes];
-        let mut shards: Vec<Option<Vec<u8>>> = Vec::with_capacity(n);
+        let len = this.cfg.payload_bytes;
+        let lanes = this.stripe_arena.lanes(n, len);
+        let mut missing: Vec<usize> = Vec::new();
         for (pos, p) in stripe.positions.iter().enumerate() {
-            shards.push(match p {
-                Position::Virtual => Some(zero.clone()),
+            match p {
+                Position::Virtual => lanes[pos].fill(0),
                 Position::Real(b) => {
-                    let bm = self.hdfs.block(*b);
-                    if pos == meta.pos || bm.location.is_none() {
-                        None
+                    let bm = hdfs.block(*b);
+                    if pos == target_pos || bm.location.is_none() {
+                        missing.push(pos);
                     } else {
-                        bm.payload.clone()
+                        lanes[pos].copy_from_slice(
+                            hdfs.payload(*b).expect("verify mode stores payloads"),
+                        );
                     }
                 }
-            });
+            }
         }
-        self.codec
-            .reconstruct_payloads(&mut shards)
+        let session = this
+            .session_cache
+            .entry(missing.clone())
+            .or_insert_with(|| {
+                codec
+                    .repair_session(&missing)
+                    .expect("codec is not replication")
+                    .expect("repair of a recoverable stripe")
+            });
+        let mut lane_refs: Vec<&mut [u8]> = lanes.iter_mut().map(Vec::as_mut_slice).collect();
+        let mut view =
+            StripeViewMut::new(&mut lane_refs, &missing).expect("arena lanes share one length");
+        session
+            .repair(&mut view)
             .expect("repair of a recoverable stripe");
-        let got = shards[meta.pos].as_ref().expect("target reconstructed");
-        let want = meta.payload.as_ref().expect("verify mode stores payloads");
-        assert_eq!(got, want, "repair of block {block} corrupted its payload");
+        assert_eq!(
+            &lanes[target_pos], want,
+            "repair of block {block} corrupted its payload"
+        );
     }
 
     fn on_flow_complete(&mut self, fid: FlowId, owner: TaskId, _src: NodeId) {

@@ -133,6 +133,13 @@ impl Hdfs {
         &mut self.blocks[id]
     }
 
+    /// A block's verify-mode payload as a borrowed slice (`None` outside
+    /// verify mode). The zero-copy decode paths read stripes through
+    /// this instead of cloning payload vectors.
+    pub fn payload(&self, id: BlockId) -> Option<&[u8]> {
+        self.blocks[id].payload.as_deref()
+    }
+
     /// Total stored blocks.
     pub fn block_count(&self) -> usize {
         self.blocks.len()
@@ -355,15 +362,23 @@ impl Hdfs {
     /// The stripe positions (codec indices) of `stripe` that are real and
     /// currently unavailable.
     pub fn unavailable_positions(&self, stripe: StripeId) -> Vec<usize> {
-        self.stripes[stripe]
-            .positions
-            .iter()
-            .enumerate()
-            .filter_map(|(pos, p)| match p {
-                Position::Real(b) if self.blocks[*b].location.is_none() => Some(pos),
-                _ => None,
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.unavailable_positions_into(stripe, &mut out);
+        out
+    }
+
+    /// Like [`Hdfs::unavailable_positions`], but appends into a
+    /// caller-reused buffer (cleared first) — the allocation-free variant
+    /// for per-event scan loops.
+    pub fn unavailable_positions_into(&self, stripe: StripeId, out: &mut Vec<usize>) {
+        out.clear();
+        for (pos, p) in self.stripes[stripe].positions.iter().enumerate() {
+            if let Position::Real(b) = p {
+                if self.blocks[*b].location.is_none() {
+                    out.push(pos);
+                }
+            }
+        }
     }
 
     /// Nodes currently hosting blocks of `stripe` (for placement

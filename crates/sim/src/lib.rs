@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod codecs;
 pub mod config;
 pub mod engine;
@@ -27,6 +28,7 @@ pub mod metrics;
 pub mod network;
 pub mod time;
 
+pub use arena::StripeArena;
 pub use codecs::CodecInstance;
 pub use config::{ClusterConfig, ComputeRates, ReadPolicy, SimConfig};
 pub use engine::Simulation;

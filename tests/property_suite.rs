@@ -8,9 +8,79 @@ use rand::SeedableRng;
 use xorbas::codes::analysis::{combinations, minimum_distance};
 use xorbas::codes::bounds::lrc_distance_bound;
 use xorbas::codes::peeling::{peel, XorEquation};
-use xorbas::codes::{ErasureCodec, Lrc, LrcSpec, ReedSolomon};
+use xorbas::codes::{encode_into_parallel, ErasureCodec, Lrc, LrcSpec, ReedSolomon, StripeViewMut};
 use xorbas::gf::{Field, Gf256};
 use xorbas::linalg::{special, Matrix};
+
+/// Payload lengths mixing byte-scale cases (serial fallback, odd tails)
+/// with shard-scale ones, so `encode_into_parallel` really splits the
+/// range (its serial fallback engages below ~4 KiB per thread).
+fn arb_payload_len() -> impl Strategy<Value = usize> {
+    (any::<bool>(), 1usize..96, 16_384usize..40_000)
+        .prop_map(|(small, a, b)| if small { a } else { b })
+}
+
+/// Deterministic pseudo-random payloads from a seed.
+fn seeded_data(k: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) as u8
+    };
+    (0..k).map(|_| (0..len).map(|_| next()).collect()).collect()
+}
+
+/// Asserts the owned-Vec API and the zero-copy API produce bit-identical
+/// stripes and repairs for one codec and erasure pattern.
+fn assert_apis_agree<C: ErasureCodec + Sync>(
+    codec: &C,
+    data: &[Vec<u8>],
+    erased: &[usize],
+    threads: usize,
+) -> Result<(), TestCaseError> {
+    let k = codec.data_blocks();
+    let n = codec.total_blocks();
+    let len = data[0].len();
+    // Encode: owned wrapper vs encode_into vs encode_into_parallel.
+    let stripe = codec.encode_stripe(data).unwrap();
+    prop_assert_eq!(&stripe[..k], data, "systematic prefix");
+    let data_refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+    let mut parity = vec![vec![0xA5u8; len]; n - k];
+    {
+        let mut parity_refs: Vec<&mut [u8]> = parity.iter_mut().map(Vec::as_mut_slice).collect();
+        codec.encode_into(&data_refs, &mut parity_refs).unwrap();
+    }
+    prop_assert_eq!(&stripe[k..], &parity[..], "encode_into parity");
+    let mut par_parity = vec![vec![0x5Au8; len]; n - k];
+    {
+        let mut parity_refs: Vec<&mut [u8]> =
+            par_parity.iter_mut().map(Vec::as_mut_slice).collect();
+        encode_into_parallel(codec, &data_refs, &mut parity_refs, threads).unwrap();
+    }
+    prop_assert_eq!(&parity, &par_parity, "parallel parity");
+    // Repair: owned reconstruct vs compiled session over borrowed lanes.
+    let mut shards: Vec<Option<Vec<u8>>> = stripe.iter().cloned().map(Some).collect();
+    for &e in erased {
+        shards[e] = None;
+    }
+    let owned_ok = codec.reconstruct(&mut shards).is_ok();
+    let session = codec.repair_session(erased);
+    prop_assert_eq!(owned_ok, session.is_ok(), "recoverability agrees");
+    let Ok(session) = session else { return Ok(()) };
+    let mut lanes = stripe.clone();
+    for &e in erased {
+        lanes[e].fill(0xEE); // stale bytes must be fully overwritten
+    }
+    let mut lane_refs: Vec<&mut [u8]> = lanes.iter_mut().map(Vec::as_mut_slice).collect();
+    let mut view = StripeViewMut::new(&mut lane_refs, erased).unwrap();
+    session.repair(&mut view).unwrap();
+    drop(lane_refs);
+    for (i, s) in shards.iter().enumerate() {
+        prop_assert_eq!(s.as_ref().unwrap(), &lanes[i], "lane {} repair", i);
+        prop_assert_eq!(&lanes[i], &stripe[i], "lane {} round trip", i);
+    }
+    Ok(())
+}
 
 /// Strategy: valid small LRC specs (k ≤ 12, r | k, g ≤ 4).
 fn arb_lrc_spec() -> impl Strategy<Value = LrcSpec> {
@@ -98,6 +168,55 @@ proptest! {
         for (i, s) in shards.iter().enumerate() {
             prop_assert_eq!(s.as_ref().unwrap(), &stripe[i]);
         }
+    }
+
+    /// The owned-Vec API and the zero-copy API (encode_into /
+    /// encode_into_parallel / RepairSession) are bit-identical for
+    /// random RS geometries, payload lengths, and erasure patterns.
+    #[test]
+    fn rs_owned_and_zero_copy_apis_agree(
+        k in 2usize..=8,
+        m in 1usize..=4,
+        // Mix byte-scale lengths (serial fallback, odd tails) with
+        // shard-scale ones so encode_into_parallel really splits.
+        len in arb_payload_len(),
+        threads in 1usize..=4,
+        seed in any::<u64>(),
+        pattern_seed in any::<u64>(),
+    ) {
+        let rs = ReedSolomon::<Gf256>::new(k, m).unwrap();
+        let data = seeded_data(k, len, seed);
+        let mut rng = StdRng::seed_from_u64(pattern_seed);
+        use rand::seq::SliceRandom;
+        let mut idx: Vec<usize> = (0..k + m).collect();
+        idx.shuffle(&mut rng);
+        let erased_count = (pattern_seed % (m as u64 + 1)) as usize;
+        let mut erased = idx[..erased_count].to_vec();
+        erased.sort_unstable();
+        assert_apis_agree(&rs, &data, &erased, threads)?;
+    }
+
+    /// Same equivalence for random LRC geometries, including patterns
+    /// that mix light and heavy repair.
+    #[test]
+    fn lrc_owned_and_zero_copy_apis_agree(
+        spec in arb_lrc_spec(),
+        len in arb_payload_len(),
+        threads in 1usize..=4,
+        seed in any::<u64>(),
+        pattern_seed in any::<u64>(),
+    ) {
+        let Ok(lrc) = Lrc::<Gf256>::new(spec) else { return Ok(()) };
+        let data = seeded_data(spec.k, len, seed);
+        let n = lrc.total_blocks();
+        let mut rng = StdRng::seed_from_u64(pattern_seed);
+        use rand::seq::SliceRandom;
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(&mut rng);
+        let erased_count = (pattern_seed % (spec.global_parities as u64 + 2)) as usize;
+        let mut erased = idx[..erased_count.min(n)].to_vec();
+        erased.sort_unstable();
+        assert_apis_agree(&lrc, &data, &erased, threads)?;
     }
 
     /// Peeling soundness: whatever the decoder resolves satisfies the
