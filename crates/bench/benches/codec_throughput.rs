@@ -15,7 +15,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use xorbas_core::{encode_into_parallel, ErasureCodec, Lrc, ReedSolomon, StripeViewMut};
-use xorbas_gf::slice_ops::mul_acc;
+use xorbas_gf::slice_ops::{mul_acc, KernelBackend};
 use xorbas_gf::Gf256;
 
 const BLOCK: usize = 1 << 20; // 1 MiB payloads
@@ -32,6 +32,9 @@ fn sample_data(k: usize) -> Vec<Vec<u8>> {
 }
 
 fn bench_kernel(c: &mut Criterion) {
+    // The dispatched kernel (what every codec below runs) next to the
+    // pinned scalar fallback — the at-a-glance dispatch win, measured in
+    // the same process (see gf_kernels for the full per-backend matrix).
     let mut g = c.benchmark_group("gf256_kernel");
     g.throughput(Throughput::Bytes(BLOCK as u64));
     let src = vec![0xA5u8; BLOCK];
@@ -39,6 +42,9 @@ fn bench_kernel(c: &mut Criterion) {
     let coeff = Gf256::from(0x1D);
     g.bench_function("mul_acc_1MiB", |b| {
         b.iter(|| mul_acc(black_box(&mut dst), black_box(&src), coeff))
+    });
+    g.bench_function("scalar_mul_acc_1MiB", |b| {
+        b.iter(|| KernelBackend::Scalar.mul_acc(black_box(&mut dst), black_box(&src), coeff))
     });
     g.finish();
 }

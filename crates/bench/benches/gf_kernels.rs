@@ -1,18 +1,23 @@
 //! Ablation A5 — GF(2^m) byte-slice kernel throughput.
 //!
 //! The hot path of every encode and repair is a handful of slice
-//! kernels: pure XOR (`xor_into`, what the LRC light decoder runs),
-//! table-driven GF(2^8) multiply (`mul_into` / `mul_acc`, what RS
-//! encode and heavy decode run), and the generic symbol-payload kernel
-//! used by wider fields. Tracking them separately from whole-codec
-//! benches isolates kernel regressions from planner changes, and sets
-//! the baseline for the SIMD work on the roadmap (cf. Uezato,
-//! "Accelerating XOR-based Erasure Coding", SC 2021).
+//! kernels: pure XOR (what the LRC light decoder runs), GF(2^8)
+//! multiply (what RS encode and heavy decode run), the fused
+//! multi-source row kernels (one `dst` pass per output lane), and the
+//! GF(2^16) split-table kernels for wider fields. Each single-source
+//! kernel is measured on every backend the CPU supports *and* through
+//! the process-wide dispatched entry point, so a dispatch regression and
+//! a kernel regression are distinguishable; the fused lanes measure the
+//! row shapes the codecs actually issue (cf. Uezato, "Accelerating
+//! XOR-based Erasure Coding", SC 2021).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use xorbas_core::{ErasureCodec, Lrc};
-use xorbas_gf::slice_ops::{mul_acc, mul_into, payload_mul_acc, scale, xor_into};
+use xorbas_gf::slice_ops::{
+    mul_acc, mul_acc_multi, mul_into, payload_mul_acc, scale, xor_into, xor_into_multi,
+    KernelBackend,
+};
 use xorbas_gf::{Field, Gf256, Gf65536};
 
 const BLOCK: usize = 1 << 20; // 1 MiB payloads, matching codec_throughput
@@ -22,6 +27,11 @@ fn bench_xor(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(BLOCK as u64));
     let src = vec![0x3Cu8; BLOCK];
     let mut dst = vec![0xC3u8; BLOCK];
+    for backend in KernelBackend::supported() {
+        g.bench_function(format!("{}_xor_into_1MiB", backend.name()), |b| {
+            b.iter(|| backend.xor_into(black_box(&mut dst), black_box(&src)))
+        });
+    }
     g.bench_function("xor_into_1MiB", |b| {
         b.iter(|| xor_into(black_box(&mut dst), black_box(&src)))
     });
@@ -34,6 +44,19 @@ fn bench_gf256(c: &mut Criterion) {
     let src = vec![0xA5u8; BLOCK];
     let mut dst = vec![0x5Au8; BLOCK];
     let coeff = Gf256::from_index(0x1D);
+    for backend in KernelBackend::supported() {
+        let name = backend.name();
+        g.bench_function(format!("{name}_mul_into_1MiB"), |b| {
+            b.iter(|| backend.mul_into(black_box(&mut dst), black_box(&src), coeff))
+        });
+        g.bench_function(format!("{name}_mul_acc_1MiB"), |b| {
+            b.iter(|| backend.mul_acc(black_box(&mut dst), black_box(&src), coeff))
+        });
+        g.bench_function(format!("{name}_scale_1MiB"), |b| {
+            b.iter(|| backend.scale(black_box(&mut dst), coeff))
+        });
+    }
+    // Dispatched entry points (what the codecs call).
     g.bench_function("mul_into_1MiB", |b| {
         b.iter(|| mul_into(black_box(&mut dst), black_box(&src), coeff))
     });
@@ -42,6 +65,61 @@ fn bench_gf256(c: &mut Criterion) {
     });
     g.bench_function("scale_1MiB", |b| {
         b.iter(|| scale(black_box(&mut dst), coeff))
+    });
+    g.finish();
+}
+
+fn bench_fused_rows(c: &mut Criterion) {
+    // The row shapes the codecs issue: a heavy RS row combines k = 10
+    // coefficient streams into one output lane; an LRC light repair
+    // XORs r = 5 streams. Fused lanes make one pass over dst; the
+    // `looped_` lanes are the pre-fusion behavior (one pass per source).
+    let srcs: Vec<Vec<u8>> = (0..10)
+        .map(|i| {
+            (0..BLOCK)
+                .map(|j| ((i * 31 + j * 7 + 13) % 256) as u8)
+                .collect()
+        })
+        .collect();
+    let coeffs: Vec<Gf256> = (0..10).map(|i| Gf256::from_index(i * 23 + 2)).collect();
+    let pairs: Vec<(Gf256, &[u8])> = coeffs
+        .iter()
+        .zip(&srcs)
+        .map(|(&c, s)| (c, s.as_slice()))
+        .collect();
+    let xor_refs: Vec<&[u8]> = srcs.iter().take(5).map(Vec::as_slice).collect();
+    let mut dst = vec![0u8; BLOCK];
+
+    let mut g = c.benchmark_group("gf_kernels_fused");
+    g.throughput(Throughput::Bytes((10 * BLOCK) as u64));
+    for backend in KernelBackend::supported() {
+        g.bench_function(format!("{}_mul_acc_multi_10x1MiB", backend.name()), |b| {
+            b.iter(|| backend.mul_acc_multi(black_box(&mut dst), black_box(&pairs)))
+        });
+    }
+    g.bench_function("mul_acc_multi_10x1MiB", |b| {
+        b.iter(|| mul_acc_multi(black_box(&mut dst), black_box(&pairs)))
+    });
+    g.bench_function("looped_mul_acc_10x1MiB", |b| {
+        b.iter(|| {
+            for &(cf, s) in &pairs {
+                mul_acc(black_box(&mut dst), black_box(s), cf);
+            }
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("gf_kernels_fused_xor");
+    g.throughput(Throughput::Bytes((5 * BLOCK) as u64));
+    g.bench_function("xor_into_multi_5x1MiB", |b| {
+        b.iter(|| xor_into_multi(black_box(&mut dst), black_box(&xor_refs)))
+    });
+    g.bench_function("looped_xor_into_5x1MiB", |b| {
+        b.iter(|| {
+            for s in &xor_refs {
+                xor_into(black_box(&mut dst), black_box(s));
+            }
+        })
     });
     g.finish();
 }
@@ -61,7 +139,7 @@ fn bench_gf65536(c: &mut Criterion) {
 fn bench_encode_into_e2e(c: &mut Criterion) {
     // End-to-end stripe encode over the zero-copy path: the (10,6,5)
     // LRC at 1 MiB payloads, parity lanes preallocated. This is the
-    // stripe-level number the SIMD kernel work will be judged against —
+    // stripe-level number the SIMD kernel work is judged against —
     // per-kernel gains must survive the full column-combination loop.
     let lrc = Lrc::xorbas_10_6_5().unwrap();
     let data: Vec<Vec<u8>> = (0..10)
@@ -90,6 +168,7 @@ criterion_group!(
     benches,
     bench_xor,
     bench_gf256,
+    bench_fused_rows,
     bench_gf65536,
     bench_encode_into_e2e
 );

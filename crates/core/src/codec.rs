@@ -26,6 +26,8 @@
 use crate::error::{CodeError, Result};
 use crate::session::RepairSession;
 use crate::spec::CodeSpec;
+use xorbas_gf::slice_ops::{payload_mul_acc_multi, payload_mul_into_multi};
+use xorbas_gf::Field;
 
 /// Maximum lane count a [`LaneMask`] stores without heap spill.
 const INLINE_LANES: usize = 256;
@@ -163,6 +165,57 @@ pub(crate) fn check_parity_lanes(parity: &[&mut [u8]], m: usize, len: usize) -> 
         return Err(CodeError::ShardSizeMismatch);
     }
     Ok(())
+}
+
+/// How many sources an encode row hands to one fused kernel call; wider
+/// rows are folded in stack-buffered batches.
+pub(crate) const ENC_FUSE: usize = 16;
+
+/// Fused-row encode of one output lane: `out = Σᵢ coeff(i)·data[i]`.
+///
+/// Convenience front of [`encode_row_iter`] for the common
+/// coefficient-per-data-lane shape.
+pub(crate) fn encode_row<F: Field>(out: &mut [u8], data: &[&[u8]], coeff: impl Fn(usize) -> F) {
+    encode_row_iter(out, data.iter().enumerate().map(|(i, d)| (coeff(i), *d)));
+}
+
+/// Fused-row encode of one output lane from any `(coefficient, source)`
+/// stream: `out = Σ cᵢ·srcᵢ`.
+///
+/// Gathers the row on the stack in [`ENC_FUSE`] batches and issues the
+/// fused multi-source kernels, so `out` is overwritten exactly once and
+/// streamed through memory once — instead of once per source as the old
+/// `mul_into` + `k-1 × mul_acc` loop did. Allocation-free; zero-fills
+/// `out` when the stream is empty.
+pub(crate) fn encode_row_iter<'a, F: Field>(
+    out: &mut [u8],
+    srcs: impl Iterator<Item = (F, &'a [u8])>,
+) {
+    let mut accumulate = false;
+    let mut batch: [(F, &[u8]); ENC_FUSE] = [(F::ZERO, &[]); ENC_FUSE];
+    let mut n = 0;
+    let mut flush = |batch: &[(F, &[u8])], accumulate: &mut bool| {
+        if *accumulate {
+            payload_mul_acc_multi(out, batch);
+        } else {
+            payload_mul_into_multi(out, batch);
+            *accumulate = true;
+        }
+    };
+    for item in srcs {
+        batch[n] = item;
+        n += 1;
+        if n == ENC_FUSE {
+            flush(&batch[..n], &mut accumulate);
+            n = 0;
+        }
+    }
+    if n > 0 {
+        flush(&batch[..n], &mut accumulate);
+    }
+    if !accumulate {
+        out.fill(0);
+    }
 }
 
 /// A borrowed read-only stripe: `n` equal-length payload lanes over
@@ -331,6 +384,20 @@ impl<'s, 'l> StripeViewMut<'s, 'l> {
             let (head, tail) = self.lanes.split_at_mut(dst);
             (&mut *tail[0], &*head[src])
         }
+    }
+
+    /// Split borrow for fused row kernels: mutable access to lane `dst`
+    /// plus shared access to every other lane, exposed as the lanes
+    /// before `dst` and the lanes after it. A source lane `i ≠ dst`
+    /// reads as `&head[i]` when `i < dst` and `&tail[i - dst - 1]`
+    /// otherwise — which is what [`crate::RepairSession`] does to gather
+    /// a whole `lane[dst] = Σ cᵢ·lane[srcᵢ]` row for one fused kernel
+    /// call instead of one pass over `dst` per source.
+    #[allow(clippy::type_complexity)] // (dst, lanes-before, lanes-after)
+    pub fn lane_split_mut(&mut self, dst: usize) -> (&mut [u8], &[&'l mut [u8]], &[&'l mut [u8]]) {
+        let (head, rest) = self.lanes.split_at_mut(dst);
+        let (dst_lane, tail) = rest.split_at_mut(1);
+        (&mut *dst_lane[0], &*head, &*tail)
     }
 }
 

@@ -18,12 +18,12 @@
 //! Every block has locality 5 and the code has optimal distance 5 for
 //! that locality (Theorem 5); tests verify both by brute force.
 
-use xorbas_gf::slice_ops::{payload_mul_acc, payload_mul_into};
 use xorbas_gf::{Field, Gf256};
 use xorbas_linalg::Matrix;
 
 use crate::codec::{
-    check_data_lanes, check_parity_lanes, normalize_indices, ErasureCodec, RepairPlan, RepairTask,
+    check_data_lanes, check_parity_lanes, encode_row, encode_row_iter, normalize_indices,
+    ErasureCodec, RepairPlan, RepairTask,
 };
 use crate::error::{CodeError, Result};
 use crate::linear;
@@ -317,31 +317,24 @@ impl<F: Field> ErasureCodec for Lrc<F> {
         let len = check_data_lanes(data, k)?;
         check_parity_lanes(parity, self.total_blocks() - k, len)?;
         let (globals, locals) = parity.split_at_mut(g);
+        // Every parity lane is one fused row — a single pass over the
+        // output lane however many sources combine into it (the local
+        // parities' unit coefficients route to the fused-XOR kernel).
         // Global (Reed-Solomon) parities: columns k..k+g of the generator.
         for (p, out) in globals.iter_mut().enumerate() {
             let col = k + p;
-            payload_mul_into(out, data[0], self.generator[(0, col)]);
-            for (i, d) in data.iter().enumerate().skip(1) {
-                payload_mul_acc(out, d, self.generator[(i, col)]);
-            }
+            encode_row(out, data, |i| self.generator[(i, col)]);
         }
         // Local parities: Σ cᵢ · Xᵢ over each data group.
         for (t, group) in self.local_coeffs.iter().enumerate() {
             let base = t * self.spec.group_size;
-            let out = &mut *locals[t];
-            payload_mul_into(out, data[base], group[0]);
-            for (i, &c) in group.iter().enumerate().skip(1) {
-                payload_mul_acc(out, data[base + i], c);
-            }
+            let members = &data[base..base + self.spec.group_size];
+            encode_row(&mut *locals[t], members, |i| group[i]);
         }
         // Stored parity-group parity S_p = Σ_j P_j (implied codes omit it).
         if !self.spec.implied_parity {
             let (_, tail) = locals.split_at_mut(self.spec.data_groups());
-            let out = &mut *tail[0];
-            payload_mul_into(out, &*globals[0], F::ONE);
-            for global in globals.iter().skip(1) {
-                payload_mul_acc(out, global, F::ONE);
-            }
+            encode_row_iter(&mut *tail[0], globals.iter().map(|p| (F::ONE, &**p)));
         }
         Ok(())
     }

@@ -16,12 +16,12 @@
 //!   systematic-Vandermonde construction, which lacks alignment; kept as
 //!   a baseline for the ablation of the implied-parity design.
 
-use xorbas_gf::slice_ops::{payload_mul_acc, payload_mul_into};
 use xorbas_gf::{Field, Gf256};
 use xorbas_linalg::{special, Matrix};
 
 use crate::codec::{
-    check_data_lanes, check_parity_lanes, normalize_indices, ErasureCodec, RepairPlan, RepairTask,
+    check_data_lanes, check_parity_lanes, encode_row, normalize_indices, ErasureCodec, RepairPlan,
+    RepairTask,
 };
 use crate::error::{CodeError, Result};
 use crate::session::RepairSession;
@@ -174,12 +174,13 @@ impl<F: Field> ErasureCodec for ReedSolomon<F> {
     fn encode_into(&self, data: &[&[u8]], parity: &mut [&mut [u8]]) -> Result<()> {
         let len = check_data_lanes(data, self.k)?;
         check_parity_lanes(parity, self.m, len)?;
+        // One fused-row pass per parity lane: the whole generator column
+        // is gathered (on the stack, in ENC_FUSE batches) and handed to
+        // the multi-source kernels, so each output lane is streamed
+        // through memory once instead of once per data lane.
         for (p, out) in parity.iter_mut().enumerate() {
             let col = self.k + p;
-            payload_mul_into(out, data[0], self.generator[(0, col)]);
-            for (i, d) in data.iter().enumerate().skip(1) {
-                payload_mul_acc(out, d, self.generator[(i, col)]);
-            }
+            encode_row(out, data, |i| self.generator[(i, col)]);
         }
         Ok(())
     }

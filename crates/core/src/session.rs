@@ -9,11 +9,14 @@
 //! `lane_target = Σ cᵢ · lane_srcᵢ` steps with the inverse already
 //! folded into the coefficients. Executing the session against a
 //! [`StripeViewMut`] then runs pure slice kernels: no planning, no
-//! elimination, no allocation.
+//! elimination, no allocation — and each step's whole row is issued as
+//! *fused* multi-source kernel calls ([`xorbas_gf::slice_ops`]), so the
+//! target lane makes one pass through memory however many source lanes
+//! the row combines.
 
 use crate::codec::{LaneMask, RepairPlan, RepairReport, StripeViewMut};
 use crate::error::{CodeError, Result};
-use xorbas_gf::slice_ops::{payload_mul_acc, payload_mul_into};
+use xorbas_gf::slice_ops::{payload_mul_acc_multi, payload_mul_into_multi};
 use xorbas_gf::Field;
 
 /// One compiled reconstruction: `lane[target] = Σ cᵢ · lane[srcᵢ]`.
@@ -28,6 +31,14 @@ pub(crate) struct CompiledStep {
     /// dropped at compile time.
     pub(crate) sources: Vec<(usize, u32)>,
 }
+
+/// How many sources a replayed row hands to one fused kernel call; rows
+/// wider than this are folded in stack-buffered batches.
+const ROW_FUSE: usize = 16;
+
+/// Monomorphized fused-row kernel: `dst = [dst ^] Σ cᵢ·srcᵢ` with
+/// coefficients as field bit-pattern indices; the `bool` is `accumulate`.
+type ApplyRowFn = for<'a> fn(&mut [u8], &[(u32, &'a [u8])], bool);
 
 /// A repair compiled for one failure pattern, reusable across stripes.
 ///
@@ -44,17 +55,21 @@ pub struct RepairSession {
     missing_mask: LaneMask,
     plan: RepairPlan,
     steps: Vec<CompiledStep>,
-    apply_first: fn(&mut [u8], &[u8], u32),
-    apply_acc: fn(&mut [u8], &[u8], u32),
+    apply_row: ApplyRowFn,
     solves: usize,
 }
 
-fn apply_first_in<F: Field>(dst: &mut [u8], src: &[u8], c: u32) {
-    payload_mul_into(dst, src, F::from_index(c));
-}
-
-fn apply_acc_in<F: Field>(dst: &mut [u8], src: &[u8], c: u32) {
-    payload_mul_acc(dst, src, F::from_index(c));
+fn apply_row_in<F: Field>(dst: &mut [u8], srcs: &[(u32, &[u8])], accumulate: bool) {
+    debug_assert!(srcs.len() <= ROW_FUSE);
+    let mut batch: [(F, &[u8]); ROW_FUSE] = [(F::ZERO, &[]); ROW_FUSE];
+    for (slot, &(c, s)) in batch.iter_mut().zip(srcs) {
+        *slot = (F::from_index(c), s);
+    }
+    if accumulate {
+        payload_mul_acc_multi(dst, &batch[..srcs.len()]);
+    } else {
+        payload_mul_into_multi(dst, &batch[..srcs.len()]);
+    }
 }
 
 impl RepairSession {
@@ -77,8 +92,7 @@ impl RepairSession {
             missing_mask,
             plan,
             steps,
-            apply_first: apply_first_in::<F>,
-            apply_acc: apply_acc_in::<F>,
+            apply_row: apply_row_in::<F>,
             solves,
         }
     }
@@ -117,8 +131,9 @@ impl RepairSession {
     /// Every lane the view reports missing must be part of the session's
     /// pattern (lanes the session covers but the view already has are
     /// simply rewritten with identical bytes). Runs no planning, no
-    /// elimination, and allocates nothing; repaired lanes are marked
-    /// present.
+    /// elimination, and allocates nothing; each step's row is issued as
+    /// fused multi-source kernel calls gathered over an on-stack batch,
+    /// and repaired lanes are marked present.
     pub fn repair(&self, stripe: &mut StripeViewMut<'_, '_>) -> Result<()> {
         if stripe.lane_count() != self.lanes {
             return Err(CodeError::ShardCountMismatch {
@@ -136,19 +151,24 @@ impl RepairSession {
             }
         }
         for step in &self.steps {
-            let mut first = true;
-            for &(src, c) in &step.sources {
-                let (dst, s) = stripe.lane_pair_mut(step.target, src);
-                if first {
-                    (self.apply_first)(dst, s, c);
-                    first = false;
-                } else {
-                    (self.apply_acc)(dst, s, c);
+            let (dst, head, tail) = stripe.lane_split_mut(step.target);
+            let mut accumulate = false;
+            for chunk in step.sources.chunks(ROW_FUSE) {
+                let mut batch: [(u32, &[u8]); ROW_FUSE] = [(0, &[]); ROW_FUSE];
+                for (slot, &(lane, c)) in batch.iter_mut().zip(chunk) {
+                    let src: &[u8] = if lane < step.target {
+                        &*head[lane]
+                    } else {
+                        &*tail[lane - step.target - 1]
+                    };
+                    *slot = (c, src);
                 }
+                (self.apply_row)(dst, &batch[..chunk.len()], accumulate);
+                accumulate = true;
             }
-            if first {
+            if step.sources.is_empty() {
                 // A target with no sources decodes to the zero payload.
-                stripe.lane_mut(step.target).fill(0);
+                dst.fill(0);
             }
             stripe.mark_present(step.target);
         }

@@ -14,6 +14,10 @@
 //! as the primitive element `α`, matching the Vandermonde parity-check
 //! construction `[H]_{i,j} = α^{(i-1)(j-1)}` of the paper's Appendix D.
 //!
+//! Payload-slice kernels dispatch at runtime to SIMD implementations
+//! (split-nibble `PSHUFB`/`VPSHUFB` on x86) with a portable scalar
+//! fallback — see the [`slice_ops`] module docs for the selection story.
+//!
 //! # Example
 //!
 //! ```
@@ -26,7 +30,11 @@
 //! assert_eq!(a + a, Gf256::ZERO); // characteristic 2
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and re-allowed in exactly one place: the
+// `simd` module, whose feature-gated kernels document their invariants
+// and are reachable only through detection-checked dispatch.
+#![deny(unsafe_code)]
+#![warn(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 mod field;
@@ -34,6 +42,7 @@ mod gf16;
 mod gf256;
 mod gf65536;
 pub mod poly;
+mod simd;
 pub mod slice_ops;
 mod tables;
 
@@ -41,3 +50,4 @@ pub use field::{Field, FieldElements};
 pub use gf16::Gf16;
 pub use gf256::Gf256;
 pub use gf65536::Gf65536;
+pub use simd::KernelBackend;

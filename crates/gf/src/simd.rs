@@ -1,0 +1,787 @@
+//! SIMD byte-slice kernel backends and their runtime dispatch.
+//!
+//! GF(2^8) multiplication by a fixed coefficient `c` is a 256-entry
+//! table lookup per byte. The SIMD kernels here replace that with the
+//! *split-nibble* scheme (cf. Uezato, "Accelerating XOR-based Erasure
+//! Coding", SC 2021): since `c·x = c·(x_hi·16) + c·x_lo`, two 16-entry
+//! tables — one for each nibble — suffice, and 16-entry lookups are
+//! exactly what `PSHUFB`/`VPSHUFB` compute for a whole vector of bytes
+//! per instruction.
+//!
+//! Three backends implement the same [`KernelSuite`] contract:
+//!
+//! * **scalar** — portable Rust: 256-entry product-row lookups (the
+//!   nibble tables expanded once per call) and a `u64`-wide XOR. The
+//!   universal fallback, always available, and the reference the SIMD
+//!   paths are property-tested against.
+//! * **ssse3** — 128-bit `PSHUFB` kernels.
+//! * **avx2** — 256-bit `VPSHUFB` kernels (the 16-entry tables broadcast
+//!   to both 128-bit lanes).
+//!
+//! Selection happens once per process (see [`KernelBackend::active`])
+//! via `is_x86_feature_detected!`, overridable with environment
+//! variables for testing — the full story is documented on
+//! [`crate::slice_ops`].
+//!
+//! # Safety model
+//!
+//! This is the only module in the crate that uses `unsafe` (the crate
+//! root carries `#![deny(unsafe_code)]`; this module opts out locally).
+//! Every `#[target_feature]` function documents its contract: it must
+//! only be invoked on a CPU with that feature. The *only* route from
+//! safe code to those functions is a [`KernelSuite`] obtained from
+//! [`suite_for`], which hands out a SIMD suite strictly after the
+//! corresponding `is_x86_feature_detected!` check has passed (and falls
+//! back to the scalar suite otherwise), making the safe wrapper
+//! functions stored in the suites sound.
+
+#![allow(unsafe_code)]
+
+/// Split-nibble multiplication tables for one coefficient of a byte-wide
+/// field: `lo[x] = c·x` for `x < 16` and `hi[x] = c·(x·16)`, so that
+/// `c·b = lo[b & 0xF] ^ hi[b >> 4]` for any byte `b`.
+///
+/// 32 bytes — cheap enough to build per kernel call (30 field
+/// multiplications) and small enough to live in two vector registers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MulTables {
+    pub(crate) lo: [u8; 16],
+    pub(crate) hi: [u8; 16],
+}
+
+impl MulTables {
+    /// Builds the split-nibble tables for `c` in any field whose symbols
+    /// are single bytes (`SYMBOL_BYTES == 1`; sub-byte fields like
+    /// GF(2^4) work because `from_index` truncates out-of-range bits,
+    /// matching the historical 256-entry product-row semantics).
+    pub(crate) fn build<F: crate::Field>(c: F) -> Self {
+        debug_assert_eq!(F::SYMBOL_BYTES, 1, "split-nibble tables are byte-wide");
+        let mut lo = [0u8; 16];
+        let mut hi = [0u8; 16];
+        for x in 0..16u32 {
+            lo[x as usize] = (c * F::from_index(x)).index() as u8;
+            hi[x as usize] = (c * F::from_index(x << 4)).index() as u8;
+        }
+        Self { lo, hi }
+    }
+
+    /// Expands to the classic 256-entry product row (`row[x] = c·x`),
+    /// the representation the scalar kernels stream through.
+    pub(crate) fn expand_row(&self) -> [u8; 256] {
+        let mut row = [0u8; 256];
+        for (x, slot) in row.iter_mut().enumerate() {
+            *slot = self.lo[x & 0xF] ^ self.hi[x >> 4];
+        }
+        row
+    }
+
+    /// Single-byte product via the nibble tables (used by vector-kernel
+    /// tails).
+    #[inline(always)]
+    fn mul_byte(&self, b: u8) -> u8 {
+        self.lo[(b & 0xF) as usize] ^ self.hi[(b >> 4) as usize]
+    }
+}
+
+/// Most sources a fused multi-source kernel call accepts; callers batch
+/// longer rows. Bounds the scalar backend's on-stack expanded rows
+/// (16 × 256 B = 4 KiB) and keeps SIMD table state within L1.
+pub(crate) const MAX_FUSE: usize = 16;
+
+/// Fused multi-source multiply kernel: `dst = [dst ^] Σ cᵢ·srcᵢ` with
+/// prebuilt per-source tables; the `bool` is `accumulate`.
+pub(crate) type MulMultiFn = for<'a> fn(&mut [u8], &[(MulTables, &'a [u8])], bool);
+
+/// Fused multi-source XOR kernel: `dst = [dst ^] Σ srcᵢ`.
+pub(crate) type XorMultiFn = for<'a> fn(&mut [u8], &[&'a [u8]], bool);
+
+/// One implementation of the byte-payload kernel set. All function
+/// pointers are safe to call with any slice arguments (equal lengths are
+/// the caller's contract, checked by the public wrappers); feature-gated
+/// suites are only reachable through [`suite_for`] after detection.
+pub(crate) struct KernelSuite {
+    pub(crate) backend: KernelBackend,
+    /// `dst = c·src` (`accumulate = false`) given prebuilt tables.
+    pub(crate) mul_into: fn(&mut [u8], &[u8], &MulTables),
+    /// `dst ^= c·src` given prebuilt tables.
+    pub(crate) mul_acc: fn(&mut [u8], &[u8], &MulTables),
+    /// In-place `data = c·data` given prebuilt tables.
+    pub(crate) scale: fn(&mut [u8], &MulTables),
+    /// `dst ^= src`.
+    pub(crate) xor_into: fn(&mut [u8], &[u8]),
+    /// Fused `dst = [dst ^] Σ cᵢ·srcᵢ` over at most [`MAX_FUSE`] sources:
+    /// one pass over `dst` however many sources there are. With no
+    /// sources and `accumulate == false` the destination is zero-filled.
+    pub(crate) mul_multi: MulMultiFn,
+    /// Fused `dst = [dst ^] Σ srcᵢ` over at most [`MAX_FUSE`] sources.
+    pub(crate) xor_multi: XorMultiFn,
+}
+
+/// A byte-kernel implementation selectable at runtime.
+///
+/// [`KernelBackend::active`] reports the process-wide choice; the
+/// methods on this enum (defined in [`crate::slice_ops`]) run a specific
+/// backend's kernels directly, which is how the benchmarks compare
+/// scalar against dispatched code and how the equivalence tests pin
+/// SIMD/scalar bit-identity in a single process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelBackend {
+    /// Portable Rust: product-row lookups and `u64`-wide XOR.
+    Scalar,
+    /// 128-bit split-nibble `PSHUFB` kernels (x86/x86_64).
+    Ssse3,
+    /// 256-bit split-nibble `VPSHUFB` kernels (x86/x86_64).
+    Avx2,
+}
+
+impl KernelBackend {
+    /// Every backend this build knows about, portable first.
+    pub const ALL: [KernelBackend; 3] = [
+        KernelBackend::Scalar,
+        KernelBackend::Ssse3,
+        KernelBackend::Avx2,
+    ];
+
+    /// The backend's lowercase name (`"scalar"`, `"ssse3"`, `"avx2"`),
+    /// as accepted by the `XORBAS_KERNEL_BACKEND` override.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Ssse3 => "ssse3",
+            KernelBackend::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses a backend name as accepted by `XORBAS_KERNEL_BACKEND`
+    /// (case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Whether the running CPU supports this backend.
+    pub fn is_supported(self) -> bool {
+        match self {
+            KernelBackend::Scalar => true,
+            #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+            KernelBackend::Ssse3 => std::arch::is_x86_feature_detected!("ssse3"),
+            #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+            KernelBackend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+            _ => false,
+        }
+    }
+
+    /// The backends the running CPU supports, portable first.
+    pub fn supported() -> impl Iterator<Item = KernelBackend> {
+        Self::ALL.into_iter().filter(|b| b.is_supported())
+    }
+
+    /// The process-wide backend the module-level kernels dispatch to.
+    ///
+    /// Chosen once, on first use: the best supported backend
+    /// (avx2 → ssse3 → scalar), unless overridden by the environment —
+    /// see the [`crate::slice_ops`] module docs for the variables.
+    pub fn active() -> KernelBackend {
+        active_suite().backend
+    }
+}
+
+/// The suite implementing `backend`, or the scalar suite when the CPU
+/// lacks the feature. This fallback (rather than a panic) is what makes
+/// the feature-gated suites sound: no code path hands out a SIMD suite
+/// on a CPU that cannot execute it.
+pub(crate) fn suite_for(backend: KernelBackend) -> &'static KernelSuite {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        match backend {
+            KernelBackend::Avx2 if backend.is_supported() => return &x86::AVX2_SUITE,
+            KernelBackend::Ssse3 if backend.is_supported() => return &x86::SSSE3_SUITE,
+            _ => {}
+        }
+    }
+    let _ = backend;
+    &scalar::SUITE
+}
+
+/// The process-wide suite, selected once on first use.
+pub(crate) fn active_suite() -> &'static KernelSuite {
+    use std::sync::OnceLock;
+    static ACTIVE: OnceLock<&'static KernelSuite> = OnceLock::new();
+    ACTIVE.get_or_init(select_suite)
+}
+
+/// Applies the environment overrides, then picks the best supported
+/// backend.
+fn select_suite() -> &'static KernelSuite {
+    if std::env::var("XORBAS_FORCE_SCALAR").is_ok_and(|v| !v.is_empty() && v != "0") {
+        return &scalar::SUITE;
+    }
+    if let Ok(name) = std::env::var("XORBAS_KERNEL_BACKEND") {
+        match KernelBackend::parse(&name) {
+            Some(requested) => return suite_for(requested),
+            None => {
+                // A typo must not silently measure the wrong backend.
+                eprintln!(
+                    "xorbas_gf: unrecognized XORBAS_KERNEL_BACKEND {name:?} \
+                     (expected scalar, ssse3, or avx2); using auto-detection"
+                );
+            }
+        }
+    }
+    let best = KernelBackend::supported()
+        .last()
+        .unwrap_or(KernelBackend::Scalar);
+    suite_for(best)
+}
+
+/// Portable fallback kernels: safe Rust throughout, auto-vectorizable
+/// product-row streams, `u64`-wide XOR.
+pub(crate) mod scalar {
+    use super::{KernelBackend, KernelSuite, MulTables, MAX_FUSE};
+
+    pub(crate) static SUITE: KernelSuite = KernelSuite {
+        backend: KernelBackend::Scalar,
+        mul_into,
+        mul_acc,
+        scale,
+        xor_into,
+        mul_multi,
+        xor_multi,
+    };
+
+    fn mul_into(dst: &mut [u8], src: &[u8], t: &MulTables) {
+        let row = t.expand_row();
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = row[*s as usize];
+        }
+    }
+
+    fn mul_acc(dst: &mut [u8], src: &[u8], t: &MulTables) {
+        let row = t.expand_row();
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= row[*s as usize];
+        }
+    }
+
+    fn scale(data: &mut [u8], t: &MulTables) {
+        let row = t.expand_row();
+        for d in data.iter_mut() {
+            *d = row[*d as usize];
+        }
+    }
+
+    pub(super) fn xor_into(dst: &mut [u8], src: &[u8]) {
+        let mut s = src.chunks_exact(8);
+        let mut d = dst.chunks_exact_mut(8);
+        for (dc, sc) in (&mut d).zip(&mut s) {
+            let v = u64::from_le_bytes(dc.try_into().unwrap())
+                ^ u64::from_le_bytes(sc.try_into().unwrap());
+            dc.copy_from_slice(&v.to_le_bytes());
+        }
+        for (dc, sc) in d.into_remainder().iter_mut().zip(s.remainder()) {
+            *dc ^= sc;
+        }
+    }
+
+    /// Destination-chunked fusion: the expanded rows live on the stack
+    /// (hence [`MAX_FUSE`]) and `dst` is walked in L1-sized chunks, each
+    /// chunk visited by every source before moving on — one effective
+    /// pass of `dst` through memory however many sources there are.
+    fn mul_multi(dst: &mut [u8], srcs: &[(MulTables, &[u8])], accumulate: bool) {
+        assert!(srcs.len() <= MAX_FUSE, "fused row wider than MAX_FUSE");
+        if srcs.is_empty() {
+            if !accumulate {
+                dst.fill(0);
+            }
+            return;
+        }
+        let mut rows = [[0u8; 256]; MAX_FUSE];
+        for (row, (t, _)) in rows.iter_mut().zip(srcs) {
+            *row = t.expand_row();
+        }
+        const CHUNK: usize = 4096;
+        let n = dst.len();
+        let mut pos = 0;
+        while pos < n {
+            let end = (pos + CHUNK).min(n);
+            for (j, (_, s)) in srcs.iter().enumerate() {
+                let row = &rows[j];
+                let chunk = &mut dst[pos..end];
+                if j == 0 && !accumulate {
+                    for (d, b) in chunk.iter_mut().zip(&s[pos..end]) {
+                        *d = row[*b as usize];
+                    }
+                } else {
+                    for (d, b) in chunk.iter_mut().zip(&s[pos..end]) {
+                        *d ^= row[*b as usize];
+                    }
+                }
+            }
+            pos = end;
+        }
+    }
+
+    fn xor_multi(dst: &mut [u8], srcs: &[&[u8]], accumulate: bool) {
+        assert!(srcs.len() <= MAX_FUSE, "fused row wider than MAX_FUSE");
+        if srcs.is_empty() {
+            if !accumulate {
+                dst.fill(0);
+            }
+            return;
+        }
+        const CHUNK: usize = 4096;
+        let n = dst.len();
+        let mut pos = 0;
+        while pos < n {
+            let end = (pos + CHUNK).min(n);
+            for (j, s) in srcs.iter().enumerate() {
+                if j == 0 && !accumulate {
+                    dst[pos..end].copy_from_slice(&s[pos..end]);
+                } else {
+                    xor_into(&mut dst[pos..end], &s[pos..end]);
+                }
+            }
+            pos = end;
+        }
+    }
+}
+
+/// x86/x86_64 vector kernels: SSSE3 (`PSHUFB`, 128-bit) and AVX2
+/// (`VPSHUFB`, 256-bit).
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+mod x86 {
+    use super::{KernelBackend, KernelSuite, MulTables, MAX_FUSE};
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    pub(super) static SSSE3_SUITE: KernelSuite = KernelSuite {
+        backend: KernelBackend::Ssse3,
+        mul_into: |d, s, t| {
+            // SAFETY: this suite is only reachable via `suite_for`, which
+            // verified is_x86_feature_detected!("ssse3").
+            unsafe { ssse3_mul(d, s, t, false) }
+        },
+        mul_acc: |d, s, t| {
+            // SAFETY: as above — SSSE3 presence verified by `suite_for`.
+            unsafe { ssse3_mul(d, s, t, true) }
+        },
+        scale: |d, t| {
+            // SAFETY: as above — SSSE3 presence verified by `suite_for`.
+            unsafe { ssse3_scale(d, t) }
+        },
+        xor_into: |d, s| {
+            // SAFETY: as above — SSSE3 presence verified by `suite_for`.
+            unsafe { ssse3_xor(d, s) }
+        },
+        mul_multi: |d, s, acc| {
+            // SAFETY: as above — SSSE3 presence verified by `suite_for`.
+            unsafe { ssse3_mul_multi(d, s, acc) }
+        },
+        xor_multi: |d, s, acc| {
+            // SAFETY: as above — SSSE3 presence verified by `suite_for`.
+            unsafe { ssse3_xor_multi(d, s, acc) }
+        },
+    };
+
+    pub(super) static AVX2_SUITE: KernelSuite = KernelSuite {
+        backend: KernelBackend::Avx2,
+        mul_into: |d, s, t| {
+            // SAFETY: this suite is only reachable via `suite_for`, which
+            // verified is_x86_feature_detected!("avx2").
+            unsafe { avx2_mul(d, s, t, false) }
+        },
+        mul_acc: |d, s, t| {
+            // SAFETY: as above — AVX2 presence verified by `suite_for`.
+            unsafe { avx2_mul(d, s, t, true) }
+        },
+        scale: |d, t| {
+            // SAFETY: as above — AVX2 presence verified by `suite_for`.
+            unsafe { avx2_scale(d, t) }
+        },
+        xor_into: |d, s| {
+            // SAFETY: as above — AVX2 presence verified by `suite_for`.
+            unsafe { avx2_xor(d, s) }
+        },
+        mul_multi: |d, s, acc| {
+            // SAFETY: as above — AVX2 presence verified by `suite_for`.
+            unsafe { avx2_mul_multi(d, s, acc) }
+        },
+        xor_multi: |d, s, acc| {
+            // SAFETY: as above — AVX2 presence verified by `suite_for`.
+            unsafe { avx2_xor_multi(d, s, acc) }
+        },
+    };
+
+    /// Split-nibble product of 16 bytes: two `PSHUFB` lookups + XOR.
+    ///
+    /// Safe to define: it only operates on values, so the sole
+    /// obligation — SSSE3 being available — is discharged by every
+    /// caller already running under `#[target_feature(enable = "ssse3")]`.
+    #[inline]
+    #[target_feature(enable = "ssse3")]
+    fn mul_vec128(v: __m128i, lo: __m128i, hi: __m128i, mask: __m128i) -> __m128i {
+        let l = _mm_shuffle_epi8(lo, _mm_and_si128(v, mask));
+        let h = _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64::<4>(v), mask));
+        _mm_xor_si128(l, h)
+    }
+
+    /// `dst = [dst ^] c·src` over 16-byte vectors, scalar nibble tail.
+    ///
+    /// # Safety
+    /// Requires SSSE3. `dst` and `src` must not overlap (guaranteed by
+    /// the `&mut`/`&` borrows) and have equal length (checked by the
+    /// public wrappers).
+    #[target_feature(enable = "ssse3")]
+    unsafe fn ssse3_mul(dst: &mut [u8], src: &[u8], t: &MulTables, accumulate: bool) {
+        debug_assert_eq!(dst.len(), src.len());
+        // SAFETY: caller guarantees SSSE3; all pointer arithmetic stays
+        // within `dst`/`src` because `i + 16 <= n == len` at every load
+        // and store, and `loadu`/`storeu` have no alignment requirement.
+        unsafe {
+            let lo = _mm_loadu_si128(t.lo.as_ptr().cast());
+            let hi = _mm_loadu_si128(t.hi.as_ptr().cast());
+            let mask = _mm_set1_epi8(0x0F);
+            let n = dst.len();
+            let mut i = 0;
+            while i + 16 <= n {
+                let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
+                let mut r = mul_vec128(s, lo, hi, mask);
+                if accumulate {
+                    r = _mm_xor_si128(r, _mm_loadu_si128(dst.as_ptr().add(i).cast()));
+                }
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), r);
+                i += 16;
+            }
+            for j in i..n {
+                let p = t.mul_byte(src[j]);
+                dst[j] = if accumulate { dst[j] ^ p } else { p };
+            }
+        }
+    }
+
+    /// In-place `data = c·data`.
+    ///
+    /// # Safety
+    /// Requires SSSE3.
+    #[target_feature(enable = "ssse3")]
+    unsafe fn ssse3_scale(data: &mut [u8], t: &MulTables) {
+        // SAFETY: caller guarantees SSSE3; bounds as in `ssse3_mul`.
+        unsafe {
+            let lo = _mm_loadu_si128(t.lo.as_ptr().cast());
+            let hi = _mm_loadu_si128(t.hi.as_ptr().cast());
+            let mask = _mm_set1_epi8(0x0F);
+            let n = data.len();
+            let mut i = 0;
+            while i + 16 <= n {
+                let v = _mm_loadu_si128(data.as_ptr().add(i).cast());
+                _mm_storeu_si128(data.as_mut_ptr().add(i).cast(), mul_vec128(v, lo, hi, mask));
+                i += 16;
+            }
+            for b in data[i..].iter_mut() {
+                *b = t.mul_byte(*b);
+            }
+        }
+    }
+
+    /// `dst ^= src` over 16-byte vectors.
+    ///
+    /// # Safety
+    /// Requires SSSE3 (SSE2 strictly, kept uniform with its suite).
+    #[target_feature(enable = "ssse3")]
+    unsafe fn ssse3_xor(dst: &mut [u8], src: &[u8]) {
+        debug_assert_eq!(dst.len(), src.len());
+        // SAFETY: caller guarantees SSSE3; bounds as in `ssse3_mul`.
+        unsafe {
+            let n = dst.len();
+            let mut i = 0;
+            while i + 16 <= n {
+                let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
+                let d = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), _mm_xor_si128(d, s));
+                i += 16;
+            }
+            for j in i..n {
+                dst[j] ^= src[j];
+            }
+        }
+    }
+
+    /// Fused row: one load/store of each `dst` vector regardless of the
+    /// number of sources; the per-source tables stay L1-resident.
+    ///
+    /// # Safety
+    /// Requires SSSE3. At most [`MAX_FUSE`] sources, each of `dst`'s
+    /// length (checked by the public wrappers).
+    #[target_feature(enable = "ssse3")]
+    unsafe fn ssse3_mul_multi(dst: &mut [u8], srcs: &[(MulTables, &[u8])], accumulate: bool) {
+        debug_assert!(srcs.len() <= MAX_FUSE);
+        if srcs.is_empty() {
+            if !accumulate {
+                dst.fill(0);
+            }
+            return;
+        }
+        // SAFETY: caller guarantees SSSE3; bounds as in `ssse3_mul`, for
+        // every source (all sources share `dst`'s length).
+        unsafe {
+            let mask = _mm_set1_epi8(0x0F);
+            let n = dst.len();
+            let mut i = 0;
+            while i + 16 <= n {
+                let mut acc = if accumulate {
+                    _mm_loadu_si128(dst.as_ptr().add(i).cast())
+                } else {
+                    _mm_setzero_si128()
+                };
+                for (t, s) in srcs {
+                    let lo = _mm_loadu_si128(t.lo.as_ptr().cast());
+                    let hi = _mm_loadu_si128(t.hi.as_ptr().cast());
+                    let v = _mm_loadu_si128(s.as_ptr().add(i).cast());
+                    acc = _mm_xor_si128(acc, mul_vec128(v, lo, hi, mask));
+                }
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), acc);
+                i += 16;
+            }
+            for j in i..n {
+                let mut acc = if accumulate { dst[j] } else { 0 };
+                for (t, s) in srcs {
+                    acc ^= t.mul_byte(s[j]);
+                }
+                dst[j] = acc;
+            }
+        }
+    }
+
+    /// Fused XOR row (all coefficients 1): one `dst` pass.
+    ///
+    /// # Safety
+    /// Requires SSSE3. At most [`MAX_FUSE`] sources of `dst`'s length.
+    #[target_feature(enable = "ssse3")]
+    unsafe fn ssse3_xor_multi(dst: &mut [u8], srcs: &[&[u8]], accumulate: bool) {
+        debug_assert!(srcs.len() <= MAX_FUSE);
+        if srcs.is_empty() {
+            if !accumulate {
+                dst.fill(0);
+            }
+            return;
+        }
+        // SAFETY: caller guarantees SSSE3; bounds as in `ssse3_mul`.
+        unsafe {
+            let n = dst.len();
+            let mut i = 0;
+            while i + 16 <= n {
+                let mut acc = if accumulate {
+                    _mm_loadu_si128(dst.as_ptr().add(i).cast())
+                } else {
+                    _mm_setzero_si128()
+                };
+                for s in srcs {
+                    acc = _mm_xor_si128(acc, _mm_loadu_si128(s.as_ptr().add(i).cast()));
+                }
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), acc);
+                i += 16;
+            }
+            for j in i..n {
+                let mut acc = if accumulate { dst[j] } else { 0 };
+                for s in srcs {
+                    acc ^= s[j];
+                }
+                dst[j] = acc;
+            }
+        }
+    }
+
+    /// Split-nibble product of 32 bytes via `VPSHUFB` (which looks up
+    /// within each 128-bit lane — hence the tables are broadcast to both
+    /// lanes).
+    ///
+    /// Safe to define: it only operates on values, so the sole
+    /// obligation — AVX2 being available — is discharged by every caller
+    /// already running under `#[target_feature(enable = "avx2")]`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn mul_vec256(v: __m256i, lo: __m256i, hi: __m256i, mask: __m256i) -> __m256i {
+        let l = _mm256_shuffle_epi8(lo, _mm256_and_si256(v, mask));
+        let h = _mm256_shuffle_epi8(hi, _mm256_and_si256(_mm256_srli_epi64::<4>(v), mask));
+        _mm256_xor_si256(l, h)
+    }
+
+    /// Broadcasts a 16-byte nibble table to both 128-bit lanes.
+    ///
+    /// # Safety
+    /// Requires AVX2. `table` must point to 16 readable bytes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn broadcast_table(table: &[u8; 16]) -> __m256i {
+        // SAFETY: caller guarantees AVX2 and 16 readable bytes.
+        unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(table.as_ptr().cast())) }
+    }
+
+    /// `dst = [dst ^] c·src` over 32-byte vectors, scalar nibble tail.
+    ///
+    /// # Safety
+    /// Requires AVX2. Equal `dst`/`src` lengths (checked by wrappers).
+    #[target_feature(enable = "avx2")]
+    unsafe fn avx2_mul(dst: &mut [u8], src: &[u8], t: &MulTables, accumulate: bool) {
+        debug_assert_eq!(dst.len(), src.len());
+        // SAFETY: caller guarantees AVX2; all pointer arithmetic stays
+        // within `dst`/`src` because `i + 32 <= n == len` at every load
+        // and store, and `loadu`/`storeu` have no alignment requirement.
+        unsafe {
+            let lo = broadcast_table(&t.lo);
+            let hi = broadcast_table(&t.hi);
+            let mask = _mm256_set1_epi8(0x0F);
+            let n = dst.len();
+            let mut i = 0;
+            while i + 32 <= n {
+                let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+                let mut r = mul_vec256(s, lo, hi, mask);
+                if accumulate {
+                    r = _mm256_xor_si256(r, _mm256_loadu_si256(dst.as_ptr().add(i).cast()));
+                }
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), r);
+                i += 32;
+            }
+            for j in i..n {
+                let p = t.mul_byte(src[j]);
+                dst[j] = if accumulate { dst[j] ^ p } else { p };
+            }
+        }
+    }
+
+    /// In-place `data = c·data`.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn avx2_scale(data: &mut [u8], t: &MulTables) {
+        // SAFETY: caller guarantees AVX2; bounds as in `avx2_mul`.
+        unsafe {
+            let lo = broadcast_table(&t.lo);
+            let hi = broadcast_table(&t.hi);
+            let mask = _mm256_set1_epi8(0x0F);
+            let n = data.len();
+            let mut i = 0;
+            while i + 32 <= n {
+                let v = _mm256_loadu_si256(data.as_ptr().add(i).cast());
+                _mm256_storeu_si256(data.as_mut_ptr().add(i).cast(), mul_vec256(v, lo, hi, mask));
+                i += 32;
+            }
+            for b in data[i..].iter_mut() {
+                *b = t.mul_byte(*b);
+            }
+        }
+    }
+
+    /// `dst ^= src` over 32-byte vectors.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn avx2_xor(dst: &mut [u8], src: &[u8]) {
+        debug_assert_eq!(dst.len(), src.len());
+        // SAFETY: caller guarantees AVX2; bounds as in `avx2_mul`.
+        unsafe {
+            let n = dst.len();
+            let mut i = 0;
+            while i + 32 <= n {
+                let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+                let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), _mm256_xor_si256(d, s));
+                i += 32;
+            }
+            for j in i..n {
+                dst[j] ^= src[j];
+            }
+        }
+    }
+
+    /// Fused row over 32-byte vectors: one load/store of each `dst`
+    /// vector regardless of the number of sources.
+    ///
+    /// # Safety
+    /// Requires AVX2. At most [`MAX_FUSE`] sources of `dst`'s length.
+    #[target_feature(enable = "avx2")]
+    unsafe fn avx2_mul_multi(dst: &mut [u8], srcs: &[(MulTables, &[u8])], accumulate: bool) {
+        debug_assert!(srcs.len() <= MAX_FUSE);
+        if srcs.is_empty() {
+            if !accumulate {
+                dst.fill(0);
+            }
+            return;
+        }
+        // SAFETY: caller guarantees AVX2; bounds as in `avx2_mul`, for
+        // every source (all sources share `dst`'s length).
+        unsafe {
+            let mask = _mm256_set1_epi8(0x0F);
+            let n = dst.len();
+            let mut i = 0;
+            while i + 32 <= n {
+                let mut acc = if accumulate {
+                    _mm256_loadu_si256(dst.as_ptr().add(i).cast())
+                } else {
+                    _mm256_setzero_si256()
+                };
+                for (t, s) in srcs {
+                    let lo = broadcast_table(&t.lo);
+                    let hi = broadcast_table(&t.hi);
+                    let v = _mm256_loadu_si256(s.as_ptr().add(i).cast());
+                    acc = _mm256_xor_si256(acc, mul_vec256(v, lo, hi, mask));
+                }
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), acc);
+                i += 32;
+            }
+            for j in i..n {
+                let mut acc = if accumulate { dst[j] } else { 0 };
+                for (t, s) in srcs {
+                    acc ^= t.mul_byte(s[j]);
+                }
+                dst[j] = acc;
+            }
+        }
+    }
+
+    /// Fused XOR row over 32-byte vectors.
+    ///
+    /// # Safety
+    /// Requires AVX2. At most [`MAX_FUSE`] sources of `dst`'s length.
+    #[target_feature(enable = "avx2")]
+    unsafe fn avx2_xor_multi(dst: &mut [u8], srcs: &[&[u8]], accumulate: bool) {
+        debug_assert!(srcs.len() <= MAX_FUSE);
+        if srcs.is_empty() {
+            if !accumulate {
+                dst.fill(0);
+            }
+            return;
+        }
+        // SAFETY: caller guarantees AVX2; bounds as in `avx2_mul`.
+        unsafe {
+            let n = dst.len();
+            let mut i = 0;
+            while i + 32 <= n {
+                let mut acc = if accumulate {
+                    _mm256_loadu_si256(dst.as_ptr().add(i).cast())
+                } else {
+                    _mm256_setzero_si256()
+                };
+                for s in srcs {
+                    acc = _mm256_xor_si256(acc, _mm256_loadu_si256(s.as_ptr().add(i).cast()));
+                }
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), acc);
+                i += 32;
+            }
+            for j in i..n {
+                let mut acc = if accumulate { dst[j] } else { 0 };
+                for s in srcs {
+                    acc ^= s[j];
+                }
+                dst[j] = acc;
+            }
+        }
+    }
+}

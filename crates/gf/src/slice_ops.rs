@@ -1,15 +1,69 @@
-//! Bulk kernels over block payloads.
+//! Bulk kernels over block payloads, with runtime-dispatched SIMD.
 //!
 //! Erasure coding a 64 MB HDFS block is a long stream of
 //! `dst ^= c * src` operations over GF(2^8) bytes. These kernels are the
-//! hot path of the codecs: [`mul_acc`] builds a 256-entry product row for
-//! the coefficient once and then streams through the payload, which the
-//! optimizer auto-vectorizes well.
+//! hot path of the codecs, and they come in two shapes:
+//!
+//! * **single-source** — [`xor_into`], [`mul_into`], [`mul_acc`],
+//!   [`scale`] and their generic [`payload_mul_into`] /
+//!   [`payload_mul_acc`] / [`payload_scale`] counterparts;
+//! * **fused multi-source** — [`xor_into_multi`], [`mul_into_multi`],
+//!   [`mul_acc_multi`] and the generic [`payload_mul_into_multi`] /
+//!   [`payload_mul_acc_multi`], which compute a whole row
+//!   `dst = Σ cᵢ·srcᵢ` in **one pass over `dst`**. A `(k, m)` encode or
+//!   a compiled heavy repair combines `k` sources per output lane;
+//!   issuing the row as one fused call instead of `k` accumulate calls
+//!   divides the `dst` memory traffic by `k`, which is where most of the
+//!   non-SIMD time went.
+//!
+//! # Kernel selection
+//!
+//! Three interchangeable backends implement the byte kernels (see
+//! [`KernelBackend`]): portable **scalar** code (256-entry product-row
+//! lookups, `u64`-wide XOR), **ssse3** (128-bit `PSHUFB` split-nibble),
+//! and **avx2** (256-bit `VPSHUFB`). The module-level functions dispatch
+//! through a process-wide suite chosen once, on first use:
+//!
+//! 1. If `XORBAS_FORCE_SCALAR` is set to a non-empty value other than
+//!    `"0"`, the scalar fallback is used unconditionally — this is how
+//!    CI keeps the portable path exercised.
+//! 2. Otherwise, if `XORBAS_KERNEL_BACKEND` names a backend (`scalar`,
+//!    `ssse3`, `avx2`), that backend is used when the CPU supports it
+//!    (silently falling back to scalar when it does not).
+//! 3. Otherwise the best backend the CPU supports wins, probed with
+//!    `is_x86_feature_detected!`: avx2, then ssse3, then scalar.
+//!
+//! [`KernelBackend::active`] reports the outcome, and every kernel is
+//! also callable on an explicit backend (e.g.
+//! [`KernelBackend::mul_acc`]) so benchmarks and equivalence tests can
+//! compare implementations inside one process.
+//!
+//! To add a backend (NEON is the obvious next one): implement the
+//! `KernelSuite` function set in the crate's private `simd` module
+//! behind the appropriate `target_arch` gate, add a [`KernelBackend`]
+//! variant with its detection
+//! (`std::arch::is_aarch64_feature_detected!`), and extend `suite_for`
+//! — the dispatch, override plumbing, equivalence tests and benches
+//! pick it up from [`KernelBackend::ALL`].
+//!
+//! # Field widths
+//!
+//! Byte-wide fields (GF(2^8), and GF(2^4) with one symbol per byte —
+//! source bytes are truncated to the field like `Field::from_index`,
+//! accumulation is bytewise XOR) run the dispatched byte kernels.
+//! GF(2^16) payloads run dedicated split-table kernels: two 256-entry
+//! `u16` tables (`c·lo` and `c·(hi·256)`) replace the log/antilog
+//! per-symbol loop; they are scalar on every backend today (a nibble
+//! decomposition into eight `PSHUFB` tables is the natural extension).
+//! Wider or odd-sized fields fall back to a symbol-at-a-time loop.
 //!
 //! Generic symbol-slice variants (`gf_*`) are provided for matrices and
 //! codecs instantiated over other fields.
 
+use crate::simd::{active_suite, suite_for, KernelSuite, MulTables, MAX_FUSE};
 use crate::{Field, Gf256};
+
+pub use crate::simd::KernelBackend;
 
 /// `dst[i] ^= src[i]` for all `i`. Panics if lengths differ.
 ///
@@ -18,67 +72,62 @@ use crate::{Field, Gf256};
 /// a simple XOR" (§3.1.2).
 pub fn xor_into(dst: &mut [u8], src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "payload length mismatch");
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d ^= s;
+    (active_suite().xor_into)(dst, src);
+}
+
+/// Fused `dst ^= src₀ ^ src₁ ^ …` in one pass over `dst`.
+///
+/// Panics if any source length differs from `dst`. An empty source list
+/// is a no-op.
+pub fn xor_into_multi(dst: &mut [u8], srcs: &[&[u8]]) {
+    for s in srcs {
+        assert_eq!(dst.len(), s.len(), "payload length mismatch");
+    }
+    let suite = active_suite();
+    for batch in srcs.chunks(MAX_FUSE) {
+        (suite.xor_multi)(dst, batch, true);
     }
 }
 
 /// The product row of a coefficient: `row[x] = c * x` for every byte `x`.
+///
+/// This is the representation the scalar kernels stream through; the
+/// SIMD backends use the two 16-entry nibble tables it expands from.
 #[inline]
 pub fn product_row(c: Gf256) -> [u8; 256] {
-    let mut row = [0u8; 256];
-    for (x, slot) in row.iter_mut().enumerate() {
-        *slot = (c * Gf256::new(x as u8)).raw();
-    }
-    row
+    MulTables::build(c).expand_row()
 }
 
 /// `dst[i] = c * src[i]` for all `i`. Panics if lengths differ.
 pub fn mul_into(dst: &mut [u8], src: &[u8], c: Gf256) {
     assert_eq!(dst.len(), src.len(), "payload length mismatch");
-    if c == Gf256::ZERO {
-        dst.fill(0);
-        return;
-    }
-    if c == Gf256::ONE {
-        dst.copy_from_slice(src);
-        return;
-    }
-    let row = product_row(c);
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d = row[*s as usize];
-    }
+    byte_mul(active_suite(), dst, src, c, false);
 }
 
 /// `dst[i] ^= c * src[i]` for all `i`. Panics if lengths differ.
 pub fn mul_acc(dst: &mut [u8], src: &[u8], c: Gf256) {
     assert_eq!(dst.len(), src.len(), "payload length mismatch");
-    if c == Gf256::ZERO {
-        return;
-    }
-    if c == Gf256::ONE {
-        xor_into(dst, src);
-        return;
-    }
-    let row = product_row(c);
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d ^= row[*s as usize];
-    }
+    byte_mul(active_suite(), dst, src, c, true);
+}
+
+/// Fused row `dst = Σ cᵢ·srcᵢ` over GF(2^8) in one pass over `dst`.
+///
+/// Overwrites `dst` entirely (zero-filling it when every coefficient is
+/// zero). Panics if any source length differs from `dst`.
+pub fn mul_into_multi(dst: &mut [u8], srcs: &[(Gf256, &[u8])]) {
+    payload_mul_into_multi(dst, srcs);
+}
+
+/// Fused row `dst ^= Σ cᵢ·srcᵢ` over GF(2^8) in one pass over `dst`.
+///
+/// Panics if any source length differs from `dst`.
+pub fn mul_acc_multi(dst: &mut [u8], srcs: &[(Gf256, &[u8])]) {
+    payload_mul_acc_multi(dst, srcs);
 }
 
 /// In-place scaling: `data[i] *= c`.
 pub fn scale(data: &mut [u8], c: Gf256) {
-    if c == Gf256::ONE {
-        return;
-    }
-    if c == Gf256::ZERO {
-        data.fill(0);
-        return;
-    }
-    let row = product_row(c);
-    for d in data.iter_mut() {
-        *d = row[*d as usize];
-    }
+    byte_scale(active_suite(), data, c);
 }
 
 /// Generic-field variant of [`xor_into`] over symbol slices.
@@ -111,32 +160,30 @@ pub fn gf_scale<F: Field>(data: &mut [F], c: F) {
 ///
 /// The overwrite counterpart of [`payload_mul_acc`]: encode and compiled
 /// repair steps start each output lane with this, skipping the zero-fill
-/// pass an accumulate-only kernel would need. For 8-bit fields this uses
-/// the product-row fast path directly on the bytes; for wider fields the
-/// payload is processed `SYMBOL_BYTES` at a time (its length must then
-/// be a multiple of the symbol width).
+/// pass an accumulate-only kernel would need. Byte-wide fields run the
+/// dispatched byte kernels; GF(2^16) runs the split-table kernels (the
+/// payload length must then be a multiple of the symbol width); other
+/// widths fall back to a symbol-at-a-time loop.
 pub fn payload_mul_into<F: Field>(dst: &mut [u8], src: &[u8], c: F) {
     assert_eq!(dst.len(), src.len(), "payload length mismatch");
     if c.is_zero() {
         dst.fill(0);
         return;
     }
+    if F::SYMBOL_BYTES == 1 {
+        byte_mul_payload(active_suite(), dst, src, c, false);
+        return;
+    }
+    check_symbol_multiple::<F>(dst.len());
     if c == F::ONE {
         dst.copy_from_slice(src);
         return;
     }
-    if F::BITS == 8 {
-        let mut row = [0u8; 256];
-        for (x, slot) in row.iter_mut().enumerate() {
-            *slot = (c * F::from_index(x as u32)).index() as u8;
-        }
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d = row[*s as usize];
-        }
+    if F::BITS == 16 {
+        wide16_mul(dst, src, &Wide16Tables::build(c), false);
         return;
     }
     let b = F::SYMBOL_BYTES;
-    assert_eq!(dst.len() % b, 0, "payload not a whole number of symbols");
     for (dc, sc) in dst.chunks_exact_mut(b).zip(src.chunks_exact(b)) {
         (c * F::read_symbol(sc)).write_symbol(dc);
     }
@@ -144,30 +191,29 @@ pub fn payload_mul_into<F: Field>(dst: &mut [u8], src: &[u8], c: F) {
 
 /// `dst ^= c * src` over *byte payloads* for any field.
 ///
-/// For 8-bit fields this uses the product-row fast path directly on the
-/// bytes; for wider fields the payload is processed `SYMBOL_BYTES` at a
-/// time (its length must then be a multiple of the symbol width).
+/// Byte-wide fields run the dispatched byte kernels; GF(2^16) runs the
+/// split-table kernels (the payload length must then be a multiple of
+/// the symbol width); other widths fall back to a symbol-at-a-time loop.
 pub fn payload_mul_acc<F: Field>(dst: &mut [u8], src: &[u8], c: F) {
     assert_eq!(dst.len(), src.len(), "payload length mismatch");
     if c.is_zero() {
         return;
     }
-    if F::BITS == 8 {
-        if c == F::ONE {
-            xor_into(dst, src);
-            return;
-        }
-        let mut row = [0u8; 256];
-        for (x, slot) in row.iter_mut().enumerate() {
-            *slot = (c * F::from_index(x as u32)).index() as u8;
-        }
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d ^= row[*s as usize];
-        }
+    if F::SYMBOL_BYTES == 1 {
+        byte_mul_payload(active_suite(), dst, src, c, true);
+        return;
+    }
+    check_symbol_multiple::<F>(dst.len());
+    if c == F::ONE {
+        // Addition is XOR in every GF(2^m), whatever the symbol width.
+        (active_suite().xor_into)(dst, src);
+        return;
+    }
+    if F::BITS == 16 {
+        wide16_mul(dst, src, &Wide16Tables::build(c), true);
         return;
     }
     let b = F::SYMBOL_BYTES;
-    assert_eq!(dst.len() % b, 0, "payload not a whole number of symbols");
     for (dc, sc) in dst.chunks_exact_mut(b).zip(src.chunks_exact(b)) {
         let v = F::read_symbol(dc) + c * F::read_symbol(sc);
         v.write_symbol(dc);
@@ -183,33 +229,385 @@ pub fn payload_scale<F: Field>(data: &mut [u8], c: F) {
         data.fill(0);
         return;
     }
-    if F::BITS == 8 {
-        let mut row = [0u8; 256];
-        for (x, slot) in row.iter_mut().enumerate() {
-            *slot = (c * F::from_index(x as u32)).index() as u8;
-        }
-        for d in data.iter_mut() {
-            *d = row[*d as usize];
-        }
+    if F::SYMBOL_BYTES == 1 {
+        byte_scale_payload(active_suite(), data, c);
+        return;
+    }
+    check_symbol_multiple::<F>(data.len());
+    if F::BITS == 16 {
+        wide16_scale(data, &Wide16Tables::build(c));
         return;
     }
     let b = F::SYMBOL_BYTES;
-    assert_eq!(data.len() % b, 0, "payload not a whole number of symbols");
     for dc in data.chunks_exact_mut(b) {
         let v = F::read_symbol(dc) * c;
         v.write_symbol(dc);
     }
 }
 
+/// Fused row `dst = Σ cᵢ·srcᵢ` over byte payloads for any field, one
+/// pass over `dst`.
+///
+/// Overwrites `dst` entirely (zero-filling it when no source has a
+/// nonzero coefficient). Panics if any source length differs from `dst`.
+pub fn payload_mul_into_multi<F: Field>(dst: &mut [u8], srcs: &[(F, &[u8])]) {
+    payload_combine(active_suite(), dst, srcs, false);
+}
+
+/// Fused row `dst ^= Σ cᵢ·srcᵢ` over byte payloads for any field, one
+/// pass over `dst`.
+///
+/// Panics if any source length differs from `dst`.
+pub fn payload_mul_acc_multi<F: Field>(dst: &mut [u8], srcs: &[(F, &[u8])]) {
+    payload_combine(active_suite(), dst, srcs, true);
+}
+
+impl KernelBackend {
+    /// [`xor_into`] on this backend (scalar fallback when unsupported).
+    pub fn xor_into(self, dst: &mut [u8], src: &[u8]) {
+        assert_eq!(dst.len(), src.len(), "payload length mismatch");
+        (suite_for(self).xor_into)(dst, src);
+    }
+
+    /// [`xor_into_multi`] on this backend.
+    pub fn xor_into_multi(self, dst: &mut [u8], srcs: &[&[u8]]) {
+        for s in srcs {
+            assert_eq!(dst.len(), s.len(), "payload length mismatch");
+        }
+        let suite = suite_for(self);
+        for batch in srcs.chunks(MAX_FUSE) {
+            (suite.xor_multi)(dst, batch, true);
+        }
+    }
+
+    /// [`mul_into`] on this backend.
+    pub fn mul_into(self, dst: &mut [u8], src: &[u8], c: Gf256) {
+        assert_eq!(dst.len(), src.len(), "payload length mismatch");
+        byte_mul(suite_for(self), dst, src, c, false);
+    }
+
+    /// [`mul_acc`] on this backend.
+    pub fn mul_acc(self, dst: &mut [u8], src: &[u8], c: Gf256) {
+        assert_eq!(dst.len(), src.len(), "payload length mismatch");
+        byte_mul(suite_for(self), dst, src, c, true);
+    }
+
+    /// [`scale`] on this backend.
+    pub fn scale(self, data: &mut [u8], c: Gf256) {
+        byte_scale(suite_for(self), data, c);
+    }
+
+    /// [`mul_into_multi`] on this backend.
+    pub fn mul_into_multi(self, dst: &mut [u8], srcs: &[(Gf256, &[u8])]) {
+        payload_combine(suite_for(self), dst, srcs, false);
+    }
+
+    /// [`mul_acc_multi`] on this backend.
+    pub fn mul_acc_multi(self, dst: &mut [u8], srcs: &[(Gf256, &[u8])]) {
+        payload_combine(suite_for(self), dst, srcs, true);
+    }
+
+    /// [`payload_mul_into_multi`] on this backend.
+    pub fn payload_mul_into_multi<F: Field>(self, dst: &mut [u8], srcs: &[(F, &[u8])]) {
+        payload_combine(suite_for(self), dst, srcs, false);
+    }
+
+    /// [`payload_mul_acc_multi`] on this backend.
+    pub fn payload_mul_acc_multi<F: Field>(self, dst: &mut [u8], srcs: &[(F, &[u8])]) {
+        payload_combine(suite_for(self), dst, srcs, true);
+    }
+}
+
+/// Whether the `c == ONE` byte-XOR shortcut is sound for `F`: only for
+/// true 8-bit fields. Sub-byte fields (GF(2^4)) must still truncate
+/// source bytes through the tables, which raw XOR would skip.
+fn one_is_xor<F: Field>() -> bool {
+    F::BITS == 8
+}
+
+/// Single-source byte-payload multiply for any byte-wide field.
+fn byte_mul_payload<F: Field>(
+    suite: &KernelSuite,
+    dst: &mut [u8],
+    src: &[u8],
+    c: F,
+    accumulate: bool,
+) {
+    debug_assert_eq!(F::SYMBOL_BYTES, 1);
+    if c == F::ONE && one_is_xor::<F>() {
+        if accumulate {
+            (suite.xor_into)(dst, src);
+        } else {
+            dst.copy_from_slice(src);
+        }
+        return;
+    }
+    let t = MulTables::build(c);
+    if accumulate {
+        (suite.mul_acc)(dst, src, &t);
+    } else {
+        (suite.mul_into)(dst, src, &t);
+    }
+}
+
+/// GF(2^8) single-source multiply with the zero/one shortcuts.
+fn byte_mul(suite: &KernelSuite, dst: &mut [u8], src: &[u8], c: Gf256, accumulate: bool) {
+    if c == Gf256::ZERO {
+        if !accumulate {
+            dst.fill(0);
+        }
+        return;
+    }
+    byte_mul_payload(suite, dst, src, c, accumulate);
+}
+
+/// GF(2^8) in-place scale with the zero/one shortcuts.
+fn byte_scale(suite: &KernelSuite, data: &mut [u8], c: Gf256) {
+    if c == Gf256::ONE {
+        return;
+    }
+    if c == Gf256::ZERO {
+        data.fill(0);
+        return;
+    }
+    (suite.scale)(data, &MulTables::build(c));
+}
+
+/// In-place scale for any byte-wide field (the zero and one shortcuts
+/// are handled by the caller).
+fn byte_scale_payload<F: Field>(suite: &KernelSuite, data: &mut [u8], c: F) {
+    debug_assert_eq!(F::SYMBOL_BYTES, 1);
+    (suite.scale)(data, &MulTables::build(c));
+}
+
+/// Fused-row engine: partitions the sources into unit-coefficient XOR
+/// batches and general multiply batches (each at most
+/// [`MAX_FUSE`] wide, so per-source table state stays on the stack and
+/// in L1) and issues them so `dst` is overwritten exactly once when
+/// `accumulate` is false. This is the single entry point every
+/// multi-source payload call funnels through, whatever the field width.
+fn payload_combine<F: Field>(
+    suite: &KernelSuite,
+    dst: &mut [u8],
+    srcs: &[(F, &[u8])],
+    accumulate: bool,
+) {
+    for (_, s) in srcs {
+        assert_eq!(dst.len(), s.len(), "payload length mismatch");
+    }
+    if F::SYMBOL_BYTES == 1 {
+        combine_bytes(suite, dst, srcs, accumulate);
+        return;
+    }
+    check_symbol_multiple::<F>(dst.len());
+    if F::BITS == 16 {
+        combine_wide16(suite, dst, srcs, accumulate);
+        return;
+    }
+    // Odd-width fallback: symbol-at-a-time accumulation.
+    let mut wrote = accumulate;
+    for &(c, s) in srcs {
+        if c.is_zero() {
+            continue;
+        }
+        if !wrote {
+            payload_mul_into(dst, s, c);
+            wrote = true;
+        } else {
+            payload_mul_acc(dst, s, c);
+        }
+    }
+    if !wrote {
+        dst.fill(0);
+    }
+}
+
+/// Byte-wide fused row: nibble-table batches + XOR batches.
+fn combine_bytes<F: Field>(
+    suite: &KernelSuite,
+    dst: &mut [u8],
+    srcs: &[(F, &[u8])],
+    accumulate: bool,
+) {
+    let mut wrote = accumulate;
+    let mut ones: [&[u8]; MAX_FUSE] = [&[]; MAX_FUSE];
+    let mut n_ones = 0;
+    let mut muls: [(MulTables, &[u8]); MAX_FUSE] = [(
+        MulTables {
+            lo: [0; 16],
+            hi: [0; 16],
+        },
+        &[],
+    ); MAX_FUSE];
+    let mut n_muls = 0;
+    for &(c, s) in srcs {
+        if c.is_zero() {
+            continue;
+        }
+        if c == F::ONE && one_is_xor::<F>() {
+            ones[n_ones] = s;
+            n_ones += 1;
+            if n_ones == MAX_FUSE {
+                (suite.xor_multi)(dst, &ones[..n_ones], wrote);
+                wrote = true;
+                n_ones = 0;
+            }
+        } else {
+            muls[n_muls] = (MulTables::build(c), s);
+            n_muls += 1;
+            if n_muls == MAX_FUSE {
+                (suite.mul_multi)(dst, &muls[..n_muls], wrote);
+                wrote = true;
+                n_muls = 0;
+            }
+        }
+    }
+    if n_muls > 0 {
+        (suite.mul_multi)(dst, &muls[..n_muls], wrote);
+        wrote = true;
+    }
+    if n_ones > 0 {
+        (suite.xor_multi)(dst, &ones[..n_ones], wrote);
+        wrote = true;
+    }
+    if !wrote {
+        dst.fill(0);
+    }
+}
+
+/// How many general (non-unit) sources a GF(2^16) fused batch carries:
+/// each needs 1 KiB of split tables on the stack.
+const WIDE16_FUSE: usize = 8;
+
+/// GF(2^16) fused row: split-table batches + XOR batches, `dst` walked
+/// in L1-sized chunks so it is streamed through memory once.
+fn combine_wide16<F: Field>(
+    suite: &KernelSuite,
+    dst: &mut [u8],
+    srcs: &[(F, &[u8])],
+    accumulate: bool,
+) {
+    const EMPTY16: Wide16Tables = Wide16Tables {
+        lo: [0; 256],
+        hi: [0; 256],
+    };
+    let mut wrote = accumulate;
+    let mut ones: [&[u8]; MAX_FUSE] = [&[]; MAX_FUSE];
+    let mut n_ones = 0;
+    let mut tables: [Wide16Tables; WIDE16_FUSE] = [EMPTY16; WIDE16_FUSE];
+    let mut mul_srcs: [&[u8]; WIDE16_FUSE] = [&[]; WIDE16_FUSE];
+    let mut n_muls = 0;
+    /// Walks `dst` in L1-sized chunks, every source visiting a chunk
+    /// before the walk moves on — one effective memory pass of `dst`.
+    fn flush_muls(dst: &mut [u8], tables: &[Wide16Tables], srcs: &[&[u8]], wrote: bool) {
+        const CHUNK: usize = 4096; // multiple of the 2-byte symbol width
+        let len = dst.len();
+        let mut pos = 0;
+        while pos < len {
+            let end = (pos + CHUNK).min(len);
+            for (j, (t, s)) in tables.iter().zip(srcs).enumerate() {
+                wide16_mul(&mut dst[pos..end], &s[pos..end], t, wrote || j > 0);
+            }
+            pos = end;
+        }
+    }
+    for &(c, s) in srcs {
+        if c.is_zero() {
+            continue;
+        }
+        if c == F::ONE {
+            ones[n_ones] = s;
+            n_ones += 1;
+            if n_ones == MAX_FUSE {
+                (suite.xor_multi)(dst, &ones[..n_ones], wrote);
+                wrote = true;
+                n_ones = 0;
+            }
+        } else {
+            tables[n_muls] = Wide16Tables::build(c);
+            mul_srcs[n_muls] = s;
+            n_muls += 1;
+            if n_muls == WIDE16_FUSE {
+                flush_muls(dst, &tables[..n_muls], &mul_srcs[..n_muls], wrote);
+                wrote = true;
+                n_muls = 0;
+            }
+        }
+    }
+    if n_muls > 0 {
+        flush_muls(dst, &tables[..n_muls], &mul_srcs[..n_muls], wrote);
+        wrote = true;
+    }
+    if n_ones > 0 {
+        (suite.xor_multi)(dst, &ones[..n_ones], wrote);
+        wrote = true;
+    }
+    if !wrote {
+        dst.fill(0);
+    }
+}
+
+/// Split low/high-byte product tables for a GF(2^16) coefficient:
+/// `lo[x] = c·x` and `hi[x] = c·(x·256)`, so a two-byte little-endian
+/// symbol `s = b₀ | b₁·256` multiplies as `lo[b₀] ^ hi[b₁]` — two table
+/// reads per symbol instead of a log/antilog round trip with a zero
+/// branch.
+#[derive(Clone, Copy)]
+struct Wide16Tables {
+    lo: [u16; 256],
+    hi: [u16; 256],
+}
+
+impl Wide16Tables {
+    fn build<F: Field>(c: F) -> Self {
+        debug_assert_eq!(F::SYMBOL_BYTES, 2);
+        let mut t = Wide16Tables {
+            lo: [0; 256],
+            hi: [0; 256],
+        };
+        for x in 0..256u32 {
+            t.lo[x as usize] = (c * F::from_index(x)).index() as u16;
+            t.hi[x as usize] = (c * F::from_index(x << 8)).index() as u16;
+        }
+        t
+    }
+}
+
+/// `dst = [dst ^] c·src` over little-endian 16-bit symbols.
+fn wide16_mul(dst: &mut [u8], src: &[u8], t: &Wide16Tables, accumulate: bool) {
+    debug_assert_eq!(dst.len() % 2, 0);
+    for (dc, sc) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+        let mut p = t.lo[sc[0] as usize] ^ t.hi[sc[1] as usize];
+        if accumulate {
+            p ^= u16::from_le_bytes([dc[0], dc[1]]);
+        }
+        dc.copy_from_slice(&p.to_le_bytes());
+    }
+}
+
+/// In-place `data = c·data` over little-endian 16-bit symbols.
+fn wide16_scale(data: &mut [u8], t: &Wide16Tables) {
+    debug_assert_eq!(data.len() % 2, 0);
+    for dc in data.chunks_exact_mut(2) {
+        let p = t.lo[dc[0] as usize] ^ t.hi[dc[1] as usize];
+        dc.copy_from_slice(&p.to_le_bytes());
+    }
+}
+
+/// Panics unless `len` is a whole number of `F` symbols.
+fn check_symbol_multiple<F: Field>(len: usize) {
+    assert_eq!(
+        len % F::SYMBOL_BYTES,
+        0,
+        "payload not a whole number of symbols"
+    );
+}
+
 /// Converts a byte payload into field symbols (little-endian packing).
 ///
 /// The payload length must be a multiple of `F::SYMBOL_BYTES`.
 pub fn bytes_to_symbols<F: Field>(bytes: &[u8]) -> Vec<F> {
-    assert_eq!(
-        bytes.len() % F::SYMBOL_BYTES,
-        0,
-        "payload not a whole number of symbols"
-    );
+    check_symbol_multiple::<F>(bytes.len());
     bytes
         .chunks_exact(F::SYMBOL_BYTES)
         .map(F::read_symbol)
@@ -256,6 +654,88 @@ mod tests {
     fn mismatched_lengths_panic() {
         let mut dst = vec![0u8; 3];
         xor_into(&mut dst, &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload length mismatch")]
+    fn mismatched_multi_lengths_panic() {
+        let mut dst = vec![0u8; 3];
+        let a = [1u8, 2, 3];
+        let b = [4u8, 5];
+        mul_acc_multi(&mut dst, &[(Gf256::ONE, &a), (Gf256::ONE, &b)]);
+    }
+
+    #[test]
+    fn product_row_matches_field_multiplication() {
+        let c = Gf256::from_index(0x8E);
+        let row = product_row(c);
+        for x in 0..256u32 {
+            assert_eq!(row[x as usize], (c * Gf256::from_index(x)).raw());
+        }
+    }
+
+    #[test]
+    fn active_backend_is_supported() {
+        let b = KernelBackend::active();
+        assert!(b.is_supported());
+        assert!(KernelBackend::supported().any(|s| s == b));
+        assert_eq!(KernelBackend::parse(b.name()), Some(b));
+    }
+
+    #[test]
+    fn mul_into_multi_with_no_live_sources_zero_fills() {
+        let mut dst = vec![0xAAu8; 9];
+        mul_into_multi(&mut dst, &[]);
+        assert_eq!(dst, vec![0u8; 9]);
+        let src = vec![7u8; 9];
+        let mut dst = vec![0xAAu8; 9];
+        mul_into_multi(&mut dst, &[(Gf256::ZERO, &src)]);
+        assert_eq!(dst, vec![0u8; 9]);
+    }
+
+    #[test]
+    fn mul_acc_multi_matches_mul_acc_loop_over_many_sources() {
+        // More sources than MAX_FUSE forces batching; mixed zero, one,
+        // and general coefficients exercise all three partitions.
+        let n = 4097; // not a multiple of any vector width
+        let srcs: Vec<Vec<u8>> = (0..40)
+            .map(|i| {
+                (0..n)
+                    .map(|j| ((i * 89 + j * 13 + 5) % 256) as u8)
+                    .collect()
+            })
+            .collect();
+        let coeffs: Vec<Gf256> = (0..40).map(|i| Gf256::from_index(i * 7 % 256)).collect();
+        let mut fused = vec![0x5Au8; n];
+        let mut looped = fused.clone();
+        let pairs: Vec<(Gf256, &[u8])> = coeffs
+            .iter()
+            .zip(&srcs)
+            .map(|(&c, s)| (c, s.as_slice()))
+            .collect();
+        mul_acc_multi(&mut fused, &pairs);
+        for (c, s) in &pairs {
+            mul_acc(&mut looped, s, *c);
+        }
+        assert_eq!(fused, looped);
+    }
+
+    #[test]
+    fn gf16_payload_kernels_truncate_source_bytes() {
+        // GF(2^4) symbols occupy a whole byte; source bytes are truncated
+        // to the field exactly like `from_index`, so a dirty high nibble
+        // in the source must not leak into the product.
+        let c = Gf16::new(0x7);
+        let src = [0xF3u8, 0x0A, 0x90];
+        let mut dst = [0u8; 3];
+        payload_mul_into(&mut dst, &src, c);
+        for (d, s) in dst.iter().zip(src) {
+            assert_eq!(*d, (c * Gf16::new(s & 0xF)).raw());
+        }
+        // ONE is not a raw-XOR shortcut for sub-byte fields.
+        let mut dst = [0u8; 3];
+        payload_mul_into(&mut dst, &src, Gf16::ONE);
+        assert_eq!(dst, [0x3, 0xA, 0x0]);
     }
 
     #[test]
@@ -383,6 +863,20 @@ mod tests {
         }
 
         #[test]
+        fn payload_scale_gf65536_matches_symbol_ops(
+            data in proptest::collection::vec(any::<u8>(), 0..64),
+            c in 0u32..65536,
+        ) {
+            let n = (data.len() / 2) * 2;
+            let c = Gf65536::from_index(c);
+            let mut bytes = data[..n].to_vec();
+            payload_scale(&mut bytes, c);
+            let mut syms: Vec<Gf65536> = bytes_to_symbols(&data[..n]);
+            gf_scale(&mut syms, c);
+            prop_assert_eq!(bytes, symbols_to_bytes(&syms));
+        }
+
+        #[test]
         fn gf_mul_acc_matches_bytewise_gf256(
             data in proptest::collection::vec(any::<u8>(), 0..256),
             src in proptest::collection::vec(any::<u8>(), 0..256),
@@ -398,6 +892,28 @@ mod tests {
             gf_mul_acc(&mut syms, &src_syms, c);
             let sym_bytes: Vec<u8> = syms.iter().map(|s| s.raw()).collect();
             prop_assert_eq!(bytes, sym_bytes);
+        }
+
+        #[test]
+        fn payload_mul_acc_multi_gf65536_matches_loop(
+            data in proptest::collection::vec(any::<u8>(), 0..96),
+            srcs in proptest::collection::vec(
+                (0u32..65536, proptest::collection::vec(any::<u8>(), 96..97)),
+                0..12,
+            ),
+        ) {
+            let n = (data.len() / 2) * 2;
+            let pairs: Vec<(Gf65536, &[u8])> = srcs
+                .iter()
+                .map(|(c, s)| (Gf65536::from_index(*c), &s[..n]))
+                .collect();
+            let mut fused = data[..n].to_vec();
+            payload_mul_acc_multi(&mut fused, &pairs);
+            let mut looped = data[..n].to_vec();
+            for (c, s) in &pairs {
+                payload_mul_acc(&mut looped, s, *c);
+            }
+            prop_assert_eq!(fused, looped);
         }
     }
 }

@@ -1,0 +1,234 @@
+//! SIMD/scalar bit-identity for every byte kernel, on every backend the
+//! running CPU supports, across adversarial payload shapes: empty
+//! slices, lengths below one vector, lengths that are not a multiple of
+//! any vector width, and misaligned sub-slices. The scalar backend is
+//! the reference; the fused multi-source kernels are additionally
+//! checked against a loop of their single-source counterparts.
+
+use proptest::prelude::*;
+use xorbas_gf::slice_ops::{self, KernelBackend};
+use xorbas_gf::{Field, Gf256};
+
+/// Payload lengths chosen to straddle every kernel boundary: empty, a
+/// lone byte, just under/over the 16-byte SSSE3 and 32-byte AVX2 vector
+/// widths, an odd prime, and a few vectors plus a ragged tail.
+const ADVERSARIAL_LENS: [usize; 12] = [0, 1, 7, 15, 16, 17, 31, 32, 33, 97, 128, 1000];
+
+/// Deterministic pseudo-random payload, distinct per (seed, len).
+fn payload(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect()
+}
+
+fn backends() -> Vec<KernelBackend> {
+    let all: Vec<KernelBackend> = KernelBackend::supported().collect();
+    assert!(all.contains(&KernelBackend::Scalar));
+    all
+}
+
+#[test]
+fn single_source_kernels_match_scalar_on_adversarial_shapes() {
+    let coeffs = [0u32, 1, 2, 0x1D, 0x8E, 255];
+    for backend in backends() {
+        for &len in &ADVERSARIAL_LENS {
+            // One leading byte so `&buf[1..]` misaligns every vector.
+            let src_buf = payload(len as u64 + 1, len + 1);
+            let dst_buf = payload(len as u64 + 1000, len + 1);
+            let src = &src_buf[1..];
+            for &ci in &coeffs {
+                let c = Gf256::from_index(ci);
+
+                let mut got = dst_buf[1..].to_vec();
+                backend.mul_acc(&mut got, src, c);
+                let mut want = dst_buf[1..].to_vec();
+                KernelBackend::Scalar.mul_acc(&mut want, src, c);
+                assert_eq!(got, want, "{backend:?} mul_acc len {len} c {ci}");
+
+                let mut got = dst_buf[1..].to_vec();
+                backend.mul_into(&mut got, src, c);
+                let mut want = dst_buf[1..].to_vec();
+                KernelBackend::Scalar.mul_into(&mut want, src, c);
+                assert_eq!(got, want, "{backend:?} mul_into len {len} c {ci}");
+
+                let mut got = dst_buf[1..].to_vec();
+                backend.scale(&mut got, c);
+                let mut want = dst_buf[1..].to_vec();
+                KernelBackend::Scalar.scale(&mut want, c);
+                assert_eq!(got, want, "{backend:?} scale len {len} c {ci}");
+            }
+            let mut got = dst_buf[1..].to_vec();
+            backend.xor_into(&mut got, src);
+            let mut want = dst_buf[1..].to_vec();
+            KernelBackend::Scalar.xor_into(&mut want, src);
+            assert_eq!(got, want, "{backend:?} xor_into len {len}");
+        }
+    }
+}
+
+#[test]
+fn mul_acc_multi_matches_a_loop_of_mul_acc_on_every_backend() {
+    // 0, 1, and MAX_FUSE-straddling source counts; coefficient mix of
+    // zero (dropped), one (XOR partition), and general values.
+    for backend in backends() {
+        for &len in &ADVERSARIAL_LENS {
+            for n_srcs in [0usize, 1, 2, 5, 16, 17, 35] {
+                let srcs: Vec<Vec<u8>> = (0..n_srcs)
+                    .map(|i| payload((i * 7 + 3) as u64, len + 1))
+                    .collect();
+                let pairs: Vec<(Gf256, &[u8])> = srcs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (Gf256::from_index((i as u32 * 37) % 256), &s[1..]))
+                    .collect();
+                let dst0 = payload(99, len + 1)[1..].to_vec();
+
+                let mut fused = dst0.clone();
+                backend.mul_acc_multi(&mut fused, &pairs);
+                let mut looped = dst0.clone();
+                for &(c, s) in &pairs {
+                    KernelBackend::Scalar.mul_acc(&mut looped, s, c);
+                }
+                assert_eq!(fused, looped, "{backend:?} acc_multi len {len} n {n_srcs}");
+
+                let mut fused_into = dst0.clone();
+                backend.mul_into_multi(&mut fused_into, &pairs);
+                let mut looped_into = vec![0u8; len];
+                for &(c, s) in &pairs {
+                    KernelBackend::Scalar.mul_acc(&mut looped_into, s, c);
+                }
+                assert_eq!(
+                    fused_into, looped_into,
+                    "{backend:?} into_multi len {len} n {n_srcs}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn xor_into_multi_matches_a_loop_of_xor_into_on_every_backend() {
+    for backend in backends() {
+        for &len in &ADVERSARIAL_LENS {
+            for n_srcs in [0usize, 1, 3, 16, 17] {
+                let srcs: Vec<Vec<u8>> = (0..n_srcs)
+                    .map(|i| payload((i + 11) as u64, len + 1))
+                    .collect();
+                let refs: Vec<&[u8]> = srcs.iter().map(|s| &s[1..]).collect();
+                let dst0 = payload(7, len + 1)[1..].to_vec();
+
+                let mut fused = dst0.clone();
+                backend.xor_into_multi(&mut fused, &refs);
+                let mut looped = dst0.clone();
+                for s in &refs {
+                    KernelBackend::Scalar.xor_into(&mut looped, s);
+                }
+                assert_eq!(fused, looped, "{backend:?} xor_multi len {len} n {n_srcs}");
+            }
+        }
+    }
+}
+
+#[test]
+fn module_level_kernels_agree_with_the_active_backend() {
+    let active = KernelBackend::active();
+    let src = payload(5, 777);
+    let mut via_module = payload(6, 777);
+    let mut via_backend = via_module.clone();
+    let c = Gf256::from_index(0xB7);
+    slice_ops::mul_acc(&mut via_module, &src, c);
+    active.mul_acc(&mut via_backend, &src, c);
+    assert_eq!(via_module, via_backend);
+}
+
+#[test]
+fn unsupported_backends_fall_back_to_scalar_results() {
+    // Even if a backend is unsupported on this CPU, calling it must be
+    // safe and bit-identical (it silently runs the scalar suite).
+    let src = payload(1, 100);
+    let c = Gf256::from_index(0x53);
+    let mut want = payload(2, 100);
+    KernelBackend::Scalar.mul_acc(&mut want, &src, c);
+    for backend in KernelBackend::ALL {
+        let mut got = payload(2, 100);
+        backend.mul_acc(&mut got, &src, c);
+        assert_eq!(got, want, "{backend:?}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn randomized_mul_acc_bit_identity_across_backends(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+        src in proptest::collection::vec(any::<u8>(), 0..300),
+        c in 0u32..256,
+        skip in 0usize..3,
+    ) {
+        let m = data.len().min(src.len());
+        let skip = skip.min(m);
+        let n = m - skip;
+        let c = Gf256::from_index(c);
+        let mut want = data[skip..skip + n].to_vec();
+        KernelBackend::Scalar.mul_acc(&mut want, &src[skip..skip + n], c);
+        for backend in backends() {
+            let mut got = data[skip..skip + n].to_vec();
+            backend.mul_acc(&mut got, &src[skip..skip + n], c);
+            prop_assert_eq!(&got, &want, "{:?}", backend);
+        }
+    }
+
+    #[test]
+    fn randomized_multi_bit_identity_across_backends(
+        dst in proptest::collection::vec(any::<u8>(), 0..200),
+        srcs in proptest::collection::vec(
+            (0u32..256, proptest::collection::vec(any::<u8>(), 200..201)),
+            0..20,
+        ),
+    ) {
+        let n = dst.len();
+        let pairs: Vec<(Gf256, &[u8])> = srcs
+            .iter()
+            .map(|(c, s)| (Gf256::from_index(*c), &s[..n]))
+            .collect();
+        let mut want = dst.clone();
+        for &(c, s) in &pairs {
+            KernelBackend::Scalar.mul_acc(&mut want, s, c);
+        }
+        for backend in backends() {
+            let mut got = dst.clone();
+            backend.mul_acc_multi(&mut got, &pairs);
+            prop_assert_eq!(&got, &want, "{:?}", backend);
+        }
+    }
+
+    #[test]
+    fn randomized_gf65536_multi_matches_symbolwise_reference(
+        dst in proptest::collection::vec(any::<u8>(), 0..128),
+        srcs in proptest::collection::vec(
+            (0u32..65536, proptest::collection::vec(any::<u8>(), 128..129)),
+            0..10,
+        ),
+    ) {
+        use xorbas_gf::Gf65536;
+        let n = (dst.len() / 2) * 2;
+        let pairs: Vec<(Gf65536, &[u8])> = srcs
+            .iter()
+            .map(|(c, s)| (Gf65536::from_index(*c), &s[..n]))
+            .collect();
+        // Reference: symbol-at-a-time field arithmetic.
+        let mut want: Vec<Gf65536> = slice_ops::bytes_to_symbols(&dst[..n]);
+        for &(c, s) in &pairs {
+            let syms: Vec<Gf65536> = slice_ops::bytes_to_symbols(s);
+            slice_ops::gf_mul_acc(&mut want, &syms, c);
+        }
+        let mut got = dst[..n].to_vec();
+        slice_ops::payload_mul_acc_multi(&mut got, &pairs);
+        prop_assert_eq!(got, slice_ops::symbols_to_bytes(&want));
+    }
+}
