@@ -1,0 +1,112 @@
+//! Simulator-scaling lane: events/sec and wall time for repair storms
+//! on clusters far beyond the paper's 50-node EC2 testbed.
+//!
+//! Two fixed "repair storm" lanes (300 and 1000 nodes) are directly
+//! comparable across PRs and are the before/after evidence recorded in
+//! `BENCH_PR4.json`. The warehouse lane exercises the `ClusterScale`
+//! Facebook preset (3000 nodes / 30 PB-equivalent) over a short horizon;
+//! the full simulated-year acceptance run lives in
+//! `examples/warehouse_year.rs` so this bench stays quick.
+
+use std::time::Instant;
+
+use xorbas_bench::output::{banner, f, render_table, write_csv};
+use xorbas_core::CodeSpec;
+use xorbas_sim::{SimConfig, SimTime, Simulation};
+
+struct StormResult {
+    label: String,
+    nodes: usize,
+    blocks: usize,
+    blocks_repaired: u64,
+    wall_secs: f64,
+    events: u64,
+}
+
+/// Loads `files` 100-block files on a `nodes`-node cluster, then kills
+/// `kills` nodes one at a time (quiescing between events) and measures
+/// the wall-clock cost of the repair storms.
+fn repair_storm(label: &str, nodes: usize, files: usize, kills: usize) -> StormResult {
+    let mut cfg = SimConfig::ec2(CodeSpec::LRC_10_6_5);
+    cfg.cluster.nodes = nodes;
+    cfg.cluster.racks = (nodes / 30).max(1);
+    cfg.seed = 0x5CA1E + nodes as u64;
+    let mut sim = Simulation::new(cfg);
+    for i in 0..files {
+        sim.load_raided_file(&format!("f{i}"), 100);
+    }
+    let blocks = sim.hdfs.block_count();
+    let start = Instant::now();
+    for k in 0..kills {
+        let victim = sim.pick_victims(1)[0];
+        sim.kill_node_at(sim.clock + SimTime::from_secs(60), victim);
+        sim.run_until_idle(sim.clock + SimTime::from_mins(100_000));
+        let _ = k;
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    StormResult {
+        label: label.to_string(),
+        nodes,
+        blocks,
+        blocks_repaired: sim.metrics.snapshot().blocks_repaired,
+        wall_secs,
+        events: events_processed(&sim),
+    }
+}
+
+/// Events processed by the engine (control events plus flow
+/// completions; the PR-4 before-measurement predates the counter and
+/// recorded 0, comparing on wall time instead).
+fn events_processed(sim: &Simulation) -> u64 {
+    sim.events_processed()
+}
+
+fn main() {
+    banner(
+        "sim_scale",
+        "simulator event-loop throughput on large clusters",
+    );
+    let mut rows = Vec::new();
+    let mut csv = vec![vec![
+        "lane".to_string(),
+        "nodes".to_string(),
+        "blocks".to_string(),
+        "blocks_repaired".to_string(),
+        "wall_secs".to_string(),
+        "events".to_string(),
+        "events_per_sec".to_string(),
+    ]];
+    let storms = [
+        repair_storm("storm_300", 300, 1000, 8),
+        repair_storm("storm_1000", 1000, 3000, 8),
+    ];
+    for r in &storms {
+        let eps = r.events as f64 / r.wall_secs;
+        rows.push(vec![
+            r.label.clone(),
+            r.nodes.to_string(),
+            r.blocks.to_string(),
+            r.blocks_repaired.to_string(),
+            f(r.wall_secs, 3),
+            r.events.to_string(),
+            f(eps, 0),
+        ]);
+        csv.push(vec![
+            r.label.clone(),
+            r.nodes.to_string(),
+            r.blocks.to_string(),
+            r.blocks_repaired.to_string(),
+            f(r.wall_secs, 4),
+            r.events.to_string(),
+            f(eps, 1),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["lane", "nodes", "blocks", "repaired", "wall s", "events", "events/s"],
+            &rows
+        )
+    );
+    write_csv("sim_scale.csv", &csv);
+}

@@ -15,6 +15,24 @@
 //! * [`construction`] — Theorem-4 randomized constructions and the
 //!   exponential deterministic search.
 //!
+//! # Module map (paper section → item)
+//!
+//! | Paper | Item | What it provides |
+//! |---|---|---|
+//! | §2.1 / App. D codes | [`Lrc`], [`ReedSolomon`] | the two contenders, Appendix-D constructions |
+//! | §3.1.2 decoders | [`ErasureCodec`], [`peeling`] | light/heavy repair planning and execution |
+//! | §3.1.2 hot path | [`ErasureCodec::encode_into`], [`RepairSession`], [`StripeViewMut`] | the zero-copy surface (see `docs/ARCHITECTURE.md`) |
+//! | Defs. 1–2 | [`analysis`] | brute-force distance / locality ground truth |
+//! | Thms. 1–2, Fig. 8 | [`bounds`] | bound formulas and certificates |
+//! | Thm. 4 | [`construction`] | randomized/deterministic constructions |
+//! | — | [`encode_into_parallel`] | thread-sharded encode for multi-core hosts |
+//!
+//! Field arithmetic and the SIMD payload kernels live below in
+//! [`xorbas_gf`]; matrix solves in [`xorbas_linalg`]. The simulator
+//! (`xorbas_sim`) and the reliability model (`xorbas_reliability`)
+//! consume this crate's planners, so every simulated repair and every
+//! MTTDL row is backed by the real decoders.
+//!
 //! # Example: repair cost of RS vs LRC
 //!
 //! ```

@@ -18,6 +18,19 @@
 //!
 //! Flow is measured in units of `M/k`, so feasibility is `flow ≥ k`.
 //!
+//! # Module map (paper section → module)
+//!
+//! | Paper | Item | What it provides |
+//! |---|---|---|
+//! | Fig. 9 gadget | [`FlowGadget`] / [`GadgetParams`] | the locality-aware flow network builder |
+//! | Thm. 3 multicast argument | [`FlowNetwork`] | max-flow (feasibility oracle) |
+//! | App. C achievability | [`all_collectors_feasible`] | every-collector check |
+//! | Lemma 2 | [`lemma2_bound`] | group-structure flow bound |
+//!
+//! `xorbas_core::bounds` cross-checks its Theorem-2 distance formula
+//! against this crate's feasibility verdicts (see the workspace's
+//! `tests/theory_cross_checks.rs`).
+//!
 //! # Example
 //!
 //! ```

@@ -16,7 +16,22 @@
 //!
 //! Payload-slice kernels dispatch at runtime to SIMD implementations
 //! (split-nibble `PSHUFB`/`VPSHUFB` on x86) with a portable scalar
-//! fallback — see the [`slice_ops`] module docs for the selection story.
+//! fallback — see the [`slice_ops`] module docs for the selection story,
+//! and the repository's `docs/ARCHITECTURE.md` for the
+//! `XORBAS_KERNEL_BACKEND` / `XORBAS_FORCE_SCALAR` override knobs.
+//!
+//! # Module map (paper section → module)
+//!
+//! | Paper | Module | What it provides |
+//! |---|---|---|
+//! | §2.1 / App. D field | [`Gf256`], [`Gf16`], [`Gf65536`] | the concrete `F_{2^m}` element types |
+//! | App. D `α^{ij}` tables | [`poly`] | primitive-polynomial registry behind the log/antilog tables |
+//! | §3.1.2 block XOR/scale | [`slice_ops`] | whole-payload kernels (fused rows, runtime SIMD dispatch) |
+//! | — | [`KernelBackend`] | per-backend kernel access for tests/benches |
+//!
+//! This crate is the bottom of the workspace: `xorbas_linalg` builds its
+//! matrices over [`Field`], `xorbas_core` encodes/repairs payloads
+//! through [`slice_ops`], and `xorbas_sim` inherits both transitively.
 //!
 //! # Example
 //!

@@ -6,6 +6,19 @@
 //! systematic transforms and erasure decoding, and rank computations for
 //! the brute-force minimum-distance / locality analyses.
 //!
+//! # Module map (paper section → module)
+//!
+//! | Paper | Item | What it provides |
+//! |---|---|---|
+//! | App. D `[H]_{i,j} = α^{(i-1)(j-1)}` | [`special::vandermonde`] | parity-check matrices |
+//! | App. D generator derivation | [`Matrix::right_null_space`] | `G` with `G·Hᵀ = 0` |
+//! | §3.1.2 heavy decode | [`Matrix::solve`] / elimination | erasure solving |
+//! | Defs. 1–2 analyses | [`Matrix::rank`] | distance/locality brute force |
+//!
+//! Elements come from `xorbas_gf` (any [`xorbas_gf::Field`]); the
+//! consumer is `xorbas_core`, which compiles these solves into reusable
+//! repair sessions.
+//!
 //! # Example
 //!
 //! ```

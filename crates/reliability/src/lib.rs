@@ -12,6 +12,19 @@
 //! real codecs (`xorbas_core::analysis::expected_single_repair_reads`) —
 //! including the light-vs-heavy decoder probabilities for the LRC.
 //!
+//! # Module map (paper section → module)
+//!
+//! | Paper | Item | What it provides |
+//! |---|---|---|
+//! | §4 Fig. 3 chain | [`BirthDeathChain`] | birth–death MTTDL solver |
+//! | §4 cluster parameters | [`ClusterParams`] | λ, γ, node counts (Facebook defaults) |
+//! | Table 1 | [`table1`] | the three-scheme comparison rows |
+//! | §4 `b_i` | [`analyze_codec`] / [`SchemeAnalysis`] | per-state repair-read expectations from the real codecs |
+//!
+//! The `xorbas_sim` crate measures the same quantities by discrete-event
+//! simulation; this crate predicts them analytically — the workspace's
+//! integration tests hold the two against each other.
+//!
 //! # Example
 //!
 //! ```

@@ -132,33 +132,42 @@ impl CodecInstance {
     /// virtual when its whole group is virtual (its XOR would be the
     /// zero block); global parities are always stored.
     pub fn virtual_mask(&self, real_data: usize) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.virtual_mask_into(real_data, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`CodecInstance::virtual_mask`]: fills
+    /// a caller-reused buffer (cleared first). The namespace loader
+    /// calls this once per stripe, so warehouse-scale loads stay free of
+    /// per-stripe allocation.
+    pub fn virtual_mask_into(&self, real_data: usize, out: &mut Vec<bool>) {
+        out.clear();
         match self {
-            CodecInstance::Replication { replicas } => vec![false; *replicas],
+            CodecInstance::Replication { replicas } => out.resize(*replicas, false),
             CodecInstance::Rs(rs) => {
                 let k = rs.data_blocks();
                 let n = rs.total_blocks();
-                (0..n).map(|p| p < k && p >= real_data).collect()
+                out.extend((0..n).map(|p| p < k && p >= real_data));
             }
             CodecInstance::Lrc(lrc) => {
                 let spec = lrc.lrc_spec();
                 let k = spec.k;
                 let g = spec.global_parities;
                 let n = spec.total_blocks();
-                (0..n)
-                    .map(|p| {
-                        if p < k {
-                            p >= real_data
-                        } else if p < k + g {
-                            false // global parities
-                        } else if p < k + g + spec.data_groups() {
-                            // S_t is zero when its group holds no real data.
-                            let t = p - k - g;
-                            t * spec.group_size >= real_data
-                        } else {
-                            false // stored parity-group parity
-                        }
-                    })
-                    .collect()
+                out.extend((0..n).map(|p| {
+                    if p < k {
+                        p >= real_data
+                    } else if p < k + g {
+                        false // global parities
+                    } else if p < k + g + spec.data_groups() {
+                        // S_t is zero when its group holds no real data.
+                        let t = p - k - g;
+                        t * spec.group_size >= real_data
+                    } else {
+                        false // stored parity-group parity
+                    }
+                }));
             }
         }
     }

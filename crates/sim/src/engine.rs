@@ -12,10 +12,30 @@
 //! * **WordCount-style workload jobs** whose tasks perform *degraded
 //!   reads* (reconstruct-before-read, no write-back) when their input
 //!   block is missing;
-//! * node failures that cancel in-flight work and trigger rescans.
+//! * node failures that cancel in-flight work and trigger rescans, and
+//!   node **replacements** ([`Simulation::revive_node_at`]) so
+//!   multi-year scenarios keep their fleet size.
+//!
+//! # Scaling design
+//!
+//! Every per-event path is allocation-free and index-backed so a
+//! 3000-node, multi-simulated-year run stays event-bound rather than
+//! scan-bound:
+//!
+//! * the control-event queue is a slab-indexed binary heap (no hashing,
+//!   payload slots recycled);
+//! * the BlockFixer scans the incremental lost-block index
+//!   ([`Hdfs::lost_blocks`]), never the namespace;
+//! * finished tasks are retired from the task table immediately — the
+//!   table holds the working set, not history;
+//! * the fair scheduler picks jobs from a `jobs_with_work` index and
+//!   nodes from a free-slot bucket index (no O(cluster) scans per task);
+//! * unrecoverable stripes are abandoned exactly once and withdrawn
+//!   from scanning ([`Hdfs::mark_unrecoverable`]);
+//! * per-event scratch buffers are owned by the engine and reused.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,6 +45,7 @@ use xorbas_core::{RepairSession, StripeViewMut};
 use crate::arena::StripeArena;
 use crate::codecs::CodecInstance;
 use crate::config::{ReadPolicy, SimConfig};
+use crate::fasthash::{FastMap, FastSet};
 use crate::hdfs::{BlockId, FileId, Hdfs, NodeId, Placement, Position, StripeId};
 use crate::metrics::Metrics;
 use crate::network::{FlowId, Network};
@@ -39,11 +60,57 @@ pub type JobId = usize;
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum ControlEvent {
     KillNode(NodeId),
+    ReviveNode(NodeId),
     DropBlocks(Vec<BlockId>),
     FixerScan,
     SubmitWordcount(FileId),
     ComputeDone(TaskId),
     Decommission { node: NodeId, via_repair: bool },
+}
+
+/// A slab-indexed event queue: the heap orders `(time, seq)` keys while
+/// payloads live in recycled slots, so scheduling an event is two pushes
+/// and popping one is O(log n) with no hashing or per-event allocation
+/// (enum payloads are stored inline).
+#[derive(Debug, Default)]
+struct EventQueue {
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    slots: Vec<Option<ControlEvent>>,
+    free: Vec<u32>,
+    seq: u64,
+}
+
+impl EventQueue {
+    fn push(&mut self, t: SimTime, ev: ControlEvent) {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(ev);
+                s
+            }
+            None => {
+                self.slots.push(Some(ev));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((t, seq, slot)));
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, ControlEvent)> {
+        let Reverse((t, _, slot)) = self.heap.pop()?;
+        let ev = self.slots[slot as usize].take().expect("payload exists");
+        self.free.push(slot);
+        Some((t, ev))
+    }
+
+    fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,7 +120,6 @@ enum TaskState {
     Reading,
     Computing,
     Writing,
-    Done,
 }
 
 #[derive(Debug, Clone)]
@@ -80,13 +146,34 @@ struct Task {
     state: TaskState,
     node: Option<NodeId>,
     preferred_node: Option<NodeId>,
-    pending_reads: HashSet<FlowId>,
-    pending_writes: HashSet<FlowId>,
+    pending_reads: Vec<FlowId>,
+    pending_writes: Vec<FlowId>,
+    /// Lost blocks this task is parked on (mirror of `waiting_on_block`).
+    waits: Vec<BlockId>,
     /// Blocks to restore on completion (stripe position, block).
     restores: Vec<(usize, BlockId)>,
     /// In-flight write-back flows: (flow, block, destination node).
     write_queue: Vec<(FlowId, BlockId, NodeId)>,
     compute_secs: f64,
+}
+
+impl Task {
+    fn new(id: TaskId, job: JobId, kind: TaskKind, preferred_node: Option<NodeId>) -> Self {
+        Self {
+            id,
+            job,
+            kind,
+            state: TaskState::Queued,
+            node: None,
+            preferred_node,
+            pending_reads: Vec::new(),
+            pending_writes: Vec::new(),
+            waits: Vec::new(),
+            restores: Vec::new(),
+            write_queue: Vec::new(),
+            compute_secs: 0.0,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,30 +203,54 @@ pub struct Simulation {
     alive: Vec<bool>,
     /// Nodes being decommissioned: still serving reads, no new blocks.
     draining: Vec<bool>,
+    /// `alive && !draining`, maintained incrementally for placement.
+    placeable: Vec<bool>,
     network: Network,
     /// Collected measurements.
     pub metrics: Metrics,
     rng: StdRng,
-    events: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
-    event_payloads: HashMap<u64, ControlEvent>,
-    seq: u64,
-    tasks: HashMap<TaskId, Task>,
+    events: EventQueue,
+    events_processed: u64,
+    tasks: FastMap<TaskId, Task>,
     next_task: TaskId,
     jobs: Vec<Job>,
+    /// Jobs whose queues are non-empty (fair-scheduler candidates).
+    jobs_with_work: BTreeSet<JobId>,
     free_slots: Vec<usize>,
+    total_free_slots: usize,
+    /// Running repair/relocation tasks, for the concurrency throttle
+    /// (`SimConfig::max_concurrent_repairs`).
+    repairs_running: usize,
+    /// Nodes bucketed by free-slot count (`free_slot_index[c]` holds the
+    /// nodes with exactly `c` free slots) — O(log n) slot accounting,
+    /// O(buckets) most-free-node lookup.
+    free_slot_index: Vec<BTreeSet<NodeId>>,
     computing_slots: usize,
-    waiting_on_block: HashMap<BlockId, Vec<TaskId>>,
+    waiting_on_block: FastMap<BlockId, Vec<TaskId>>,
     /// Stripe positions with an in-flight repair task.
-    repair_in_flight: HashSet<(StripeId, usize)>,
-    cancelled: HashSet<TaskId>,
+    repair_in_flight: FastSet<(StripeId, usize)>,
+    /// Tasks aborted while computing, with a count per task: each abort
+    /// leaves exactly one stale ComputeDone event in flight, and a task
+    /// can be aborted-while-computing more than once across requeues, so
+    /// a set would under-swallow and complete a later run early.
+    cancelled: FastMap<TaskId, u32>,
+    /// Whether `schedule` is already running (re-entrant calls no-op;
+    /// the active loop re-examines conditions each iteration).
+    scheduling: bool,
     /// Preallocated lane buffers for verify-mode payload work.
     stripe_arena: StripeArena,
     /// Reused scratch for per-event unavailable-position scans.
     pos_scratch: Vec<usize>,
+    /// Reused scratch for stripe-position copies (borrow-splitting).
+    stripe_scratch: Vec<Position>,
+    /// Reused scratch for placement-exclusion node lists.
+    exclude_scratch: Vec<NodeId>,
+    /// Reused scratch for the BlockFixer's (stripe, position) grouping.
+    scan_scratch: Vec<(StripeId, usize)>,
     /// Compiled repair sessions, keyed by the stripe's failure pattern.
     /// The BlockFixer replays the same few patterns across thousands of
     /// stripes, so each pattern's decode solve runs exactly once.
-    session_cache: HashMap<Vec<usize>, RepairSession>,
+    session_cache: FastMap<Vec<usize>, RepairSession>,
 }
 
 impl Simulation {
@@ -147,6 +258,9 @@ impl Simulation {
     pub fn new(cfg: SimConfig) -> Self {
         let codec = CodecInstance::build(cfg.code).expect("valid code spec");
         let nodes = cfg.cluster.nodes;
+        let slots = cfg.cluster.map_slots_per_node;
+        let mut free_slot_index = vec![BTreeSet::new(); slots + 1];
+        free_slot_index[slots].extend(0..nodes);
         Self {
             clock: SimTime::ZERO,
             codec,
@@ -154,23 +268,31 @@ impl Simulation {
             placement: Placement::new(nodes, cfg.cluster.racks),
             alive: vec![true; nodes],
             draining: vec![false; nodes],
+            placeable: vec![true; nodes],
             network: Network::new(nodes, cfg.cluster.nic_bps, cfg.cluster.core_bps),
             metrics: Metrics::new(cfg.series_bucket_secs),
             rng: StdRng::seed_from_u64(cfg.seed),
-            events: BinaryHeap::new(),
-            event_payloads: HashMap::new(),
-            seq: 0,
-            tasks: HashMap::new(),
+            events: EventQueue::default(),
+            events_processed: 0,
+            tasks: FastMap::default(),
             next_task: 0,
             jobs: Vec::new(),
-            free_slots: vec![cfg.cluster.map_slots_per_node; nodes],
+            jobs_with_work: BTreeSet::new(),
+            free_slots: vec![slots; nodes],
+            total_free_slots: slots * nodes,
+            repairs_running: 0,
+            free_slot_index,
             computing_slots: 0,
-            waiting_on_block: HashMap::new(),
-            repair_in_flight: HashSet::new(),
-            cancelled: HashSet::new(),
+            waiting_on_block: FastMap::default(),
+            repair_in_flight: FastSet::default(),
+            cancelled: FastMap::default(),
+            scheduling: false,
             stripe_arena: StripeArena::new(),
             pos_scratch: Vec::new(),
-            session_cache: HashMap::new(),
+            stripe_scratch: Vec::new(),
+            exclude_scratch: Vec::new(),
+            scan_scratch: Vec::new(),
+            session_cache: FastMap::default(),
             cfg,
         }
     }
@@ -190,6 +312,23 @@ impl Simulation {
         self.alive.iter().filter(|&&a| a).count()
     }
 
+    /// Control events handled plus network-flow completions delivered —
+    /// the simulator's unit of work for throughput reporting.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Network flows currently in flight (diagnostics: repair-backlog
+    /// pressure).
+    pub fn active_network_flows(&self) -> usize {
+        self.network.active_flows()
+    }
+
+    /// Live (queued/waiting/running) tasks (diagnostics).
+    pub fn live_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
     /// Total map slots across alive nodes.
     pub fn total_slots(&self) -> usize {
         self.alive
@@ -200,10 +339,33 @@ impl Simulation {
     }
 
     fn push_event(&mut self, t: SimTime, ev: ControlEvent) {
-        let id = self.seq;
-        self.seq += 1;
-        self.event_payloads.insert(id, ev);
-        self.events.push(Reverse((t, id, 0)));
+        self.events.push(t, ev);
+    }
+
+    // ----- slot accounting -------------------------------------------
+
+    /// Sets a node's free-slot count, keeping the total and the bucket
+    /// index consistent.
+    fn set_free_slots(&mut self, node: NodeId, count: usize) {
+        let old = self.free_slots[node];
+        if old == count {
+            return;
+        }
+        self.free_slot_index[old].remove(&node);
+        self.free_slot_index[count].insert(node);
+        self.free_slots[node] = count;
+        self.total_free_slots = self.total_free_slots + count - old;
+    }
+
+    /// The alive node with the most free slots (ties: highest id,
+    /// matching the pre-index scheduler's behaviour). Dead nodes always
+    /// sit in bucket 0, so any node in a positive bucket is schedulable.
+    fn most_free_node(&self) -> Option<NodeId> {
+        self.free_slot_index
+            .iter()
+            .skip(1) // bucket 0: no free slots
+            .rev()
+            .find_map(|bucket| bucket.last().copied())
     }
 
     // ----- setup API -------------------------------------------------
@@ -253,8 +415,8 @@ impl Simulation {
                 &self.placement,
                 &self.alive,
                 &mut self.rng,
-                |real| {
-                    let mut mask = codec.virtual_mask(real);
+                |real, mask| {
+                    codec.virtual_mask_into(real, mask);
                     if pad_locals {
                         // Deployed HDFS-Xorbas stored all-zero local
                         // parities; only data padding stays virtual.
@@ -264,7 +426,6 @@ impl Simulation {
                             }
                         }
                     }
-                    mask
                 },
                 |sid, pos| {
                     verify
@@ -303,6 +464,14 @@ impl Simulation {
         self.push_event(t, ControlEvent::KillNode(node));
     }
 
+    /// Schedules a replacement for a dead DataNode: the node rejoins
+    /// empty (its blocks do not return), with fresh map slots. This is
+    /// how multi-year scenarios model the ops team swapping failed
+    /// machines so the fleet stays at size.
+    pub fn revive_node_at(&mut self, t: SimTime, node: NodeId) {
+        self.push_event(t, ControlEvent::ReviveNode(node));
+    }
+
     /// Schedules the silent loss of individual blocks (Fig.-7-style).
     /// No FixerScan is triggered: the blocks stay lost until read
     /// (degraded) or until a scan is scheduled explicitly.
@@ -332,15 +501,6 @@ impl Simulation {
     /// Whether a decommissioned node has been fully drained.
     pub fn is_drained(&self, node: NodeId) -> bool {
         self.draining[node] && self.hdfs.blocks_on(node).is_empty()
-    }
-
-    /// Nodes eligible to receive new blocks (alive and not draining).
-    fn placeable(&self) -> Vec<bool> {
-        self.alive
-            .iter()
-            .zip(&self.draining)
-            .map(|(&a, &d)| a && !d)
-            .collect()
     }
 
     /// The alive node currently hosting a block count closest to
@@ -390,16 +550,27 @@ impl Simulation {
         self.clock
     }
 
-    /// Whether any work (events, flows, tasks) remains.
+    /// Runs until the clock reaches `t`, processing everything due
+    /// before it; pending work may remain (unlike
+    /// [`Simulation::run_until_idle`]). Scenario drivers use this to
+    /// interleave decisions (e.g. picking failure victims among
+    /// currently-alive nodes) with simulation progress.
+    pub fn run_until(&mut self, t: SimTime) {
+        while self.step(t) {}
+        if self.clock < t {
+            self.advance_to(t);
+        }
+    }
+
+    /// Whether any work (events, flows, tasks) remains. Finished tasks
+    /// are retired from the task table, so an idle table is empty.
     pub fn is_idle(&self) -> bool {
-        self.events.is_empty()
-            && self.network.active_flows() == 0
-            && self.tasks.values().all(|t| t.state == TaskState::Done)
+        self.events.is_empty() && self.network.active_flows() == 0 && self.tasks.is_empty()
     }
 
     /// Processes the next event; returns false when idle or past `limit`.
     fn step(&mut self, limit: SimTime) -> bool {
-        let next_ctrl = self.events.peek().map(|Reverse((t, _, _))| *t);
+        let next_ctrl = self.events.peek_time();
         // Ceil to the next microsecond: rounding down would advance the
         // clock by zero and never complete the flow (livelock).
         let next_flow = self
@@ -419,12 +590,12 @@ impl Simulation {
         self.advance_to(target);
         // Flow completions at `target` were handled inside advance_to;
         // now drain control events due at or before the clock.
-        while let Some(Reverse((t, id, _))) = self.events.peek().copied() {
+        while let Some(t) = self.events.peek_time() {
             if t > self.clock {
                 break;
             }
-            self.events.pop();
-            let ev = self.event_payloads.remove(&id).expect("payload exists");
+            let (_, ev) = self.events.pop().expect("peeked event exists");
+            self.events_processed += 1;
             self.handle_event(ev);
         }
         true
@@ -444,6 +615,7 @@ impl Simulation {
                     .record_cpu_busy(start, dt, self.computing_slots);
             }
             self.clock = t;
+            self.events_processed += completed.len() as u64;
             for (id, flow) in completed {
                 self.on_flow_complete(id, flow.owner, flow.src);
             }
@@ -455,6 +627,7 @@ impl Simulation {
     fn handle_event(&mut self, ev: ControlEvent) {
         match ev {
             ControlEvent::KillNode(node) => self.on_kill_node(node),
+            ControlEvent::ReviveNode(node) => self.on_revive_node(node),
             ControlEvent::DropBlocks(blocks) => {
                 for b in blocks {
                     self.hdfs.drop_block(b);
@@ -475,7 +648,8 @@ impl Simulation {
             return;
         }
         self.draining[node] = true;
-        let mut blocks: Vec<BlockId> = self.hdfs.blocks_on(node).iter().copied().collect();
+        self.placeable[node] = false;
+        let mut blocks: Vec<BlockId> = self.hdfs.blocks_on(node).to_vec();
         blocks.sort_unstable();
         if blocks.is_empty() {
             return;
@@ -493,24 +667,13 @@ impl Simulation {
             self.next_task += 1;
             self.tasks.insert(
                 id,
-                Task {
-                    id,
-                    job: job_id,
-                    kind: TaskKind::Relocate { block, via_repair },
-                    state: TaskState::Queued,
-                    node: None,
-                    preferred_node: None,
-                    pending_reads: HashSet::new(),
-                    pending_writes: HashSet::new(),
-                    restores: Vec::new(),
-                    write_queue: Vec::new(),
-                    compute_secs: 0.0,
-                },
+                Task::new(id, job_id, TaskKind::Relocate { block, via_repair }, None),
             );
             job.queued.push_back(id);
             job.outstanding += 1;
         }
         self.jobs.push(job);
+        self.jobs_with_work.insert(job_id);
         self.schedule();
     }
 
@@ -521,7 +684,8 @@ impl Simulation {
             return;
         }
         self.alive[node] = false;
-        self.free_slots[node] = 0;
+        self.placeable[node] = false;
+        self.set_free_slots(node, 0);
         self.hdfs.kill_node(node);
         // Cancel flows touching the dead node; abort their tasks.
         // Ordering matters for determinism: task ids ascending.
@@ -531,37 +695,27 @@ impl Simulation {
                 hit_tasks.push(f.owner);
             }
         }
-        // Tasks running on the dead node are gone too.
+        // Tasks running on the dead node are gone too. The task table
+        // holds only live tasks, so this scan is the working set.
         hit_tasks.extend(
             self.tasks
                 .values()
-                .filter(|t| t.node == Some(node) && t.state != TaskState::Done)
+                .filter(|t| t.node == Some(node))
                 .map(|t| t.id),
         );
         hit_tasks.sort_unstable();
         hit_tasks.dedup();
-        // Policy: any disturbance to a repair effort aborts all pending
-        // repair work; the rescan below re-plans consistently. Workload
-        // tasks are requeued individually.
-        let mut repair_tasks: Vec<TaskId> = self
-            .tasks
-            .values()
-            .filter(|t| matches!(t.kind, TaskKind::Repair { .. }) && t.state != TaskState::Done)
-            .map(|t| t.id)
-            .collect();
-        repair_tasks.sort_unstable();
-        if !repair_tasks.is_empty() {
-            for tid in repair_tasks {
-                self.abort_task(tid, false);
-            }
-            self.repair_in_flight.clear();
-        }
+        // Policy: only tasks the failure actually disturbed are aborted
+        // (their node died or one of their streams was cut). Unaffected
+        // repairs keep running — tasks re-derive their read plans
+        // against the live namespace when they start, so queued work
+        // stays valid, and at warehouse failure rates (a failure every
+        // ~70 minutes) cancelling the whole repair effort per failure
+        // would thrash forever. Aborted repair tasks are dropped (not
+        // requeued); the rescan below re-plans them consistently, while
+        // workload and relocation tasks requeue individually.
         for tid in hit_tasks {
-            if self
-                .tasks
-                .get(&tid)
-                .is_some_and(|t| t.state != TaskState::Done)
-            {
+            if self.tasks.contains_key(&tid) {
                 self.abort_task(tid, true);
             }
         }
@@ -570,23 +724,31 @@ impl Simulation {
         self.schedule();
     }
 
+    /// A replacement machine takes the dead node's slot in the fleet:
+    /// alive again, empty disk, fresh map slots.
+    fn on_revive_node(&mut self, node: NodeId) {
+        if self.alive[node] {
+            return;
+        }
+        self.alive[node] = true;
+        self.draining[node] = false;
+        self.placeable[node] = true;
+        self.set_free_slots(node, self.cfg.cluster.map_slots_per_node);
+        self.schedule();
+    }
+
     /// Aborts a task; workload tasks are requeued when `requeue`, repair
     /// tasks are always dropped (a rescan re-plans them consistently).
     fn abort_task(&mut self, tid: TaskId, requeue: bool) {
         // Gather state under a short borrow.
-        let (state, node, job, flows, repair_targets, requeueable) = {
+        let (state, node, job, flows, waits, repair_targets, requeueable) = {
             let Some(task) = self.tasks.get_mut(&tid) else {
                 return;
             };
-            if task.state == TaskState::Done {
-                return;
-            }
-            let flows: Vec<FlowId> = task
-                .pending_reads
-                .drain()
-                .chain(task.pending_writes.drain())
-                .collect();
+            let mut flows = std::mem::take(&mut task.pending_reads);
+            flows.append(&mut task.pending_writes);
             task.write_queue.clear();
+            let waits = std::mem::take(&mut task.waits);
             let repair_targets = match task.kind {
                 TaskKind::Repair {
                     stripe,
@@ -603,6 +765,7 @@ impl Simulation {
                 task.node.take(),
                 task.job,
                 flows,
+                waits,
                 repair_targets,
                 requeueable,
             )
@@ -617,7 +780,7 @@ impl Simulation {
             self.computing_slots -= 1;
             // Exactly one stale ComputeDone event is in flight; mark it
             // to be swallowed.
-            self.cancelled.insert(tid);
+            *self.cancelled.entry(tid).or_insert(0) += 1;
         }
         let held_slot = matches!(
             state,
@@ -626,44 +789,87 @@ impl Simulation {
         if held_slot {
             if let Some(n) = node {
                 if self.alive[n] {
-                    self.free_slots[n] += 1;
+                    self.set_free_slots(n, self.free_slots[n] + 1);
                 }
             }
             self.jobs[job].running -= 1;
+            if self.jobs[job].kind == JobKind::Repair {
+                self.repairs_running -= 1;
+            }
         }
-        for waiters in self.waiting_on_block.values_mut() {
-            waiters.retain(|&w| w != tid);
+        for b in waits {
+            if let Some(waiters) = self.waiting_on_block.get_mut(&b) {
+                waiters.retain(|&w| w != tid);
+            }
         }
         if requeue && requeueable {
             self.tasks.get_mut(&tid).expect("exists").state = TaskState::Queued;
             self.jobs[job].queued.push_back(tid);
+            self.jobs_with_work.insert(job);
         } else {
-            self.tasks.get_mut(&tid).expect("exists").state = TaskState::Done;
-            self.finish_task_bookkeeping(tid);
+            self.retire_task(tid);
         }
     }
 
     // ----- BlockFixer ---------------------------------------------------
 
-    fn on_fixer_scan(&mut self) {
-        let lost = self.hdfs.lost_blocks();
-        if lost.is_empty() {
+    /// Marks a stripe unrecoverable (recording the data loss exactly
+    /// once) and aborts any tasks parked on its permanently-lost blocks
+    /// — those restores will never come, so the waiters would otherwise
+    /// strand forever, pinning their jobs and `repair_in_flight`
+    /// entries. Aborted workload/relocation waiters requeue, re-resolve
+    /// against the doomed stripe and complete vacuously; repair waiters
+    /// are dropped.
+    fn abandon_stripe(&mut self, stripe: StripeId) {
+        if !self.hdfs.mark_unrecoverable(stripe) {
             return;
         }
-        let mut by_stripe: HashMap<StripeId, Vec<usize>> = HashMap::new();
-        for b in lost {
-            let meta = self.hdfs.block(b);
-            by_stripe.entry(meta.stripe).or_default().push(meta.pos);
+        self.metrics.record_data_loss();
+        let mut stranded: Vec<TaskId> = Vec::new();
+        for p in self.hdfs.positions(stripe) {
+            if let Position::Real(b) = p {
+                if self.hdfs.block(*b).location.is_none() {
+                    if let Some(waiters) = self.waiting_on_block.get(b) {
+                        stranded.extend(waiters.iter().copied());
+                    }
+                }
+            }
         }
+        stranded.sort_unstable();
+        stranded.dedup();
+        for tid in stranded {
+            self.abort_task(tid, true);
+        }
+    }
+
+    fn on_fixer_scan(&mut self) {
+        // Group the lost-block index by stripe without allocating: sort
+        // (stripe, position) pairs in a reused scratch and walk runs.
+        let mut pairs = std::mem::take(&mut self.scan_scratch);
+        pairs.clear();
+        for &b in self.hdfs.lost_blocks() {
+            let meta = self.hdfs.block(b);
+            pairs.push((meta.stripe, meta.pos));
+        }
+        if pairs.is_empty() {
+            self.scan_scratch = pairs;
+            return;
+        }
+        pairs.sort_unstable();
         let mut job_tasks: Vec<Task> = Vec::new();
         let job_id = self.jobs.len();
-        let mut stripe_ids: Vec<StripeId> = by_stripe.keys().copied().collect();
-        stripe_ids.sort_unstable();
-        for stripe in stripe_ids {
-            let positions = &by_stripe[&stripe];
+        let mut run_start = 0;
+        while run_start < pairs.len() {
+            let stripe = pairs[run_start].0;
+            let mut run_end = run_start;
+            while run_end < pairs.len() && pairs[run_end].0 == stripe {
+                run_end += 1;
+            }
+            let positions = &pairs[run_start..run_end];
+            run_start = run_end;
             let targets: Vec<usize> = positions
                 .iter()
-                .copied()
+                .map(|&(_, p)| p)
                 .filter(|&p| !self.repair_in_flight.contains(&(stripe, p)))
                 .collect();
             if targets.is_empty() {
@@ -677,7 +883,7 @@ impl Simulation {
             let plan = match plan {
                 Ok(plan) => plan,
                 Err(_) => {
-                    self.metrics.record_data_loss();
+                    self.abandon_stripe(stripe);
                     continue;
                 }
             };
@@ -700,31 +906,37 @@ impl Simulation {
                     })
                     .collect();
             }
-            for ptask in ptasks {
+            for mut ptask in ptasks {
+                // A plan may repair more than the requested targets
+                // (peeling intermediates of a multi-loss group). Any
+                // position already owned by an in-flight task — e.g. a
+                // parked sibling waiting on an intermediate — must not
+                // get a second task, or two repairs would race to
+                // restore one block.
+                ptask
+                    .repairs
+                    .retain(|&p| !self.repair_in_flight.contains(&(stripe, p)));
+                if ptask.repairs.is_empty() {
+                    continue;
+                }
                 for &p in &ptask.repairs {
                     self.repair_in_flight.insert((stripe, p));
                 }
                 let id = self.next_task;
                 self.next_task += 1;
-                job_tasks.push(Task {
+                job_tasks.push(Task::new(
                     id,
-                    job: job_id,
-                    kind: TaskKind::Repair {
+                    job_id,
+                    TaskKind::Repair {
                         stripe,
                         targets: ptask.repairs,
                         light: ptask.light,
                     },
-                    state: TaskState::Queued,
-                    node: None,
-                    preferred_node: None,
-                    pending_reads: HashSet::new(),
-                    pending_writes: HashSet::new(),
-                    restores: Vec::new(),
-                    write_queue: Vec::new(),
-                    compute_secs: 0.0,
-                });
+                    None,
+                ));
             }
         }
+        self.scan_scratch = pairs;
         if job_tasks.is_empty() {
             return;
         }
@@ -740,6 +952,7 @@ impl Simulation {
             self.tasks.insert(t.id, t);
         }
         self.jobs.push(job);
+        self.jobs_with_work.insert(job_id);
         self.schedule();
     }
 
@@ -757,7 +970,9 @@ impl Simulation {
         let stripe_ids = self.hdfs.files()[file].stripes.clone();
         let k = self.codec.spec().data_blocks();
         for sid in stripe_ids {
-            let positions = self.hdfs.stripe(sid).positions.clone();
+            let mut positions = std::mem::take(&mut self.stripe_scratch);
+            positions.clear();
+            positions.extend_from_slice(self.hdfs.positions(sid));
             for (pos, p) in positions.iter().enumerate() {
                 if pos >= k {
                     break; // wordcount reads data blocks only
@@ -768,48 +983,74 @@ impl Simulation {
                 let preferred = self.hdfs.block(block).location;
                 self.tasks.insert(
                     id,
-                    Task {
-                        id,
-                        job: job_id,
-                        kind: TaskKind::Map { block },
-                        state: TaskState::Queued,
-                        node: None,
-                        preferred_node: preferred,
-                        pending_reads: HashSet::new(),
-                        pending_writes: HashSet::new(),
-                        restores: Vec::new(),
-                        write_queue: Vec::new(),
-                        compute_secs: 0.0,
-                    },
+                    Task::new(id, job_id, TaskKind::Map { block }, preferred),
                 );
                 job.queued.push_back(id);
                 job.outstanding += 1;
             }
+            self.stripe_scratch = positions;
         }
         assert!(job.outstanding > 0, "wordcount job over an empty file");
         self.jobs.push(job);
+        self.jobs_with_work.insert(job_id);
         self.schedule();
     }
 
     // ----- scheduler --------------------------------------------------
 
+    /// Whether the repair throttle currently blocks repair-kind jobs.
+    fn repairs_throttled(&self) -> bool {
+        let cap = self.cfg.max_concurrent_repairs;
+        cap > 0 && self.repairs_running >= cap
+    }
+
+    /// The fair-scheduler candidate: the job with the fewest running
+    /// tasks among those with queued work (ties: lowest id). Jobs whose
+    /// queues emptied are dropped from the index lazily here; repair
+    /// jobs are skipped (left queued) while the repair throttle is hit.
+    fn pick_job(&mut self) -> Option<JobId> {
+        let throttled = self.repairs_throttled();
+        loop {
+            let mut best: Option<(usize, JobId)> = None;
+            let mut empty: Option<JobId> = None;
+            for &j in &self.jobs_with_work {
+                if self.jobs[j].queued.is_empty() {
+                    empty = Some(j);
+                    break; // drop it, then rescan
+                }
+                if throttled && self.jobs[j].kind == JobKind::Repair {
+                    continue;
+                }
+                let key = (self.jobs[j].running, j);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+            match empty {
+                Some(j) => {
+                    self.jobs_with_work.remove(&j);
+                }
+                None => return best.map(|(_, j)| j),
+            }
+        }
+    }
+
     /// Hadoop-FairScheduler-style allocation: the job with the fewest
     /// running tasks gets the next free slot; map tasks prefer a slot on
-    /// the node hosting their input.
+    /// the node hosting their input. Re-entrant calls (task completions
+    /// triggered while scheduling) no-op — the active loop re-examines
+    /// slots and queues every iteration.
     fn schedule(&mut self) {
+        if self.scheduling {
+            return;
+        }
+        self.scheduling = true;
         loop {
-            if self.free_slots.iter().sum::<usize>() == 0 {
-                return;
+            if self.total_free_slots == 0 {
+                break;
             }
-            let Some(job_id) = self
-                .jobs
-                .iter()
-                .enumerate()
-                .filter(|(_, j)| !j.queued.is_empty())
-                .min_by_key(|(id, j)| (j.running, *id))
-                .map(|(id, _)| id)
-            else {
-                return;
+            let Some(job_id) = self.pick_job() else {
+                break;
             };
             let tid = self.jobs[job_id].queued.pop_front().expect("non-empty");
             if self
@@ -822,21 +1063,19 @@ impl Simulation {
             let preferred = self.tasks[&tid].preferred_node;
             let node = match preferred {
                 Some(n) if self.alive[n] && self.free_slots[n] > 0 => n,
-                _ => {
-                    // Most-free-slots node, ties by id.
-                    let Some(n) = (0..self.alive.len())
-                        .filter(|&n| self.alive[n] && self.free_slots[n] > 0)
-                        .max_by_key(|&n| self.free_slots[n])
-                    else {
+                _ => match self.most_free_node() {
+                    Some(n) => n,
+                    None => {
                         // No slot anywhere: requeue and stop.
                         self.jobs[job_id].queued.push_front(tid);
-                        return;
-                    };
-                    n
-                }
+                        self.jobs_with_work.insert(job_id);
+                        break;
+                    }
+                },
             };
             self.start_task(tid, node);
         }
+        self.scheduling = false;
     }
 
     /// Resolves the reads of a task given the current namespace state.
@@ -870,22 +1109,30 @@ impl Simulation {
                     self.pos_scratch = unavailable;
                     return Some((vec![], 0.0, vec![]));
                 }
-                let positions = self.hdfs.stripe(stripe).positions.clone();
+                let mut positions = std::mem::take(&mut self.stripe_scratch);
+                positions.clear();
+                positions.extend_from_slice(self.hdfs.positions(stripe));
                 let read_positions: Vec<usize> = if light {
                     // The planned light reads were fixed at scan time; they
                     // remain exactly the repair group, re-derived here.
-                    let plan = self.codec.repair_plan_for(&unavailable, &still_lost).ok()?;
-                    let mut reads: HashSet<usize> = HashSet::new();
-                    let mut repaired: HashSet<usize> = HashSet::new();
+                    let plan = match self.codec.repair_plan_for(&unavailable, &still_lost) {
+                        Ok(p) => p,
+                        Err(_) => {
+                            self.pos_scratch = unavailable;
+                            self.stripe_scratch = positions;
+                            return None;
+                        }
+                    };
+                    let mut reads: Vec<usize> = Vec::new();
+                    let mut repaired: Vec<usize> = Vec::new();
                     for t in &plan.tasks {
                         for &r in &t.reads {
-                            if !repaired.contains(&r) {
-                                reads.insert(r);
+                            if !repaired.contains(&r) && !reads.contains(&r) {
+                                reads.push(r);
                             }
                         }
                         repaired.extend(t.repairs.iter().copied());
                     }
-                    let mut reads: Vec<usize> = reads.into_iter().collect();
                     reads.sort_unstable();
                     reads
                 } else {
@@ -894,8 +1141,14 @@ impl Simulation {
                             .filter(|p| !unavailable.contains(p))
                             .collect(),
                         ReadPolicy::Minimal => {
-                            let plan =
-                                self.codec.repair_plan_for(&unavailable, &still_lost).ok()?;
+                            let plan = match self.codec.repair_plan_for(&unavailable, &still_lost) {
+                                Ok(p) => p,
+                                Err(_) => {
+                                    self.pos_scratch = unavailable;
+                                    self.stripe_scratch = positions;
+                                    return None;
+                                }
+                            };
                             let mut reads: Vec<usize> = plan
                                 .tasks
                                 .iter()
@@ -929,6 +1182,7 @@ impl Simulation {
                         Position::Virtual => unreachable!("virtual positions never fail"),
                     })
                     .collect();
+                self.stripe_scratch = positions;
                 Some((read_blocks, compute, restores))
             }
             TaskKind::Map { block } => {
@@ -947,32 +1201,15 @@ impl Simulation {
                 let plan = match plan {
                     Ok(p) => p,
                     Err(_) => {
-                        self.metrics.record_data_loss();
+                        self.abandon_stripe(stripe);
                         return None;
                     }
                 };
-                let positions = self.hdfs.stripe(stripe).positions.clone();
-                let mut reads: HashSet<usize> = HashSet::new();
-                let mut repaired: HashSet<usize> = HashSet::new();
-                let mut light = true;
-                for t in &plan.tasks {
-                    light &= t.light;
-                    for &r in &t.reads {
-                        if !repaired.contains(&r) {
-                            reads.insert(r);
-                        }
-                    }
-                    repaired.extend(t.repairs.iter().copied());
-                }
-                let mut reads: Vec<usize> = reads.into_iter().collect();
-                reads.sort_unstable();
-                let read_blocks: Vec<BlockId> = reads
-                    .iter()
-                    .filter_map(|&p| match positions[p] {
-                        Position::Real(b) => Some(b),
-                        Position::Virtual => None,
-                    })
-                    .collect();
+                let mut positions = std::mem::take(&mut self.stripe_scratch);
+                positions.clear();
+                positions.extend_from_slice(self.hdfs.positions(stripe));
+                let (read_blocks, light) = plan_reads(&plan, &positions);
+                self.stripe_scratch = positions;
                 let rate = if light {
                     self.cfg.compute.xor_bps
                 } else {
@@ -1001,28 +1238,11 @@ impl Simulation {
                 let plan = self.codec.repair_plan_for(&unavailable, &[pos]);
                 self.pos_scratch = unavailable;
                 let plan = plan.ok()?;
-                let positions = self.hdfs.stripe(stripe).positions.clone();
-                let mut reads: HashSet<usize> = HashSet::new();
-                let mut repaired: HashSet<usize> = HashSet::new();
-                let mut light = true;
-                for t in &plan.tasks {
-                    light &= t.light;
-                    for &r in &t.reads {
-                        if !repaired.contains(&r) {
-                            reads.insert(r);
-                        }
-                    }
-                    repaired.extend(t.repairs.iter().copied());
-                }
-                let mut reads: Vec<usize> = reads.into_iter().collect();
-                reads.sort_unstable();
-                let read_blocks: Vec<BlockId> = reads
-                    .iter()
-                    .filter_map(|&p| match positions[p] {
-                        Position::Real(b) => Some(b),
-                        Position::Virtual => None,
-                    })
-                    .collect();
+                let mut positions = std::mem::take(&mut self.stripe_scratch);
+                positions.clear();
+                positions.extend_from_slice(self.hdfs.positions(stripe));
+                let (read_blocks, light) = plan_reads(&plan, &positions);
+                self.stripe_scratch = positions;
                 let rate = if light {
                     self.cfg.compute.xor_bps
                 } else {
@@ -1050,15 +1270,19 @@ impl Simulation {
         if !lost_reads.is_empty() {
             let task = self.tasks.get_mut(&tid).expect("task exists");
             task.state = TaskState::Waiting;
+            task.waits = lost_reads.clone();
             for b in lost_reads {
                 self.waiting_on_block.entry(b).or_default().push(tid);
             }
             return;
         }
         // Claim the slot.
-        self.free_slots[node] -= 1;
+        self.set_free_slots(node, self.free_slots[node] - 1);
         let job = self.tasks[&tid].job;
         self.jobs[job].running += 1;
+        if self.jobs[job].kind == JobKind::Repair {
+            self.repairs_running += 1;
+        }
         {
             let task = self.tasks.get_mut(&tid).expect("task exists");
             task.node = Some(node);
@@ -1068,12 +1292,12 @@ impl Simulation {
         }
         // Issue reads: local ones are free and instantaneous.
         let block_bytes = self.cfg.cluster.block_bytes as f64;
-        let mut flows = HashSet::new();
+        let mut flows = Vec::new();
         for b in read_blocks {
             let src = self.hdfs.block(b).location.expect("checked available");
             self.metrics.record_block_read(self.clock, block_bytes);
             if src != node {
-                flows.insert(self.network.start_flow(src, node, block_bytes, tid));
+                flows.push(self.network.start_flow(src, node, block_bytes, tid));
             }
         }
         let task = self.tasks.get_mut(&tid).expect("task exists");
@@ -1093,7 +1317,11 @@ impl Simulation {
     }
 
     fn on_compute_done(&mut self, tid: TaskId) {
-        if self.cancelled.remove(&tid) {
+        if let Some(stale) = self.cancelled.get_mut(&tid) {
+            *stale -= 1;
+            if *stale == 0 {
+                self.cancelled.remove(&tid);
+            }
             return;
         }
         let Some(task) = self.tasks.get(&tid) else {
@@ -1112,24 +1340,25 @@ impl Simulation {
         // Write phase: place each reconstructed block and ship it.
         self.tasks.get_mut(&tid).expect("exists").state = TaskState::Writing;
         let block_bytes = self.cfg.cluster.block_bytes as f64;
-        let placeable = self.placeable();
         for (_, block) in restores {
             let stripe = self.hdfs.block(block).stripe;
-            let exclude = self.hdfs.stripe_nodes(stripe);
+            let mut exclude = std::mem::take(&mut self.exclude_scratch);
+            self.hdfs.stripe_nodes_into(stripe, &mut exclude);
             let target = self
                 .placement
-                .place_one(&placeable, &exclude, &mut self.rng)
+                .place_one(&self.placeable, &exclude, &mut self.rng)
                 .or_else(|| {
                     self.placement
-                        .place_one(&placeable, &HashSet::new(), &mut self.rng)
+                        .place_one(&self.placeable, &[], &mut self.rng)
                 })
                 .expect("some node is alive");
+            self.exclude_scratch = exclude;
             if target == node {
                 self.settle_block(tid, block, target);
             } else {
                 let fid = self.network.start_flow(node, target, block_bytes, tid);
                 let task = self.tasks.get_mut(&tid).expect("exists");
-                task.pending_writes.insert(fid);
+                task.pending_writes.push(fid);
                 task.write_queue.push((fid, block, target));
             }
         }
@@ -1178,7 +1407,17 @@ impl Simulation {
                     let task = self.tasks.get_mut(&tid).expect("exists");
                     task.state = TaskState::Queued;
                     let job = task.job;
+                    // Unpark from every other block it was waiting on.
+                    let waits = std::mem::take(&mut task.waits);
+                    for b in waits {
+                        if b != block {
+                            if let Some(ws) = self.waiting_on_block.get_mut(&b) {
+                                ws.retain(|&w| w != tid);
+                            }
+                        }
+                    }
                     self.jobs[job].queued.push_back(tid);
+                    self.jobs_with_work.insert(job);
                 }
             }
         }
@@ -1199,21 +1438,21 @@ impl Simulation {
         let hdfs = &this.hdfs;
         let codec = &this.codec;
         let meta = hdfs.block(block);
-        let stripe = hdfs.stripe(meta.stripe);
+        let stripe_id = meta.stripe;
         let target_pos = meta.pos;
-        let want = meta.payload.as_ref().expect("verify mode stores payloads");
+        let positions = hdfs.positions(stripe_id);
+        let want = hdfs.payload(block).expect("verify mode stores payloads");
         if let CodecInstance::Replication { .. } = codec {
             // Replication repair is a replica copy; verify against any
             // surviving replica's payload.
-            let survivor = stripe
-                .positions
+            let survivor = positions
                 .iter()
                 .enumerate()
                 .find_map(|(pos, p)| match p {
                     Position::Real(b) if pos != target_pos => {
                         let bm = hdfs.block(*b);
                         if bm.location.is_some() {
-                            bm.payload.as_ref()
+                            hdfs.payload(*b)
                         } else {
                             None
                         }
@@ -1227,11 +1466,11 @@ impl Simulation {
             );
             return;
         }
-        let n = stripe.positions.len();
+        let n = positions.len();
         let len = this.cfg.payload_bytes;
         let lanes = this.stripe_arena.lanes(n, len);
         let mut missing: Vec<usize> = Vec::new();
-        for (pos, p) in stripe.positions.iter().enumerate() {
+        for (pos, p) in positions.iter().enumerate() {
             match p {
                 Position::Virtual => lanes[pos].fill(0),
                 Position::Real(b) => {
@@ -1271,13 +1510,15 @@ impl Simulation {
         let Some(task) = self.tasks.get_mut(&owner) else {
             return;
         };
-        if task.pending_reads.remove(&fid) {
+        if let Some(i) = task.pending_reads.iter().position(|&f| f == fid) {
+            task.pending_reads.swap_remove(i);
             if task.pending_reads.is_empty() && task.state == TaskState::Reading {
                 self.begin_compute(owner);
             }
             return;
         }
-        if task.pending_writes.remove(&fid) {
+        if let Some(i) = task.pending_writes.iter().position(|&f| f == fid) {
+            task.pending_writes.swap_remove(i);
             let idx = task
                 .write_queue
                 .iter()
@@ -1293,21 +1534,23 @@ impl Simulation {
     }
 
     fn complete_task(&mut self, tid: TaskId) {
-        let task = self.tasks.get_mut(&tid).expect("task exists");
+        let task = self.tasks.get(&tid).expect("task exists");
         let held_slot = matches!(
             task.state,
             TaskState::Reading | TaskState::Computing | TaskState::Writing
         );
         let node = task.node;
-        task.state = TaskState::Done;
         let job = task.job;
         if held_slot {
             if let Some(n) = node {
                 if self.alive[n] {
-                    self.free_slots[n] += 1;
+                    self.set_free_slots(n, self.free_slots[n] + 1);
                 }
             }
             self.jobs[job].running -= 1;
+            if self.jobs[job].kind == JobKind::Repair {
+                self.repairs_running -= 1;
+            }
         }
         if let TaskKind::Repair {
             stripe,
@@ -1320,21 +1563,55 @@ impl Simulation {
                 self.repair_in_flight.remove(&(stripe, p));
             }
         }
-        self.finish_task_bookkeeping(tid);
+        self.retire_task(tid);
         self.schedule();
     }
 
-    fn finish_task_bookkeeping(&mut self, tid: TaskId) {
-        let job = self.tasks[&tid].job;
+    /// Removes a finished task from the table and settles job
+    /// accounting; the table holds only live tasks.
+    fn retire_task(&mut self, tid: TaskId) {
+        let task = self.tasks.remove(&tid).expect("task exists");
+        let job = task.job;
         self.jobs[job].outstanding -= 1;
         if self.jobs[job].outstanding == 0 {
-            let j = &self.jobs[job];
-            match j.kind {
-                JobKind::Repair => self.metrics.record_repair_job(j.submitted, self.clock),
-                JobKind::Workload => self.metrics.record_workload_job(j.submitted, self.clock),
+            let j = &mut self.jobs[job];
+            // Release the queue's capacity: completed jobs are history.
+            j.queued = VecDeque::new();
+            let (kind, submitted) = (j.kind, j.submitted);
+            self.jobs_with_work.remove(&job);
+            match kind {
+                JobKind::Repair => self.metrics.record_repair_job(submitted, self.clock),
+                JobKind::Workload => self.metrics.record_workload_job(submitted, self.clock),
             }
         }
     }
+}
+
+/// Distinct read blocks of a multi-step repair plan, honouring peeling
+/// order (an intermediate repaired by an earlier step is not re-read),
+/// plus whether every step used the light decoder.
+fn plan_reads(plan: &xorbas_core::RepairPlan, positions: &[Position]) -> (Vec<BlockId>, bool) {
+    let mut reads: Vec<usize> = Vec::new();
+    let mut repaired: Vec<usize> = Vec::new();
+    let mut light = true;
+    for t in &plan.tasks {
+        light &= t.light;
+        for &r in &t.reads {
+            if !repaired.contains(&r) && !reads.contains(&r) {
+                reads.push(r);
+            }
+        }
+        repaired.extend(t.repairs.iter().copied());
+    }
+    reads.sort_unstable();
+    let read_blocks: Vec<BlockId> = reads
+        .iter()
+        .filter_map(|&p| match positions[p] {
+            Position::Real(b) => Some(b),
+            Position::Virtual => None,
+        })
+        .collect();
+    (read_blocks, light)
 }
 
 /// Deterministic verify-mode payload for a (stripe, position).
@@ -1380,6 +1657,7 @@ mod tests {
         assert!(sim.hdfs.lost_blocks().is_empty(), "all blocks repaired");
         assert_eq!(sim.metrics.snapshot().blocks_repaired as usize, before);
         assert!(!sim.metrics.repair_jobs.is_empty());
+        assert!(sim.events_processed() > 0);
     }
 
     #[test]
@@ -1510,9 +1788,66 @@ mod tests {
                 sim.clock,
                 sim.metrics.snapshot().hdfs_bytes_read as u64,
                 sim.metrics.snapshot().network_bytes as u64,
+                sim.events_processed(),
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn revived_node_rejoins_empty_and_serves_repairs() {
+        let mut sim = Simulation::new(small_cfg(CodeSpec::LRC_10_6_5));
+        for i in 0..5 {
+            sim.load_raided_file(&format!("f{i}"), 10);
+        }
+        let victim = sim.node_with_block_count_near(4).unwrap();
+        sim.kill_node_at(SimTime::from_secs(10), victim);
+        sim.revive_node_at(SimTime::from_mins(30), victim);
+        sim.run_until_idle(SimTime::from_mins(600));
+        assert!(sim.is_alive(victim));
+        assert_eq!(sim.alive_nodes(), 20, "fleet back at size");
+        assert!(sim.hdfs.lost_blocks().is_empty());
+        // A second failure elsewhere can now place blocks on the
+        // replacement node.
+        let other = (victim + 1) % 20;
+        sim.kill_node_at(sim.clock + SimTime::from_secs(5), other);
+        sim.run_until_idle(sim.clock + SimTime::from_mins(600));
+        assert!(sim.hdfs.lost_blocks().is_empty());
+    }
+
+    #[test]
+    fn unrecoverable_stripe_counted_once_and_abandoned() {
+        let mut cfg = small_cfg(CodeSpec::RS_10_4);
+        cfg.verify_payloads = false;
+        let mut sim = Simulation::new(cfg);
+        sim.load_raided_file("f", 10);
+        // Drop 5 blocks of the single stripe: beyond RS(10,4)'s 4-erasure
+        // tolerance.
+        sim.drop_blocks_at(SimTime::from_secs(1), vec![0, 1, 2, 3, 4]);
+        sim.scan_at(SimTime::from_secs(2));
+        sim.scan_at(SimTime::from_secs(3)); // rescan must not re-count
+        sim.run_until_idle(SimTime::from_mins(600));
+        assert_eq!(sim.metrics.data_loss_stripes, 1);
+        assert!(sim.hdfs.lost_blocks().is_empty(), "withdrawn from scans");
+        assert!(sim.hdfs.block(0).location.is_none(), "still lost");
+        assert!(sim.hdfs.stripe(0).unrecoverable);
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_requiring_idle() {
+        let mut sim = Simulation::new(small_cfg(CodeSpec::LRC_10_6_5));
+        for i in 0..3 {
+            sim.load_raided_file(&format!("f{i}"), 10);
+        }
+        let victim = sim.node_with_block_count_near(4).unwrap();
+        sim.kill_node_at(SimTime::from_secs(50), victim);
+        sim.run_until(SimTime::from_secs(40));
+        assert_eq!(sim.clock, SimTime::from_secs(40));
+        assert!(sim.is_alive(victim), "kill not yet processed");
+        sim.run_until(SimTime::from_secs(60));
+        assert!(!sim.is_alive(victim));
+        sim.run_until_idle(SimTime::from_mins(600));
+        assert!(sim.hdfs.lost_blocks().is_empty());
     }
 
     #[test]

@@ -1,11 +1,18 @@
 //! Canned §5 scenario builders: the EC2 failure-event experiments
-//! (Figs. 4–6), the Facebook test-cluster experiment (Table 3), and the
-//! repair-under-workload experiment (Fig. 7 / Table 2).
+//! (Figs. 4–6), the Facebook test-cluster experiment (Table 3), the
+//! repair-under-workload experiment (Fig. 7 / Table 2), and the
+//! warehouse-scale Monte-Carlo driver ([`monte_carlo`]) that replays the
+//! Fig.-1 failure process against a [`ClusterScale`] fleet across seeds
+//! and reports confidence intervals.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use xorbas_core::CodeSpec;
 
-use crate::config::SimConfig;
+use crate::config::{ClusterScale, ReadPolicy, SimConfig};
 use crate::engine::Simulation;
+use crate::failures::{sample_day_failures, TraceConfig};
 use crate::time::SimTime;
 
 /// Measurements of one failure event (one group of Fig. 4 bars).
@@ -114,8 +121,20 @@ pub fn ec2_experiment(code: CodeSpec, files: usize, seed: u64) -> Ec2ExperimentR
         scheme: code.name(),
         files,
         events,
-        network_series_gb: sim.metrics.network_series.iter().map(|b| b / 1e9).collect(),
-        disk_series_gb: sim.metrics.disk_series.iter().map(|b| b / 1e9).collect(),
+        network_series_gb: sim
+            .metrics
+            .network_series()
+            .values()
+            .iter()
+            .map(|b| b / 1e9)
+            .collect(),
+        disk_series_gb: sim
+            .metrics
+            .disk_series()
+            .values()
+            .iter()
+            .map(|b| b / 1e9)
+            .collect(),
         cpu_series: sim.metrics.cpu_utilization(slots.max(1)),
     }
 }
@@ -252,17 +271,327 @@ pub fn workload_experiment(code: CodeSpec, missing_fraction: f64, seed: u64) -> 
 pub fn placement_invariant_holds(sim: &Simulation) -> bool {
     let cluster = sim.config().cluster.nodes.max(1);
     sim.hdfs.stripes().iter().all(|s| {
+        let positions = sim.hdfs.positions(s.id);
         let mut per_node: std::collections::HashMap<usize, usize> = Default::default();
-        for p in &s.positions {
+        for p in positions {
             if let crate::hdfs::Position::Real(b) = p {
                 if let Some(node) = sim.hdfs.block(*b).location {
                     *per_node.entry(node).or_default() += 1;
                 }
             }
         }
-        let cap = s.positions.len().div_ceil(cluster) + 1;
+        let cap = positions.len().div_ceil(cluster) + 1;
         per_node.values().all(|&c| c <= cap)
     })
+}
+
+// ----- warehouse-scale Monte-Carlo driver ----------------------------
+
+/// A long-horizon failure scenario against a [`ClusterScale`] fleet:
+/// the Fig.-1 overdispersed failure process replayed day by day, dead
+/// machines replaced after an ops delay, optional periodic WordCount
+/// probes measuring degraded-read latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleScenario {
+    /// The fleet and namespace-size preset.
+    pub scale: ClusterScale,
+    /// Redundancy scheme under test.
+    pub code: CodeSpec,
+    /// Simulated days.
+    pub days: usize,
+    /// Failure process (per-day counts; Fig. 1 statistics by default).
+    /// `trace.days` is ignored — `days` above governs the horizon.
+    pub trace: TraceConfig,
+    /// Delay before a dead machine's replacement joins (empty).
+    pub revive_delay: SimTime,
+    /// Data blocks of the workload probe file (0 disables probes).
+    pub probe_blocks: usize,
+    /// Days between probe submissions.
+    pub probe_every_days: usize,
+    /// Stream-selection policy for repairs. [`ReadPolicy::Deployed`]
+    /// mirrors the warehouse's HDFS-RAID BlockFixer (13 streams per
+    /// heavy repair); [`ReadPolicy::Minimal`] reads exactly what the
+    /// codec needs (10 vs 5 — the paper's headline 2x).
+    pub read_policy: ReadPolicy,
+}
+
+impl ScaleScenario {
+    /// One simulated year on the paper's warehouse fleet: 3000 nodes,
+    /// 30 PB stored, ~20 failures/day with bursts, machines replaced
+    /// within a day, a small weekly WordCount probe.
+    pub fn warehouse_year(code: CodeSpec) -> Self {
+        Self {
+            scale: ClusterScale::facebook_warehouse(),
+            code,
+            days: 365,
+            trace: TraceConfig::default(),
+            revive_delay: SimTime::from_mins(12 * 60),
+            probe_blocks: 20,
+            probe_every_days: 7,
+            read_policy: ReadPolicy::Deployed,
+        }
+    }
+
+    /// A minutes-fast variant for CI: a 60-node slice of the warehouse
+    /// (same per-node load, same failure *rate per node*), two simulated
+    /// weeks, no probes. Small enough for a multi-seed Monte-Carlo run
+    /// in a unit test, large enough that the RS-vs-LRC repair-traffic
+    /// ratio is measurable. Uses [`ReadPolicy::Minimal`] so the CI
+    /// check pins the paper's information-theoretic 10-vs-5 ratio
+    /// rather than the deployed BlockFixer's 13-stream behaviour.
+    pub fn fast_mode(code: CodeSpec) -> Self {
+        let mut scale = ClusterScale::facebook_warehouse();
+        scale.nodes = 60;
+        scale.racks = 6;
+        // Keep ~72 simulated blocks per node (shrink the namespace with
+        // the fleet) at 8x finer granularity, so repair tasks are short
+        // relative to failure inter-arrival and abort-restart re-reads
+        // stay rare.
+        scale.block_scale = 64;
+        scale.total_bytes /= 400;
+        Self {
+            scale,
+            code,
+            days: 14,
+            // Scale the Fig.-1 per-day failure count with fleet size
+            // (3000-node median ~20/day -> 60-node ~0.4/day).
+            trace: TraceConfig {
+                days: 14,
+                base_mean: 0.4,
+                burst_prob: 0.0,
+                burst_mean: 1.0,
+            },
+            revive_delay: SimTime::from_mins(12 * 60),
+            probe_blocks: 0,
+            probe_every_days: 0,
+            read_policy: ReadPolicy::Minimal,
+        }
+    }
+}
+
+/// Measurements of one scenario run (one seed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRun {
+    /// Scheme name.
+    pub scheme: String,
+    /// Node failures injected.
+    pub failures_injected: usize,
+    /// Simulated blocks lost to those failures.
+    pub blocks_lost: u64,
+    /// Simulated blocks reconstructed.
+    pub blocks_repaired: u64,
+    /// HDFS bytes read by repairs and degraded reads.
+    pub hdfs_bytes_read: f64,
+    /// Bytes crossing the network.
+    pub network_bytes: f64,
+    /// Repair reads per lost block, in block units (the Fig.-6 slope).
+    pub blocks_read_per_lost_block: f64,
+    /// Stripes that became unrecoverable (counted once each).
+    pub data_loss_stripes: u64,
+    /// Mean probe-job completion minutes (`NaN` when probes are off).
+    pub probe_job_minutes: f64,
+    /// Engine events processed (throughput accounting).
+    pub events_processed: u64,
+    /// Wall-clock seconds the run took.
+    pub wall_secs: f64,
+}
+
+/// Runs one [`ScaleScenario`] under one seed.
+///
+/// The driver interleaves decision points with simulation progress via
+/// [`Simulation::run_until`]: each day it samples the failure count,
+/// kills uniformly-random alive machines at random offsets within the
+/// day, and schedules their replacements; probes are submitted on their
+/// cadence; after the horizon the run drains to idle.
+pub fn run_scale_scenario(sc: &ScaleScenario, seed: u64) -> ScenarioRun {
+    let wall_start = std::time::Instant::now();
+    let mut cfg = SimConfig::scaled(&sc.scale, sc.code);
+    cfg.read_policy = sc.read_policy;
+    cfg.seed = seed;
+    let mut sim = Simulation::new(cfg);
+    let data_blocks = sc.scale.data_blocks_for(sc.code);
+    sim.load_raided_file("warehouse", data_blocks);
+    let probe = (sc.probe_blocks > 0).then(|| sim.load_raided_file("probe", sc.probe_blocks));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA11_0E55);
+    let mut failures_injected = 0usize;
+    let mut blocks_lost = 0u64;
+    let day = SimTime::from_secs(86_400);
+    for d in 0..sc.days {
+        let day_start = SimTime(day.0 * d as u64);
+        if let Some(f) = probe {
+            if sc.probe_every_days > 0 && d % sc.probe_every_days == 0 {
+                sim.submit_wordcount_at(day_start + SimTime::from_secs(1), f);
+            }
+        }
+        let kills = sample_day_failures(&sc.trace, &mut rng);
+        let mut offsets: Vec<u64> = (0..kills).map(|_| rng.gen_range(0..86_400)).collect();
+        offsets.sort_unstable();
+        for off in offsets {
+            let at = day_start + SimTime::from_secs(off);
+            // Run up to the kill instant so the victim draw sees the
+            // fleet state of that moment.
+            sim.run_until(at);
+            let Some(victim) = random_alive_node(&sim, &mut rng) else {
+                continue; // the whole fleet is down: nothing to kill
+            };
+            failures_injected += 1;
+            blocks_lost += sim.hdfs.blocks_on(victim).len() as u64;
+            sim.kill_node_at(at, victim);
+            sim.revive_node_at(at + sc.revive_delay, victim);
+        }
+    }
+    // Drain: let the tail of repairs finish (generously bounded).
+    let horizon = SimTime(day.0 * sc.days as u64);
+    sim.run_until_idle(horizon + SimTime::from_mins(60 * 24 * 60));
+    let snap = sim.metrics.snapshot();
+    let block_bytes = sim.config().cluster.block_bytes as f64;
+    let probe_job_minutes = if sim.metrics.workload_jobs.is_empty() {
+        f64::NAN
+    } else {
+        sim.metrics
+            .workload_jobs
+            .iter()
+            .map(|j| j.duration().as_mins_f64())
+            .sum::<f64>()
+            / sim.metrics.workload_jobs.len() as f64
+    };
+    ScenarioRun {
+        scheme: sc.code.name(),
+        failures_injected,
+        blocks_lost,
+        blocks_repaired: snap.blocks_repaired,
+        hdfs_bytes_read: snap.hdfs_bytes_read,
+        network_bytes: snap.network_bytes,
+        blocks_read_per_lost_block: if blocks_lost > 0 {
+            snap.hdfs_bytes_read / block_bytes / blocks_lost as f64
+        } else {
+            0.0
+        },
+        data_loss_stripes: sim.metrics.data_loss_stripes,
+        probe_job_minutes,
+        events_processed: sim.events_processed(),
+        wall_secs: wall_start.elapsed().as_secs_f64(),
+    }
+}
+
+/// A uniformly-random alive node, or `None` if the fleet is down.
+fn random_alive_node<R: Rng>(sim: &Simulation, rng: &mut R) -> Option<usize> {
+    let nodes = sim.config().cluster.nodes;
+    if sim.alive_nodes() == 0 {
+        return None;
+    }
+    loop {
+        let n = rng.gen_range(0..nodes);
+        if sim.is_alive(n) {
+            return Some(n);
+        }
+    }
+}
+
+/// A mean with a 95% normal-approximation confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// 95% half-width (`1.96 · s/√n`; 0 for a single sample).
+    pub half_width: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl ConfidenceInterval {
+    /// Computes mean ± half-width over samples (NaNs are dropped).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let clean: Vec<f64> = samples.iter().copied().filter(|v| !v.is_nan()).collect();
+        let n = clean.len();
+        if n == 0 {
+            return Self {
+                mean: f64::NAN,
+                half_width: f64::NAN,
+                n: 0,
+            };
+        }
+        let mean = clean.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Self {
+                mean,
+                half_width: 0.0,
+                n,
+            };
+        }
+        let var = clean.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        Self {
+            mean,
+            half_width: 1.96 * (var / n as f64).sqrt(),
+            n,
+        }
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.3} ± {:.3} (n={})",
+            self.mean, self.half_width, self.n
+        )
+    }
+}
+
+/// Aggregated Monte-Carlo results for one scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloReport {
+    /// Scheme name.
+    pub scheme: String,
+    /// Per-seed runs, in seed order.
+    pub runs: Vec<ScenarioRun>,
+    /// Repair reads per lost block, block units (Fig. 6's slope).
+    pub blocks_read_per_lost_block: ConfidenceInterval,
+    /// Total repair traffic, GB.
+    pub hdfs_gb_read: ConfidenceInterval,
+    /// Network traffic, GB.
+    pub network_gb: ConfidenceInterval,
+    /// Unrecoverable stripes per run.
+    pub data_loss_stripes: ConfidenceInterval,
+    /// Mean degraded-read probe minutes (empty CI when probes are off).
+    pub probe_job_minutes: ConfidenceInterval,
+}
+
+/// Runs the scenario across `seeds` and aggregates confidence intervals.
+pub fn monte_carlo(sc: &ScaleScenario, seeds: &[u64]) -> MonteCarloReport {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let runs: Vec<ScenarioRun> = seeds.iter().map(|&s| run_scale_scenario(sc, s)).collect();
+    let collect = |f: fn(&ScenarioRun) -> f64| {
+        ConfidenceInterval::from_samples(&runs.iter().map(f).collect::<Vec<_>>())
+    };
+    MonteCarloReport {
+        scheme: sc.code.name(),
+        blocks_read_per_lost_block: collect(|r| r.blocks_read_per_lost_block),
+        hdfs_gb_read: collect(|r| r.hdfs_bytes_read / 1e9),
+        network_gb: collect(|r| r.network_bytes / 1e9),
+        data_loss_stripes: collect(|r| r.data_loss_stripes as f64),
+        probe_job_minutes: collect(|r| r.probe_job_minutes),
+        runs,
+    }
+}
+
+/// The headline §5 comparison: RS (10,4) vs LRC (10,6,5) repair traffic
+/// per lost block under the same scenario and seeds. Returns both
+/// reports and the RS/LRC ratio of mean per-lost-block reads (the paper
+/// measures ~11.5 vs ~5.8 blocks — a ~2x saving).
+pub fn compare_repair_traffic(
+    sc_template: &ScaleScenario,
+    seeds: &[u64],
+) -> (MonteCarloReport, MonteCarloReport, f64) {
+    let mut rs = sc_template.clone();
+    rs.code = CodeSpec::RS_10_4;
+    let mut lrc = sc_template.clone();
+    lrc.code = CodeSpec::LRC_10_6_5;
+    let rs_report = monte_carlo(&rs, seeds);
+    let lrc_report = monte_carlo(&lrc, seeds);
+    let ratio =
+        rs_report.blocks_read_per_lost_block.mean / lrc_report.blocks_read_per_lost_block.mean;
+    (rs_report, lrc_report, ratio)
 }
 
 #[cfg(test)]
@@ -315,5 +644,59 @@ mod tests {
         let degraded = workload_experiment(CodeSpec::LRC_10_6_5, 0.2, 3);
         assert!(degraded.avg_job_minutes > healthy.avg_job_minutes);
         assert!(degraded.total_gb_read > healthy.total_gb_read);
+    }
+
+    #[test]
+    fn confidence_interval_shrinks_with_samples_and_drops_nans() {
+        let wide = ConfidenceInterval::from_samples(&[1.0, 3.0]);
+        let tight = ConfidenceInterval::from_samples(&[1.0, 3.0, 1.0, 3.0, 1.0, 3.0, 1.0, 3.0]);
+        assert!((wide.mean - 2.0).abs() < 1e-9);
+        assert!((tight.mean - 2.0).abs() < 1e-9);
+        assert!(tight.half_width < wide.half_width);
+        let with_nan = ConfidenceInterval::from_samples(&[2.0, f64::NAN, 4.0]);
+        assert_eq!(with_nan.n, 2);
+        assert!((with_nan.mean - 3.0).abs() < 1e-9);
+        assert_eq!(ConfidenceInterval::from_samples(&[5.0]).half_width, 0.0);
+    }
+
+    #[test]
+    fn fast_mode_scenario_runs_a_fortnight_deterministically() {
+        let sc = ScaleScenario::fast_mode(CodeSpec::LRC_10_6_5);
+        let a = run_scale_scenario(&sc, 11);
+        let b = run_scale_scenario(&sc, 11);
+        assert_eq!(a.blocks_lost, b.blocks_lost);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert!(a.failures_injected > 0, "two weeks see failures");
+        assert_eq!(a.blocks_repaired, a.blocks_lost, "everything repaired");
+        assert_eq!(a.data_loss_stripes, 0);
+    }
+
+    /// The acceptance gate for the Monte-Carlo driver: the §5 headline
+    /// RS-vs-LRC repair-traffic comparison, in fast mode. The paper
+    /// measures ~11.5 blocks read per lost block for RS (10,4) against
+    /// ~5.8 for LRC (10,6,5) — a ~2x saving.
+    #[test]
+    fn monte_carlo_reproduces_the_2x_repair_traffic_ratio() {
+        let sc = ScaleScenario::fast_mode(CodeSpec::LRC_10_6_5);
+        let (rs, lrc, ratio) = compare_repair_traffic(&sc, &[5, 17, 23]);
+        assert_eq!(rs.runs.len(), 3);
+        assert_eq!(lrc.runs.len(), 3);
+        // Minimal policy: RS heavy repair reads 10 blocks per lost
+        // block, LRC light repair 5 (restarts and multi-loss stripes
+        // blur both slightly).
+        assert!(
+            rs.blocks_read_per_lost_block.mean > 8.5,
+            "RS reads {}",
+            rs.blocks_read_per_lost_block
+        );
+        assert!(
+            lrc.blocks_read_per_lost_block.mean < 6.5,
+            "LRC reads {}",
+            lrc.blocks_read_per_lost_block
+        );
+        assert!(
+            (1.7..=2.5).contains(&ratio),
+            "repair-traffic ratio {ratio} outside the paper's ~2x band"
+        );
     }
 }

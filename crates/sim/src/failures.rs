@@ -58,16 +58,28 @@ fn sample_geometric<R: Rng>(mean: f64, rng: &mut R) -> u32 {
     (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u32
 }
 
+/// Samples one day's failure count from the overdispersed process: a
+/// Poisson base plus, with probability `burst_prob`, a geometric burst
+/// (the heavy tail behind Fig. 1's near-100-failure days). Shared by
+/// [`generate_trace`] and the warehouse scenario driver so both replay
+/// the same statistics. A non-positive `base_mean` contributes zero
+/// base failures (tiny-fleet scalings use this).
+pub fn sample_day_failures<R: Rng>(cfg: &TraceConfig, rng: &mut R) -> u32 {
+    let mut failures = if cfg.base_mean > 0.0 {
+        sample_poisson(cfg.base_mean, rng)
+    } else {
+        0
+    };
+    if rng.gen::<f64>() < cfg.burst_prob {
+        failures += sample_geometric(cfg.burst_mean, rng);
+    }
+    failures
+}
+
 /// Generates a per-day failed-node trace.
 pub fn generate_trace<R: Rng>(cfg: TraceConfig, rng: &mut R) -> Vec<u32> {
     (0..cfg.days)
-        .map(|_| {
-            let mut failures = sample_poisson(cfg.base_mean, rng);
-            if rng.gen::<f64>() < cfg.burst_prob {
-                failures += sample_geometric(cfg.burst_mean, rng);
-            }
-            failures
-        })
+        .map(|_| sample_day_failures(&cfg, rng))
         .collect()
 }
 

@@ -1,6 +1,29 @@
 //! The simulated DRFS namespace: files, stripes, blocks, placement.
-
-use std::collections::HashSet;
+//!
+//! # Scaling design
+//!
+//! The namespace is built for warehouse-size clusters (3000 nodes,
+//! hundreds of thousands of tracked blocks — see
+//! [`ClusterScale`](crate::config::ClusterScale)):
+//!
+//! * **Arena-indexed stripe positions** — stripe layouts live in one
+//!   shared [`Position`] arena; a [`StripeMeta`] is a `(start, len)`
+//!   window into it, so creating a stripe performs no per-stripe heap
+//!   allocation and iterating positions is a cache-friendly slice scan.
+//! * **Per-node slab indices** — each node's block inventory is a dense
+//!   `Vec<BlockId>` paired with a per-block back-pointer (`node_slot`),
+//!   giving O(1) insert/remove/membership with deterministic iteration
+//!   order (unlike the hash-set it replaces).
+//! * **Lost-block slab** — lost blocks are tracked incrementally in the
+//!   same slab style, so the BlockFixer's scan is O(lost), not
+//!   O(namespace).
+//! * **Rejection-sampling placement** — on large clusters,
+//!   [`Placement`] samples candidate nodes instead of shuffling the
+//!   full node list, making block placement O(stripe width) rather than
+//!   O(cluster).
+//!
+//! Verify-mode payloads live in a side table (empty unless
+//! `verify_payloads` is on) so [`BlockMeta`] stays small at scale.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -15,6 +38,9 @@ pub type BlockId = usize;
 pub type FileId = usize;
 /// Identifies a stripe.
 pub type StripeId = usize;
+
+/// Sentinel slot value for "not a member of any slab".
+const NO_SLOT: u32 = u32::MAX;
 
 /// Role of a stored block within its stripe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,11 +82,11 @@ pub struct BlockMeta {
     pub bytes: u64,
     /// Hosting node; `None` while lost.
     pub location: Option<NodeId>,
-    /// Verify-mode payload (original content; repairs must reproduce it).
-    pub payload: Option<Vec<u8>>,
 }
 
-/// A stripe: a codec stripe, or a replica set under replication.
+/// A stripe: a codec stripe, or a replica set under replication. Its
+/// positions live in the shared arena — read them through
+/// [`Hdfs::positions`].
 #[derive(Debug, Clone)]
 pub struct StripeMeta {
     /// Identifier.
@@ -69,13 +95,19 @@ pub struct StripeMeta {
     pub file: FileId,
     /// Redundancy scheme.
     pub code: CodeSpec,
-    /// Stripe positions in codec order (for replication: the replicas).
-    pub positions: Vec<Position>,
     /// Number of real (non-padded) data blocks in this stripe.
     pub real_data: usize,
+    /// Marked unrecoverable by the BlockFixer (data loss); its lost
+    /// blocks are withdrawn from the scan index and never re-planned.
+    pub unrecoverable: bool,
+    /// Start of this stripe's window in the position arena.
+    pos_start: usize,
+    /// Width of this stripe's window in the position arena.
+    pos_len: usize,
 }
 
-/// A file.
+/// A file. Stripes are created contiguously, so the stripe set is a
+/// range rather than a per-file vector.
 #[derive(Debug, Clone)]
 pub struct FileMeta {
     /// Identifier.
@@ -84,8 +116,8 @@ pub struct FileMeta {
     pub name: String,
     /// Logical data blocks.
     pub data_blocks: usize,
-    /// Stripes, in order.
-    pub stripes: Vec<StripeId>,
+    /// Stripes, as a contiguous id range.
+    pub stripes: std::ops::Range<StripeId>,
 }
 
 /// The namespace plus block→node inventory.
@@ -94,7 +126,18 @@ pub struct Hdfs {
     files: Vec<FileMeta>,
     stripes: Vec<StripeMeta>,
     blocks: Vec<BlockMeta>,
-    node_blocks: Vec<HashSet<BlockId>>,
+    /// Shared position arena backing every stripe's layout.
+    position_arena: Vec<Position>,
+    /// Per-node inventory slabs (dense, unordered).
+    node_blocks: Vec<Vec<BlockId>>,
+    /// Back-pointer: a block's index within its node's slab.
+    node_slot: Vec<u32>,
+    /// Dense index of currently-lost blocks awaiting repair.
+    lost: Vec<BlockId>,
+    /// Back-pointer: a block's index within `lost`.
+    lost_slot: Vec<u32>,
+    /// Verify-mode payloads, indexed by block id (empty = none stored).
+    payloads: Vec<Vec<u8>>,
 }
 
 impl Hdfs {
@@ -104,7 +147,12 @@ impl Hdfs {
             files: Vec::new(),
             stripes: Vec::new(),
             blocks: Vec::new(),
-            node_blocks: vec![HashSet::new(); nodes],
+            position_arena: Vec::new(),
+            node_blocks: vec![Vec::new(); nodes],
+            node_slot: Vec::new(),
+            lost: Vec::new(),
+            lost_slot: Vec::new(),
+            payloads: Vec::new(),
         }
     }
 
@@ -123,21 +171,25 @@ impl Hdfs {
         &self.stripes[id]
     }
 
+    /// A stripe's positions in codec order (for replication: replicas).
+    pub fn positions(&self, id: StripeId) -> &[Position] {
+        let s = &self.stripes[id];
+        &self.position_arena[s.pos_start..s.pos_start + s.pos_len]
+    }
+
     /// A block by id.
     pub fn block(&self, id: BlockId) -> &BlockMeta {
         &self.blocks[id]
-    }
-
-    /// Mutable block access (payload updates in verify mode).
-    pub fn block_mut(&mut self, id: BlockId) -> &mut BlockMeta {
-        &mut self.blocks[id]
     }
 
     /// A block's verify-mode payload as a borrowed slice (`None` outside
     /// verify mode). The zero-copy decode paths read stripes through
     /// this instead of cloning payload vectors.
     pub fn payload(&self, id: BlockId) -> Option<&[u8]> {
-        self.blocks[id].payload.as_deref()
+        self.payloads
+            .get(id)
+            .filter(|p| !p.is_empty())
+            .map(|p| &p[..])
     }
 
     /// Total stored blocks.
@@ -145,9 +197,56 @@ impl Hdfs {
         self.blocks.len()
     }
 
-    /// Blocks currently hosted by `node`.
-    pub fn blocks_on(&self, node: NodeId) -> &HashSet<BlockId> {
+    /// Blocks currently hosted by `node` (slab order: insertion order
+    /// perturbed by O(1) removals — deterministic under a fixed seed).
+    pub fn blocks_on(&self, node: NodeId) -> &[BlockId] {
         &self.node_blocks[node]
+    }
+
+    /// O(1) slab insert of `block` into `node`'s inventory.
+    fn attach(&mut self, block: BlockId, node: NodeId) {
+        debug_assert_eq!(self.node_slot[block], NO_SLOT);
+        self.node_slot[block] = self.node_blocks[node].len() as u32;
+        self.node_blocks[node].push(block);
+        self.blocks[block].location = Some(node);
+    }
+
+    /// O(1) slab removal of `block` from its hosting node's inventory.
+    fn detach(&mut self, block: BlockId) -> NodeId {
+        let node = self.blocks[block]
+            .location
+            .take()
+            .expect("detaching a located block");
+        let slot = self.node_slot[block] as usize;
+        let slab = &mut self.node_blocks[node];
+        let removed = slab.swap_remove(slot);
+        debug_assert_eq!(removed, block);
+        if let Some(&moved) = slab.get(slot) {
+            self.node_slot[moved] = slot as u32;
+        }
+        self.node_slot[block] = NO_SLOT;
+        node
+    }
+
+    /// O(1) insert into the lost-block index.
+    fn mark_lost(&mut self, block: BlockId) {
+        debug_assert_eq!(self.lost_slot[block], NO_SLOT);
+        self.lost_slot[block] = self.lost.len() as u32;
+        self.lost.push(block);
+    }
+
+    /// O(1) removal from the lost-block index (no-op if not indexed).
+    fn unmark_lost(&mut self, block: BlockId) {
+        if self.lost_slot[block] == NO_SLOT {
+            return;
+        }
+        let slot = self.lost_slot[block] as usize;
+        let removed = self.lost.swap_remove(slot);
+        debug_assert_eq!(removed, block);
+        if let Some(&moved) = self.lost.get(slot) {
+            self.lost_slot[moved] = slot as u32;
+        }
+        self.lost_slot[block] = NO_SLOT;
     }
 
     /// Registers a new stored block at a location.
@@ -170,18 +269,20 @@ impl Hdfs {
             pos,
             kind,
             bytes,
-            location: Some(location),
-            payload,
+            location: None,
         });
-        self.node_blocks[location].insert(id);
+        self.node_slot.push(NO_SLOT);
+        self.lost_slot.push(NO_SLOT);
+        self.payloads.push(payload.unwrap_or_default());
+        self.attach(id, location);
         id
     }
 
     /// Creates a fully-RAIDed file: `data_blocks` logical blocks encoded
-    /// into stripes of `code`, placed by `placement`. `virtual_mask(s)`
-    /// marks structurally-zero positions for a stripe with `s` real data
-    /// blocks; `payload(block_pos_in_file, stripe_pos)` supplies
-    /// verify-mode content (or `None`).
+    /// into stripes of `code`, placed by `placement`. `virtual_mask(s,
+    /// buf)` fills `buf` with the structurally-zero positions for a
+    /// stripe with `s` real data blocks; `payload(stripe, stripe_pos)`
+    /// supplies verify-mode content (or `None`).
     #[allow(clippy::too_many_arguments)]
     pub fn create_raided_file<R: Rng>(
         &mut self,
@@ -192,27 +293,29 @@ impl Hdfs {
         placement: &Placement,
         alive: &[bool],
         rng: &mut R,
-        mut virtual_mask: impl FnMut(usize) -> Vec<bool>,
+        mut virtual_mask: impl FnMut(usize, &mut Vec<bool>),
         mut payload: impl FnMut(StripeId, usize) -> Option<Vec<u8>>,
     ) -> Option<FileId> {
         let file_id = self.files.len();
         let k = code.data_blocks();
         let n = code.total_blocks();
-        let mut stripes = Vec::new();
+        let stripe_start = self.stripes.len();
         let mut remaining = data_blocks;
-        while remaining > 0 || stripes.is_empty() {
+        let mut mask = Vec::with_capacity(n);
+        let mut nodes = Vec::with_capacity(n);
+        while remaining > 0 || self.stripes.len() == stripe_start {
             let real_data = remaining.min(k);
             remaining -= real_data;
             let stripe_id = self.stripes.len();
-            let mask = virtual_mask(real_data);
+            virtual_mask(real_data, &mut mask);
             assert_eq!(mask.len(), n, "virtual mask must cover the stripe");
             let real_count = mask.iter().filter(|&&v| !v).count();
-            let nodes = placement.place_best_effort(real_count, alive, &HashSet::new(), rng)?;
-            let mut positions = Vec::with_capacity(n);
-            let mut node_iter = nodes.into_iter();
+            placement.place_best_effort(real_count, alive, &[], rng, &mut nodes)?;
+            let pos_start = self.position_arena.len();
+            let mut node_iter = 0usize;
             for (pos, &is_virtual) in mask.iter().enumerate() {
                 if is_virtual {
-                    positions.push(Position::Virtual);
+                    self.position_arena.push(Position::Virtual);
                     continue;
                 }
                 let kind = if pos < k {
@@ -230,7 +333,8 @@ impl Hdfs {
                 } else {
                     unreachable!()
                 };
-                let node = node_iter.next().expect("placement count matches");
+                let node = nodes[node_iter];
+                node_iter += 1;
                 let bid = self.add_block(
                     file_id,
                     stripe_id,
@@ -240,16 +344,17 @@ impl Hdfs {
                     node,
                     payload(stripe_id, pos),
                 );
-                positions.push(Position::Real(bid));
+                self.position_arena.push(Position::Real(bid));
             }
             self.stripes.push(StripeMeta {
                 id: stripe_id,
                 file: file_id,
                 code,
-                positions,
                 real_data,
+                unrecoverable: false,
+                pos_start,
+                pos_len: n,
             });
-            stripes.push(stripe_id);
             if remaining == 0 {
                 break;
             }
@@ -258,7 +363,7 @@ impl Hdfs {
             id: file_id,
             name: name.to_string(),
             data_blocks,
-            stripes,
+            stripes: stripe_start..self.stripes.len(),
         });
         Some(file_id)
     }
@@ -277,67 +382,74 @@ impl Hdfs {
         rng: &mut R,
     ) -> Option<FileId> {
         let file_id = self.files.len();
-        let mut stripes = Vec::new();
+        let stripe_start = self.stripes.len();
+        let mut nodes = Vec::with_capacity(replicas);
         for _ in 0..data_blocks {
             let stripe_id = self.stripes.len();
-            let nodes = placement.place_many(replicas, alive, &HashSet::new(), rng)?;
-            let positions: Vec<Position> = nodes
-                .into_iter()
-                .enumerate()
-                .map(|(pos, node)| {
-                    Position::Real(self.add_block(
-                        file_id,
-                        stripe_id,
-                        pos,
-                        BlockKind::Data,
-                        block_bytes,
-                        node,
-                        None,
-                    ))
-                })
-                .collect();
+            placement.place_many(replicas, alive, &[], rng, &mut nodes)?;
+            let pos_start = self.position_arena.len();
+            for (pos, &node) in nodes.iter().enumerate() {
+                let bid = self.add_block(
+                    file_id,
+                    stripe_id,
+                    pos,
+                    BlockKind::Data,
+                    block_bytes,
+                    node,
+                    None,
+                );
+                self.position_arena.push(Position::Real(bid));
+            }
             self.stripes.push(StripeMeta {
                 id: stripe_id,
                 file: file_id,
                 code: CodeSpec::Replication { replicas },
-                positions,
                 real_data: 1,
+                unrecoverable: false,
+                pos_start,
+                pos_len: replicas,
             });
-            stripes.push(stripe_id);
         }
         self.files.push(FileMeta {
             id: file_id,
             name: name.to_string(),
             data_blocks,
-            stripes,
+            stripes: stripe_start..self.stripes.len(),
         });
         Some(file_id)
     }
 
     /// Marks every block on `node` as lost; returns the lost block ids.
     pub fn kill_node(&mut self, node: NodeId) -> Vec<BlockId> {
-        let lost: Vec<BlockId> = self.node_blocks[node].drain().collect();
+        let lost = std::mem::take(&mut self.node_blocks[node]);
         for &b in &lost {
             self.blocks[b].location = None;
+            self.node_slot[b] = NO_SLOT;
+            if !self.stripes[self.blocks[b].stripe].unrecoverable {
+                self.mark_lost(b);
+            }
         }
         lost
     }
 
     /// Drops a single block (Fig.-7-style simulated block loss).
     pub fn drop_block(&mut self, block: BlockId) {
-        if let Some(node) = self.blocks[block].location.take() {
-            self.node_blocks[node].remove(&block);
+        if self.blocks[block].location.is_some() {
+            self.detach(block);
+            if !self.stripes[self.blocks[block].stripe].unrecoverable {
+                self.mark_lost(block);
+            }
         }
     }
 
     /// Moves a live block to a new node (decommission drain).
     pub fn relocate_block(&mut self, block: BlockId, node: NodeId) {
-        let old = self.blocks[block]
-            .location
-            .expect("relocating a block that is lost");
-        self.node_blocks[old].remove(&block);
-        self.blocks[block].location = Some(node);
-        self.node_blocks[node].insert(block);
+        assert!(
+            self.blocks[block].location.is_some(),
+            "relocating a block that is lost"
+        );
+        self.detach(block);
+        self.attach(block, node);
     }
 
     /// Restores a repaired block at `node`.
@@ -346,17 +458,36 @@ impl Hdfs {
             self.blocks[block].location.is_none(),
             "restoring a block that is not lost"
         );
-        self.blocks[block].location = Some(node);
-        self.node_blocks[node].insert(block);
+        self.unmark_lost(block);
+        self.attach(block, node);
     }
 
-    /// All currently-lost blocks.
-    pub fn lost_blocks(&self) -> Vec<BlockId> {
-        self.blocks
-            .iter()
-            .filter(|b| b.location.is_none())
-            .map(|b| b.id)
-            .collect()
+    /// All currently-lost blocks that are still worth repairing
+    /// (blocks of abandoned stripes are withdrawn). Maintained
+    /// incrementally: O(lost), not O(namespace).
+    pub fn lost_blocks(&self) -> &[BlockId] {
+        &self.lost
+    }
+
+    /// Marks a stripe unrecoverable and withdraws its lost blocks from
+    /// the scan index (they stay lost; nothing will re-plan them).
+    /// Returns whether this was the first time (data-loss accounting
+    /// counts each stripe once).
+    pub fn mark_unrecoverable(&mut self, stripe: StripeId) -> bool {
+        if self.stripes[stripe].unrecoverable {
+            return false;
+        }
+        self.stripes[stripe].unrecoverable = true;
+        let s = &self.stripes[stripe];
+        let (start, len) = (s.pos_start, s.pos_len);
+        for i in start..start + len {
+            if let Position::Real(b) = self.position_arena[i] {
+                if self.blocks[b].location.is_none() {
+                    self.unmark_lost(b);
+                }
+            }
+        }
+        true
     }
 
     /// The stripe positions (codec indices) of `stripe` that are real and
@@ -372,7 +503,7 @@ impl Hdfs {
     /// for per-event scan loops.
     pub fn unavailable_positions_into(&self, stripe: StripeId, out: &mut Vec<usize>) {
         out.clear();
-        for (pos, p) in self.stripes[stripe].positions.iter().enumerate() {
+        for (pos, p) in self.positions(stripe).iter().enumerate() {
             if let Position::Real(b) = p {
                 if self.blocks[*b].location.is_none() {
                     out.push(pos);
@@ -383,32 +514,59 @@ impl Hdfs {
 
     /// Nodes currently hosting blocks of `stripe` (for placement
     /// exclusion: never two blocks of a stripe on one node).
-    pub fn stripe_nodes(&self, stripe: StripeId) -> HashSet<NodeId> {
-        self.stripes[stripe]
-            .positions
-            .iter()
-            .filter_map(|p| match p {
-                Position::Real(b) => self.blocks[*b].location,
-                Position::Virtual => None,
-            })
-            .collect()
+    pub fn stripe_nodes(&self, stripe: StripeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.stripe_nodes_into(stripe, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Hdfs::stripe_nodes`] (buffer is
+    /// cleared first; duplicates are not added).
+    pub fn stripe_nodes_into(&self, stripe: StripeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        let s = &self.stripes[stripe];
+        for p in &self.position_arena[s.pos_start..s.pos_start + s.pos_len] {
+            if let Position::Real(b) = p {
+                if let Some(node) = self.blocks[*b].location {
+                    if !out.contains(&node) {
+                        out.push(node);
+                    }
+                }
+            }
+        }
     }
 }
 
 /// Block placement: random distinct nodes, rack-aware when possible
 /// (Hadoop's default policy "randomly places blocks at DataNodes,
 /// avoiding collocating blocks of the same stripe", §3.1.1).
+///
+/// On clusters larger than [`Placement::EXACT_THRESHOLD`] nodes,
+/// candidates are drawn by rejection sampling (O(stripe width) per
+/// stripe) instead of shuffling the full node list (O(cluster)); the
+/// greedy rack-spreading step then runs over the sampled pool. Small
+/// clusters keep the exact full-scan policy, which the §5 testbed
+/// experiments rely on for tight spreading guarantees.
 #[derive(Debug, Clone)]
 pub struct Placement {
     rack_of: Vec<usize>,
+    racks: usize,
 }
 
 impl Placement {
+    /// Cluster size up to which placement scans all candidates exactly.
+    pub const EXACT_THRESHOLD: usize = 256;
+
+    /// Rejection-sampling attempts per needed candidate before falling
+    /// back to the exact scan (covers adversarially-full clusters).
+    const REJECTION_TRIES: usize = 32;
+
     /// Assigns `nodes` round-robin over `racks`.
     pub fn new(nodes: usize, racks: usize) -> Self {
         assert!(racks >= 1, "need at least one rack");
         Self {
             rack_of: (0..nodes).map(|n| n % racks).collect(),
+            racks,
         }
     }
 
@@ -418,47 +576,88 @@ impl Placement {
     }
 
     /// Picks `count` distinct alive nodes avoiding `exclude`, spreading
-    /// racks as evenly as the candidate set allows. `None` if not enough
-    /// candidates exist.
+    /// racks as evenly as the candidate set allows, into `out` (cleared
+    /// first). `None` if not enough candidates exist.
     pub fn place_many<R: Rng>(
         &self,
         count: usize,
         alive: &[bool],
-        exclude: &HashSet<NodeId>,
+        exclude: &[NodeId],
         rng: &mut R,
-    ) -> Option<Vec<NodeId>> {
-        let mut candidates: Vec<NodeId> = (0..self.rack_of.len())
-            .filter(|&n| alive[n] && !exclude.contains(&n))
+        out: &mut Vec<NodeId>,
+    ) -> Option<()> {
+        out.clear();
+        if count == 0 {
+            return Some(());
+        }
+        let n = self.rack_of.len();
+        if n > Self::EXACT_THRESHOLD {
+            // Sample a pool of ~4x the needed candidates; rack-greedy
+            // selection over the pool approximates the exact spread.
+            let pool_target = (4 * count).min(n);
+            let mut pool: Vec<NodeId> = Vec::with_capacity(pool_target);
+            for _ in 0..Self::REJECTION_TRIES * pool_target {
+                if pool.len() >= pool_target {
+                    break;
+                }
+                let c = rng.gen_range(0..n);
+                if alive[c] && !exclude.contains(&c) && !pool.contains(&c) {
+                    pool.push(c);
+                }
+            }
+            if pool.len() >= count {
+                self.rack_greedy(&mut pool, count, out);
+                return Some(());
+            }
+            // Nearly-full cluster: fall through to the exact scan.
+        }
+        let mut candidates: Vec<NodeId> = (0..n)
+            .filter(|&c| alive[c] && !exclude.contains(&c))
             .collect();
         if candidates.len() < count {
             return None;
         }
         candidates.shuffle(rng);
-        // Greedy rack spreading: repeatedly take a candidate from the
-        // least-used rack among the remaining ones.
-        let mut rack_use = vec![0usize; self.rack_of.iter().max().map_or(1, |m| m + 1)];
-        let mut chosen = Vec::with_capacity(count);
+        self.rack_greedy(&mut candidates, count, out);
+        Some(())
+    }
+
+    /// Greedy rack spreading: repeatedly take a candidate from the
+    /// least-used rack among the remaining ones.
+    fn rack_greedy(&self, candidates: &mut Vec<NodeId>, count: usize, out: &mut Vec<NodeId>) {
+        let mut rack_use = vec![0usize; self.racks];
         for _ in 0..count {
             let (idx, _) = candidates
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, &n)| rack_use[self.rack_of[n]])
+                .min_by_key(|(_, &c)| rack_use[self.rack_of[c]])
                 .expect("candidates remain");
             let node = candidates.swap_remove(idx);
             rack_use[self.rack_of[node]] += 1;
-            chosen.push(node);
+            out.push(node);
         }
-        Some(chosen)
     }
 
-    /// Picks one node (repair-target placement).
+    /// Picks one node (repair-target placement). Uniform over the
+    /// allowed set; O(1) expected on large, mostly-placeable clusters.
     pub fn place_one<R: Rng>(
         &self,
         alive: &[bool],
-        exclude: &HashSet<NodeId>,
+        exclude: &[NodeId],
         rng: &mut R,
     ) -> Option<NodeId> {
-        self.place_many(1, alive, exclude, rng).map(|v| v[0])
+        let n = self.rack_of.len();
+        if n > Self::EXACT_THRESHOLD {
+            for _ in 0..Self::REJECTION_TRIES {
+                let c = rng.gen_range(0..n);
+                if alive[c] && !exclude.contains(&c) {
+                    return Some(c);
+                }
+            }
+        }
+        let mut buf = Vec::with_capacity(1);
+        self.place_many(1, alive, exclude, rng, &mut buf)?;
+        Some(buf[0])
     }
 
     /// Like [`Placement::place_many`], but degrades gracefully when the
@@ -471,22 +670,24 @@ impl Placement {
         &self,
         count: usize,
         alive: &[bool],
-        exclude: &HashSet<NodeId>,
+        exclude: &[NodeId],
         rng: &mut R,
-    ) -> Option<Vec<NodeId>> {
+        out: &mut Vec<NodeId>,
+    ) -> Option<()> {
+        // The common large-cluster case never needs the distinct count.
+        if self.place_many(count, alive, exclude, rng, out).is_some() {
+            return Some(());
+        }
         let distinct = (0..self.rack_of.len())
-            .filter(|&n| alive[n] && !exclude.contains(&n))
+            .filter(|&c| alive[c] && !exclude.contains(&c))
             .count();
         if distinct == 0 {
             return None;
         }
-        if distinct >= count {
-            return self.place_many(count, alive, exclude, rng);
-        }
-        let mut base = self
-            .place_many(distinct, alive, exclude, rng)
+        let mut base = Vec::with_capacity(distinct);
+        self.place_many(distinct, alive, exclude, rng, &mut base)
             .expect("distinct candidates exist");
-        let mut out = Vec::with_capacity(count);
+        out.clear();
         let mut i = 0;
         while out.len() < count {
             out.push(base[i % base.len()]);
@@ -495,7 +696,7 @@ impl Placement {
                 base.shuffle(rng);
             }
         }
-        Some(out)
+        Some(())
     }
 }
 
@@ -504,9 +705,13 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::collections::HashSet;
 
-    fn full_mask(code: CodeSpec) -> impl FnMut(usize) -> Vec<bool> {
-        move |_real| vec![false; code.total_blocks()]
+    fn full_mask(code: CodeSpec) -> impl FnMut(usize, &mut Vec<bool>) {
+        move |_real, buf| {
+            buf.clear();
+            buf.resize(code.total_blocks(), false);
+        }
     }
 
     #[test]
@@ -607,15 +812,18 @@ mod tests {
                 &placement,
                 &alive,
                 &mut rng,
-                |real| (0..14).map(|p| p < 10 && p >= real).collect(),
+                |real, buf| {
+                    buf.clear();
+                    buf.extend((0..14).map(|p| p < 10 && p >= real));
+                },
                 |_, _| None,
             )
             .unwrap();
-        let s = fs.files()[f].stripes[0];
+        let s = fs.files()[f].stripes.start;
         let stripe = fs.stripe(s);
         assert_eq!(stripe.real_data, 3);
-        let virtuals = stripe
-            .positions
+        let virtuals = fs
+            .positions(s)
             .iter()
             .filter(|p| **p == Position::Virtual)
             .count();
@@ -628,13 +836,14 @@ mod tests {
         let placement = Placement::new(5, 1);
         let alive = vec![true; 5];
         let mut rng = StdRng::seed_from_u64(5);
+        let mut out = Vec::new();
         assert!(placement
-            .place_many(6, &alive, &HashSet::new(), &mut rng)
+            .place_many(6, &alive, &[], &mut rng, &mut out)
             .is_none());
         let mut dead = alive;
         dead[0] = false;
         assert!(placement
-            .place_many(5, &dead, &HashSet::new(), &mut rng)
+            .place_many(5, &dead, &[], &mut rng, &mut out)
             .is_none());
     }
 
@@ -658,6 +867,69 @@ mod tests {
         )
         .unwrap();
         fs.drop_block(5);
-        assert_eq!(fs.lost_blocks(), vec![5]);
+        assert_eq!(fs.lost_blocks(), &[5]);
+    }
+
+    #[test]
+    fn rejection_placement_spreads_large_clusters() {
+        // 1000 nodes, 50 racks: the rejection path must give distinct
+        // nodes on distinct racks for a 14-wide stripe.
+        let placement = Placement::new(1000, 50);
+        let alive = vec![true; 1000];
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut out = Vec::new();
+        placement
+            .place_many(14, &alive, &[], &mut rng, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 14);
+        let distinct: HashSet<NodeId> = out.iter().copied().collect();
+        assert_eq!(distinct.len(), 14);
+        let racks: HashSet<usize> = out.iter().map(|&c| placement.rack_of(c)).collect();
+        assert_eq!(racks.len(), 14, "each block on its own rack");
+    }
+
+    #[test]
+    fn rejection_place_one_respects_exclusions() {
+        let placement = Placement::new(1000, 10);
+        let mut alive = vec![true; 1000];
+        alive[17] = false;
+        let exclude = vec![3usize, 4, 5];
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..200 {
+            let c = placement.place_one(&alive, &exclude, &mut rng).unwrap();
+            assert!(c != 17 && !exclude.contains(&c));
+        }
+    }
+
+    #[test]
+    fn mark_unrecoverable_withdraws_lost_blocks_once() {
+        let mut fs = Hdfs::new(20);
+        let placement = Placement::new(20, 1);
+        let alive = vec![true; 20];
+        let mut rng = StdRng::seed_from_u64(9);
+        let code = CodeSpec::RS_10_4;
+        fs.create_raided_file(
+            "f",
+            10,
+            code,
+            64,
+            &placement,
+            &alive,
+            &mut rng,
+            full_mask(code),
+            |_, _| None,
+        )
+        .unwrap();
+        fs.drop_block(0);
+        fs.drop_block(1);
+        assert_eq!(fs.lost_blocks().len(), 2);
+        let stripe = fs.block(0).stripe;
+        assert!(fs.mark_unrecoverable(stripe));
+        assert!(!fs.mark_unrecoverable(stripe), "counted once");
+        assert!(fs.lost_blocks().is_empty(), "withdrawn from the index");
+        // Later losses on an abandoned stripe never enter the index.
+        fs.drop_block(2);
+        assert!(fs.lost_blocks().is_empty());
+        assert!(fs.block(0).location.is_none(), "still lost");
     }
 }

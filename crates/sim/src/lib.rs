@@ -1,18 +1,44 @@
 //! Discrete-event HDFS-RAID cluster simulator (§3 and §5 of
 //! "XORing Elephants").
 //!
-//! This crate stands in for the paper's Amazon EC2 and Facebook test
-//! clusters: a flow-level network with max-min fair sharing behind a
-//! saturable top-level switch, an HDFS namespace with stripe-aware block
-//! placement, a BlockFixer driving light/heavy repair MapReduce jobs
-//! planned by the *real* codecs from `xorbas-core`, a fair scheduler,
-//! WordCount-style workloads with degraded reads, failure injection, and
-//! the §5.1 metrics (HDFS bytes read, network traffic, repair duration,
-//! plus 5-minute time series).
+//! This crate stands in for the paper's evaluation clusters — the §5.2
+//! Amazon EC2 testbed, the §5.3 Facebook test cluster, and the §1/Fig.-1
+//! 3000-node warehouse the paper's motivation is drawn from: a
+//! flow-level network with max-min fair sharing behind a saturable
+//! switch, an HDFS namespace with stripe-aware block placement, a
+//! BlockFixer driving light/heavy repair MapReduce jobs planned by the
+//! *real* codecs from [`xorbas_core`], a fair scheduler, WordCount-style
+//! workloads with degraded reads, failure injection and node
+//! replacement, and the §5.1 metrics (HDFS bytes read, network traffic,
+//! repair duration, plus bounded 5-minute time series).
 //!
-//! See `experiment` for canned §5 scenario builders, and DESIGN.md for
-//! the substitution argument (what the real clusters provided → what the
-//! simulator reproduces → why the measured shapes carry over).
+//! # Module map (paper section → module)
+//!
+//! | Paper | Module | What it reproduces |
+//! |---|---|---|
+//! | §3 system model | [`engine`] | BlockFixer, fair scheduler, degraded reads, decommissioning |
+//! | §3.1.1 placement | [`hdfs`] | namespace, stripe-aware random placement, zero padding |
+//! | §5.2.3 network effects | [`network`] | max-min fair flows behind a saturable core |
+//! | §5.1 metrics | [`metrics`] | bytes read / network traffic / repair duration, Fig.-5 series |
+//! | §5.2–5.3 experiments | [`experiment`] | Figs. 4–7, Table 2/3 drivers, warehouse Monte-Carlo |
+//! | Fig. 1 failure trace | [`failures`] | overdispersed node-failure process |
+//! | §2.1 / §3.1.2 codecs | [`codecs`] | bridge to `xorbas_core` repair planning |
+//! | — | [`config`] | cluster presets incl. the 3000-node [`config::ClusterScale`] |
+//! | — | [`time`], [`arena`], [`fasthash`] | µs clock, lane reuse, hot-map hashing |
+//!
+//! # Scale
+//!
+//! The engine is sized for the warehouse the paper describes (3000
+//! nodes, 30 PB, years of simulated time): arena-indexed namespace
+//! metadata, slab inventories with O(1) membership, an incremental
+//! lost-block index, a slab-indexed event queue, lazy sparse network
+//! rate recomputation, and bounded self-coarsening metric series. See
+//! the module docs of [`hdfs`], [`engine`], [`network`] and [`metrics`]
+//! for the specific structures, and `benches/sim_scale.rs` in
+//! `xorbas_bench` for measured events/sec.
+//!
+//! See [`experiment`] for canned §5 scenario builders, and the
+//! repository's `docs/ARCHITECTURE.md` for the cross-crate tour.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +49,7 @@ pub mod config;
 pub mod engine;
 pub mod experiment;
 pub mod failures;
+pub mod fasthash;
 pub mod hdfs;
 pub mod metrics;
 pub mod network;
@@ -30,8 +57,12 @@ pub mod time;
 
 pub use arena::StripeArena;
 pub use codecs::CodecInstance;
-pub use config::{ClusterConfig, ComputeRates, ReadPolicy, SimConfig};
+pub use config::{ClusterConfig, ClusterScale, ComputeRates, ReadPolicy, SimConfig};
 pub use engine::Simulation;
+pub use experiment::{
+    monte_carlo, run_scale_scenario, ConfidenceInterval, MonteCarloReport, ScaleScenario,
+    ScenarioRun,
+};
 pub use hdfs::{BlockId, FileId, Hdfs, NodeId, Placement, StripeId};
-pub use metrics::Metrics;
+pub use metrics::{BucketSeries, Metrics};
 pub use time::SimTime;

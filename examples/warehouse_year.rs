@@ -1,0 +1,56 @@
+//! One simulated year on the paper's warehouse cluster: 3000 nodes,
+//! 30 PB stored, ~20 node failures per day (Fig. 1), machines replaced
+//! within half a day, weekly WordCount probes.
+//!
+//! This is the acceptance scenario for the simulator-scaling work: the
+//! whole year — hundreds of thousands of block repairs planned by the
+//! real codecs — runs in well under five minutes of wall time. Compare
+//! RS (10,4) and LRC (10,6,5) on the same seed to see the paper's §1.1
+//! argument at production scale.
+//!
+//! Run with: `cargo run --release --example warehouse_year`
+
+use xorbas::codes::CodeSpec;
+use xorbas::sim::experiment::run_scale_scenario;
+use xorbas::sim::ScaleScenario;
+
+fn main() {
+    println!("simulating one year of the 3000-node / 30 PB warehouse cluster…\n");
+    let mut rows = Vec::new();
+    for code in [CodeSpec::RS_10_4, CodeSpec::LRC_10_6_5] {
+        let sc = ScaleScenario::warehouse_year(code);
+        let run = run_scale_scenario(&sc, 2013);
+        println!(
+            "[{}] {} failures, {} blocks lost, {} repaired, {} events in {:.1}s \
+             ({:.0} events/s)",
+            run.scheme,
+            run.failures_injected,
+            run.blocks_lost,
+            run.blocks_repaired,
+            run.events_processed,
+            run.wall_secs,
+            run.events_processed as f64 / run.wall_secs,
+        );
+        rows.push(run);
+    }
+    println!();
+    println!("scheme            repair PB read   net PB   reads/lost   loss   probe min");
+    for r in &rows {
+        println!(
+            "{:<16} {:>13.2} {:>8.2} {:>12.2} {:>6} {:>11.1}",
+            r.scheme,
+            r.hdfs_bytes_read / 1e15,
+            r.network_bytes / 1e15,
+            r.blocks_read_per_lost_block,
+            r.data_loss_stripes,
+            r.probe_job_minutes,
+        );
+    }
+    let ratio = rows[0].blocks_read_per_lost_block / rows[1].blocks_read_per_lost_block;
+    println!(
+        "\nRS moves {ratio:.2}x the repair bytes per lost block — §1.1's \
+         \"half the repair traffic\" at warehouse scale.\n\
+         (One simulated block = 512 physical 256 MB blocks; byte metrics \
+         are exact, see ClusterScale docs.)"
+    );
+}

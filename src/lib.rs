@@ -38,8 +38,13 @@
 //! assert_eq!(report.blocks_read, 5); // vs 10+ for Reed-Solomon
 //! ```
 //!
-//! See `examples/` for cluster-scale scenarios and `crates/bench` for the
-//! harnesses that regenerate every table and figure of the paper.
+//! See `examples/` for cluster-scale scenarios (start with
+//! `examples/quickstart.rs`, then `examples/warehouse_year.rs` for a
+//! simulated year on the 3000-node warehouse fleet), `crates/bench` for
+//! the harnesses that regenerate every table and figure of the paper,
+//! and the repository's `README.md` / `docs/ARCHITECTURE.md` for the
+//! workspace tour — including the zero-copy codec surface and the SIMD
+//! kernel dispatch layer.
 
 #![forbid(unsafe_code)]
 
