@@ -14,11 +14,16 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
-use xorbas_core::{encode_into_parallel, ErasureCodec, Lrc, ReedSolomon, StripeViewMut};
+use xorbas_core::{
+    encode_into_parallel, ErasureCodec, Lrc, LrcSpec, ReedSolomon, StripeViewMut, WideLrc,
+    WideReedSolomon,
+};
 use xorbas_gf::slice_ops::{mul_acc, KernelBackend};
 use xorbas_gf::Gf256;
 
 const BLOCK: usize = 1 << 20; // 1 MiB payloads
+/// Wide-stripe lanes carry 260 payloads, so they use smaller ones.
+const WIDE_BLOCK: usize = 64 << 10;
 const PAR_THREADS: usize = 4;
 
 fn sample_data(k: usize) -> Vec<Vec<u8>> {
@@ -166,5 +171,79 @@ fn bench_repair(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_kernel, bench_encode, bench_repair);
+fn bench_wide_stripe(c: &mut Criterion) {
+    // The wide-stripe surface over GF(2^16): a (200, 60, 10)-class LRC
+    // and its RS(200, 60) MDS contrast at 260 lanes. Lanes are 64 KiB
+    // so one stripe stays ~16 MB; throughput is data bytes per encode.
+    let lrc = WideLrc::new(LrcSpec::WIDE).unwrap();
+    let rs = WideReedSolomon::new(200, 60).unwrap();
+    let data: Vec<Vec<u8>> = (0..200)
+        .map(|i| {
+            (0..WIDE_BLOCK)
+                .map(|j| ((i * 31 + j * 7 + 13) % 256) as u8)
+                .collect()
+        })
+        .collect();
+    let data_refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+    let mut g = c.benchmark_group("wide_stripe_260_lanes_64KiB");
+    g.throughput(Throughput::Bytes((200 * WIDE_BLOCK) as u64));
+    g.sample_size(10);
+    let mut lrc_parity = vec![vec![0u8; WIDE_BLOCK]; 60];
+    {
+        let mut parity_refs: Vec<&mut [u8]> =
+            lrc_parity.iter_mut().map(Vec::as_mut_slice).collect();
+        g.bench_function("lrc_wide_encode_into", |b| {
+            b.iter(|| {
+                lrc.encode_into(black_box(&data_refs), &mut parity_refs)
+                    .unwrap()
+            })
+        });
+    }
+    let mut rs_parity = vec![vec![0u8; WIDE_BLOCK]; 60];
+    {
+        let mut parity_refs: Vec<&mut [u8]> = rs_parity.iter_mut().map(Vec::as_mut_slice).collect();
+        g.bench_function("rs_200_60_encode_into", |b| {
+            b.iter(|| {
+                rs.encode_into(black_box(&data_refs), &mut parity_refs)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    // Repair: the locality asymmetry in bytes. The light LRC replay
+    // reads its 10-lane group; the RS replay streams 200 lanes.
+    let lrc_stripe = lrc.encode_stripe(&data).unwrap();
+    let rs_stripe = rs.encode_stripe(&data).unwrap();
+    let mut g = c.benchmark_group("wide_stripe_repair_64KiB");
+    g.throughput(Throughput::Bytes(WIDE_BLOCK as u64));
+    g.sample_size(10);
+    let lrc_session = lrc.repair_session(&[3]).unwrap();
+    let mut lrc_lanes = lrc_stripe.clone();
+    g.bench_function("lrc_wide_light_session_replay", |b| {
+        b.iter(|| {
+            let mut refs: Vec<&mut [u8]> = lrc_lanes.iter_mut().map(Vec::as_mut_slice).collect();
+            let mut view = StripeViewMut::new(&mut refs, &[3]).unwrap();
+            lrc_session.repair(black_box(&mut view)).unwrap()
+        })
+    });
+    let rs_session = rs.repair_session(&[3]).unwrap();
+    let mut rs_lanes = rs_stripe.clone();
+    g.bench_function("rs_200_60_heavy_session_replay", |b| {
+        b.iter(|| {
+            let mut refs: Vec<&mut [u8]> = rs_lanes.iter_mut().map(Vec::as_mut_slice).collect();
+            let mut view = StripeViewMut::new(&mut refs, &[3]).unwrap();
+            rs_session.repair(black_box(&mut view)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernel,
+    bench_encode,
+    bench_repair,
+    bench_wide_stripe
+);
 criterion_main!(benches);

@@ -15,8 +15,8 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use xorbas_core::{ErasureCodec, Lrc};
 use xorbas_gf::slice_ops::{
-    mul_acc, mul_acc_multi, mul_into, payload_mul_acc, scale, xor_into, xor_into_multi,
-    KernelBackend,
+    mul_acc, mul_acc_multi, mul_into, payload_mul_acc, payload_mul_acc_multi, scale, xor_into,
+    xor_into_multi, KernelBackend,
 };
 use xorbas_gf::{Field, Gf256, Gf65536};
 
@@ -125,13 +125,56 @@ fn bench_fused_rows(c: &mut Criterion) {
 }
 
 fn bench_gf65536(c: &mut Criterion) {
+    // GF(2^16) two-byte-symbol kernels: the scalar backend is the PR-3
+    // split-table baseline; ssse3/avx2 run the eight-table nibble
+    // `PSHUFB` path. Varied payload bytes so products light every table.
     let mut g = c.benchmark_group("gf_kernels_gf65536");
     g.throughput(Throughput::Bytes(BLOCK as u64));
-    let src = vec![0x7Eu8; BLOCK];
+    let src: Vec<u8> = (0..BLOCK).map(|j| ((j * 7 + 13) % 256) as u8).collect();
     let mut dst = vec![0xE7u8; BLOCK];
     let coeff = Gf65536::from_index(0x1021);
+    for backend in KernelBackend::supported() {
+        let name = backend.name();
+        g.bench_function(format!("{name}_payload_mul_acc_1MiB"), |b| {
+            b.iter(|| backend.payload_mul_acc(black_box(&mut dst), black_box(&src), coeff))
+        });
+        g.bench_function(format!("{name}_payload_mul_into_1MiB"), |b| {
+            b.iter(|| backend.payload_mul_into(black_box(&mut dst), black_box(&src), coeff))
+        });
+        g.bench_function(format!("{name}_payload_scale_1MiB"), |b| {
+            b.iter(|| backend.payload_scale(black_box(&mut dst), coeff))
+        });
+    }
+    // Dispatched entry points (what the wide codecs call).
     g.bench_function("payload_mul_acc_1MiB", |b| {
         b.iter(|| payload_mul_acc(black_box(&mut dst), black_box(&src), coeff))
+    });
+    g.finish();
+
+    // The fused wide row: a wide LRC heavy step or RS(200, 60) encode
+    // column batches 8 general coefficients per fused call.
+    let srcs: Vec<Vec<u8>> = (0..8)
+        .map(|i| {
+            (0..BLOCK)
+                .map(|j| ((i * 37 + j * 11 + 5) % 256) as u8)
+                .collect()
+        })
+        .collect();
+    let pairs: Vec<(Gf65536, &[u8])> = srcs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (Gf65536::from_index(i as u32 * 8191 + 3), s.as_slice()))
+        .collect();
+    let mut g = c.benchmark_group("gf_kernels_gf65536_fused");
+    g.throughput(Throughput::Bytes((8 * BLOCK) as u64));
+    for backend in KernelBackend::supported() {
+        g.bench_function(
+            format!("{}_payload_mul_acc_multi_8x1MiB", backend.name()),
+            |b| b.iter(|| backend.payload_mul_acc_multi(black_box(&mut dst), black_box(&pairs))),
+        );
+    }
+    g.bench_function("payload_mul_acc_multi_8x1MiB", |b| {
+        b.iter(|| payload_mul_acc_multi(black_box(&mut dst), black_box(&pairs)))
     });
     g.finish();
 }

@@ -23,17 +23,25 @@ struct StormResult {
     events: u64,
 }
 
-/// Loads `files` 100-block files on a `nodes`-node cluster, then kills
-/// `kills` nodes one at a time (quiescing between events) and measures
-/// the wall-clock cost of the repair storms.
-fn repair_storm(label: &str, nodes: usize, files: usize, kills: usize) -> StormResult {
-    let mut cfg = SimConfig::ec2(CodeSpec::LRC_10_6_5);
+/// Loads `files` files of `blocks_per_file` data blocks on a
+/// `nodes`-node cluster under `code`, then kills `kills` nodes one at a
+/// time (quiescing between events) and measures the wall-clock cost of
+/// the repair storms.
+fn repair_storm_with(
+    label: &str,
+    code: CodeSpec,
+    nodes: usize,
+    files: usize,
+    blocks_per_file: usize,
+    kills: usize,
+) -> StormResult {
+    let mut cfg = SimConfig::ec2(code);
     cfg.cluster.nodes = nodes;
     cfg.cluster.racks = (nodes / 30).max(1);
     cfg.seed = 0x5CA1E + nodes as u64;
     let mut sim = Simulation::new(cfg);
     for i in 0..files {
-        sim.load_raided_file(&format!("f{i}"), 100);
+        sim.load_raided_file(&format!("f{i}"), blocks_per_file);
     }
     let blocks = sim.hdfs.block_count();
     let start = Instant::now();
@@ -52,6 +60,11 @@ fn repair_storm(label: &str, nodes: usize, files: usize, kills: usize) -> StormR
         wall_secs,
         events: events_processed(&sim),
     }
+}
+
+/// The original fixed-shape storm: (10,6,5) LRC, 100-block files.
+fn repair_storm(label: &str, nodes: usize, files: usize, kills: usize) -> StormResult {
+    repair_storm_with(label, CodeSpec::LRC_10_6_5, nodes, files, 100, kills)
 }
 
 /// Events processed by the engine (control events plus flow
@@ -79,6 +92,12 @@ fn main() {
     let storms = [
         repair_storm("storm_300", 300, 1000, 8),
         repair_storm("storm_1000", 1000, 3000, 8),
+        // Wide stripes (260 lanes over GF(2^16)) on the 300-node
+        // testbed: the wide LRC keeps repair group-local, the equal-
+        // overhead RS(200, 60) streams 200 lanes per lost block (its
+        // heavy plans are memoized by the engine's pattern cache).
+        repair_storm_with("storm_wide_lrc", CodeSpec::LRC_WIDE, 300, 30, 400, 4),
+        repair_storm_with("storm_wide_rs", CodeSpec::RS_200_60, 300, 30, 400, 4),
     ];
     for r in &storms {
         let eps = r.events as f64 / r.wall_secs;

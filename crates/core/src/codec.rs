@@ -167,6 +167,20 @@ pub(crate) fn check_parity_lanes(parity: &[&mut [u8]], m: usize, len: usize) -> 
     Ok(())
 }
 
+/// Rejects payload lengths that are not a whole number of field symbols.
+///
+/// Multi-byte-symbol codecs (GF(2^16): 2-byte symbols) cannot interpret
+/// a trailing partial symbol; rather than silently truncating or
+/// panicking deep in a kernel, every encode and session replay checks
+/// the boundary up front and returns
+/// [`CodeError::PayloadNotSymbolAligned`].
+pub(crate) fn check_symbol_alignment(len: usize, symbol_bytes: usize) -> Result<()> {
+    if symbol_bytes > 1 && !len.is_multiple_of(symbol_bytes) {
+        return Err(CodeError::PayloadNotSymbolAligned { symbol_bytes, len });
+    }
+    Ok(())
+}
+
 /// How many sources an encode row hands to one fused kernel call; wider
 /// rows are folded in stack-buffered batches.
 pub(crate) const ENC_FUSE: usize = 16;

@@ -18,6 +18,15 @@ pub enum CodeError {
     },
     /// Shards have inconsistent byte lengths.
     ShardSizeMismatch,
+    /// A payload length is not a whole number of field symbols, so the
+    /// codec cannot interpret it (GF(2^16) codecs require even byte
+    /// lengths; callers must pad or split on symbol boundaries).
+    PayloadNotSymbolAligned {
+        /// Bytes per field symbol (2 for GF(2^16)).
+        symbol_bytes: usize,
+        /// The offending payload length in bytes.
+        len: usize,
+    },
     /// The erasure pattern exceeds what the code can recover:
     /// the surviving blocks do not span the file.
     Unrecoverable {
@@ -40,6 +49,13 @@ impl fmt::Display for CodeError {
             }
             CodeError::ShardSizeMismatch => {
                 write!(f, "shards have inconsistent sizes")
+            }
+            CodeError::PayloadNotSymbolAligned { symbol_bytes, len } => {
+                write!(
+                    f,
+                    "payload length {len} is not a multiple of the \
+                     {symbol_bytes}-byte field symbol"
+                )
             }
             CodeError::Unrecoverable { erased } => {
                 write!(f, "erasure pattern {erased:?} is unrecoverable")

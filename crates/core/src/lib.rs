@@ -70,5 +70,13 @@ pub use linear::decode_solve_count;
 pub use lrc::Lrc;
 pub use parallel::encode_into_parallel;
 pub use reed_solomon::ReedSolomon;
+
+/// A Reed-Solomon codec over GF(2^16) — for wide stripes past GF(2^8)'s
+/// 255-lane ceiling (e.g. [`CodeSpec::RS_200_60`]).
+pub type WideReedSolomon = ReedSolomon<xorbas_gf::Gf65536>;
+
+/// An LRC over GF(2^16) — for wide stripes past GF(2^8)'s 255-lane
+/// ceiling (e.g. [`LrcSpec::WIDE`]).
+pub type WideLrc = Lrc<xorbas_gf::Gf65536>;
 pub use session::RepairSession;
 pub use spec::{CodeSpec, LrcSpec};

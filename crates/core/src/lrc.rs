@@ -18,12 +18,12 @@
 //! Every block has locality 5 and the code has optimal distance 5 for
 //! that locality (Theorem 5); tests verify both by brute force.
 
-use xorbas_gf::{Field, Gf256};
+use xorbas_gf::{Field, Gf256, Gf65536};
 use xorbas_linalg::Matrix;
 
 use crate::codec::{
-    check_data_lanes, check_parity_lanes, encode_row, encode_row_iter, normalize_indices,
-    ErasureCodec, RepairPlan, RepairTask,
+    check_data_lanes, check_parity_lanes, check_symbol_alignment, encode_row, encode_row_iter,
+    normalize_indices, ErasureCodec, RepairPlan, RepairTask,
 };
 use crate::error::{CodeError, Result};
 use crate::linear;
@@ -54,6 +54,16 @@ impl Lrc<Gf256> {
     /// The explicit (10,6,5) LRC of HDFS-Xorbas over GF(2^8).
     pub fn xorbas_10_6_5() -> Result<Self> {
         Self::new(LrcSpec::XORBAS)
+    }
+}
+
+impl Lrc<Gf65536> {
+    /// The wide-stripe (200, 60, 10)-class LRC over GF(2^16)
+    /// ([`LrcSpec::WIDE`]): 260 stored lanes — past GF(2^8)'s 255-lane
+    /// ceiling — at the same 1.3x storage as RS(200, 60), repairing any
+    /// single data-block failure from 10 lanes instead of 200.
+    pub fn wide_200_60_10() -> Result<Self> {
+        Self::new(LrcSpec::WIDE)
     }
 }
 
@@ -316,6 +326,7 @@ impl<F: Field> ErasureCodec for Lrc<F> {
         let g = self.spec.global_parities;
         let len = check_data_lanes(data, k)?;
         check_parity_lanes(parity, self.total_blocks() - k, len)?;
+        check_symbol_alignment(len, F::SYMBOL_BYTES)?;
         let (globals, locals) = parity.split_at_mut(g);
         // Every parity lane is one fused row — a single pass over the
         // output lane however many sources combine into it (the local
@@ -382,6 +393,7 @@ impl<F: Field> ErasureCodec for Lrc<F> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::StripeViewMut;
     use xorbas_gf::slice_ops::xor_into;
 
     fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
@@ -694,6 +706,85 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn wide_lrc_encodes_and_repairs_past_255_lanes() {
+        // The (200, 60, 10)-class layout over GF(2^16): 260 stored
+        // lanes. One construction is shared across every check below —
+        // wide generators are the expensive part of this test.
+        let lrc = Lrc::wide_200_60_10().unwrap();
+        assert_eq!(lrc.total_blocks(), 260);
+        assert_eq!(lrc.symbol_bytes(), 2);
+        let data = sample_data(200, 8);
+        let stripe = lrc.encode_stripe(&data).unwrap();
+        assert_eq!(&stripe[..200], &data[..]);
+
+        // Single data failure: light, reads its 10-lane group.
+        let plan = lrc.repair_plan(&[7]).unwrap();
+        assert!(plan.is_light());
+        assert_eq!(plan.blocks_read(), 10);
+        // Global parity failure: light via the alignment equation,
+        // reading the other 39 globals plus the 20 data-group locals.
+        let plan = lrc.repair_plan(&[205]).unwrap();
+        assert!(plan.is_light());
+        assert_eq!(plan.blocks_read(), 59);
+
+        // Session replay round-trips a light and a heavy pattern.
+        for pattern in [vec![7usize], vec![3, 4]] {
+            let session = lrc.repair_session(&pattern).unwrap();
+            let mut lanes = stripe.clone();
+            for &i in &pattern {
+                lanes[i].fill(0xEE);
+            }
+            let mut refs: Vec<&mut [u8]> = lanes.iter_mut().map(Vec::as_mut_slice).collect();
+            let mut view = StripeViewMut::new(&mut refs, &pattern).unwrap();
+            session.repair(&mut view).unwrap();
+            drop(refs);
+            for &i in &pattern {
+                assert_eq!(lanes[i], stripe[i], "lane {i} of {pattern:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_payload_lengths_are_rejected_for_two_byte_symbols() {
+        // GF(2^16) symbols span two bytes: a 7-byte lane has no valid
+        // interpretation, so encode and session replay both return the
+        // typed boundary error instead of truncating or panicking.
+        // A small wide-field geometry keeps this test cheap.
+        let spec = LrcSpec {
+            k: 4,
+            global_parities: 2,
+            group_size: 2,
+            implied_parity: true,
+        };
+        let lrc: Lrc<Gf65536> = Lrc::new(spec).unwrap();
+        let data = sample_data(4, 7);
+        assert!(matches!(
+            lrc.encode_stripe(&data),
+            Err(CodeError::PayloadNotSymbolAligned {
+                symbol_bytes: 2,
+                len: 7
+            })
+        ));
+        // Even lengths encode; replaying a session against odd lanes is
+        // rejected by the same check.
+        let stripe = lrc.encode_stripe(&sample_data(4, 8)).unwrap();
+        let session = lrc.repair_session(&[1]).unwrap();
+        let mut odd_lanes = vec![vec![0u8; 7]; stripe.len()];
+        let mut refs: Vec<&mut [u8]> = odd_lanes.iter_mut().map(Vec::as_mut_slice).collect();
+        let mut view = StripeViewMut::new(&mut refs, &[1]).unwrap();
+        assert!(matches!(
+            session.repair(&mut view),
+            Err(CodeError::PayloadNotSymbolAligned {
+                symbol_bytes: 2,
+                len: 7
+            })
+        ));
+        // Byte-symbol codecs are unaffected: odd lengths stay valid.
+        let narrow = xorbas();
+        assert!(narrow.encode_stripe(&sample_data(10, 7)).is_ok());
     }
 
     #[test]

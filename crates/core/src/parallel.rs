@@ -17,15 +17,17 @@ use crate::error::Result;
 ///
 /// Bit-identical to [`ErasureCodec::encode_into`] (property-tested), and
 /// falls back to it when a single shard would be fastest: one thread
-/// requested, a payload too small to split, or a payload that is not a
-/// whole number of field symbols. Accepts unsized codecs, so
-/// `&dyn ErasureCodec + Sync` works.
+/// requested or a payload too small to split. Accepts unsized codecs,
+/// so `&dyn ErasureCodec + Sync` works.
 ///
 /// # Errors
 ///
 /// Shape errors ([`crate::CodeError::ShardCountMismatch`],
 /// [`crate::CodeError::ShardSizeMismatch`]) are detected up front,
-/// before any thread spawns.
+/// before any thread spawns. A payload that is not a whole number of
+/// field symbols takes the serial path, which rejects it with
+/// [`crate::CodeError::PayloadNotSymbolAligned`] for multi-byte-symbol
+/// codecs.
 pub fn encode_into_parallel<C>(
     codec: &C,
     data: &[&[u8]],

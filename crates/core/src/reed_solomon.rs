@@ -20,8 +20,8 @@ use xorbas_gf::{Field, Gf256};
 use xorbas_linalg::{special, Matrix};
 
 use crate::codec::{
-    check_data_lanes, check_parity_lanes, encode_row, normalize_indices, ErasureCodec, RepairPlan,
-    RepairTask,
+    check_data_lanes, check_parity_lanes, check_symbol_alignment, encode_row, normalize_indices,
+    ErasureCodec, RepairPlan, RepairTask,
 };
 use crate::error::{CodeError, Result};
 use crate::session::RepairSession;
@@ -174,6 +174,7 @@ impl<F: Field> ErasureCodec for ReedSolomon<F> {
     fn encode_into(&self, data: &[&[u8]], parity: &mut [&mut [u8]]) -> Result<()> {
         let len = check_data_lanes(data, self.k)?;
         check_parity_lanes(parity, self.m, len)?;
+        check_symbol_alignment(len, F::SYMBOL_BYTES)?;
         // One fused-row pass per parity lane: the whole generator column
         // is gathered (on the stack, in ENC_FUSE batches) and handed to
         // the multi-source kernels, so each output lane is streamed

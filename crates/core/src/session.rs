@@ -57,6 +57,8 @@ pub struct RepairSession {
     steps: Vec<CompiledStep>,
     apply_row: ApplyRowFn,
     solves: usize,
+    /// Bytes per field symbol; replayed stripes must be whole symbols.
+    symbol_bytes: usize,
 }
 
 fn apply_row_in<F: Field>(dst: &mut [u8], srcs: &[(u32, &[u8])], accumulate: bool) {
@@ -94,6 +96,7 @@ impl RepairSession {
             steps,
             apply_row: apply_row_in::<F>,
             solves,
+            symbol_bytes: F::SYMBOL_BYTES,
         }
     }
 
@@ -133,7 +136,10 @@ impl RepairSession {
     /// simply rewritten with identical bytes). Runs no planning, no
     /// elimination, and allocates nothing; each step's row is issued as
     /// fused multi-source kernel calls gathered over an on-stack batch,
-    /// and repaired lanes are marked present.
+    /// and repaired lanes are marked present. For multi-byte-symbol
+    /// codecs (GF(2^16)), lane lengths must be a whole number of symbols
+    /// or the replay fails with
+    /// [`CodeError::PayloadNotSymbolAligned`](crate::CodeError).
     pub fn repair(&self, stripe: &mut StripeViewMut<'_, '_>) -> Result<()> {
         if stripe.lane_count() != self.lanes {
             return Err(CodeError::ShardCountMismatch {
@@ -141,6 +147,7 @@ impl RepairSession {
                 got: stripe.lane_count(),
             });
         }
+        crate::codec::check_symbol_alignment(stripe.lane_len(), self.symbol_bytes)?;
         // view-missing ⊆ session-missing: every lane the view lacks must
         // be one this session knows how to rebuild.
         for i in 0..self.lanes {

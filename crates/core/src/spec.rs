@@ -37,6 +37,30 @@ impl LrcSpec {
         implied_parity: true,
     };
 
+    /// A mid-width (50, 20, 10)-class LRC: 5 data groups of 10, 15
+    /// global parities, implied parity — n = 70 at 1.4x storage. Still
+    /// fits GF(2^8); the step between the paper's 16-lane stripe and the
+    /// truly wide [`LrcSpec::WIDE`] layout.
+    pub const WIDE_50_20_10: LrcSpec = LrcSpec {
+        k: 50,
+        global_parities: 15,
+        group_size: 10,
+        implied_parity: true,
+    };
+
+    /// A wide-stripe (200, 60, 10)-class LRC beyond GF(2^8)'s 255-lane
+    /// ceiling: 20 data groups of 10, 40 global parities, implied
+    /// parity — n = 260 stored lanes at 1.3x storage (the same overhead
+    /// as its RS(200, 60) MDS contrast, but any single data-block
+    /// failure repairs from 10 lanes instead of 200). Requires a field
+    /// with at least 240 nonzero points for the base code — GF(2^16).
+    pub const WIDE: LrcSpec = LrcSpec {
+        k: 200,
+        global_parities: 40,
+        group_size: 10,
+        implied_parity: true,
+    };
+
     /// Validates the structural constraints.
     pub fn validate(&self) -> Result<()> {
         if self.k == 0 || self.global_parities == 0 || self.group_size == 0 {
@@ -120,6 +144,12 @@ impl CodeSpec {
     pub const RS_10_4: CodeSpec = CodeSpec::ReedSolomon { k: 10, m: 4 };
     /// The (10,6,5) LRC used in HDFS-Xorbas.
     pub const LRC_10_6_5: CodeSpec = CodeSpec::Lrc(LrcSpec::XORBAS);
+    /// The wide-stripe (200, 60, 10)-class LRC (260 lanes, GF(2^16)).
+    pub const LRC_WIDE: CodeSpec = CodeSpec::Lrc(LrcSpec::WIDE);
+    /// The RS(200, 60) wide-stripe MDS contrast (260 lanes, GF(2^16)):
+    /// the same 1.3x storage as [`CodeSpec::LRC_WIDE`], but every repair
+    /// reads `k = 200` blocks.
+    pub const RS_200_60: CodeSpec = CodeSpec::ReedSolomon { k: 200, m: 60 };
 
     /// Data blocks per stripe (`k`).
     pub fn data_blocks(&self) -> usize {
@@ -217,6 +247,28 @@ mod tests {
         };
         assert_eq!(stored.total_blocks(), 17);
         assert_eq!(stored.locality(), 5);
+    }
+
+    #[test]
+    fn wide_specs_cross_the_255_lane_ceiling_at_rs_storage() {
+        let w = LrcSpec::WIDE;
+        w.validate().unwrap();
+        assert_eq!(w.total_blocks(), 260);
+        assert_eq!(w.parity_blocks(), 60);
+        assert_eq!(w.data_groups(), 20);
+        // Equal storage overhead with the MDS contrast; ~4.6x less than
+        // the paper's (10,6,5) per-byte overhead gap vs RS(10,4).
+        assert!((CodeSpec::LRC_WIDE.storage_overhead() - 0.3).abs() < 1e-12);
+        assert!((CodeSpec::RS_200_60.storage_overhead() - 0.3).abs() < 1e-12);
+        assert_eq!(CodeSpec::RS_200_60.total_blocks(), 260);
+        // Repair asymmetry: the whole point of the wide LRC.
+        assert_eq!(CodeSpec::RS_200_60.single_repair_reads(), 200);
+        assert!(CodeSpec::LRC_WIDE.single_repair_reads() < 60);
+        // The mid-width layout still fits GF(2^8).
+        let m = LrcSpec::WIDE_50_20_10;
+        m.validate().unwrap();
+        assert_eq!(m.total_blocks(), 70);
+        assert_eq!(m.parity_blocks(), 20);
     }
 
     #[test]

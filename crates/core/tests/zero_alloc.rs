@@ -10,8 +10,8 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
-use xorbas_core::{decode_solve_count, ErasureCodec, Lrc, ReedSolomon, StripeViewMut};
-use xorbas_gf::Gf256;
+use xorbas_core::{decode_solve_count, ErasureCodec, Lrc, LrcSpec, ReedSolomon, StripeViewMut};
+use xorbas_gf::{Gf256, Gf65536};
 
 thread_local! {
     static ALLOCS: Cell<u64> = const { Cell::new(0) };
@@ -139,6 +139,79 @@ fn session_repair_is_allocation_free_and_solve_free() {
         rs.reconstruct(&mut shards).unwrap();
     }
     assert_eq!(decode_solve_count() - solves_before_legacy, 5);
+}
+
+#[test]
+fn gf65536_session_repair_is_allocation_free_and_solve_free() {
+    // The GF(2^16) replay path builds its nibble tables per fused call;
+    // they must live on the stack, and the compiled heavy solve must be
+    // reused exactly like the GF(2^8) path. A wide-field (not wide-lane)
+    // geometry keeps the test quick while exercising the same kernels a
+    // 260-lane stripe runs.
+    let rs: ReedSolomon<Gf65536> = ReedSolomon::new(12, 4).unwrap();
+    assert_encode_into_allocates_nothing(&rs, "rs(12,4)/gf65536");
+    const LEN: usize = 2048;
+    let stripe = rs.encode_stripe(&sample_data(12, LEN)).unwrap();
+    let solves_before_compile = decode_solve_count();
+    let session = rs.repair_session(&[1, 9]).unwrap();
+    assert_eq!(decode_solve_count(), solves_before_compile + 1);
+    assert_eq!(session.solve_count(), 1);
+
+    let mut lanes = stripe.clone();
+    lanes[1].fill(0);
+    lanes[9].fill(0);
+    let mut lane_refs: Vec<&mut [u8]> = lanes.iter_mut().map(Vec::as_mut_slice).collect();
+    {
+        let mut view = StripeViewMut::new(&mut lane_refs, &[1, 9]).unwrap();
+        session.repair(&mut view).unwrap();
+    }
+    let solves_before = decode_solve_count();
+    let allocs_before = allocs_now();
+    for _ in 0..25 {
+        let mut view = StripeViewMut::new(&mut lane_refs, &[1, 9]).unwrap();
+        session.repair(&mut view).unwrap();
+    }
+    assert_eq!(
+        allocs_now() - allocs_before,
+        0,
+        "gf65536 session repair allocated on the steady state"
+    );
+    assert_eq!(
+        decode_solve_count() - solves_before,
+        0,
+        "gf65536 session repair re-ran the linear solve"
+    );
+    drop(lane_refs);
+    assert_eq!(lanes[1], stripe[1]);
+    assert_eq!(lanes[9], stripe[9]);
+
+    // The light (XOR-partition) GF(2^16) replay is equally pinned.
+    let spec = LrcSpec {
+        k: 8,
+        global_parities: 3,
+        group_size: 4,
+        implied_parity: true,
+    };
+    let lrc: Lrc<Gf65536> = Lrc::new(spec).unwrap();
+    assert_encode_into_allocates_nothing(&lrc, "lrc(8,5,4)/gf65536");
+    let stripe = lrc.encode_stripe(&sample_data(8, LEN)).unwrap();
+    let session = lrc.repair_session(&[2]).unwrap();
+    assert_eq!(session.solve_count(), 0);
+    let mut lanes = stripe.clone();
+    lanes[2].fill(0xEE);
+    let mut lane_refs: Vec<&mut [u8]> = lanes.iter_mut().map(Vec::as_mut_slice).collect();
+    {
+        let mut view = StripeViewMut::new(&mut lane_refs, &[2]).unwrap();
+        session.repair(&mut view).unwrap();
+    }
+    let allocs_before = allocs_now();
+    for _ in 0..25 {
+        let mut view = StripeViewMut::new(&mut lane_refs, &[2]).unwrap();
+        session.repair(&mut view).unwrap();
+    }
+    assert_eq!(allocs_now() - allocs_before, 0);
+    drop(lane_refs);
+    assert_eq!(lanes[2], stripe[2]);
 }
 
 #[test]

@@ -83,10 +83,106 @@ impl MulTables {
     }
 }
 
+/// Split-nibble multiplication tables for one GF(2^16) coefficient.
+///
+/// A two-byte little-endian symbol `s` decomposes into four nibbles
+/// `s = n₀ | n₁·16 | n₂·256 | n₃·4096`, so
+/// `c·s = c·n₀ + c·(n₁·16) + c·(n₂·256) + c·(n₃·4096)` — four 16-entry
+/// lookups of 16-bit products. Storing each product table as separate
+/// low/high output-byte halves (`lo[j]` / `hi[j]`) makes every lookup a
+/// `PSHUFB`: eight tables, eight shuffles per vector of symbols (the
+/// natural extension of the byte-wide split-nibble scheme; cf. Uezato,
+/// SC 2021, and gf-complete's SPLIT w=16).
+///
+/// 128 bytes — cheap to build per kernel call (64 field multiplications)
+/// and small enough for all eight tables to live in vector registers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Nibble16Tables {
+    /// `lo[j][x]` = low byte of `c · (x << 4j)`.
+    pub(crate) lo: [[u8; 16]; 4],
+    /// `hi[j][x]` = high byte of `c · (x << 4j)`.
+    pub(crate) hi: [[u8; 16]; 4],
+}
+
+impl Nibble16Tables {
+    /// Builds the four split product tables for `c` in any field whose
+    /// symbols are two little-endian bytes (`SYMBOL_BYTES == 2`).
+    pub(crate) fn build<F: crate::Field>(c: F) -> Self {
+        debug_assert_eq!(F::SYMBOL_BYTES, 2, "nibble16 tables are two-byte-wide");
+        let mut t = Self {
+            lo: [[0; 16]; 4],
+            hi: [[0; 16]; 4],
+        };
+        for j in 0..4 {
+            for x in 0..16u32 {
+                let p = (c * F::from_index(x << (4 * j))).index() as u16;
+                t.lo[j][x as usize] = p as u8;
+                t.hi[j][x as usize] = (p >> 8) as u8;
+            }
+        }
+        t
+    }
+
+    /// Expands to the split low/high *input-byte* `u16` tables the scalar
+    /// kernels stream through: `lo_row[b] = c·b`, `hi_row[b] = c·(b·256)`
+    /// for every input byte `b`, so a symbol multiplies in two reads.
+    pub(crate) fn expand_rows(&self) -> Wide16Rows {
+        let mut rows = Wide16Rows {
+            lo: [0; 256],
+            hi: [0; 256],
+        };
+        for b in 0..256usize {
+            let (n0, n1) = (b & 0xF, b >> 4);
+            rows.lo[b] = u16::from_le_bytes([
+                self.lo[0][n0] ^ self.lo[1][n1],
+                self.hi[0][n0] ^ self.hi[1][n1],
+            ]);
+            rows.hi[b] = u16::from_le_bytes([
+                self.lo[2][n0] ^ self.lo[3][n1],
+                self.hi[2][n0] ^ self.hi[3][n1],
+            ]);
+        }
+        rows
+    }
+
+    /// Single-symbol product via the nibble tables (vector-kernel tails).
+    #[inline(always)]
+    fn mul_symbol(&self, s: u16) -> u16 {
+        let n = [
+            (s & 0xF) as usize,
+            ((s >> 4) & 0xF) as usize,
+            ((s >> 8) & 0xF) as usize,
+            ((s >> 12) & 0xF) as usize,
+        ];
+        let mut lo = 0u8;
+        let mut hi = 0u8;
+        for ((lo_t, hi_t), &nj) in self.lo.iter().zip(&self.hi).zip(&n) {
+            lo ^= lo_t[nj];
+            hi ^= hi_t[nj];
+        }
+        u16::from_le_bytes([lo, hi])
+    }
+}
+
+/// Split low/high input-byte product tables for one GF(2^16)
+/// coefficient — the scalar representation (`lo[b] = c·b`,
+/// `hi[b] = c·(b·256)`; a little-endian symbol `b₀ | b₁·256` multiplies
+/// as `lo[b₀] ^ hi[b₁]`). Expanded from [`Nibble16Tables`] per call.
+#[derive(Clone, Copy)]
+pub(crate) struct Wide16Rows {
+    pub(crate) lo: [u16; 256],
+    pub(crate) hi: [u16; 256],
+}
+
 /// Most sources a fused multi-source kernel call accepts; callers batch
 /// longer rows. Bounds the scalar backend's on-stack expanded rows
 /// (16 × 256 B = 4 KiB) and keeps SIMD table state within L1.
 pub(crate) const MAX_FUSE: usize = 16;
+
+/// How many general (non-unit) sources a GF(2^16) fused batch carries:
+/// bounds the scalar backend's expanded split rows (8 × 1 KiB on the
+/// stack) and the SIMD backends' live table state (8 × 128 B).
+pub(crate) const WIDE16_FUSE: usize = 8;
 
 /// Fused multi-source multiply kernel: `dst = [dst ^] Σ cᵢ·srcᵢ` with
 /// prebuilt per-source tables; the `bool` is `accumulate`.
@@ -94,6 +190,10 @@ pub(crate) type MulMultiFn = for<'a> fn(&mut [u8], &[(MulTables, &'a [u8])], boo
 
 /// Fused multi-source XOR kernel: `dst = [dst ^] Σ srcᵢ`.
 pub(crate) type XorMultiFn = for<'a> fn(&mut [u8], &[&'a [u8]], bool);
+
+/// Fused multi-source GF(2^16) multiply kernel over two-byte symbols;
+/// the `bool` is `accumulate`. At most [`WIDE16_FUSE`] sources.
+pub(crate) type Mul16MultiFn = for<'a> fn(&mut [u8], &[(Nibble16Tables, &'a [u8])], bool);
 
 /// One implementation of the byte-payload kernel set. All function
 /// pointers are safe to call with any slice arguments (equal lengths are
@@ -115,6 +215,17 @@ pub(crate) struct KernelSuite {
     pub(crate) mul_multi: MulMultiFn,
     /// Fused `dst = [dst ^] Σ srcᵢ` over at most [`MAX_FUSE`] sources.
     pub(crate) xor_multi: XorMultiFn,
+    /// GF(2^16) `dst = c·src` over two-byte little-endian symbols
+    /// (`dst.len()` must be even, shared with `src`).
+    pub(crate) mul16_into: fn(&mut [u8], &[u8], &Nibble16Tables),
+    /// GF(2^16) `dst ^= c·src`.
+    pub(crate) mul16_acc: fn(&mut [u8], &[u8], &Nibble16Tables),
+    /// GF(2^16) in-place `data = c·data`.
+    pub(crate) scale16: fn(&mut [u8], &Nibble16Tables),
+    /// GF(2^16) fused `dst = [dst ^] Σ cᵢ·srcᵢ` over at most
+    /// [`WIDE16_FUSE`] sources: one pass over `dst`. With no sources and
+    /// `accumulate == false` the destination is zero-filled.
+    pub(crate) mul16_multi: Mul16MultiFn,
 }
 
 /// A byte-kernel implementation selectable at runtime.
@@ -240,7 +351,8 @@ fn select_suite() -> &'static KernelSuite {
 /// Portable fallback kernels: safe Rust throughout, auto-vectorizable
 /// product-row streams, `u64`-wide XOR.
 pub(crate) mod scalar {
-    use super::{KernelBackend, KernelSuite, MulTables, MAX_FUSE};
+    use super::WIDE16_FUSE;
+    use super::{KernelBackend, KernelSuite, MulTables, Nibble16Tables, Wide16Rows, MAX_FUSE};
 
     pub(crate) static SUITE: KernelSuite = KernelSuite {
         backend: KernelBackend::Scalar,
@@ -250,6 +362,10 @@ pub(crate) mod scalar {
         xor_into,
         mul_multi,
         xor_multi,
+        mul16_into,
+        mul16_acc,
+        scale16,
+        mul16_multi,
     };
 
     fn mul_into(dst: &mut [u8], src: &[u8], t: &MulTables) {
@@ -347,13 +463,82 @@ pub(crate) mod scalar {
             pos = end;
         }
     }
+
+    /// `dst = [dst ^] c·src` over little-endian 16-bit symbols via the
+    /// expanded split input-byte rows — two table reads per symbol.
+    pub(super) fn wide16_mul_rows(dst: &mut [u8], src: &[u8], r: &Wide16Rows, accumulate: bool) {
+        debug_assert_eq!(dst.len() % 2, 0);
+        for (dc, sc) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+            let mut p = r.lo[sc[0] as usize] ^ r.hi[sc[1] as usize];
+            if accumulate {
+                p ^= u16::from_le_bytes([dc[0], dc[1]]);
+            }
+            dc.copy_from_slice(&p.to_le_bytes());
+        }
+    }
+
+    fn mul16_into(dst: &mut [u8], src: &[u8], t: &Nibble16Tables) {
+        wide16_mul_rows(dst, src, &t.expand_rows(), false);
+    }
+
+    fn mul16_acc(dst: &mut [u8], src: &[u8], t: &Nibble16Tables) {
+        wide16_mul_rows(dst, src, &t.expand_rows(), true);
+    }
+
+    fn scale16(data: &mut [u8], t: &Nibble16Tables) {
+        let r = t.expand_rows();
+        debug_assert_eq!(data.len() % 2, 0);
+        for dc in data.chunks_exact_mut(2) {
+            let p = r.lo[dc[0] as usize] ^ r.hi[dc[1] as usize];
+            dc.copy_from_slice(&p.to_le_bytes());
+        }
+    }
+
+    /// GF(2^16) fused row: the expanded split rows live on the stack
+    /// (hence [`WIDE16_FUSE`]) and `dst` is walked in L1-sized chunks,
+    /// each chunk visited by every source before the walk moves on.
+    fn mul16_multi(dst: &mut [u8], srcs: &[(Nibble16Tables, &[u8])], accumulate: bool) {
+        assert!(
+            srcs.len() <= WIDE16_FUSE,
+            "fused row wider than WIDE16_FUSE"
+        );
+        if srcs.is_empty() {
+            if !accumulate {
+                dst.fill(0);
+            }
+            return;
+        }
+        const EMPTY: Wide16Rows = Wide16Rows {
+            lo: [0; 256],
+            hi: [0; 256],
+        };
+        let mut rows = [EMPTY; WIDE16_FUSE];
+        for (row, (t, _)) in rows.iter_mut().zip(srcs) {
+            *row = t.expand_rows();
+        }
+        const CHUNK: usize = 4096; // multiple of the 2-byte symbol width
+        let n = dst.len();
+        let mut pos = 0;
+        while pos < n {
+            let end = (pos + CHUNK).min(n);
+            for (j, (_, s)) in srcs.iter().enumerate() {
+                wide16_mul_rows(
+                    &mut dst[pos..end],
+                    &s[pos..end],
+                    &rows[j],
+                    accumulate || j > 0,
+                );
+            }
+            pos = end;
+        }
+    }
 }
 
 /// x86/x86_64 vector kernels: SSSE3 (`PSHUFB`, 128-bit) and AVX2
 /// (`VPSHUFB`, 256-bit).
 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
 mod x86 {
-    use super::{KernelBackend, KernelSuite, MulTables, MAX_FUSE};
+    use super::{KernelBackend, KernelSuite, MulTables, Nibble16Tables, MAX_FUSE, WIDE16_FUSE};
     #[cfg(target_arch = "x86")]
     use std::arch::x86::*;
     #[cfg(target_arch = "x86_64")]
@@ -386,6 +571,22 @@ mod x86 {
             // SAFETY: as above — SSSE3 presence verified by `suite_for`.
             unsafe { ssse3_xor_multi(d, s, acc) }
         },
+        mul16_into: |d, s, t| {
+            // SAFETY: as above — SSSE3 presence verified by `suite_for`.
+            unsafe { ssse3_mul16(d, s, t, false) }
+        },
+        mul16_acc: |d, s, t| {
+            // SAFETY: as above — SSSE3 presence verified by `suite_for`.
+            unsafe { ssse3_mul16(d, s, t, true) }
+        },
+        scale16: |d, t| {
+            // SAFETY: as above — SSSE3 presence verified by `suite_for`.
+            unsafe { ssse3_scale16(d, t) }
+        },
+        mul16_multi: |d, s, acc| {
+            // SAFETY: as above — SSSE3 presence verified by `suite_for`.
+            unsafe { ssse3_mul16_multi(d, s, acc) }
+        },
     };
 
     pub(super) static AVX2_SUITE: KernelSuite = KernelSuite {
@@ -414,6 +615,22 @@ mod x86 {
         xor_multi: |d, s, acc| {
             // SAFETY: as above — AVX2 presence verified by `suite_for`.
             unsafe { avx2_xor_multi(d, s, acc) }
+        },
+        mul16_into: |d, s, t| {
+            // SAFETY: as above — AVX2 presence verified by `suite_for`.
+            unsafe { avx2_mul16(d, s, t, false) }
+        },
+        mul16_acc: |d, s, t| {
+            // SAFETY: as above — AVX2 presence verified by `suite_for`.
+            unsafe { avx2_mul16(d, s, t, true) }
+        },
+        scale16: |d, t| {
+            // SAFETY: as above — AVX2 presence verified by `suite_for`.
+            unsafe { avx2_scale16(d, t) }
+        },
+        mul16_multi: |d, s, acc| {
+            // SAFETY: as above — AVX2 presence verified by `suite_for`.
+            unsafe { avx2_mul16_multi(d, s, acc) }
         },
     };
 
@@ -596,6 +813,228 @@ mod x86 {
         }
     }
 
+    /// Byte-gather masks deinterleaving 16-bit little-endian symbols:
+    /// the even (low) or odd (high) source bytes land in the lower 8
+    /// bytes of the shuffled vector, the rest zero (`-1` lanes).
+    const GATHER_EVEN: [i8; 16] = [0, 2, 4, 6, 8, 10, 12, 14, -1, -1, -1, -1, -1, -1, -1, -1];
+    const GATHER_ODD: [i8; 16] = [1, 3, 5, 7, 9, 11, 13, 15, -1, -1, -1, -1, -1, -1, -1, -1];
+
+    /// The eight nibble tables of one GF(2^16) coefficient in registers:
+    /// `[lo₀..lo₃, hi₀..hi₃]` (see [`Nibble16Tables`]).
+    ///
+    /// # Safety
+    /// Requires SSSE3. Each load reads one 16-byte table of `t`.
+    #[inline]
+    #[target_feature(enable = "ssse3")]
+    unsafe fn load_tables16(t: &Nibble16Tables) -> [__m128i; 8] {
+        // SAFETY: caller guarantees SSSE3; every pointer covers exactly
+        // one 16-byte table array.
+        unsafe {
+            [
+                _mm_loadu_si128(t.lo[0].as_ptr().cast()),
+                _mm_loadu_si128(t.lo[1].as_ptr().cast()),
+                _mm_loadu_si128(t.lo[2].as_ptr().cast()),
+                _mm_loadu_si128(t.lo[3].as_ptr().cast()),
+                _mm_loadu_si128(t.hi[0].as_ptr().cast()),
+                _mm_loadu_si128(t.hi[1].as_ptr().cast()),
+                _mm_loadu_si128(t.hi[2].as_ptr().cast()),
+                _mm_loadu_si128(t.hi[3].as_ptr().cast()),
+            ]
+        }
+    }
+
+    /// Deinterleaves two loaded payload vectors (32 bytes = 16 symbols)
+    /// into their (low bytes, high bytes) vectors, symbol order kept.
+    ///
+    /// Safe to define: value-only; callers run under SSSE3.
+    #[inline]
+    #[target_feature(enable = "ssse3")]
+    fn deinterleave128(
+        va: __m128i,
+        vb: __m128i,
+        even: __m128i,
+        odd: __m128i,
+    ) -> (__m128i, __m128i) {
+        let lo = _mm_unpacklo_epi64(_mm_shuffle_epi8(va, even), _mm_shuffle_epi8(vb, even));
+        let hi = _mm_unpacklo_epi64(_mm_shuffle_epi8(va, odd), _mm_shuffle_epi8(vb, odd));
+        (lo, hi)
+    }
+
+    /// Split-nibble GF(2^16) product of 16 symbols given their
+    /// deinterleaved low/high byte vectors: eight `PSHUFB` lookups,
+    /// result still deinterleaved as (low product bytes, high product
+    /// bytes).
+    ///
+    /// Safe to define: value-only; callers run under SSSE3.
+    #[inline]
+    #[target_feature(enable = "ssse3")]
+    fn mul16_vec128(
+        lo: __m128i,
+        hi: __m128i,
+        t: &[__m128i; 8],
+        mask: __m128i,
+    ) -> (__m128i, __m128i) {
+        let n0 = _mm_and_si128(lo, mask);
+        let n1 = _mm_and_si128(_mm_srli_epi64::<4>(lo), mask);
+        let n2 = _mm_and_si128(hi, mask);
+        let n3 = _mm_and_si128(_mm_srli_epi64::<4>(hi), mask);
+        let plo = _mm_xor_si128(
+            _mm_xor_si128(_mm_shuffle_epi8(t[0], n0), _mm_shuffle_epi8(t[1], n1)),
+            _mm_xor_si128(_mm_shuffle_epi8(t[2], n2), _mm_shuffle_epi8(t[3], n3)),
+        );
+        let phi = _mm_xor_si128(
+            _mm_xor_si128(_mm_shuffle_epi8(t[4], n0), _mm_shuffle_epi8(t[5], n1)),
+            _mm_xor_si128(_mm_shuffle_epi8(t[6], n2), _mm_shuffle_epi8(t[7], n3)),
+        );
+        (plo, phi)
+    }
+
+    /// GF(2^16) `dst = [dst ^] c·src` over 32-byte blocks (16 symbols):
+    /// deinterleave, eight `PSHUFB` lookups, reinterleave; remaining
+    /// symbols run the nibble tail.
+    ///
+    /// # Safety
+    /// Requires SSSE3. Equal, even `dst`/`src` lengths (checked by the
+    /// public wrappers).
+    #[target_feature(enable = "ssse3")]
+    unsafe fn ssse3_mul16(dst: &mut [u8], src: &[u8], t: &Nibble16Tables, accumulate: bool) {
+        debug_assert_eq!(dst.len(), src.len());
+        debug_assert_eq!(dst.len() % 2, 0);
+        // SAFETY: caller guarantees SSSE3; pointer arithmetic stays in
+        // bounds because `i + 32 <= n == len` at every load and store.
+        unsafe {
+            let tabs = load_tables16(t);
+            let mask = _mm_set1_epi8(0x0F);
+            let even = _mm_loadu_si128(GATHER_EVEN.as_ptr().cast());
+            let odd = _mm_loadu_si128(GATHER_ODD.as_ptr().cast());
+            let n = dst.len();
+            let mut i = 0;
+            while i + 32 <= n {
+                let va = _mm_loadu_si128(src.as_ptr().add(i).cast());
+                let vb = _mm_loadu_si128(src.as_ptr().add(i + 16).cast());
+                let (lo, hi) = deinterleave128(va, vb, even, odd);
+                let (plo, phi) = mul16_vec128(lo, hi, &tabs, mask);
+                let mut outa = _mm_unpacklo_epi8(plo, phi);
+                let mut outb = _mm_unpackhi_epi8(plo, phi);
+                if accumulate {
+                    outa = _mm_xor_si128(outa, _mm_loadu_si128(dst.as_ptr().add(i).cast()));
+                    outb = _mm_xor_si128(outb, _mm_loadu_si128(dst.as_ptr().add(i + 16).cast()));
+                }
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), outa);
+                _mm_storeu_si128(dst.as_mut_ptr().add(i + 16).cast(), outb);
+                i += 32;
+            }
+            while i + 2 <= n {
+                let mut p = t.mul_symbol(u16::from_le_bytes([src[i], src[i + 1]]));
+                if accumulate {
+                    p ^= u16::from_le_bytes([dst[i], dst[i + 1]]);
+                }
+                dst[i..i + 2].copy_from_slice(&p.to_le_bytes());
+                i += 2;
+            }
+        }
+    }
+
+    /// GF(2^16) in-place `data = c·data`.
+    ///
+    /// # Safety
+    /// Requires SSSE3. Even `data` length.
+    #[target_feature(enable = "ssse3")]
+    unsafe fn ssse3_scale16(data: &mut [u8], t: &Nibble16Tables) {
+        debug_assert_eq!(data.len() % 2, 0);
+        // SAFETY: caller guarantees SSSE3; bounds as in `ssse3_mul16`.
+        unsafe {
+            let tabs = load_tables16(t);
+            let mask = _mm_set1_epi8(0x0F);
+            let even = _mm_loadu_si128(GATHER_EVEN.as_ptr().cast());
+            let odd = _mm_loadu_si128(GATHER_ODD.as_ptr().cast());
+            let n = data.len();
+            let mut i = 0;
+            while i + 32 <= n {
+                let va = _mm_loadu_si128(data.as_ptr().add(i).cast());
+                let vb = _mm_loadu_si128(data.as_ptr().add(i + 16).cast());
+                let (lo, hi) = deinterleave128(va, vb, even, odd);
+                let (plo, phi) = mul16_vec128(lo, hi, &tabs, mask);
+                _mm_storeu_si128(data.as_mut_ptr().add(i).cast(), _mm_unpacklo_epi8(plo, phi));
+                _mm_storeu_si128(
+                    data.as_mut_ptr().add(i + 16).cast(),
+                    _mm_unpackhi_epi8(plo, phi),
+                );
+                i += 32;
+            }
+            while i + 2 <= n {
+                let p = t.mul_symbol(u16::from_le_bytes([data[i], data[i + 1]]));
+                data[i..i + 2].copy_from_slice(&p.to_le_bytes());
+                i += 2;
+            }
+        }
+    }
+
+    /// GF(2^16) fused row: one load/store of each `dst` vector pair
+    /// regardless of the number of sources; all eight tables per source
+    /// stay L1-resident.
+    ///
+    /// # Safety
+    /// Requires SSSE3. At most [`WIDE16_FUSE`] sources, each of `dst`'s
+    /// (even) length.
+    #[target_feature(enable = "ssse3")]
+    unsafe fn ssse3_mul16_multi(
+        dst: &mut [u8],
+        srcs: &[(Nibble16Tables, &[u8])],
+        accumulate: bool,
+    ) {
+        debug_assert!(srcs.len() <= WIDE16_FUSE);
+        if srcs.is_empty() {
+            if !accumulate {
+                dst.fill(0);
+            }
+            return;
+        }
+        // SAFETY: caller guarantees SSSE3; bounds as in `ssse3_mul16`,
+        // for every source (all sources share `dst`'s length).
+        unsafe {
+            let mask = _mm_set1_epi8(0x0F);
+            let even = _mm_loadu_si128(GATHER_EVEN.as_ptr().cast());
+            let odd = _mm_loadu_si128(GATHER_ODD.as_ptr().cast());
+            let n = dst.len();
+            let mut i = 0;
+            while i + 32 <= n {
+                let (mut acca, mut accb) = if accumulate {
+                    (
+                        _mm_loadu_si128(dst.as_ptr().add(i).cast()),
+                        _mm_loadu_si128(dst.as_ptr().add(i + 16).cast()),
+                    )
+                } else {
+                    (_mm_setzero_si128(), _mm_setzero_si128())
+                };
+                for (t, s) in srcs {
+                    let tabs = load_tables16(t);
+                    let va = _mm_loadu_si128(s.as_ptr().add(i).cast());
+                    let vb = _mm_loadu_si128(s.as_ptr().add(i + 16).cast());
+                    let (lo, hi) = deinterleave128(va, vb, even, odd);
+                    let (plo, phi) = mul16_vec128(lo, hi, &tabs, mask);
+                    acca = _mm_xor_si128(acca, _mm_unpacklo_epi8(plo, phi));
+                    accb = _mm_xor_si128(accb, _mm_unpackhi_epi8(plo, phi));
+                }
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), acca);
+                _mm_storeu_si128(dst.as_mut_ptr().add(i + 16).cast(), accb);
+                i += 32;
+            }
+            while i + 2 <= n {
+                let mut acc = if accumulate {
+                    u16::from_le_bytes([dst[i], dst[i + 1]])
+                } else {
+                    0
+                };
+                for (t, s) in srcs {
+                    acc ^= t.mul_symbol(u16::from_le_bytes([s[i], s[i + 1]]));
+                }
+                dst[i..i + 2].copy_from_slice(&acc.to_le_bytes());
+                i += 2;
+            }
+        }
+    }
+
     /// Split-nibble product of 32 bytes via `VPSHUFB` (which looks up
     /// within each 128-bit lane — hence the tables are broadcast to both
     /// lanes).
@@ -742,6 +1181,237 @@ mod x86 {
                     acc ^= t.mul_byte(s[j]);
                 }
                 dst[j] = acc;
+            }
+        }
+    }
+
+    /// The eight nibble tables of one GF(2^16) coefficient, each
+    /// broadcast to both 128-bit lanes.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn load_tables16_256(t: &Nibble16Tables) -> [__m256i; 8] {
+        // SAFETY: caller guarantees AVX2; each table is 16 readable bytes.
+        unsafe {
+            [
+                broadcast_table(&t.lo[0]),
+                broadcast_table(&t.lo[1]),
+                broadcast_table(&t.lo[2]),
+                broadcast_table(&t.lo[3]),
+                broadcast_table(&t.hi[0]),
+                broadcast_table(&t.hi[1]),
+                broadcast_table(&t.hi[2]),
+                broadcast_table(&t.hi[3]),
+            ]
+        }
+    }
+
+    /// Deinterleaves two loaded payload vectors (64 bytes = 32 symbols)
+    /// into their (low bytes, high bytes) vectors in symbol order.
+    /// `VPSHUFB` gathers per lane, so each lane's even (or odd) bytes
+    /// land in its low qword; `unpacklo_epi64` pairs the qwords as
+    /// `[A₀,B₀|A₁,B₁]` and the `permute4x64` restores `[A₀,A₁,B₀,B₁]`.
+    ///
+    /// Safe to define: value-only; callers run under AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn deinterleave256(
+        va: __m256i,
+        vb: __m256i,
+        even: __m256i,
+        odd: __m256i,
+    ) -> (__m256i, __m256i) {
+        let lo = _mm256_permute4x64_epi64::<0b1101_1000>(_mm256_unpacklo_epi64(
+            _mm256_shuffle_epi8(va, even),
+            _mm256_shuffle_epi8(vb, even),
+        ));
+        let hi = _mm256_permute4x64_epi64::<0b1101_1000>(_mm256_unpacklo_epi64(
+            _mm256_shuffle_epi8(va, odd),
+            _mm256_shuffle_epi8(vb, odd),
+        ));
+        (lo, hi)
+    }
+
+    /// Split-nibble GF(2^16) product of 32 symbols (deinterleaved form):
+    /// eight `VPSHUFB` lookups.
+    ///
+    /// Safe to define: value-only; callers run under AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn mul16_vec256(
+        lo: __m256i,
+        hi: __m256i,
+        t: &[__m256i; 8],
+        mask: __m256i,
+    ) -> (__m256i, __m256i) {
+        let n0 = _mm256_and_si256(lo, mask);
+        let n1 = _mm256_and_si256(_mm256_srli_epi64::<4>(lo), mask);
+        let n2 = _mm256_and_si256(hi, mask);
+        let n3 = _mm256_and_si256(_mm256_srli_epi64::<4>(hi), mask);
+        let plo = _mm256_xor_si256(
+            _mm256_xor_si256(_mm256_shuffle_epi8(t[0], n0), _mm256_shuffle_epi8(t[1], n1)),
+            _mm256_xor_si256(_mm256_shuffle_epi8(t[2], n2), _mm256_shuffle_epi8(t[3], n3)),
+        );
+        let phi = _mm256_xor_si256(
+            _mm256_xor_si256(_mm256_shuffle_epi8(t[4], n0), _mm256_shuffle_epi8(t[5], n1)),
+            _mm256_xor_si256(_mm256_shuffle_epi8(t[6], n2), _mm256_shuffle_epi8(t[7], n3)),
+        );
+        (plo, phi)
+    }
+
+    /// Reinterleaves product byte vectors back into two payload vectors.
+    /// `unpack{lo,hi}_epi8` interleave per lane, leaving the four symbol
+    /// octets as `[s0₋8|s16₋24]` and `[s8₋16|s24₋32]`; the two lane
+    /// permutes reassemble contiguous payload order.
+    ///
+    /// Safe to define: value-only; callers run under AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn interleave256(plo: __m256i, phi: __m256i) -> (__m256i, __m256i) {
+        let il = _mm256_unpacklo_epi8(plo, phi);
+        let ih = _mm256_unpackhi_epi8(plo, phi);
+        (
+            _mm256_permute2x128_si256::<0x20>(il, ih),
+            _mm256_permute2x128_si256::<0x31>(il, ih),
+        )
+    }
+
+    /// GF(2^16) `dst = [dst ^] c·src` over 64-byte blocks (32 symbols).
+    ///
+    /// # Safety
+    /// Requires AVX2. Equal, even `dst`/`src` lengths (checked by the
+    /// public wrappers).
+    #[target_feature(enable = "avx2")]
+    unsafe fn avx2_mul16(dst: &mut [u8], src: &[u8], t: &Nibble16Tables, accumulate: bool) {
+        debug_assert_eq!(dst.len(), src.len());
+        debug_assert_eq!(dst.len() % 2, 0);
+        // SAFETY: caller guarantees AVX2; pointer arithmetic stays in
+        // bounds because `i + 64 <= n == len` at every load and store.
+        unsafe {
+            let tabs = load_tables16_256(t);
+            let mask = _mm256_set1_epi8(0x0F);
+            let even = _mm256_broadcastsi128_si256(_mm_loadu_si128(GATHER_EVEN.as_ptr().cast()));
+            let odd = _mm256_broadcastsi128_si256(_mm_loadu_si128(GATHER_ODD.as_ptr().cast()));
+            let n = dst.len();
+            let mut i = 0;
+            while i + 64 <= n {
+                let va = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+                let vb = _mm256_loadu_si256(src.as_ptr().add(i + 32).cast());
+                let (lo, hi) = deinterleave256(va, vb, even, odd);
+                let (plo, phi) = mul16_vec256(lo, hi, &tabs, mask);
+                let (mut outa, mut outb) = interleave256(plo, phi);
+                if accumulate {
+                    outa = _mm256_xor_si256(outa, _mm256_loadu_si256(dst.as_ptr().add(i).cast()));
+                    outb =
+                        _mm256_xor_si256(outb, _mm256_loadu_si256(dst.as_ptr().add(i + 32).cast()));
+                }
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), outa);
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i + 32).cast(), outb);
+                i += 64;
+            }
+            while i + 2 <= n {
+                let mut p = t.mul_symbol(u16::from_le_bytes([src[i], src[i + 1]]));
+                if accumulate {
+                    p ^= u16::from_le_bytes([dst[i], dst[i + 1]]);
+                }
+                dst[i..i + 2].copy_from_slice(&p.to_le_bytes());
+                i += 2;
+            }
+        }
+    }
+
+    /// GF(2^16) in-place `data = c·data`.
+    ///
+    /// # Safety
+    /// Requires AVX2. Even `data` length.
+    #[target_feature(enable = "avx2")]
+    unsafe fn avx2_scale16(data: &mut [u8], t: &Nibble16Tables) {
+        debug_assert_eq!(data.len() % 2, 0);
+        // SAFETY: caller guarantees AVX2; bounds as in `avx2_mul16`.
+        unsafe {
+            let tabs = load_tables16_256(t);
+            let mask = _mm256_set1_epi8(0x0F);
+            let even = _mm256_broadcastsi128_si256(_mm_loadu_si128(GATHER_EVEN.as_ptr().cast()));
+            let odd = _mm256_broadcastsi128_si256(_mm_loadu_si128(GATHER_ODD.as_ptr().cast()));
+            let n = data.len();
+            let mut i = 0;
+            while i + 64 <= n {
+                let va = _mm256_loadu_si256(data.as_ptr().add(i).cast());
+                let vb = _mm256_loadu_si256(data.as_ptr().add(i + 32).cast());
+                let (lo, hi) = deinterleave256(va, vb, even, odd);
+                let (plo, phi) = mul16_vec256(lo, hi, &tabs, mask);
+                let (outa, outb) = interleave256(plo, phi);
+                _mm256_storeu_si256(data.as_mut_ptr().add(i).cast(), outa);
+                _mm256_storeu_si256(data.as_mut_ptr().add(i + 32).cast(), outb);
+                i += 64;
+            }
+            while i + 2 <= n {
+                let p = t.mul_symbol(u16::from_le_bytes([data[i], data[i + 1]]));
+                data[i..i + 2].copy_from_slice(&p.to_le_bytes());
+                i += 2;
+            }
+        }
+    }
+
+    /// GF(2^16) fused row over 64-byte blocks: one load/store of each
+    /// `dst` vector pair regardless of the number of sources.
+    ///
+    /// # Safety
+    /// Requires AVX2. At most [`WIDE16_FUSE`] sources, each of `dst`'s
+    /// (even) length.
+    #[target_feature(enable = "avx2")]
+    unsafe fn avx2_mul16_multi(dst: &mut [u8], srcs: &[(Nibble16Tables, &[u8])], accumulate: bool) {
+        debug_assert!(srcs.len() <= WIDE16_FUSE);
+        if srcs.is_empty() {
+            if !accumulate {
+                dst.fill(0);
+            }
+            return;
+        }
+        // SAFETY: caller guarantees AVX2; bounds as in `avx2_mul16`, for
+        // every source (all sources share `dst`'s length).
+        unsafe {
+            let mask = _mm256_set1_epi8(0x0F);
+            let even = _mm256_broadcastsi128_si256(_mm_loadu_si128(GATHER_EVEN.as_ptr().cast()));
+            let odd = _mm256_broadcastsi128_si256(_mm_loadu_si128(GATHER_ODD.as_ptr().cast()));
+            let n = dst.len();
+            let mut i = 0;
+            while i + 64 <= n {
+                let (mut acca, mut accb) = if accumulate {
+                    (
+                        _mm256_loadu_si256(dst.as_ptr().add(i).cast()),
+                        _mm256_loadu_si256(dst.as_ptr().add(i + 32).cast()),
+                    )
+                } else {
+                    (_mm256_setzero_si256(), _mm256_setzero_si256())
+                };
+                for (t, s) in srcs {
+                    let tabs = load_tables16_256(t);
+                    let va = _mm256_loadu_si256(s.as_ptr().add(i).cast());
+                    let vb = _mm256_loadu_si256(s.as_ptr().add(i + 32).cast());
+                    let (lo, hi) = deinterleave256(va, vb, even, odd);
+                    let (plo, phi) = mul16_vec256(lo, hi, &tabs, mask);
+                    let (outa, outb) = interleave256(plo, phi);
+                    acca = _mm256_xor_si256(acca, outa);
+                    accb = _mm256_xor_si256(accb, outb);
+                }
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), acca);
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i + 32).cast(), accb);
+                i += 64;
+            }
+            while i + 2 <= n {
+                let mut acc = if accumulate {
+                    u16::from_le_bytes([dst[i], dst[i + 1]])
+                } else {
+                    0
+                };
+                for (t, s) in srcs {
+                    acc ^= t.mul_symbol(u16::from_le_bytes([s[i], s[i + 1]]));
+                }
+                dst[i..i + 2].copy_from_slice(&acc.to_le_bytes());
+                i += 2;
             }
         }
     }

@@ -51,16 +51,22 @@
 //! Byte-wide fields (GF(2^8), and GF(2^4) with one symbol per byte —
 //! source bytes are truncated to the field like `Field::from_index`,
 //! accumulation is bytewise XOR) run the dispatched byte kernels.
-//! GF(2^16) payloads run dedicated split-table kernels: two 256-entry
-//! `u16` tables (`c·lo` and `c·(hi·256)`) replace the log/antilog
-//! per-symbol loop; they are scalar on every backend today (a nibble
-//! decomposition into eight `PSHUFB` tables is the natural extension).
-//! Wider or odd-sized fields fall back to a symbol-at-a-time loop.
+//! GF(2^16) payloads run dedicated two-byte-symbol kernels, dispatched
+//! like the byte kernels: the **scalar** backend streams two 256-entry
+//! split `u16` tables (`c·lo` and `c·(hi·256)`), while **ssse3** and
+//! **avx2** decompose each symbol into four nibbles and look all four
+//! product contributions up with eight 16-entry `PSHUFB`/`VPSHUFB`
+//! tables per coefficient (deinterleave low/high bytes, eight shuffles,
+//! reinterleave — the payload length must be a whole number of 2-byte
+//! symbols). Wider or odd-sized fields fall back to a symbol-at-a-time
+//! loop.
 //!
 //! Generic symbol-slice variants (`gf_*`) are provided for matrices and
 //! codecs instantiated over other fields.
 
-use crate::simd::{active_suite, suite_for, KernelSuite, MulTables, MAX_FUSE};
+use crate::simd::{
+    active_suite, suite_for, KernelSuite, MulTables, Nibble16Tables, MAX_FUSE, WIDE16_FUSE,
+};
 use crate::{Field, Gf256};
 
 pub use crate::simd::KernelBackend;
@@ -165,13 +171,17 @@ pub fn gf_scale<F: Field>(data: &mut [F], c: F) {
 /// payload length must then be a multiple of the symbol width); other
 /// widths fall back to a symbol-at-a-time loop.
 pub fn payload_mul_into<F: Field>(dst: &mut [u8], src: &[u8], c: F) {
+    payload_mul_into_in(active_suite(), dst, src, c);
+}
+
+fn payload_mul_into_in<F: Field>(suite: &KernelSuite, dst: &mut [u8], src: &[u8], c: F) {
     assert_eq!(dst.len(), src.len(), "payload length mismatch");
     if c.is_zero() {
         dst.fill(0);
         return;
     }
     if F::SYMBOL_BYTES == 1 {
-        byte_mul_payload(active_suite(), dst, src, c, false);
+        byte_mul_payload(suite, dst, src, c, false);
         return;
     }
     check_symbol_multiple::<F>(dst.len());
@@ -180,7 +190,7 @@ pub fn payload_mul_into<F: Field>(dst: &mut [u8], src: &[u8], c: F) {
         return;
     }
     if F::BITS == 16 {
-        wide16_mul(dst, src, &Wide16Tables::build(c), false);
+        (suite.mul16_into)(dst, src, &Nibble16Tables::build(c));
         return;
     }
     let b = F::SYMBOL_BYTES;
@@ -195,22 +205,26 @@ pub fn payload_mul_into<F: Field>(dst: &mut [u8], src: &[u8], c: F) {
 /// split-table kernels (the payload length must then be a multiple of
 /// the symbol width); other widths fall back to a symbol-at-a-time loop.
 pub fn payload_mul_acc<F: Field>(dst: &mut [u8], src: &[u8], c: F) {
+    payload_mul_acc_in(active_suite(), dst, src, c);
+}
+
+fn payload_mul_acc_in<F: Field>(suite: &KernelSuite, dst: &mut [u8], src: &[u8], c: F) {
     assert_eq!(dst.len(), src.len(), "payload length mismatch");
     if c.is_zero() {
         return;
     }
     if F::SYMBOL_BYTES == 1 {
-        byte_mul_payload(active_suite(), dst, src, c, true);
+        byte_mul_payload(suite, dst, src, c, true);
         return;
     }
     check_symbol_multiple::<F>(dst.len());
     if c == F::ONE {
         // Addition is XOR in every GF(2^m), whatever the symbol width.
-        (active_suite().xor_into)(dst, src);
+        (suite.xor_into)(dst, src);
         return;
     }
     if F::BITS == 16 {
-        wide16_mul(dst, src, &Wide16Tables::build(c), true);
+        (suite.mul16_acc)(dst, src, &Nibble16Tables::build(c));
         return;
     }
     let b = F::SYMBOL_BYTES;
@@ -222,6 +236,10 @@ pub fn payload_mul_acc<F: Field>(dst: &mut [u8], src: &[u8], c: F) {
 
 /// In-place byte-payload scaling `data *= c` for any field.
 pub fn payload_scale<F: Field>(data: &mut [u8], c: F) {
+    payload_scale_in(active_suite(), data, c);
+}
+
+fn payload_scale_in<F: Field>(suite: &KernelSuite, data: &mut [u8], c: F) {
     if c == F::ONE {
         return;
     }
@@ -230,12 +248,12 @@ pub fn payload_scale<F: Field>(data: &mut [u8], c: F) {
         return;
     }
     if F::SYMBOL_BYTES == 1 {
-        byte_scale_payload(active_suite(), data, c);
+        byte_scale_payload(suite, data, c);
         return;
     }
     check_symbol_multiple::<F>(data.len());
     if F::BITS == 16 {
-        wide16_scale(data, &Wide16Tables::build(c));
+        (suite.scale16)(data, &Nibble16Tables::build(c));
         return;
     }
     let b = F::SYMBOL_BYTES;
@@ -305,6 +323,21 @@ impl KernelBackend {
     /// [`mul_acc_multi`] on this backend.
     pub fn mul_acc_multi(self, dst: &mut [u8], srcs: &[(Gf256, &[u8])]) {
         payload_combine(suite_for(self), dst, srcs, true);
+    }
+
+    /// [`payload_mul_into`] on this backend.
+    pub fn payload_mul_into<F: Field>(self, dst: &mut [u8], src: &[u8], c: F) {
+        payload_mul_into_in(suite_for(self), dst, src, c);
+    }
+
+    /// [`payload_mul_acc`] on this backend.
+    pub fn payload_mul_acc<F: Field>(self, dst: &mut [u8], src: &[u8], c: F) {
+        payload_mul_acc_in(suite_for(self), dst, src, c);
+    }
+
+    /// [`payload_scale`] on this backend.
+    pub fn payload_scale<F: Field>(self, data: &mut [u8], c: F) {
+        payload_scale_in(suite_for(self), data, c);
     }
 
     /// [`payload_mul_into_multi`] on this backend.
@@ -411,10 +444,10 @@ fn payload_combine<F: Field>(
             continue;
         }
         if !wrote {
-            payload_mul_into(dst, s, c);
+            payload_mul_into_in(suite, dst, s, c);
             wrote = true;
         } else {
-            payload_mul_acc(dst, s, c);
+            payload_mul_acc_in(suite, dst, s, c);
         }
     }
     if !wrote {
@@ -475,42 +508,24 @@ fn combine_bytes<F: Field>(
     }
 }
 
-/// How many general (non-unit) sources a GF(2^16) fused batch carries:
-/// each needs 1 KiB of split tables on the stack.
-const WIDE16_FUSE: usize = 8;
-
-/// GF(2^16) fused row: split-table batches + XOR batches, `dst` walked
-/// in L1-sized chunks so it is streamed through memory once.
+/// GF(2^16) fused row: nibble-table batches + XOR batches, handed to
+/// the backend's fused two-byte-symbol kernel so `dst` is streamed
+/// through memory once.
 fn combine_wide16<F: Field>(
     suite: &KernelSuite,
     dst: &mut [u8],
     srcs: &[(F, &[u8])],
     accumulate: bool,
 ) {
-    const EMPTY16: Wide16Tables = Wide16Tables {
-        lo: [0; 256],
-        hi: [0; 256],
+    const EMPTY16: Nibble16Tables = Nibble16Tables {
+        lo: [[0; 16]; 4],
+        hi: [[0; 16]; 4],
     };
     let mut wrote = accumulate;
     let mut ones: [&[u8]; MAX_FUSE] = [&[]; MAX_FUSE];
     let mut n_ones = 0;
-    let mut tables: [Wide16Tables; WIDE16_FUSE] = [EMPTY16; WIDE16_FUSE];
-    let mut mul_srcs: [&[u8]; WIDE16_FUSE] = [&[]; WIDE16_FUSE];
+    let mut muls: [(Nibble16Tables, &[u8]); WIDE16_FUSE] = [(EMPTY16, &[]); WIDE16_FUSE];
     let mut n_muls = 0;
-    /// Walks `dst` in L1-sized chunks, every source visiting a chunk
-    /// before the walk moves on — one effective memory pass of `dst`.
-    fn flush_muls(dst: &mut [u8], tables: &[Wide16Tables], srcs: &[&[u8]], wrote: bool) {
-        const CHUNK: usize = 4096; // multiple of the 2-byte symbol width
-        let len = dst.len();
-        let mut pos = 0;
-        while pos < len {
-            let end = (pos + CHUNK).min(len);
-            for (j, (t, s)) in tables.iter().zip(srcs).enumerate() {
-                wide16_mul(&mut dst[pos..end], &s[pos..end], t, wrote || j > 0);
-            }
-            pos = end;
-        }
-    }
     for &(c, s) in srcs {
         if c.is_zero() {
             continue;
@@ -524,18 +539,17 @@ fn combine_wide16<F: Field>(
                 n_ones = 0;
             }
         } else {
-            tables[n_muls] = Wide16Tables::build(c);
-            mul_srcs[n_muls] = s;
+            muls[n_muls] = (Nibble16Tables::build(c), s);
             n_muls += 1;
             if n_muls == WIDE16_FUSE {
-                flush_muls(dst, &tables[..n_muls], &mul_srcs[..n_muls], wrote);
+                (suite.mul16_multi)(dst, &muls[..n_muls], wrote);
                 wrote = true;
                 n_muls = 0;
             }
         }
     }
     if n_muls > 0 {
-        flush_muls(dst, &tables[..n_muls], &mul_srcs[..n_muls], wrote);
+        (suite.mul16_multi)(dst, &muls[..n_muls], wrote);
         wrote = true;
     }
     if n_ones > 0 {
@@ -544,53 +558,6 @@ fn combine_wide16<F: Field>(
     }
     if !wrote {
         dst.fill(0);
-    }
-}
-
-/// Split low/high-byte product tables for a GF(2^16) coefficient:
-/// `lo[x] = c·x` and `hi[x] = c·(x·256)`, so a two-byte little-endian
-/// symbol `s = b₀ | b₁·256` multiplies as `lo[b₀] ^ hi[b₁]` — two table
-/// reads per symbol instead of a log/antilog round trip with a zero
-/// branch.
-#[derive(Clone, Copy)]
-struct Wide16Tables {
-    lo: [u16; 256],
-    hi: [u16; 256],
-}
-
-impl Wide16Tables {
-    fn build<F: Field>(c: F) -> Self {
-        debug_assert_eq!(F::SYMBOL_BYTES, 2);
-        let mut t = Wide16Tables {
-            lo: [0; 256],
-            hi: [0; 256],
-        };
-        for x in 0..256u32 {
-            t.lo[x as usize] = (c * F::from_index(x)).index() as u16;
-            t.hi[x as usize] = (c * F::from_index(x << 8)).index() as u16;
-        }
-        t
-    }
-}
-
-/// `dst = [dst ^] c·src` over little-endian 16-bit symbols.
-fn wide16_mul(dst: &mut [u8], src: &[u8], t: &Wide16Tables, accumulate: bool) {
-    debug_assert_eq!(dst.len() % 2, 0);
-    for (dc, sc) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
-        let mut p = t.lo[sc[0] as usize] ^ t.hi[sc[1] as usize];
-        if accumulate {
-            p ^= u16::from_le_bytes([dc[0], dc[1]]);
-        }
-        dc.copy_from_slice(&p.to_le_bytes());
-    }
-}
-
-/// In-place `data = c·data` over little-endian 16-bit symbols.
-fn wide16_scale(data: &mut [u8], t: &Wide16Tables) {
-    debug_assert_eq!(data.len() % 2, 0);
-    for dc in data.chunks_exact_mut(2) {
-        let p = t.lo[dc[0] as usize] ^ t.hi[dc[1] as usize];
-        dc.copy_from_slice(&p.to_le_bytes());
     }
 }
 

@@ -3,11 +3,16 @@
 //! slices, lengths below one vector, lengths that are not a multiple of
 //! any vector width, and misaligned sub-slices. The scalar backend is
 //! the reference; the fused multi-source kernels are additionally
-//! checked against a loop of their single-source counterparts.
+//! checked against a loop of their single-source counterparts. The
+//! GF(2^16) lanes pin the nibble-table `PSHUFB`/`VPSHUFB` kernels
+//! against the scalar split-table path (and a symbol-at-a-time field
+//! reference) on the same adversarial shapes, two-byte-symbol edition:
+//! even lengths straddling the 32/64-byte vector blocks, with
+//! `&buf[1..]` misaligning every vector load.
 
 use proptest::prelude::*;
 use xorbas_gf::slice_ops::{self, KernelBackend};
-use xorbas_gf::{Field, Gf256};
+use xorbas_gf::{Field, Gf256, Gf65536};
 
 /// Payload lengths chosen to straddle every kernel boundary: empty, a
 /// lone byte, just under/over the 16-byte SSSE3 and 32-byte AVX2 vector
@@ -162,6 +167,103 @@ fn unsupported_backends_fall_back_to_scalar_results() {
     }
 }
 
+/// Even payload lengths straddling every GF(2^16) kernel boundary:
+/// empty, one symbol, just under/over the 32-byte SSSE3 and 64-byte
+/// AVX2 symbol blocks, and a long non-multiple tail.
+const ADVERSARIAL_LENS16: [usize; 11] = [0, 2, 6, 30, 32, 34, 62, 64, 66, 94, 1000];
+
+#[test]
+fn gf65536_single_source_kernels_match_scalar_on_adversarial_shapes() {
+    // Coefficient mix: zero (early-out), one (XOR/copy shortcut), the
+    // primitive-polynomial tail, and values lighting every nibble table.
+    let coeffs = [0u32, 1, 2, 0x1021, 0x8E2B, 0xFFFF];
+    for backend in backends() {
+        for &len in &ADVERSARIAL_LENS16 {
+            // One leading byte so `&buf[1..]` misaligns every vector
+            // load while the slice itself stays whole symbols.
+            let src_buf = payload(len as u64 + 7, len + 1);
+            let dst_buf = payload(len as u64 + 3000, len + 1);
+            let src = &src_buf[1..];
+            for &ci in &coeffs {
+                let c = Gf65536::from_index(ci);
+
+                let mut got = dst_buf[1..].to_vec();
+                backend.payload_mul_acc(&mut got, src, c);
+                let mut want = dst_buf[1..].to_vec();
+                KernelBackend::Scalar.payload_mul_acc(&mut want, src, c);
+                assert_eq!(got, want, "{backend:?} mul16_acc len {len} c {ci:#x}");
+
+                let mut got = dst_buf[1..].to_vec();
+                backend.payload_mul_into(&mut got, src, c);
+                let mut want = dst_buf[1..].to_vec();
+                KernelBackend::Scalar.payload_mul_into(&mut want, src, c);
+                assert_eq!(got, want, "{backend:?} mul16_into len {len} c {ci:#x}");
+
+                let mut got = dst_buf[1..].to_vec();
+                backend.payload_scale(&mut got, c);
+                let mut want = dst_buf[1..].to_vec();
+                KernelBackend::Scalar.payload_scale(&mut want, c);
+                assert_eq!(got, want, "{backend:?} scale16 len {len} c {ci:#x}");
+            }
+        }
+    }
+}
+
+#[test]
+fn gf65536_multi_matches_a_loop_of_single_source_on_every_backend() {
+    // Source counts straddling WIDE16_FUSE (8) and the ones-partition
+    // MAX_FUSE (16); coefficients mix zero (dropped), one (XOR
+    // partition), and general values (nibble-table partition).
+    for backend in backends() {
+        for &len in &ADVERSARIAL_LENS16 {
+            for n_srcs in [0usize, 1, 2, 7, 8, 9, 20] {
+                let srcs: Vec<Vec<u8>> = (0..n_srcs)
+                    .map(|i| payload((i * 13 + 5) as u64, len + 1))
+                    .collect();
+                let pairs: Vec<(Gf65536, &[u8])> = srcs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (Gf65536::from_index((i as u32 * 9973) % 65536), &s[1..]))
+                    .collect();
+                let dst0 = payload(271, len + 1)[1..].to_vec();
+
+                let mut fused = dst0.clone();
+                backend.payload_mul_acc_multi(&mut fused, &pairs);
+                let mut looped = dst0.clone();
+                for &(c, s) in &pairs {
+                    KernelBackend::Scalar.payload_mul_acc(&mut looped, s, c);
+                }
+                assert_eq!(fused, looped, "{backend:?} acc16 len {len} n {n_srcs}");
+
+                let mut fused_into = dst0.clone();
+                backend.payload_mul_into_multi(&mut fused_into, &pairs);
+                let mut looped_into = vec![0u8; len];
+                for &(c, s) in &pairs {
+                    KernelBackend::Scalar.payload_mul_acc(&mut looped_into, s, c);
+                }
+                assert_eq!(
+                    fused_into, looped_into,
+                    "{backend:?} into16 len {len} n {n_srcs}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gf65536_odd_byte_lengths_panic_in_the_payload_kernels() {
+    // The gf-crate contract is a panic (the codecs in `xorbas_core`
+    // front it with the typed `PayloadNotSymbolAligned` error).
+    let src = payload(1, 5);
+    for backend in backends() {
+        let result = std::panic::catch_unwind(|| {
+            let mut dst = vec![0u8; 5];
+            backend.payload_mul_acc(&mut dst, &src, Gf65536::from_index(3));
+        });
+        assert!(result.is_err(), "{backend:?} accepted an odd length");
+    }
+}
+
 proptest! {
     #[test]
     fn randomized_mul_acc_bit_identity_across_backends(
@@ -208,6 +310,28 @@ proptest! {
     }
 
     #[test]
+    fn randomized_gf65536_mul_acc_bit_identity_across_backends(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+        src in proptest::collection::vec(any::<u8>(), 0..300),
+        c in 0u32..65536,
+        skip in 0usize..2,
+    ) {
+        // `skip = 1` starts the slices at an odd address: vector loads
+        // misalign while the slices stay whole two-byte symbols.
+        let m = data.len().min(src.len());
+        let skip = skip.min(m);
+        let n = ((m - skip) / 2) * 2;
+        let c = Gf65536::from_index(c);
+        let mut want = data[skip..skip + n].to_vec();
+        KernelBackend::Scalar.payload_mul_acc(&mut want, &src[skip..skip + n], c);
+        for backend in backends() {
+            let mut got = data[skip..skip + n].to_vec();
+            backend.payload_mul_acc(&mut got, &src[skip..skip + n], c);
+            prop_assert_eq!(&got, &want, "{:?}", backend);
+        }
+    }
+
+    #[test]
     fn randomized_gf65536_multi_matches_symbolwise_reference(
         dst in proptest::collection::vec(any::<u8>(), 0..128),
         srcs in proptest::collection::vec(
@@ -215,7 +339,6 @@ proptest! {
             0..10,
         ),
     ) {
-        use xorbas_gf::Gf65536;
         let n = (dst.len() / 2) * 2;
         let pairs: Vec<(Gf65536, &[u8])> = srcs
             .iter()
@@ -227,8 +350,14 @@ proptest! {
             let syms: Vec<Gf65536> = slice_ops::bytes_to_symbols(s);
             slice_ops::gf_mul_acc(&mut want, &syms, c);
         }
+        let want_bytes = slice_ops::symbols_to_bytes(&want);
         let mut got = dst[..n].to_vec();
         slice_ops::payload_mul_acc_multi(&mut got, &pairs);
-        prop_assert_eq!(got, slice_ops::symbols_to_bytes(&want));
+        prop_assert_eq!(&got, &want_bytes);
+        for backend in backends() {
+            let mut got = dst[..n].to_vec();
+            backend.payload_mul_acc_multi(&mut got, &pairs);
+            prop_assert_eq!(&got, &want_bytes, "{:?}", backend);
+        }
     }
 }

@@ -4,9 +4,19 @@
 
 use xorbas_core::{
     CodeError, CodeSpec, ErasureCodec, Lrc, ReedSolomon, RepairPlan, RepairSession, RepairTask,
+    WideLrc, WideReedSolomon,
 };
 
+/// Highest stripe blocklength GF(2^8) supports (`q - 1`); wider specs
+/// build over GF(2^16).
+const GF256_MAX_LANES: usize = 255;
+
 /// A concrete redundancy implementation for one [`CodeSpec`].
+///
+/// [`CodecInstance::build`] picks the field from the geometry: specs
+/// whose base code fits GF(2^8) use it (one-byte symbols, the paper's
+/// deployment); wider stripes — e.g. [`CodeSpec::RS_200_60`] or the
+/// [`CodeSpec::LRC_WIDE`] layout at 260 lanes — build over GF(2^16).
 #[derive(Debug, Clone)]
 pub enum CodecInstance {
     /// Plain replication: repair = copy a surviving replica.
@@ -18,10 +28,15 @@ pub enum CodecInstance {
     Rs(ReedSolomon),
     /// Locally repairable code ("HDFS-Xorbas").
     Lrc(Lrc),
+    /// Reed-Solomon over GF(2^16) (wide stripes).
+    RsWide(WideReedSolomon),
+    /// Locally repairable code over GF(2^16) (wide stripes).
+    LrcWide(WideLrc),
 }
 
 impl CodecInstance {
-    /// Builds the codec for a spec (Appendix-D constructions).
+    /// Builds the codec for a spec (Appendix-D constructions), choosing
+    /// GF(2^8) or GF(2^16) by the spec's base-code blocklength.
     pub fn build(spec: CodeSpec) -> Result<Self, CodeError> {
         match spec {
             CodeSpec::Replication { replicas } => {
@@ -32,8 +47,16 @@ impl CodecInstance {
                 }
                 Ok(CodecInstance::Replication { replicas })
             }
-            CodeSpec::ReedSolomon { k, m } => Ok(CodecInstance::Rs(ReedSolomon::new(k, m)?)),
-            CodeSpec::Lrc(spec) => Ok(CodecInstance::Lrc(Lrc::new(spec)?)),
+            CodeSpec::ReedSolomon { k, m } if k + m <= GF256_MAX_LANES => {
+                Ok(CodecInstance::Rs(ReedSolomon::new(k, m)?))
+            }
+            CodeSpec::ReedSolomon { k, m } => {
+                Ok(CodecInstance::RsWide(WideReedSolomon::new(k, m)?))
+            }
+            CodeSpec::Lrc(spec) if spec.total_blocks() <= GF256_MAX_LANES => {
+                Ok(CodecInstance::Lrc(Lrc::new(spec)?))
+            }
+            CodeSpec::Lrc(spec) => Ok(CodecInstance::LrcWide(WideLrc::new(spec)?)),
         }
     }
 
@@ -45,6 +68,8 @@ impl CodecInstance {
             },
             CodecInstance::Rs(rs) => rs.spec(),
             CodecInstance::Lrc(lrc) => lrc.spec(),
+            CodecInstance::RsWide(rs) => rs.spec(),
+            CodecInstance::LrcWide(lrc) => lrc.spec(),
         }
     }
 
@@ -81,6 +106,8 @@ impl CodecInstance {
             }
             CodecInstance::Rs(rs) => rs.repair_plan_for(unavailable, targets),
             CodecInstance::Lrc(lrc) => lrc.repair_plan_for(unavailable, targets),
+            CodecInstance::RsWide(rs) => rs.repair_plan_for(unavailable, targets),
+            CodecInstance::LrcWide(lrc) => lrc.repair_plan_for(unavailable, targets),
         }
     }
 
@@ -97,6 +124,8 @@ impl CodecInstance {
             CodecInstance::Replication { .. } => None,
             CodecInstance::Rs(rs) => Some(rs.repair_session(unavailable)),
             CodecInstance::Lrc(lrc) => Some(lrc.repair_session(unavailable)),
+            CodecInstance::RsWide(rs) => Some(rs.repair_session(unavailable)),
+            CodecInstance::LrcWide(lrc) => Some(lrc.repair_session(unavailable)),
         }
     }
 
@@ -122,6 +151,8 @@ impl CodecInstance {
             }
             CodecInstance::Rs(rs) => rs.encode_into(data, parity),
             CodecInstance::Lrc(lrc) => lrc.encode_into(data, parity),
+            CodecInstance::RsWide(rs) => rs.encode_into(data, parity),
+            CodecInstance::LrcWide(lrc) => lrc.encode_into(data, parity),
         }
     }
 
@@ -143,15 +174,15 @@ impl CodecInstance {
     /// per-stripe allocation.
     pub fn virtual_mask_into(&self, real_data: usize, out: &mut Vec<bool>) {
         out.clear();
-        match self {
-            CodecInstance::Replication { replicas } => out.resize(*replicas, false),
-            CodecInstance::Rs(rs) => {
-                let k = rs.data_blocks();
-                let n = rs.total_blocks();
-                out.extend((0..n).map(|p| p < k && p >= real_data));
+        // The mask depends only on the geometry, never the field, so it
+        // is derived from the spec — both field instantiations of one
+        // layout share it.
+        match self.spec() {
+            CodeSpec::Replication { replicas } => out.resize(replicas, false),
+            CodeSpec::ReedSolomon { k, m } => {
+                out.extend((0..k + m).map(|p| p < k && p >= real_data));
             }
-            CodecInstance::Lrc(lrc) => {
-                let spec = lrc.lrc_spec();
+            CodeSpec::Lrc(spec) => {
                 let k = spec.k;
                 let g = spec.global_parities;
                 let n = spec.total_blocks();
@@ -213,6 +244,8 @@ impl CodecInstance {
             }
             CodecInstance::Rs(rs) => rs.reconstruct(shards).map(|_| ()),
             CodecInstance::Lrc(lrc) => lrc.reconstruct(shards).map(|_| ()),
+            CodecInstance::RsWide(rs) => rs.reconstruct(shards).map(|_| ()),
+            CodecInstance::LrcWide(lrc) => lrc.reconstruct(shards).map(|_| ()),
         }
     }
 }
@@ -290,5 +323,45 @@ mod tests {
     #[test]
     fn build_rejects_degenerate_replication() {
         assert!(CodecInstance::build(CodeSpec::Replication { replicas: 1 }).is_err());
+    }
+
+    #[test]
+    fn wide_specs_build_over_gf65536_and_keep_repair_local() {
+        // 260-lane stripes exceed GF(2^8); build must pick the wide
+        // field automatically and plan with the real wide codecs.
+        let lrc = CodecInstance::build(CodeSpec::LRC_WIDE).unwrap();
+        assert!(matches!(lrc, CodecInstance::LrcWide(_)));
+        assert_eq!(lrc.total_blocks(), 260);
+        let plan = lrc.repair_plan_for(&[3], &[3]).unwrap();
+        assert!(plan.is_light());
+        assert_eq!(plan.blocks_read(), 10);
+
+        let rs = CodecInstance::build(CodeSpec::RS_200_60).unwrap();
+        assert!(matches!(rs, CodecInstance::RsWide(_)));
+        let plan = rs.repair_plan_for(&[3], &[3]).unwrap();
+        assert!(!plan.is_light());
+        assert_eq!(plan.blocks_read(), 200);
+
+        // Narrow specs keep the GF(2^8) instantiation.
+        assert!(matches!(
+            CodecInstance::build(CodeSpec::RS_10_4).unwrap(),
+            CodecInstance::Rs(_)
+        ));
+    }
+
+    #[test]
+    fn wide_lrc_payload_round_trip() {
+        // Verify-mode arithmetic through the GF(2^16) codec: encode all
+        // 260 lanes from 200 data payloads and restore a mixed failure.
+        let c = CodecInstance::build(CodeSpec::LRC_WIDE).unwrap();
+        let data: Vec<Vec<u8>> = (0..200).map(|i| vec![(i % 251) as u8 + 1; 16]).collect();
+        let stripe = c.encode_payloads(&data).unwrap();
+        assert_eq!(stripe.len(), 260);
+        let mut shards: Vec<Option<Vec<u8>>> = stripe.iter().cloned().map(Some).collect();
+        shards[0] = None; // data lane
+        shards[230] = None; // global parity lane
+        c.reconstruct_payloads(&mut shards).unwrap();
+        assert_eq!(shards[0].as_ref().unwrap(), &stripe[0]);
+        assert_eq!(shards[230].as_ref().unwrap(), &stripe[230]);
     }
 }

@@ -128,6 +128,25 @@ impl ClusterScale {
         }
     }
 
+    /// A wide-stripe testbed: 300 nodes — enough machines that a
+    /// 260-lane stripe (e.g. [`CodeSpec::LRC_WIDE`] or
+    /// [`CodeSpec::RS_200_60`]) still spreads roughly one block per
+    /// node — with a namespace small enough (~35 simulated blocks per
+    /// node at 64-physical-block granularity) for a multi-seed
+    /// Monte-Carlo comparison to run inside a unit test.
+    pub fn wide_stripe_testbed() -> Self {
+        Self {
+            nodes: 300,
+            racks: 30,
+            nic_bps: 1e9,
+            core_bps: 2e11,
+            map_slots_per_node: 2,
+            physical_block_bytes: 256 << 20,
+            block_scale: 64,
+            total_bytes: 180_000_000_000_000, // 180 TB stored
+        }
+    }
+
     /// Bytes per simulated block.
     pub fn sim_block_bytes(&self) -> u64 {
         self.physical_block_bytes * self.block_scale

@@ -36,11 +36,12 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
+use std::rc::Rc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use xorbas_core::{RepairSession, StripeViewMut};
+use xorbas_core::{CodeError, RepairPlan, RepairSession, StripeViewMut};
 
 use crate::arena::StripeArena;
 use crate::codecs::CodecInstance;
@@ -251,6 +252,16 @@ pub struct Simulation {
     /// The BlockFixer replays the same few patterns across thousands of
     /// stripes, so each pattern's decode solve runs exactly once.
     session_cache: FastMap<Vec<usize>, RepairSession>,
+    /// Repair plans, keyed by the `unavailable ++ [MAX] ++ targets`
+    /// pattern encoding. Wide stripes make *planning* itself expensive —
+    /// an RS(200, 60) heavy plan runs a 200-column rank selection — and
+    /// the simulator replays the same few patterns across thousands of
+    /// stripes, so plans are memoized like compiled sessions. `Rc` keeps
+    /// cache hits clone-free.
+    plan_cache: FastMap<Vec<usize>, Rc<RepairPlan>>,
+    /// Reused scratch for plan-cache key encoding (hit lookups allocate
+    /// nothing; only misses move a key into the cache).
+    plan_key_scratch: Vec<usize>,
 }
 
 impl Simulation {
@@ -293,7 +304,45 @@ impl Simulation {
             exclude_scratch: Vec::new(),
             scan_scratch: Vec::new(),
             session_cache: FastMap::default(),
+            plan_cache: FastMap::default(),
+            plan_key_scratch: Vec::new(),
             cfg,
+        }
+    }
+
+    /// [`CodecInstance::repair_plan_for`] through the pattern memo:
+    /// recoverable plans are cached once and shared out by `Rc`;
+    /// unrecoverable patterns stay uncached (they abandon the stripe
+    /// exactly once). Hits allocate nothing: the key is encoded into a
+    /// reused scratch buffer (`usize::MAX` separates the two index
+    /// lists, which never contain it) and looked up as a slice.
+    fn plan_cached(
+        &mut self,
+        unavailable: &[usize],
+        targets: &[usize],
+    ) -> Result<Rc<RepairPlan>, CodeError> {
+        let mut key = std::mem::take(&mut self.plan_key_scratch);
+        key.clear();
+        key.extend_from_slice(unavailable);
+        key.push(usize::MAX);
+        key.extend_from_slice(targets);
+        if let Some(plan) = self.plan_cache.get(key.as_slice()) {
+            let plan = Rc::clone(plan);
+            self.plan_key_scratch = key;
+            return Ok(plan);
+        }
+        match self.codec.repair_plan_for(unavailable, targets) {
+            Ok(p) => {
+                let plan = Rc::new(p);
+                // `key` moves into the cache; the scratch slot was left
+                // empty by `take` and refills on the next call.
+                self.plan_cache.insert(key, Rc::clone(&plan));
+                Ok(plan)
+            }
+            Err(e) => {
+                self.plan_key_scratch = key;
+                Err(e)
+            }
         }
     }
 
@@ -878,7 +927,7 @@ impl Simulation {
             let mut unavailable = std::mem::take(&mut self.pos_scratch);
             self.hdfs
                 .unavailable_positions_into(stripe, &mut unavailable);
-            let plan = self.codec.repair_plan_for(&unavailable, &targets);
+            let plan = self.plan_cached(&unavailable, &targets);
             self.pos_scratch = unavailable;
             let plan = match plan {
                 Ok(plan) => plan,
@@ -891,7 +940,7 @@ impl Simulation {
             // block (each opening its own streams); our codec plans one
             // heavy task per stripe, so split it when mirroring the
             // deployed system. Light tasks are already per-block.
-            let mut ptasks = plan.tasks;
+            let mut ptasks = plan.tasks.clone();
             if self.cfg.read_policy == ReadPolicy::Deployed {
                 ptasks = ptasks
                     .into_iter()
@@ -1115,7 +1164,7 @@ impl Simulation {
                 let read_positions: Vec<usize> = if light {
                     // The planned light reads were fixed at scan time; they
                     // remain exactly the repair group, re-derived here.
-                    let plan = match self.codec.repair_plan_for(&unavailable, &still_lost) {
+                    let plan = match self.plan_cached(&unavailable, &still_lost) {
                         Ok(p) => p,
                         Err(_) => {
                             self.pos_scratch = unavailable;
@@ -1141,7 +1190,7 @@ impl Simulation {
                             .filter(|p| !unavailable.contains(p))
                             .collect(),
                         ReadPolicy::Minimal => {
-                            let plan = match self.codec.repair_plan_for(&unavailable, &still_lost) {
+                            let plan = match self.plan_cached(&unavailable, &still_lost) {
                                 Ok(p) => p,
                                 Err(_) => {
                                     self.pos_scratch = unavailable;
@@ -1196,7 +1245,7 @@ impl Simulation {
                 let mut unavailable = std::mem::take(&mut self.pos_scratch);
                 self.hdfs
                     .unavailable_positions_into(stripe, &mut unavailable);
-                let plan = self.codec.repair_plan_for(&unavailable, &[meta.pos]);
+                let plan = self.plan_cached(&unavailable, &[meta.pos]);
                 self.pos_scratch = unavailable;
                 let plan = match plan {
                     Ok(p) => p,
@@ -1235,7 +1284,7 @@ impl Simulation {
                     .unavailable_positions_into(stripe, &mut unavailable);
                 unavailable.push(pos);
                 unavailable.sort_unstable();
-                let plan = self.codec.repair_plan_for(&unavailable, &[pos]);
+                let plan = self.plan_cached(&unavailable, &[pos]);
                 self.pos_scratch = unavailable;
                 let plan = plan.ok()?;
                 let mut positions = std::mem::take(&mut self.stripe_scratch);

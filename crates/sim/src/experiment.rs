@@ -332,6 +332,36 @@ impl ScaleScenario {
         }
     }
 
+    /// The wide-stripe comparison scenario: the 300-node
+    /// [`ClusterScale::wide_stripe_testbed`], one simulated week of node
+    /// failures at the warehouse per-node rate (3000 nodes ≈ 20/day →
+    /// 300 nodes ≈ 2/day), machines replaced within 12 hours,
+    /// [`ReadPolicy::Minimal`] so per-lost-block reads measure the
+    /// codec's information-theoretic locality. Drive it through
+    /// [`compare_codes`] to pit the paper's (10,6,5) against a wide
+    /// layout ([`CodeSpec::LRC_WIDE`], [`CodeSpec::RS_200_60`]): wider
+    /// stripes halve the storage overhead (1.3x vs 1.6x) while the LRC's
+    /// group structure keeps repair reads bounded by the group, not the
+    /// stripe — RS(200, 60) at the same overhead reads 200 blocks per
+    /// repair.
+    pub fn wide_stripe_mode(code: CodeSpec) -> Self {
+        Self {
+            scale: ClusterScale::wide_stripe_testbed(),
+            code,
+            days: 7,
+            trace: TraceConfig {
+                days: 7,
+                base_mean: 2.0,
+                burst_prob: 0.0,
+                burst_mean: 1.0,
+            },
+            revive_delay: SimTime::from_mins(12 * 60),
+            probe_blocks: 0,
+            probe_every_days: 0,
+            read_policy: ReadPolicy::Minimal,
+        }
+    }
+
     /// A minutes-fast variant for CI: a 60-node slice of the warehouse
     /// (same per-node load, same failure *rate per node*), two simulated
     /// weeks, no probes. Small enough for a multi-seed Monte-Carlo run
@@ -575,6 +605,25 @@ pub fn monte_carlo(sc: &ScaleScenario, seeds: &[u64]) -> MonteCarloReport {
     }
 }
 
+/// Runs the same scenario template under two redundancy schemes and the
+/// same seeds. Returns both reports and the a-over-b ratio of mean
+/// per-lost-block repair reads.
+pub fn compare_codes(
+    sc_template: &ScaleScenario,
+    code_a: CodeSpec,
+    code_b: CodeSpec,
+    seeds: &[u64],
+) -> (MonteCarloReport, MonteCarloReport, f64) {
+    let mut a = sc_template.clone();
+    a.code = code_a;
+    let mut b = sc_template.clone();
+    b.code = code_b;
+    let a_report = monte_carlo(&a, seeds);
+    let b_report = monte_carlo(&b, seeds);
+    let ratio = a_report.blocks_read_per_lost_block.mean / b_report.blocks_read_per_lost_block.mean;
+    (a_report, b_report, ratio)
+}
+
 /// The headline §5 comparison: RS (10,4) vs LRC (10,6,5) repair traffic
 /// per lost block under the same scenario and seeds. Returns both
 /// reports and the RS/LRC ratio of mean per-lost-block reads (the paper
@@ -583,15 +632,7 @@ pub fn compare_repair_traffic(
     sc_template: &ScaleScenario,
     seeds: &[u64],
 ) -> (MonteCarloReport, MonteCarloReport, f64) {
-    let mut rs = sc_template.clone();
-    rs.code = CodeSpec::RS_10_4;
-    let mut lrc = sc_template.clone();
-    lrc.code = CodeSpec::LRC_10_6_5;
-    let rs_report = monte_carlo(&rs, seeds);
-    let lrc_report = monte_carlo(&lrc, seeds);
-    let ratio =
-        rs_report.blocks_read_per_lost_block.mean / lrc_report.blocks_read_per_lost_block.mean;
-    (rs_report, lrc_report, ratio)
+    compare_codes(sc_template, CodeSpec::RS_10_4, CodeSpec::LRC_10_6_5, seeds)
 }
 
 #[cfg(test)]
@@ -669,6 +710,42 @@ mod tests {
         assert!(a.failures_injected > 0, "two weeks see failures");
         assert_eq!(a.blocks_repaired, a.blocks_lost, "everything repaired");
         assert_eq!(a.data_loss_stripes, 0);
+    }
+
+    /// The wide-stripe scenario gate: the paper's (10,6,5) against the
+    /// (200, 60, 10)-class wide LRC on the 300-node testbed. Wider
+    /// stripes halve the storage overhead (1.3x vs 1.6x); the group
+    /// structure must keep repair reads near the 10-lane group (data
+    /// and local-parity failures read 10, the 40-of-260 global-parity
+    /// failures read 59), nowhere near the 200 an MDS code of equal
+    /// overhead pays.
+    #[test]
+    fn wide_stripe_scenario_keeps_repair_local() {
+        let sc = ScaleScenario::wide_stripe_mode(CodeSpec::LRC_WIDE);
+        let (wide, narrow, ratio) =
+            compare_codes(&sc, CodeSpec::LRC_WIDE, CodeSpec::LRC_10_6_5, &[9, 21]);
+        for r in wide.runs.iter().chain(&narrow.runs) {
+            assert!(r.failures_injected > 0, "a week must see failures");
+            assert!(r.blocks_lost > 0);
+        }
+        assert!(
+            narrow.blocks_read_per_lost_block.mean < 6.5,
+            "narrow LRC reads {}",
+            narrow.blocks_read_per_lost_block
+        );
+        // Expected wide mean ≈ (220·10 + 40·59) / 260 ≈ 17.5.
+        assert!(
+            (9.0..25.0).contains(&wide.blocks_read_per_lost_block.mean),
+            "wide LRC reads {}",
+            wide.blocks_read_per_lost_block
+        );
+        assert!(
+            (1.5..5.0).contains(&ratio),
+            "wide/narrow read ratio {ratio}"
+        );
+        // A week of single-node failures with 12 h replacement never
+        // exceeds the wide code's tolerance.
+        assert_eq!(wide.data_loss_stripes.mean, 0.0);
     }
 
     /// The acceptance gate for the Monte-Carlo driver: the §5 headline

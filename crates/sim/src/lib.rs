@@ -60,8 +60,8 @@ pub use codecs::CodecInstance;
 pub use config::{ClusterConfig, ClusterScale, ComputeRates, ReadPolicy, SimConfig};
 pub use engine::Simulation;
 pub use experiment::{
-    monte_carlo, run_scale_scenario, ConfidenceInterval, MonteCarloReport, ScaleScenario,
-    ScenarioRun,
+    compare_codes, compare_repair_traffic, monte_carlo, run_scale_scenario, ConfidenceInterval,
+    MonteCarloReport, ScaleScenario, ScenarioRun,
 };
 pub use hdfs::{BlockId, FileId, Hdfs, NodeId, Placement, StripeId};
 pub use metrics::{BucketSeries, Metrics};

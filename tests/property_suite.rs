@@ -5,11 +5,13 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use std::sync::OnceLock;
+
 use xorbas::codes::analysis::{combinations, minimum_distance};
 use xorbas::codes::bounds::lrc_distance_bound;
 use xorbas::codes::peeling::{peel, XorEquation};
 use xorbas::codes::{encode_into_parallel, ErasureCodec, Lrc, LrcSpec, ReedSolomon, StripeViewMut};
-use xorbas::gf::{Field, Gf256};
+use xorbas::gf::{Field, Gf256, Gf65536};
 use xorbas::linalg::{special, Matrix};
 
 /// Payload lengths mixing byte-scale cases (serial fallback, odd tails)
@@ -80,6 +82,27 @@ fn assert_apis_agree<C: ErasureCodec + Sync>(
         prop_assert_eq!(&lanes[i], &stripe[i], "lane {} round trip", i);
     }
     Ok(())
+}
+
+/// The wide (200, 60, 10)-class LRC over GF(2^16) — 260 lanes, past the
+/// GF(2^8) ceiling. Built once: the generator construction, not the
+/// per-case arithmetic, is the expensive part of wide-stripe testing.
+fn wide_lrc() -> &'static Lrc<Gf65536> {
+    static WIDE: OnceLock<Lrc<Gf65536>> = OnceLock::new();
+    WIDE.get_or_init(|| Lrc::new(LrcSpec::WIDE).expect("wide LRC builds"))
+}
+
+/// The RS(200, 60) wide-stripe MDS contrast, built once.
+fn wide_rs() -> &'static ReedSolomon<Gf65536> {
+    static WIDE: OnceLock<ReedSolomon<Gf65536>> = OnceLock::new();
+    WIDE.get_or_init(|| ReedSolomon::new(200, 60).expect("wide RS builds"))
+}
+
+/// Even payload lengths for 2-byte-symbol codecs: byte-scale cases plus
+/// shard-scale ones that make `encode_into_parallel` really split.
+fn arb_even_payload_len() -> impl Strategy<Value = usize> {
+    (any::<bool>(), 1usize..48, 8_192usize..20_000)
+        .prop_map(|(small, a, b)| if small { a * 2 } else { b * 2 })
 }
 
 /// Strategy: valid small LRC specs (k ≤ 12, r | k, g ≤ 4).
@@ -218,6 +241,80 @@ proptest! {
         erased.sort_unstable();
         assert_apis_agree(&lrc, &data, &erased, threads)?;
     }
+
+}
+
+proptest! {
+    // Wide-stripe cases run a 200-column heavy solve apiece, so this
+    // block keeps its case count low; coverage comes from the targeted
+    // pattern mix, not volume.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Wide-stripe equivalence at n = 260 > 255: the owned API, the
+    /// zero-copy API, serial and parallel encode, and `RepairSession`
+    /// replay agree bit-for-bit over GF(2^16) for failure patterns
+    /// spanning the light decoder (cross-group), the heavy decoder
+    /// (same-group pairs), and parity losses.
+    #[test]
+    fn wide_lrc_owned_and_zero_copy_apis_agree(
+        len in arb_even_payload_len(),
+        threads in 1usize..=4,
+        seed in any::<u64>(),
+        pattern_seed in any::<u64>(),
+        clustered in any::<bool>(),
+        extra in 0usize..=2,
+    ) {
+        let lrc = wide_lrc();
+        let n = lrc.total_blocks();
+        let data = seeded_data(200, len, seed);
+        let mut rng = StdRng::seed_from_u64(pattern_seed);
+        use rand::Rng;
+        let mut erased: Vec<usize> = if clustered {
+            // Two failures inside one data group: forces the heavy
+            // decoder (a random pair across 260 lanes almost never
+            // lands in one group).
+            let g: usize = rng.gen_range(0..20);
+            vec![
+                g * 10 + rng.gen_range(0..5usize),
+                g * 10 + 5 + rng.gen_range(0..5usize),
+            ]
+        } else {
+            Vec::new()
+        };
+        for _ in 0..extra {
+            erased.push(rng.gen_range(0..n));
+        }
+        erased.sort_unstable();
+        erased.dedup();
+        assert_apis_agree(lrc, &data, &erased, threads)?;
+    }
+
+    /// Wide RS at the same blocklength: any pattern within the erasure
+    /// tolerance round-trips through the same four surfaces (every RS
+    /// repair is a heavy 200-column solve).
+    #[test]
+    fn wide_rs_owned_and_zero_copy_apis_agree(
+        len in arb_even_payload_len(),
+        threads in 1usize..=4,
+        seed in any::<u64>(),
+        pattern_seed in any::<u64>(),
+        erased_count in 0usize..=3,
+    ) {
+        let rs = wide_rs();
+        let data = seeded_data(200, len, seed);
+        let mut rng = StdRng::seed_from_u64(pattern_seed);
+        use rand::Rng;
+        let mut erased: Vec<usize> = (0..erased_count)
+            .map(|_| rng.gen_range(0..rs.total_blocks()))
+            .collect();
+        erased.sort_unstable();
+        erased.dedup();
+        assert_apis_agree(rs, &data, &erased, threads)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Peeling soundness: whatever the decoder resolves satisfies the
     /// original equations exactly.
