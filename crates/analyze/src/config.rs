@@ -1,0 +1,106 @@
+//! Analyzer configuration: which rules run, where the project-specific
+//! anchors live, and the escape hatches. The defaults encode this
+//! repository's policy; the fixture tests override `root` and narrow
+//! `rules` to exercise one rule at a time.
+
+use std::path::PathBuf;
+
+/// Names of every shipped rule, in reporting order.
+pub const ALL_RULES: [&str; 6] = [
+    "unsafe-containment",
+    "safety-comment-coverage",
+    "dispatch-completeness",
+    "hot-path-no-alloc",
+    "no-panic-in-lib",
+    "env-knob-registry",
+];
+
+/// Meta-rule name for malformed `xlint::` directives themselves.
+pub const DIRECTIVE_RULE: &str = "xlint-directive";
+
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root to analyze.
+    pub root: PathBuf,
+    /// Enabled rules (subset of [`ALL_RULES`]).
+    pub rules: Vec<&'static str>,
+    /// Files allowed to contain `unsafe` (relative, forward slashes).
+    pub unsafe_allowlist: Vec<String>,
+    /// The file holding the `KernelSuite`/`KernelBackend` dispatch
+    /// tables that `dispatch-completeness` parses.
+    pub dispatch_file: String,
+    /// `(suite static name fragment, required fn-name prefix)` pairs:
+    /// every field of a suite whose name contains the fragment must
+    /// mention the prefix (catches a backend wired to another backend's
+    /// kernels).
+    pub backend_prefixes: Vec<(String, String)>,
+    /// The checked-in no-panic baseline, relative to `root`.
+    pub baseline_path: String,
+    /// The knob-registry document, relative to `root`.
+    pub arch_doc: String,
+    /// `(file, marker)` pairs: each file must carry a
+    /// `xlint::hot-path(marker)` annotation so the guarantee cannot be
+    /// deleted silently.
+    pub required_hot_paths: Vec<(String, String)>,
+    /// Rewrite the baseline instead of diffing against it.
+    pub update_baseline: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            root: PathBuf::from("."),
+            rules: ALL_RULES.to_vec(),
+            unsafe_allowlist: vec![
+                // The single sanctioned unsafe surface: the SIMD kernels.
+                "crates/gf/src/simd.rs".to_owned(),
+                // The counting global allocator behind the zero-alloc pins.
+                "crates/core/tests/zero_alloc.rs".to_owned(),
+            ],
+            dispatch_file: "crates/gf/src/simd.rs".to_owned(),
+            backend_prefixes: vec![
+                ("SSSE3_SUITE".to_owned(), "ssse3_".to_owned()),
+                ("AVX2_SUITE".to_owned(), "avx2_".to_owned()),
+            ],
+            baseline_path: "crates/analyze/no_panic_baseline.txt".to_owned(),
+            arch_doc: "docs/ARCHITECTURE.md".to_owned(),
+            required_hot_paths: vec![
+                (
+                    "crates/core/src/session.rs".to_owned(),
+                    "session-replay".to_owned(),
+                ),
+                (
+                    "crates/gf/src/slice_ops.rs".to_owned(),
+                    "payload-ops".to_owned(),
+                ),
+                (
+                    "crates/gf/src/simd.rs".to_owned(),
+                    "scalar-kernels".to_owned(),
+                ),
+                ("crates/gf/src/simd.rs".to_owned(), "x86-kernels".to_owned()),
+                (
+                    "crates/sim/src/engine.rs".to_owned(),
+                    "event-loop".to_owned(),
+                ),
+                (
+                    "crates/sim/src/network.rs".to_owned(),
+                    "rate-recompute".to_owned(),
+                ),
+            ],
+            update_baseline: false,
+        }
+    }
+}
+
+impl Config {
+    /// A configuration for one rule over an arbitrary tree — what the
+    /// fixture self-tests use.
+    pub fn for_rule(root: impl Into<PathBuf>, rule: &'static str) -> Self {
+        Self {
+            root: root.into(),
+            rules: vec![rule],
+            required_hot_paths: Vec::new(),
+            ..Self::default()
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! A minimal, literal-aware Rust lexer.
+//!
+//! The analysis rules all work on *token text*, so the only job of this
+//! lexer is to split each source line into the part that is code and
+//! the part that is comment — without being fooled by `unsafe` inside a
+//! string literal, `SAFETY:` inside a doc example, `//` inside a URL
+//! string, or a brace inside a `char` literal. It understands:
+//!
+//! * line comments (`//`), doc line comments (`///`, `//!`),
+//! * block comments (`/* */`, nested, `/** */`, `/*! */`),
+//! * string literals with escapes (`"…\"…"`), byte strings (`b"…"`),
+//! * raw strings with any hash depth (`r"…"`, `r#"…"#`, `br##"…"##`),
+//! * char and byte-char literals (`'x'`, `'\n'`, `b'\''`) versus
+//!   lifetimes (`'a`) and loop labels (`'outer:`).
+//!
+//! Literal *contents* are blanked to spaces in the code text (the
+//! delimiters are kept), so token searches never match inside them and
+//! column positions stay meaningful. Comment text is collected verbatim
+//! per line, with the line flagged when any of it is documentation.
+
+/// One physical source line, split into code and comment channels.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// The line with comments removed and literal contents blanked.
+    pub code: String,
+    /// All comment text on the line (markers included), concatenated.
+    pub comment: String,
+    /// Whether any comment on this line is a doc comment.
+    pub doc: bool,
+}
+
+impl Line {
+    /// True when the line carries no code tokens (blank or pure comment).
+    pub fn is_blank_or_comment(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+enum Mode {
+    Code,
+    LineComment,
+    /// `usize`: nesting depth; `bool`: the comment is a doc comment.
+    BlockComment(usize, bool),
+    /// Inside `"…"` or `b"…"` (escape-aware).
+    Str,
+    /// Inside `r#…"…"#…` with the given hash count.
+    RawStr(usize),
+}
+
+/// Splits `src` into per-line code/comment channels. Always returns at
+/// least one line; a trailing newline does not produce a phantom line.
+pub fn lex(src: &str) -> Vec<Line> {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line::default();
+    let mut mode = Mode::Code;
+    let mut i = 0;
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(mode, Mode::LineComment) {
+                mode = Mode::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            if let Mode::BlockComment(_, doc) = mode {
+                cur.doc = doc;
+            }
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    let c2 = chars.get(i + 2).copied();
+                    let doc = c2 == Some('!')
+                        || (c2 == Some('/') && chars.get(i + 3).copied() != Some('/'));
+                    cur.doc |= doc;
+                    cur.comment.push_str("//");
+                    mode = Mode::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    let c2 = chars.get(i + 2).copied();
+                    let doc = c2 == Some('!') || (c2 == Some('*') && c2 != Some('/'));
+                    cur.doc |= doc;
+                    cur.comment.push_str("/*");
+                    mode = Mode::BlockComment(1, doc);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                } else if c == 'r' && (i == 0 || !is_ident(chars[i - 1])) {
+                    // Possible raw string: r"…" or r#"…"#.
+                    let mut h = 0;
+                    while chars.get(i + 1 + h).copied() == Some('#') {
+                        h += 1;
+                    }
+                    if chars.get(i + 1 + h).copied() == Some('"') {
+                        cur.code.push('r');
+                        for _ in 0..h {
+                            cur.code.push('#');
+                        }
+                        cur.code.push('"');
+                        mode = Mode::RawStr(h);
+                        i += 2 + h;
+                    } else {
+                        cur.code.push('r');
+                        i += 1;
+                    }
+                } else if c == 'b' && (i == 0 || !is_ident(chars[i - 1])) {
+                    // b"…" byte string or br#"…"# raw byte string; a
+                    // byte-char b'…' falls through to the '\'' arm.
+                    if next == Some('"') {
+                        cur.code.push_str("b\"");
+                        mode = Mode::Str;
+                        i += 2;
+                    } else if next == Some('r') {
+                        let mut h = 0;
+                        while chars.get(i + 2 + h).copied() == Some('#') {
+                            h += 1;
+                        }
+                        if chars.get(i + 2 + h).copied() == Some('"') {
+                            cur.code.push_str("br");
+                            for _ in 0..h {
+                                cur.code.push('#');
+                            }
+                            cur.code.push('"');
+                            mode = Mode::RawStr(h);
+                            i += 3 + h;
+                        } else {
+                            cur.code.push('b');
+                            i += 1;
+                        }
+                    } else {
+                        cur.code.push('b');
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal vs lifetime/label. A literal is
+                    // either '\…' (escape) or 'x' with a closing quote
+                    // right after one character.
+                    if next == Some('\\') {
+                        cur.code.push('\'');
+                        let mut j = i + 2;
+                        while j < n && chars[j] != '\'' && chars[j] != '\n' {
+                            cur.code.push(' ');
+                            j += if chars[j] == '\\' { 2 } else { 1 };
+                        }
+                        if chars.get(j).copied() == Some('\'') {
+                            cur.code.push('\'');
+                            j += 1;
+                        }
+                        i = j;
+                    } else if next.is_some() && chars.get(i + 2).copied() == Some('\'') {
+                        cur.code.push_str("' '");
+                        i += 3;
+                    } else {
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            Mode::BlockComment(depth, doc) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    cur.comment.push_str("*/");
+                    if depth == 1 {
+                        mode = Mode::Code;
+                    } else {
+                        mode = Mode::BlockComment(depth - 1, doc);
+                    }
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    cur.comment.push_str("/*");
+                    mode = Mode::BlockComment(depth + 1, doc);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    // Escape: blank it; a backslash before a newline is
+                    // a line continuation (leave the newline for the
+                    // outer loop so the line still flushes).
+                    cur.code.push(' ');
+                    if chars.get(i + 1).copied() == Some('\n') {
+                        i += 1;
+                    } else {
+                        if chars.get(i + 1).is_some() {
+                            cur.code.push(' ');
+                        }
+                        i += 2;
+                    }
+                } else if c == '"' {
+                    cur.code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(h) => {
+                if c == '"' && (0..h).all(|k| chars.get(i + 1 + k).copied() == Some('#')) {
+                    cur.code.push('"');
+                    for _ in 0..h {
+                        cur.code.push('#');
+                    }
+                    mode = Mode::Code;
+                    i += 1 + h;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() || lines.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lex;
+
+    #[test]
+    fn strings_are_blanked_but_comments_kept() {
+        let l = lex("let s = \"unsafe { }\"; // SAFETY: not really");
+        assert_eq!(l.len(), 1);
+        assert!(!l[0].code.contains("unsafe"));
+        assert!(l[0].code.contains("let s ="));
+        assert!(l[0].comment.contains("SAFETY: not really"));
+        assert!(!l[0].doc);
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let l = lex("/// # Safety\n//! inner\n//// not doc\n// plain");
+        assert!(l[0].doc && l[0].comment.contains("# Safety"));
+        assert!(l[1].doc);
+        assert!(!l[2].doc);
+        assert!(!l[3].doc);
+    }
+
+    #[test]
+    fn raw_strings_span_lines() {
+        let l = lex("let r = r#\"unsafe\nstill \"in\" string\n\"#;");
+        assert!(!l[0].code.contains("unsafe"));
+        assert!(l[1].code.trim().chars().all(|c| c == ' ' || c == '"'));
+        assert!(l[2].code.contains("\"#"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = '{'; let d = '\\''; }");
+        let code = &l[0].code;
+        // The literal brace is blanked; the real braces survive.
+        assert_eq!(code.matches('{').count(), 1);
+        assert_eq!(code.matches('}').count(), 1);
+        assert!(code.contains("<'a>"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* one /* two */ still */ b");
+        assert!(l[0].code.contains('a') && l[0].code.contains('b'));
+        assert!(!l[0].code.contains("still"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let l = lex("let x = b\"unsafe\"; let y = b'u'; let z = br#\"vec!\"#;");
+        assert!(!l[0].code.contains("unsafe"));
+        assert!(!l[0].code.contains("vec!"));
+    }
+}

@@ -1,0 +1,336 @@
+//! `dispatch-completeness`: proves the `KernelSuite` fn-pointer tables
+//! stay complete and correctly wired as ops land.
+//!
+//! rustc already rejects a *missing* field in a struct literal — unless
+//! someone reaches for `..` functional update, which is exactly the
+//! silent-fallback vector this rule closes. Beyond that it checks what
+//! the compiler cannot:
+//!
+//! * every `KernelBackend` variant has a `KernelSuite` initializer
+//!   whose `backend:` field names it (a new backend can't ship half a
+//!   table by never constructing it);
+//! * every suite assigns every field, with no `..` spread;
+//! * each SIMD suite's entries reference its own kernels (an `AVX2`
+//!   table wired to `ssse3_*` — a plausible copy-paste — is flagged);
+//! * the `KernelBackend::ALL` constant lists every variant (runtime
+//!   backend enumeration, used by tests/benches, can't skip one).
+
+use crate::config::Config;
+use crate::diag::{Diagnostic, Report};
+use crate::workspace::Workspace;
+use crate::workspace::{matching_brace, SourceFile};
+
+pub const NAME: &str = "dispatch-completeness";
+
+pub fn run(ws: &Workspace, cfg: &Config, report: &mut Report) {
+    let Some(f) = ws.file(&cfg.dispatch_file) else {
+        report.diagnostics.push(Diagnostic::new(
+            NAME,
+            &cfg.dispatch_file,
+            0,
+            "dispatch file not found in the workspace".to_owned(),
+        ));
+        return;
+    };
+
+    let Some(fields) = struct_fields(f, "KernelSuite") else {
+        report.diagnostics.push(Diagnostic::new(
+            NAME,
+            &f.rel,
+            0,
+            "could not locate `struct KernelSuite { … }`".to_owned(),
+        ));
+        return;
+    };
+    let Some(variants) = enum_variants(f, "KernelBackend") else {
+        report.diagnostics.push(Diagnostic::new(
+            NAME,
+            &f.rel,
+            0,
+            "could not locate `enum KernelBackend { … }`".to_owned(),
+        ));
+        return;
+    };
+
+    let inits = suite_initializers(f);
+    if inits.is_empty() {
+        report.diagnostics.push(Diagnostic::new(
+            NAME,
+            &f.rel,
+            0,
+            "no `KernelSuite` initializers found".to_owned(),
+        ));
+        return;
+    }
+
+    let mut backends_with_suites: Vec<String> = Vec::new();
+    for init in &inits {
+        if init.has_spread {
+            report.diagnostics.push(Diagnostic::new(
+                NAME,
+                &f.rel,
+                init.line,
+                format!(
+                    "`{}` uses `..` functional update; every kernel entry must be \
+                     assigned explicitly so a new op cannot silently inherit a fallback",
+                    init.name
+                ),
+            ));
+        }
+        for field in &fields {
+            if !init.fields.iter().any(|(n, _, _)| n == field) {
+                report.diagnostics.push(Diagnostic::new(
+                    NAME,
+                    &f.rel,
+                    init.line,
+                    format!(
+                        "`{}` does not assign `KernelSuite` field `{field}`",
+                        init.name
+                    ),
+                ));
+            }
+        }
+        for (n, line, _) in &init.fields {
+            if !fields.contains(n) {
+                report.diagnostics.push(Diagnostic::new(
+                    NAME,
+                    &f.rel,
+                    *line,
+                    format!(
+                        "`{}` assigns `{n}`, which is not a `KernelSuite` field",
+                        init.name
+                    ),
+                ));
+            }
+        }
+        if let Some((_, _, value)) = init.fields.iter().find(|(n, _, _)| n == "backend") {
+            for v in &variants {
+                if value.contains(&format!("KernelBackend::{v}")) {
+                    backends_with_suites.push(v.clone());
+                }
+            }
+        }
+        for (fragment, prefix) in &cfg.backend_prefixes {
+            if !init.name.contains(fragment.as_str()) {
+                continue;
+            }
+            for (n, line, value) in &init.fields {
+                if n != "backend" && !value.contains(prefix.as_str()) {
+                    report.diagnostics.push(Diagnostic::new(
+                        NAME,
+                        &f.rel,
+                        *line,
+                        format!(
+                            "`{}` field `{n}` does not reference a `{prefix}*` kernel; \
+                             a backend wired to another backend's implementation \
+                             defeats the per-backend test matrix",
+                            init.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for v in &variants {
+        if !backends_with_suites.contains(v) {
+            report.diagnostics.push(Diagnostic::new(
+                NAME,
+                &f.rel,
+                0,
+                format!("no `KernelSuite` initializer sets `backend: KernelBackend::{v}`"),
+            ));
+        }
+    }
+
+    if let Some((all_line, all_text)) = const_all_text(f) {
+        for v in &variants {
+            if !all_text.contains(&format!("KernelBackend::{v}")) {
+                report.diagnostics.push(Diagnostic::new(
+                    NAME,
+                    &f.rel,
+                    all_line,
+                    format!("`KernelBackend::ALL` is missing variant `{v}`"),
+                ));
+            }
+        }
+    } else {
+        report.diagnostics.push(Diagnostic::new(
+            NAME,
+            &f.rel,
+            0,
+            "could not locate `const ALL: [KernelBackend; …]`".to_owned(),
+        ));
+    }
+}
+
+/// `(name, end-exclusive line, …)` of a braced region opened on the
+/// first line whose code satisfies `pred`.
+fn braced_region(f: &SourceFile, pred: impl Fn(&str) -> bool) -> Option<(usize, usize)> {
+    let start = f.lines.iter().position(|l| pred(&l.code))?;
+    let end = matching_brace(&f.lines, start, 0)?;
+    Some((start, end))
+}
+
+fn struct_fields(f: &SourceFile, name: &str) -> Option<Vec<String>> {
+    let (start, end) = braced_region(f, |c| c.contains(&format!("struct {name}")))?;
+    let mut fields = Vec::new();
+    for li in depth_one_lines(f, start, end) {
+        if let Some(field) = leading_field_name(&f.lines[li].code) {
+            fields.push(field);
+        }
+    }
+    Some(fields)
+}
+
+fn enum_variants(f: &SourceFile, name: &str) -> Option<Vec<String>> {
+    let (start, end) = braced_region(f, |c| c.contains(&format!("enum {name}")))?;
+    let mut variants = Vec::new();
+    for li in depth_one_lines(f, start, end) {
+        let t = f.lines[li].code.trim();
+        let ident: String = t
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        let rest = &t[ident.len()..];
+        if !ident.is_empty() && (rest.is_empty() || rest.starts_with(',')) {
+            variants.push(ident);
+        }
+    }
+    Some(variants)
+}
+
+struct SuiteInit {
+    name: String,
+    line: usize,
+    has_spread: bool,
+    /// `(field name, line, value text through the next field)`.
+    fields: Vec<(String, usize, String)>,
+}
+
+fn suite_initializers(f: &SourceFile) -> Vec<SuiteInit> {
+    let mut out = Vec::new();
+    for (i, line) in f.lines.iter().enumerate() {
+        if !line.code.contains("= KernelSuite {") {
+            continue;
+        }
+        let Some(end) = matching_brace(&f.lines, i, 0) else {
+            continue;
+        };
+        // `static NAME: KernelSuite = …` — the token before the colon.
+        let name = line
+            .code
+            .split(':')
+            .next()
+            .and_then(|head| head.split_whitespace().last())
+            .unwrap_or("?")
+            .to_owned();
+        let mut init = SuiteInit {
+            name,
+            line: i,
+            has_spread: false,
+            fields: Vec::new(),
+        };
+        let field_lines: Vec<usize> = depth_one_lines(f, i, end)
+            .into_iter()
+            .filter(|&li| {
+                leading_field_name(&f.lines[li].code).is_some()
+                    || f.lines[li].code.trim_start().starts_with("..")
+            })
+            .collect();
+        for (k, &li) in field_lines.iter().enumerate() {
+            let code = &f.lines[li].code;
+            if code.trim_start().starts_with("..") {
+                init.has_spread = true;
+                continue;
+            }
+            let Some(field) = leading_field_name(code) else {
+                continue;
+            };
+            let until = field_lines.get(k + 1).copied().unwrap_or(end);
+            let mut value = String::new();
+            for vl in li..until {
+                value.push_str(&f.lines[vl].code);
+                value.push(' ');
+            }
+            init.fields.push((field, li, value));
+        }
+        out.push(init);
+    }
+    out
+}
+
+fn const_all_text(f: &SourceFile) -> Option<(usize, String)> {
+    let start = f
+        .lines
+        .iter()
+        .position(|l| l.code.contains("const ALL:") || l.code.contains("const ALL "))?;
+    let mut text = String::new();
+    for (i, line) in f.lines.iter().enumerate().skip(start) {
+        text.push_str(&line.code);
+        text.push(' ');
+        if line.code.contains(']') && i > start || line.code.contains("];") {
+            break;
+        }
+    }
+    Some((start, text))
+}
+
+/// Line indices strictly inside `(start, end)` whose brace depth —
+/// measured at the line's first character — is exactly one level inside
+/// the region's opening brace.
+fn depth_one_lines(f: &SourceFile, start: usize, end: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    for (i, line) in f.lines.iter().enumerate().take(end + 1).skip(start) {
+        if i > start && depth == 1 && i < end + 1 && i <= end && !line.is_blank_or_comment() {
+            out.push(i);
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// `pub(crate) name:` / `name:` / shorthand `name,` at the head of a
+/// line → `name`.
+fn leading_field_name(code: &str) -> Option<String> {
+    let mut t = code.trim_start();
+    for prefix in ["pub(crate)", "pub(super)", "pub"] {
+        if let Some(rest) = t.strip_prefix(prefix) {
+            if rest.starts_with([' ', '(']) || rest.starts_with('\t') {
+                t = rest.trim_start();
+                break;
+            }
+        }
+    }
+    let ident: String = t
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if ident.is_empty() || ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    let rest = t[ident.len()..].trim_start();
+    // Reserved words that can head a statement inside closure bodies
+    // never name fields.
+    if [
+        "let", "if", "while", "for", "match", "return", "fn", "use", "unsafe", "const", "static",
+        "struct", "enum", "impl", "mod",
+    ]
+    .contains(&ident.as_str())
+    {
+        return None;
+    }
+    if rest.starts_with(':') && !rest.starts_with("::") {
+        return Some(ident);
+    }
+    if rest.starts_with(',') || rest.is_empty() {
+        return Some(ident);
+    }
+    None
+}

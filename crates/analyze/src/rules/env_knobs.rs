@@ -1,0 +1,90 @@
+//! `env-knob-registry`: every `XORBAS_*` environment variable read in
+//! code must be documented in the architecture doc's knob registry, and
+//! every documented knob must still be read somewhere — tuning knobs
+//! cannot appear or vanish silently.
+
+use crate::config::Config;
+use crate::diag::{Diagnostic, Report};
+use crate::workspace::Workspace;
+
+pub const NAME: &str = "env-knob-registry";
+
+pub fn run(ws: &Workspace, cfg: &Config, report: &mut Report) {
+    // Knobs read in code: `(name, file, 0-based line)`. The lexer blanks
+    // string contents out of the code channel, so the name is recovered
+    // from the raw line once a real `env::var` read is on it.
+    let mut reads: Vec<(String, String, usize)> = Vec::new();
+    for f in &ws.files {
+        for (i, line) in f.lines.iter().enumerate() {
+            if !line.code.contains("env::var") {
+                continue;
+            }
+            let raw = f.raw.get(i).map(String::as_str).unwrap_or("");
+            for name in knob_names(raw) {
+                reads.push((name, f.rel.clone(), i));
+            }
+        }
+    }
+
+    let Some((doc_rel, doc_lines)) = &ws.arch_doc else {
+        if !reads.is_empty() {
+            report.diagnostics.push(Diagnostic::new(
+                NAME,
+                &cfg.arch_doc,
+                0,
+                "knob registry document is missing but XORBAS_* knobs are read in code".to_owned(),
+            ));
+        }
+        return;
+    };
+
+    let mut documented: Vec<(String, usize)> = Vec::new();
+    for (i, line) in doc_lines.iter().enumerate() {
+        for name in knob_names(line) {
+            if !documented.iter().any(|(n, _)| n == &name) {
+                documented.push((name, i));
+            }
+        }
+    }
+
+    for (name, file, line) in &reads {
+        if !documented.iter().any(|(n, _)| n == name) {
+            report.diagnostics.push(Diagnostic::new(
+                NAME,
+                file,
+                *line,
+                format!("env knob `{name}` is read here but not documented in `{doc_rel}`"),
+            ));
+        }
+    }
+    for (name, line) in &documented {
+        if !reads.iter().any(|(n, _, _)| n == name) {
+            report.diagnostics.push(Diagnostic::new(
+                NAME,
+                doc_rel,
+                *line,
+                format!("env knob `{name}` is documented but never read in code"),
+            ));
+        }
+    }
+}
+
+/// Every `XORBAS_…` name in `text` (uppercase letters, digits,
+/// underscores), deduplicated in order of appearance.
+fn knob_names(text: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("XORBAS_") {
+        let tail = &rest[pos..];
+        let name: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || *c == '_')
+            .collect();
+        let trimmed = name.trim_end_matches('_').to_owned();
+        if trimmed.len() > "XORBAS_".len() && !out.contains(&trimmed) {
+            out.push(trimmed);
+        }
+        rest = &rest[pos + name.len().max(1)..];
+    }
+    out
+}

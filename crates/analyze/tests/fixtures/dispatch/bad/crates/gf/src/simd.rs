@@ -1,0 +1,44 @@
+//! Fixture: seeded dispatch violations.
+
+pub struct KernelSuite {
+    pub backend: KernelBackend,
+    pub xor: fn(),
+    pub mul: fn(),
+}
+
+pub enum KernelBackend {
+    Scalar,
+    Ssse3,
+    Avx2,
+}
+
+impl KernelBackend {
+    pub const ALL: [KernelBackend; 2] = [
+        KernelBackend::Scalar,
+        KernelBackend::Ssse3,
+    ];
+}
+
+fn scalar_xor() {}
+fn scalar_mul() {}
+fn ssse3_xor() {}
+fn avx2_xor() {}
+fn avx2_mul() {}
+
+static SCALAR_SUITE: KernelSuite = KernelSuite {
+    backend: KernelBackend::Scalar,
+    xor: scalar_xor,
+    mul: scalar_mul,
+};
+
+static SSSE3_SUITE: KernelSuite = KernelSuite {
+    backend: KernelBackend::Ssse3,
+    xor: ssse3_xor,
+    mul: avx2_mul,
+};
+
+static AVX2_SUITE: KernelSuite = KernelSuite {
+    backend: KernelBackend::Avx2,
+    xor: avx2_xor,
+    ..SCALAR_SUITE
+};

@@ -1,0 +1,5 @@
+//! Fixture: an undocumented knob read.
+
+pub fn secret() -> bool {
+    std::env::var("XORBAS_SECRET_TUNING").is_ok()
+}

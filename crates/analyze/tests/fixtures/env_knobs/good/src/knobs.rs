@@ -1,0 +1,5 @@
+//! Fixture: every knob read is documented.
+
+pub fn force_scalar() -> bool {
+    std::env::var("XORBAS_FORCE_SCALAR").is_ok()
+}

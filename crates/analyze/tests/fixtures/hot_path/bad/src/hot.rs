@@ -1,0 +1,10 @@
+//! Fixture: seeded allocation tokens inside hot regions.
+
+// xlint::hot-path(fuse)
+pub fn fuse(dst: &mut [u8]) -> Vec<u8> {
+    let tmp: Vec<u8> = dst.to_vec();
+    tmp.clone()
+}
+
+// xlint::hot-path(orphan) begin
+pub fn orphan() {}

@@ -1,0 +1,29 @@
+//! Fixture: hot regions that stay allocation-free.
+
+// xlint::hot-path(xor-row)
+pub fn xor_row(dst: &mut [u8], src: &[u8], scratch: &mut Vec<u8>) {
+    scratch.clear();
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= *s;
+        scratch.push(*d);
+    }
+}
+
+// xlint::hot-path(replay) begin
+pub fn replay(xs: &mut [u64]) {
+    for x in xs.iter_mut() {
+        *x = x.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn scratch() -> Vec<u8> {
+        Vec::new()
+    }
+}
+// xlint::hot-path(replay) end
+
+pub fn setup() -> Vec<u8> {
+    vec![0u8; 8]
+}

@@ -1,0 +1,5 @@
+//! Fixture: clean file that still has a stale allowance.
+
+pub fn fine(v: Option<u8>) -> u8 {
+    v.unwrap_or_default()
+}

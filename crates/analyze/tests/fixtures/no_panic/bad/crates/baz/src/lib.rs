@@ -1,0 +1,5 @@
+//! Fixture: improved file whose allowance was not ratcheted down.
+
+pub fn once(v: Option<u8>) -> u8 {
+    v.unwrap()
+}

@@ -1,0 +1,5 @@
+//! Fixture: the debt exceeds the baseline's allowance.
+
+pub fn double(a: Option<u8>, b: Option<u8>) -> u8 {
+    a.unwrap() + b.expect("b")
+}

@@ -1,0 +1,15 @@
+//! Fixture: seeded safety-contract violations.
+
+pub fn string_trap(p: *const u8) -> u8 {
+    let tag = "SAFETY: a string literal is not a contract";
+    let _ = tag;
+    unsafe { *p }
+}
+
+/// Reads one byte, contract forgotten.
+pub unsafe fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+#[target_feature(enable = "avx2")]
+pub fn wide() {}

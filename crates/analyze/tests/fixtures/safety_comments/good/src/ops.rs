@@ -1,0 +1,19 @@
+//! Fixture: every unsafe site states its contract.
+
+/// Reads one byte.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn read(p: *const u8) -> u8 {
+    // SAFETY: the caller upholds validity.
+    unsafe { *p }
+}
+
+/// Safe to define: value-only shuffle, callable anywhere.
+#[target_feature(enable = "ssse3")]
+pub fn shuffle() {}
+
+pub fn inline_contract(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: `p` derives from a live reference above.
+}

@@ -1,0 +1,3 @@
+//! Fixture crate root missing its `#![forbid(unsafe_code)]` header.
+
+pub mod ptr;

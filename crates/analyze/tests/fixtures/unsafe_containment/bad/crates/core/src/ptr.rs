@@ -1,0 +1,5 @@
+//! Unsafe outside the allowlist.
+
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

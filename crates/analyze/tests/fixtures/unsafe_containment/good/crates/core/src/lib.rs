@@ -1,0 +1,15 @@
+#![forbid(unsafe_code)]
+//! Fixture crate with no unsafe; lexer tricky cases below.
+//!
+//! Doc comments may mention unsafe code freely.
+
+/// Prose about unsafe blocks is not a violation.
+pub fn safe() -> &'static str {
+    let a = "unsafe { in a plain string }";
+    let b = r#"unsafe { in a raw string }"#;
+    if a.len() > b.len() {
+        a
+    } else {
+        b
+    }
+}

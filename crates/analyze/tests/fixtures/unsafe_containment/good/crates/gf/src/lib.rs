@@ -1,0 +1,3 @@
+#![deny(unsafe_code)]
+#![warn(unsafe_op_in_unsafe_fn)]
+//! Fixture crate root that sanctions an unsafe module (`simd.rs`).

@@ -1,0 +1,11 @@
+//! Allowlisted file: the sanctioned unsafe surface.
+
+/// Reads one byte.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn load(p: *const u8) -> u8 {
+    // SAFETY: the caller upholds the contract.
+    unsafe { *p }
+}

@@ -23,7 +23,7 @@ fn main() {
         params.node_mttf_days / 365.0,
         params.cross_rack_bps / 1e9,
     );
-    let rows = table1(&params);
+    let rows = table1(&params).expect("paper codecs construct");
     println!("{}", format_table1(&rows));
 
     println!("per-state expected repair reads (exact enumeration):");

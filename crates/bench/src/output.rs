@@ -12,8 +12,8 @@ pub fn banner(artifact: &str, description: &str) {
 }
 
 /// Directory where harnesses drop CSV files
-/// (`<workspace>/target/paper_results`).
-pub fn results_dir() -> PathBuf {
+/// (`<workspace>/target/paper_results`), created on demand.
+pub fn results_dir() -> std::io::Result<PathBuf> {
     // Benches run with the *package* directory as CWD, so anchor on the
     // manifest path (two levels below the workspace root) unless
     // CARGO_TARGET_DIR relocates the target directory outright.
@@ -21,19 +21,32 @@ pub fn results_dir() -> PathBuf {
         .map(PathBuf::from)
         .unwrap_or_else(|| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target"))
         .join("paper_results");
-    fs::create_dir_all(&dir).expect("create results directory");
-    dir
+    fs::create_dir_all(&dir)?;
+    Ok(dir)
 }
 
-/// Writes rows as CSV (first row should be the header).
-pub fn write_csv(name: &str, rows: &[Vec<String>]) -> PathBuf {
-    let path = results_dir().join(name);
-    let mut f = fs::File::create(&path).expect("create csv");
-    for row in rows {
-        writeln!(f, "{}", row.join(",")).expect("write csv row");
+/// Writes rows as CSV (first row should be the header). Best-effort:
+/// the CSV dump is a side artifact of a harness that already printed
+/// its tables, so failures are reported on stderr rather than aborting.
+pub fn write_csv(name: &str, rows: &[Vec<String>]) -> Option<PathBuf> {
+    let write = |name: &str| -> std::io::Result<PathBuf> {
+        let path = results_dir()?.join(name);
+        let mut f = fs::File::create(&path)?;
+        for row in rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    };
+    match write(name) {
+        Ok(path) => {
+            println!("[csv] wrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("[csv] failed to write {name}: {e}");
+            None
+        }
     }
-    println!("[csv] wrote {}", path.display());
-    path
 }
 
 /// Formats a float with fixed precision, for table cells.
@@ -111,7 +124,8 @@ mod tests {
         let p = write_csv(
             "unit_test_tmp.csv",
             &[vec!["a".into(), "b".into()], vec!["1".into(), "2".into()]],
-        );
+        )
+        .unwrap();
         let content = std::fs::read_to_string(&p).unwrap();
         assert_eq!(content, "a,b\n1,2\n");
         let _ = std::fs::remove_file(p);

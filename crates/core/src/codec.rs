@@ -615,9 +615,12 @@ pub trait ErasureCodec {
         for &b in &missing {
             shards[b] = Some(vec![0u8; len]);
         }
+        // Every lane is `Some` here (missing ones were just zero-filled);
+        // if one were not, the lane count would shrink and the view
+        // constructor below would reject the stripe with a typed error.
         let mut lane_refs: Vec<&mut [u8]> = shards
             .iter_mut()
-            .map(|s| s.as_mut().expect("all lanes materialized").as_mut_slice())
+            .filter_map(|s| s.as_mut().map(Vec::as_mut_slice))
             .collect();
         let mut view = StripeViewMut::new(&mut lane_refs, &missing)?;
         session.repair(&mut view)?;

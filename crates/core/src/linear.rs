@@ -50,18 +50,25 @@ pub(crate) fn select_independent_columns<F: Field>(
 ///
 /// Runs the one Gaussian elimination of the repair (counted in
 /// [`decode_solve_count`]); the inverse is folded into the returned
-/// coefficients and never needed again.
+/// coefficients and never needed again. Fails with
+/// [`CodeError::ConstructionFailed`] if the selected columns turn out
+/// dependent — the planner guarantees independence, so a failure here
+/// means the caller selected columns without checking.
 pub(crate) fn compile_combination_steps<F: Field>(
     gen: &Matrix<F>,
     selection: &[usize],
     targets: &[usize],
-) -> Vec<CompiledStep> {
+) -> crate::Result<Vec<CompiledStep>> {
     let k = gen.rows();
     debug_assert_eq!(selection.len(), k);
     let sub = gen.select_columns(selection);
-    let inv = sub.invert().expect("selected columns are independent");
+    let Some(inv) = sub.invert() else {
+        return Err(crate::CodeError::ConstructionFailed(format!(
+            "selected columns {selection:?} are not independent"
+        )));
+    };
     DECODE_SOLVES.with(|c| c.set(c.get() + 1));
-    targets
+    Ok(targets
         .iter()
         .map(|&b| {
             let sources = selection
@@ -74,7 +81,7 @@ pub(crate) fn compile_combination_steps<F: Field>(
                 .collect();
             CompiledStep { target: b, sources }
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -122,7 +129,7 @@ mod tests {
             .collect();
         // Recover blocks 0..3 (the data half) from the parity columns.
         let before = decode_solve_count();
-        let steps = compile_combination_steps(&g, &[3, 4, 5], &[0, 1, 2]);
+        let steps = compile_combination_steps(&g, &[3, 4, 5], &[0, 1, 2]).unwrap();
         assert_eq!(decode_solve_count(), before + 1);
         for step in steps {
             let mut out = vec![0u8; 2];
@@ -138,12 +145,12 @@ mod tests {
         // Selecting the systematic columns makes each data target a
         // trivial copy: exactly one source with coefficient 1.
         let g: Matrix<Gf256> = special::systematize(&special::vandermonde(2, 4)).unwrap();
-        let steps = compile_combination_steps(&g, &[0, 1], &[2, 3]);
+        let steps = compile_combination_steps(&g, &[0, 1], &[2, 3]).unwrap();
         assert_eq!(steps.len(), 2);
         for s in &steps {
             assert!(!s.sources.is_empty());
         }
-        let copy = compile_combination_steps(&g, &[0, 1], &[0]);
+        let copy = compile_combination_steps(&g, &[0, 1], &[0]).unwrap();
         assert_eq!(copy[0].sources, vec![(0, 1)]);
     }
 }

@@ -377,7 +377,7 @@ impl<F: Field> ErasureCodec for Lrc<F> {
                 &self.generator,
                 selection,
                 unresolved,
-            ));
+            )?);
             solves = 1;
         }
         Ok(RepairSession::from_parts::<F>(

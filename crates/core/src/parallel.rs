@@ -9,7 +9,7 @@
 //! into a disjoint slice of the caller's parity buffers.
 
 use crate::codec::{check_data_lanes, check_parity_lanes, ErasureCodec};
-use crate::error::Result;
+use crate::error::{CodeError, Result};
 
 /// Encodes `k` borrowed data payloads into caller-provided parity
 /// buffers, sharding the payload range across up to `threads` scoped
@@ -86,9 +86,13 @@ where
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .try_for_each(|h| h.join().expect("encode worker panicked"))
+        handles.into_iter().try_for_each(|h| {
+            h.join().unwrap_or_else(|_| {
+                Err(CodeError::ConstructionFailed(
+                    "encode worker panicked".to_owned(),
+                ))
+            })
+        })
     })
 }
 

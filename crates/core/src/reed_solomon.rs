@@ -227,7 +227,7 @@ impl<F: Field> ErasureCodec for ReedSolomon<F> {
                 &self.generator,
                 &task.reads,
                 &task.repairs,
-            );
+            )?;
             solves = 1;
         }
         Ok(RepairSession::from_parts::<F>(

@@ -22,15 +22,21 @@ struct CountingAlloc;
 // SAFETY: delegates every operation to `System`; the counter update is a
 // plain thread-local `Cell` write with no allocation of its own.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract (nonzero
+    // layout); forwarded verbatim to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.with(|c| c.set(c.get() + 1));
         System.alloc(layout)
     }
 
+    // SAFETY: caller passes a pointer previously returned by this
+    // allocator with its original layout; forwarded verbatim to `System`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: same contract as `dealloc` plus a nonzero `new_size`;
+    // forwarded verbatim to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.with(|c| c.set(c.get() + 1));
         System.realloc(ptr, layout, new_size)

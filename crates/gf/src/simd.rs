@@ -36,6 +36,10 @@
 //! functions stored in the suites sound.
 
 #![allow(unsafe_code)]
+// Dispatch and table-construction code must justify every index; the
+// kernel scopes below carry audited allows (nibble-masked lookups into
+// fixed 16-entry tables, flush-bounded batch arrays).
+#![warn(clippy::indexing_slicing)]
 
 /// Split-nibble multiplication tables for one coefficient of a byte-wide
 /// field: `lo[x] = c·x` for `x < 16` and `hi[x] = c·(x·16)`, so that
@@ -49,6 +53,8 @@ pub(crate) struct MulTables {
     pub(crate) hi: [u8; 16],
 }
 
+// Indices are 4-bit nibbles (`& 0xF`, `>> 4`) into the 16-entry tables.
+#[allow(clippy::indexing_slicing)]
 impl MulTables {
     /// Builds the split-nibble tables for `c` in any field whose symbols
     /// are single bytes (`SYMBOL_BYTES == 1`; sub-byte fields like
@@ -104,6 +110,9 @@ pub(crate) struct Nibble16Tables {
     pub(crate) hi: [[u8; 16]; 4],
 }
 
+// Indices are 4-bit nibbles into the 16-entry tables and byte values
+// into the 256-entry expanded rows.
+#[allow(clippy::indexing_slicing)]
 impl Nibble16Tables {
     /// Builds the four split product tables for `c` in any field whose
     /// symbols are two little-endian bytes (`SYMBOL_BYTES == 2`).
@@ -350,6 +359,11 @@ fn select_suite() -> &'static KernelSuite {
 
 /// Portable fallback kernels: safe Rust throughout, auto-vectorizable
 /// product-row streams, `u64`-wide XOR.
+// xlint::hot-path(scalar-kernels)
+// Kernel indexing is length-checked up front: `chunks_exact` bodies,
+// remainder tails indexed below the asserted common length, and
+// nibble-masked table lookups.
+#[allow(clippy::indexing_slicing)]
 pub(crate) mod scalar {
     use super::WIDE16_FUSE;
     use super::{KernelBackend, KernelSuite, MulTables, Nibble16Tables, Wide16Rows, MAX_FUSE};
@@ -389,12 +403,20 @@ pub(crate) mod scalar {
         }
     }
 
+    /// Little-endian `u64` load from an 8-byte chunk (as produced by
+    /// `chunks_exact(8)`).
+    #[inline(always)]
+    fn load_u64(b: &[u8]) -> u64 {
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        u64::from_le_bytes(a)
+    }
+
     pub(super) fn xor_into(dst: &mut [u8], src: &[u8]) {
         let mut s = src.chunks_exact(8);
         let mut d = dst.chunks_exact_mut(8);
         for (dc, sc) in (&mut d).zip(&mut s) {
-            let v = u64::from_le_bytes(dc.try_into().unwrap())
-                ^ u64::from_le_bytes(sc.try_into().unwrap());
+            let v = load_u64(dc) ^ load_u64(sc);
             dc.copy_from_slice(&v.to_le_bytes());
         }
         for (dc, sc) in d.into_remainder().iter_mut().zip(s.remainder()) {
@@ -536,6 +558,10 @@ pub(crate) mod scalar {
 
 /// x86/x86_64 vector kernels: SSSE3 (`PSHUFB`, 128-bit) and AVX2
 /// (`VPSHUFB`, 256-bit).
+// xlint::hot-path(x86-kernels)
+// Vector kernels slice at multiples of the vector width computed from
+// `len()` and index scalar tails below the asserted common length.
+#[allow(clippy::indexing_slicing)]
 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
 mod x86 {
     use super::{KernelBackend, KernelSuite, MulTables, Nibble16Tables, MAX_FUSE, WIDE16_FUSE};

@@ -64,12 +64,22 @@
 //! Generic symbol-slice variants (`gf_*`) are provided for matrices and
 //! codecs instantiated over other fields.
 
+// Hot-path module: every index must be justified. The fused `combine_*`
+// batchers carry audited allows (batch counters are flushed at capacity,
+// so they never reach the array length).
+#![warn(clippy::indexing_slicing)]
+
 use crate::simd::{
     active_suite, suite_for, KernelSuite, MulTables, Nibble16Tables, MAX_FUSE, WIDE16_FUSE,
 };
 use crate::{Field, Gf256};
 
 pub use crate::simd::KernelBackend;
+
+// xlint::hot-path(payload-ops) begin
+// Everything from here to the end marker runs once per payload lane per
+// stripe; table state lives on the stack and nothing heap-allocates.
+// The Vec-returning symbol converters below the marker are cold-path.
 
 /// `dst[i] ^= src[i]` for all `i`. Panics if lengths differ.
 ///
@@ -456,6 +466,9 @@ fn payload_combine<F: Field>(
 }
 
 /// Byte-wide fused row: nibble-table batches + XOR batches.
+// Batch counters flush at MAX_FUSE, so `ones[n_ones]` / `muls[n_muls]`
+// stay in bounds.
+#[allow(clippy::indexing_slicing)]
 fn combine_bytes<F: Field>(
     suite: &KernelSuite,
     dst: &mut [u8],
@@ -511,6 +524,9 @@ fn combine_bytes<F: Field>(
 /// GF(2^16) fused row: nibble-table batches + XOR batches, handed to
 /// the backend's fused two-byte-symbol kernel so `dst` is streamed
 /// through memory once.
+// Batch counters flush at MAX_FUSE / WIDE16_FUSE, so the batch-array
+// indexing stays in bounds.
+#[allow(clippy::indexing_slicing)]
 fn combine_wide16<F: Field>(
     suite: &KernelSuite,
     dst: &mut [u8],
@@ -569,6 +585,7 @@ fn check_symbol_multiple<F: Field>(len: usize) {
         "payload not a whole number of symbols"
     );
 }
+// xlint::hot-path(payload-ops) end
 
 /// Converts a byte payload into field symbols (little-endian packing).
 ///
@@ -591,6 +608,7 @@ pub fn symbols_to_bytes<F: Field>(symbols: &[F]) -> Vec<u8> {
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)] // tests index fixture data freely
 mod tests {
     use super::*;
     use crate::{Gf16, Gf65536};

@@ -180,8 +180,12 @@ macro_rules! impl_table_field {
             /// Panics when dividing by zero, mirroring integer division.
             #[inline]
             fn div(self, rhs: Self) -> Self {
-                let inv = crate::Field::inv(rhs).expect("division by zero field element");
-                self * inv
+                match crate::Field::inv(rhs) {
+                    Some(inv) => self * inv,
+                    // `inv` is `None` exactly when `rhs` is zero: raise
+                    // the native divide-by-zero panic, same as integers.
+                    None => Self(self.0 / rhs.0),
+                }
             }
         }
 

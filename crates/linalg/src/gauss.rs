@@ -21,7 +21,11 @@ impl<F: Field> Matrix<F> {
                 continue;
             };
             m.swap_rows(row, pivot_row);
-            let inv = m[(row, col)].inv().expect("pivot is nonzero");
+            // The pivot was selected nonzero just above.
+            let Some(inv) = m[(row, col)].inv() else {
+                debug_assert!(false, "pivot is nonzero");
+                continue;
+            };
             m.scale_row(row, inv);
             for r in 0..m.rows() {
                 if r != row && !m[(r, col)].is_zero() {
@@ -70,7 +74,11 @@ impl<F: Field> Matrix<F> {
             };
             m.swap_rows(col, pivot_row);
             det *= m[(col, col)];
-            let inv = m[(col, col)].inv().expect("pivot is nonzero");
+            // The pivot was selected nonzero just above.
+            let Some(inv) = m[(col, col)].inv() else {
+                debug_assert!(false, "pivot is nonzero");
+                return Some(F::ZERO);
+            };
             for r in (col + 1)..n {
                 if !m[(r, col)].is_zero() {
                     let factor = m[(r, col)] * inv;

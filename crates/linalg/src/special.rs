@@ -37,10 +37,14 @@ pub fn vandermonde_with_points<F: Field>(rows: usize, points: &[F]) -> Matrix<F>
 /// the `x` and `y` sets are disjoint) and distinct entries within each set;
 /// all submatrices are then invertible — the other classical MDS family.
 pub fn cauchy<F: Field>(xs: &[F], ys: &[F]) -> Matrix<F> {
+    for x in xs {
+        for y in ys {
+            assert!(!(*x + *y).is_zero(), "x and y sets must be disjoint");
+        }
+    }
+    // Every denominator was just checked nonzero.
     Matrix::from_fn(xs.len(), ys.len(), |r, c| {
-        (xs[r] + ys[c])
-            .inv()
-            .expect("x and y sets must be disjoint")
+        (xs[r] + ys[c]).inv().unwrap_or(F::ZERO)
     })
 }
 

@@ -30,7 +30,7 @@
 //! ```
 //! use xorbas_reliability::{ClusterParams, table1};
 //!
-//! let rows = table1(&ClusterParams::facebook());
+//! let rows = table1(&ClusterParams::facebook()).unwrap();
 //! // Replication < RS (10,4) < LRC (10,6,5), as in Table 1.
 //! assert!(rows[0].mttdl_days < rows[1].mttdl_days);
 //! assert!(rows[1].mttdl_days < rows[2].mttdl_days);

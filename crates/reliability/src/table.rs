@@ -1,6 +1,6 @@
 //! Table-1 assembly and formatting.
 
-use xorbas_core::{Lrc, ReedSolomon};
+use xorbas_core::{CodeError, Lrc, ReedSolomon};
 
 use crate::params::ClusterParams;
 use crate::schemes::{analyze_codec, analyze_replication, SchemeAnalysis};
@@ -10,15 +10,17 @@ use crate::schemes::{analyze_codec, analyze_replication, SchemeAnalysis};
 pub const PAPER_TABLE1_MTTDL_DAYS: [f64; 3] = [2.3079e10, 3.3118e13, 1.2180e15];
 
 /// Computes the three rows of Table 1 in the paper's order:
-/// 3-replication, RS (10, 4), LRC (10, 6, 5).
-pub fn table1(params: &ClusterParams) -> Vec<SchemeAnalysis> {
-    let rs: ReedSolomon = ReedSolomon::new(10, 4).expect("RS(10,4) constructs");
-    let lrc = Lrc::xorbas_10_6_5().expect("LRC(10,6,5) constructs");
-    vec![
+/// 3-replication, RS (10, 4), LRC (10, 6, 5). The two codec
+/// constructions are infallible for these fixed parameters; the
+/// `Result` simply propagates their typed constructors.
+pub fn table1(params: &ClusterParams) -> Result<Vec<SchemeAnalysis>, CodeError> {
+    let rs: ReedSolomon = ReedSolomon::new(10, 4)?;
+    let lrc = Lrc::xorbas_10_6_5()?;
+    Ok(vec![
         analyze_replication(3, params),
         analyze_codec(&rs, params),
         analyze_codec(&lrc, params),
-    ]
+    ])
 }
 
 /// Renders rows in the paper's Table-1 layout, with the paper's own
@@ -45,7 +47,7 @@ mod tests {
 
     #[test]
     fn table_has_three_rows_in_paper_order() {
-        let rows = table1(&ClusterParams::facebook());
+        let rows = table1(&ClusterParams::facebook()).unwrap();
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].name, "3-replication");
         assert_eq!(rows[1].name, "RS (10, 4)");
@@ -54,7 +56,7 @@ mod tests {
 
     #[test]
     fn static_columns_match_paper_exactly() {
-        let rows = table1(&ClusterParams::facebook());
+        let rows = table1(&ClusterParams::facebook()).unwrap();
         // Storage overhead column: 2x / 0.4x / 0.6x.
         assert_eq!(rows[0].storage_overhead, 2.0);
         assert!((rows[1].storage_overhead - 0.4).abs() < 1e-12);
@@ -67,7 +69,7 @@ mod tests {
 
     #[test]
     fn formatting_contains_all_schemes_and_reference() {
-        let rows = table1(&ClusterParams::facebook());
+        let rows = table1(&ClusterParams::facebook()).unwrap();
         let s = format_table1(&rows);
         assert!(s.contains("3-replication"));
         assert!(s.contains("RS (10, 4)"));

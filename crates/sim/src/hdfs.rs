@@ -212,11 +212,13 @@ impl Hdfs {
     }
 
     /// O(1) slab removal of `block` from its hosting node's inventory.
-    fn detach(&mut self, block: BlockId) -> NodeId {
-        let node = self.blocks[block]
-            .location
-            .take()
-            .expect("detaching a located block");
+    /// No-op (with a debug assertion) if the block is already lost —
+    /// both callers check `location` first.
+    fn detach(&mut self, block: BlockId) {
+        let Some(node) = self.blocks[block].location.take() else {
+            debug_assert!(false, "detaching a located block");
+            return;
+        };
         let slot = self.node_slot[block] as usize;
         let slab = &mut self.node_blocks[node];
         let removed = slab.swap_remove(slot);
@@ -225,7 +227,6 @@ impl Hdfs {
             self.node_slot[moved] = slot as u32;
         }
         self.node_slot[block] = NO_SLOT;
-        node
     }
 
     /// O(1) insert into the lost-block index.
@@ -320,18 +321,17 @@ impl Hdfs {
                 }
                 let kind = if pos < k {
                     BlockKind::Data
-                } else if pos < n {
-                    // The codec layout puts global parities right after
-                    // data; local parities after that. Replication never
-                    // reaches this branch.
+                } else {
+                    // Positions `k..n` are parities: the codec layout
+                    // puts global parities right after data, local
+                    // parities after that. Replication never reaches
+                    // this branch, and the loop bound keeps `pos < n`.
                     match code {
                         CodeSpec::Lrc(spec) if pos >= k + spec.global_parities => {
                             BlockKind::LocalParity
                         }
                         _ => BlockKind::GlobalParity,
                     }
-                } else {
-                    unreachable!()
                 };
                 let node = nodes[node_iter];
                 node_iter += 1;
@@ -627,11 +627,15 @@ impl Placement {
     fn rack_greedy(&self, candidates: &mut Vec<NodeId>, count: usize, out: &mut Vec<NodeId>) {
         let mut rack_use = vec![0usize; self.racks];
         for _ in 0..count {
-            let (idx, _) = candidates
+            // The caller provides at least `count` candidates.
+            let Some((idx, _)) = candidates
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, &c)| rack_use[self.rack_of[c]])
-                .expect("candidates remain");
+            else {
+                debug_assert!(false, "candidates remain");
+                break;
+            };
             let node = candidates.swap_remove(idx);
             rack_use[self.rack_of[node]] += 1;
             out.push(node);
@@ -685,8 +689,9 @@ impl Placement {
             return None;
         }
         let mut base = Vec::with_capacity(distinct);
-        self.place_many(distinct, alive, exclude, rng, &mut base)
-            .expect("distinct candidates exist");
+        // `distinct` was counted from the same predicate, so this cannot
+        // miss; `?` still propagates cleanly if it somehow does.
+        self.place_many(distinct, alive, exclude, rng, &mut base)?;
         out.clear();
         let mut i = 0;
         while out.len() < count {

@@ -36,7 +36,7 @@ use crate::hdfs::NodeId;
 pub type FlowId = u64;
 
 /// An active transfer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct Flow {
     /// Sending node.
     pub src: NodeId,
@@ -88,6 +88,8 @@ pub struct Network {
     touched: Vec<usize>,
     /// Scratch: unassigned slot list for the filling pass.
     unassigned_scratch: Vec<u32>,
+    /// Scratch: `(age, id)` completion list for [`Network::advance`].
+    done_scratch: Vec<(u64, FlowId)>,
 }
 
 impl Network {
@@ -109,6 +111,7 @@ impl Network {
             load_scratch: vec![0; 2 * nodes + 1],
             touched: Vec::new(),
             unassigned_scratch: Vec::new(),
+            done_scratch: Vec::new(),
         }
     }
 
@@ -155,6 +158,7 @@ impl Network {
     }
 
     /// Removes a slot from the active list and frees it.
+    // xlint::hot-path(rate-recompute)
     fn release(&mut self, slot: u32) -> Flow {
         let idx = self.slots[slot as usize].active_idx as usize;
         self.slots[slot as usize].active_idx = NOT_ACTIVE;
@@ -164,7 +168,7 @@ impl Network {
             self.slots[moved as usize].active_idx = idx as u32;
         }
         self.free.push(slot);
-        self.slots[slot as usize].flow.clone()
+        self.slots[slot as usize].flow
     }
 
     /// Cancels a flow (e.g. its endpoint failed). Returns the flow if it
@@ -199,6 +203,12 @@ impl Network {
         Some(&self.slots[slot as usize].flow)
     }
 
+    // xlint::hot-path(rate-recompute) begin
+    // Per-event-loop-step surface: completion scan, flow advancement,
+    // and the max-min filling pass. All state lives in reused scratch
+    // vectors on `self` (or the caller's buffer); amortized `push` onto
+    // those is the only growth.
+
     /// Seconds until the earliest flow completes at current rates;
     /// `None` when idle.
     pub fn earliest_completion_secs(&mut self) -> Option<f64> {
@@ -209,17 +219,19 @@ impl Network {
                 let f = &self.slots[s as usize].flow;
                 f.remaining / f.rate
             })
-            .min_by(|a, b| a.partial_cmp(b).expect("rates are finite"))
+            .min_by(f64::total_cmp)
     }
 
-    /// Advances all flows by `dt` seconds. Returns `(bytes_moved,
-    /// completed_flows)`; completed flows are removed and rates
-    /// recomputed lazily afterwards. Completions are reported in flow
-    /// age order (deterministic).
-    pub fn advance(&mut self, dt: f64) -> (f64, Vec<(FlowId, Flow)>) {
+    /// Advances all flows by `dt` seconds, appending completed flows to
+    /// `completed` (cleared first) in flow age order (deterministic).
+    /// Returns the bytes moved; completed flows are removed and rates
+    /// recomputed lazily afterwards.
+    pub fn advance(&mut self, dt: f64, completed: &mut Vec<(FlowId, Flow)>) -> f64 {
+        completed.clear();
         self.ensure_rates();
         let mut moved = 0.0;
-        let mut done: Vec<(u64, FlowId)> = Vec::new();
+        let mut done = std::mem::take(&mut self.done_scratch);
+        done.clear();
         for (age, &s) in self.active.iter().enumerate() {
             let e = &mut self.slots[s as usize];
             let step = e.flow.rate * dt;
@@ -233,15 +245,20 @@ impl Network {
         // swap_remove perturbs active order; sort by age for stable
         // completion order regardless of removal sequence.
         done.sort_unstable();
-        let mut completed = Vec::with_capacity(done.len());
-        for (_, id) in done {
-            let slot = self.resolve(id).expect("completed flow exists");
+        for &(_, id) in &done {
+            // The ids were collected from live slots above; a miss here
+            // would mean the slab was corrupted mid-loop.
+            let Some(slot) = self.resolve(id) else {
+                debug_assert!(false, "completed flow {id} vanished");
+                continue;
+            };
             completed.push((id, self.release(slot)));
         }
+        self.done_scratch = done;
         if !completed.is_empty() {
             self.rates_dirty = true;
         }
-        (moved, completed)
+        moved
     }
 
     /// The three links a flow crosses: source uplink, destination
@@ -299,8 +316,13 @@ impl Network {
                 .copied()
                 .filter(|&l| self.load_scratch[l] > 0)
                 .map(|l| self.cap_scratch[l] / self.load_scratch[l] as f64)
-                .min_by(|a, b| a.partial_cmp(b).expect("finite"))
-                .expect("unassigned flows use some link");
+                .min_by(f64::total_cmp);
+            // Every unassigned flow loads three links, so a round with
+            // no loaded link is unreachable; bail rather than spin.
+            let Some(share) = share else {
+                debug_assert!(false, "unassigned flows use some link");
+                break;
+            };
             let cutoff = share * (1.0 + 1e-3);
             // Freeze every unassigned flow crossing a bottleneck link at
             // `share`; swap-retain keeps the pass allocation-free.
@@ -326,6 +348,7 @@ impl Network {
         }
         self.unassigned_scratch = unassigned;
     }
+    // xlint::hot-path(rate-recompute) end
 }
 
 #[cfg(test)]
@@ -391,13 +414,14 @@ mod tests {
     fn advance_completes_flows_and_reports_bytes() {
         let mut n = net();
         n.start_flow(0, 1, 125e6, 7); // 1 second at full NIC rate
-        let (moved, done) = n.advance(0.5);
+        let mut done = Vec::new();
+        let moved = n.advance(0.5, &mut done);
         assert!((moved - 62.5e6).abs() < 1.0);
         assert!(done.is_empty());
-        let (moved2, done2) = n.advance(0.5);
+        let moved2 = n.advance(0.5, &mut done);
         assert!((moved2 - 62.5e6).abs() < 1.0);
-        assert_eq!(done2.len(), 1);
-        assert_eq!(done2[0].1.owner, 7);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1.owner, 7);
         assert_eq!(n.active_flows(), 0);
     }
 
@@ -410,7 +434,7 @@ mod tests {
         assert!((n.flow(slow).unwrap().rate - 62.5e6).abs() < 1.0);
         // After the small flow drains, the survivor gets the full NIC.
         let dt = n.earliest_completion_secs().unwrap();
-        n.advance(dt);
+        n.advance(dt, &mut Vec::new());
         assert!((n.flow(slow).unwrap().rate - 125e6).abs() < 1.0);
     }
 

@@ -66,8 +66,12 @@ impl AddAssign for SimTime {
 
 impl Sub for SimTime {
     type Output = SimTime;
+    /// Saturates at zero (with a debug assertion): simulated time is
+    /// monotonic, so a backwards difference is a caller bug, but a
+    /// zero-length interval is always safe to hand onward.
     fn sub(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0.checked_sub(rhs.0).expect("time went backwards"))
+        debug_assert!(self.0 >= rhs.0, "time went backwards");
+        SimTime(self.0.saturating_sub(rhs.0))
     }
 }
 

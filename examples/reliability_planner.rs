@@ -7,9 +7,10 @@
 //!
 //! Run with: `cargo run --example reliability_planner`
 
+use xorbas::codes::CodeError;
 use xorbas::reliability::{format_table1, table1, ClusterParams};
 
-fn main() {
+fn main() -> Result<(), CodeError> {
     let base = ClusterParams::facebook();
     println!(
         "cluster: {} nodes, {:.0} PB, {:.0} MB blocks, node MTTF {:.0} y\n",
@@ -18,7 +19,7 @@ fn main() {
         base.block_bytes / 1e6,
         base.node_mttf_days / 365.0
     );
-    println!("{}", format_table1(&table1(&base)));
+    println!("{}", format_table1(&table1(&base)?));
 
     println!("sensitivity: MTTDL (days) vs cross-rack repair bandwidth\n");
     println!("γ (Gbps)   3-replication   RS (10,4)      LRC (10,6,5)   LRC/RS");
@@ -27,7 +28,7 @@ fn main() {
             cross_rack_bps: gbps * 1e9,
             ..base
         };
-        let rows = table1(&params);
+        let rows = table1(&params)?;
         println!(
             "{gbps:>7.1}   {:>13.3e}   {:>12.3e}   {:>12.3e}   {:>5.1}x",
             rows[0].mttdl_days,
@@ -42,4 +43,5 @@ fn main() {
          that locality matters when \"network bandwidth is the main\n\
          performance bottleneck\" (§7)."
     );
+    Ok(())
 }

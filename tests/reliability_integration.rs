@@ -7,7 +7,7 @@ use xorbas::reliability::{
 
 #[test]
 fn table1_replication_row_matches_paper_within_5_percent() {
-    let rows = table1(&ClusterParams::facebook());
+    let rows = table1(&ClusterParams::facebook()).unwrap();
     let ratio = rows[0].mttdl_days / PAPER_TABLE1_MTTDL_DAYS[0];
     assert!(
         (0.95..1.05).contains(&ratio),
@@ -19,7 +19,7 @@ fn table1_replication_row_matches_paper_within_5_percent() {
 
 #[test]
 fn table1_ordering_and_coded_gap_match_paper_shape() {
-    let rows = table1(&ClusterParams::facebook());
+    let rows = table1(&ClusterParams::facebook()).unwrap();
     assert!(rows[0].mttdl_days < rows[1].mttdl_days);
     assert!(rows[1].mttdl_days < rows[2].mttdl_days);
     // Coded schemes are >= 3 zeros above replication (paper: >= 3).
