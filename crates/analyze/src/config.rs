@@ -86,6 +86,14 @@ impl Default for Config {
                     "crates/sim/src/network.rs".to_owned(),
                     "rate-recompute".to_owned(),
                 ),
+                (
+                    "crates/node/src/server.rs".to_owned(),
+                    "serve-read".to_owned(),
+                ),
+                (
+                    "crates/node/src/repair.rs".to_owned(),
+                    "repair-stream".to_owned(),
+                ),
             ],
             update_baseline: false,
         }

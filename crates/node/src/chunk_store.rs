@@ -1,0 +1,248 @@
+//! On-disk chunk storage for one server: a flat directory of
+//! self-describing chunk files.
+//!
+//! Each chunk lives in its own file named `s{stripe:016x}_l{lane:08x}.chunk`
+//! with a fixed 36-byte header:
+//!
+//! ```text
+//! magic "XBCK" | version u32 | stripe u64 | lane u32 | digest u64 | len u64
+//! ```
+//!
+//! Writes go to a `.tmp` sibling and are renamed into place, so a crash
+//! mid-put leaves either the old chunk or none — never a torn one. The
+//! digest is the client's [`chunk_digest`]
+//! of the payload; the store records it verbatim on put (the client just
+//! computed it — recomputing server-side would burn the put path's CPU
+//! budget) and verifies it on every read, so corruption surfaces exactly
+//! where the degraded-read machinery can route around it.
+
+use crate::error::{NodeError, Result};
+use crate::protocol::{chunk_digest, MAX_CHUNK};
+use std::fs;
+use std::io::{ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: [u8; 4] = *b"XBCK";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 36;
+
+/// One server's chunk directory.
+#[derive(Debug)]
+pub struct ChunkStore {
+    root: PathBuf,
+}
+
+impl ChunkStore {
+    /// Opens (creating if needed) the chunk directory at `root`.
+    pub fn open(root: &Path) -> Result<Self> {
+        fs::create_dir_all(root)?;
+        Ok(Self {
+            root: root.to_path_buf(),
+        })
+    }
+
+    /// The file a chunk lives in (exposed so tests can inject
+    /// corruption and the repair smoke can count real bytes on disk).
+    pub fn chunk_path(&self, stripe: u64, lane: u32) -> PathBuf {
+        self.root.join(format!("s{stripe:016x}_l{lane:08x}.chunk"))
+    }
+
+    /// Stores a chunk. `digest` is trusted as the sender's
+    /// [`chunk_digest`] of `payload` and
+    /// is verified on every subsequent read.
+    pub fn put(&self, stripe: u64, lane: u32, digest: u64, payload: &[u8]) -> Result<()> {
+        if payload.len() > MAX_CHUNK {
+            return Err(NodeError::FrameTooLarge {
+                len: payload.len() as u64,
+                max: MAX_CHUNK as u64,
+            });
+        }
+        let final_path = self.chunk_path(stripe, lane);
+        let tmp_path = final_path.with_extension("chunk.tmp");
+        let mut header = [0u8; HEADER_LEN];
+        header[..4].copy_from_slice(&MAGIC);
+        header[4..8].copy_from_slice(&VERSION.to_le_bytes());
+        header[8..16].copy_from_slice(&stripe.to_le_bytes());
+        header[16..20].copy_from_slice(&lane.to_le_bytes());
+        header[20..28].copy_from_slice(&digest.to_le_bytes());
+        header[28..36].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+        {
+            let mut f = fs::File::create(&tmp_path)?;
+            f.write_all(&header)?;
+            f.write_all(payload)?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        Ok(())
+    }
+
+    /// Reads a chunk into `out` (resized to fit, reusing its capacity)
+    /// and returns the stored digest after verifying it against the
+    /// payload. Header damage, a length lie, or a digest mismatch all
+    /// come back as [`NodeError::ChunkCorrupt`]; an absent file is
+    /// [`NodeError::ChunkNotFound`].
+    pub fn get_into(&self, stripe: u64, lane: u32, out: &mut Vec<u8>) -> Result<u64> {
+        let path = self.chunk_path(stripe, lane);
+        let mut file = match fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == ErrorKind::NotFound => {
+                return Err(NodeError::ChunkNotFound { stripe, lane })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let corrupt = || NodeError::ChunkCorrupt { stripe, lane };
+        let mut header = [0u8; HEADER_LEN];
+        read_exact_or(&mut file, &mut header).ok_or_else(corrupt)?;
+        if header[..4] != MAGIC {
+            return Err(corrupt());
+        }
+        if le_u32(&header[4..8]) != VERSION {
+            return Err(corrupt());
+        }
+        if le_u64(&header[8..16]) != stripe || le_u32(&header[16..20]) != lane {
+            return Err(corrupt());
+        }
+        let digest = le_u64(&header[20..28]);
+        let len = le_u64(&header[28..36]);
+        if len > MAX_CHUNK as u64 {
+            return Err(corrupt());
+        }
+        out.resize(len as usize, 0);
+        read_exact_or(&mut file, out).ok_or_else(corrupt)?;
+        if chunk_digest(out) != digest {
+            return Err(corrupt());
+        }
+        Ok(digest)
+    }
+
+    /// Removes a chunk; `Ok(false)` when it was not there.
+    pub fn delete(&self, stripe: u64, lane: u32) -> Result<bool> {
+        match fs::remove_file(self.chunk_path(stripe, lane)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Whether a chunk file exists (no integrity check).
+    pub fn exists(&self, stripe: u64, lane: u32) -> bool {
+        self.chunk_path(stripe, lane).exists()
+    }
+}
+
+/// `read_exact` collapsed to an option: `None` on *any* shortfall
+/// (including a clean EOF), since a short chunk file is corruption
+/// however it happened.
+fn read_exact_or<R: Read>(r: &mut R, buf: &mut [u8]) -> Option<()> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return None,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+    Some(())
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    let mut w = [0u8; 4];
+    w.copy_from_slice(&b[..4]);
+    u32::from_le_bytes(w)
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&b[..8]);
+    u64::from_le_bytes(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("xorbas_store_{tag}_{}_{n}", std::process::id()))
+    }
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let dir = scratch_dir("roundtrip");
+        let store = ChunkStore::open(&dir).unwrap();
+        let payload = vec![0xABu8; 4096];
+        let digest = chunk_digest(&payload);
+        store.put(7, 2, digest, &payload).unwrap();
+        assert!(store.exists(7, 2));
+
+        let mut out = Vec::new();
+        assert_eq!(store.get_into(7, 2, &mut out).unwrap(), digest);
+        assert_eq!(out, payload);
+
+        // The read buffer is reused: a smaller chunk shrinks it.
+        let small = vec![1u8, 2, 3];
+        store.put(7, 3, chunk_digest(&small), &small).unwrap();
+        store.get_into(7, 3, &mut out).unwrap();
+        assert_eq!(out, small);
+
+        assert!(store.delete(7, 2).unwrap());
+        assert!(!store.delete(7, 2).unwrap());
+        assert!(matches!(
+            store.get_into(7, 2, &mut out).unwrap_err(),
+            NodeError::ChunkNotFound { stripe: 7, lane: 2 }
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_detected_on_read() {
+        let dir = scratch_dir("corrupt");
+        let store = ChunkStore::open(&dir).unwrap();
+        let payload = vec![0x5Au8; 1024];
+        store.put(1, 0, chunk_digest(&payload), &payload).unwrap();
+
+        // Flip one payload byte on disk.
+        let path = store.chunk_path(1, 0);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+
+        let mut out = Vec::new();
+        assert!(matches!(
+            store.get_into(1, 0, &mut out).unwrap_err(),
+            NodeError::ChunkCorrupt { stripe: 1, lane: 0 }
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_and_mislabeled_files_are_corrupt() {
+        let dir = scratch_dir("trunc");
+        let store = ChunkStore::open(&dir).unwrap();
+        let payload = vec![9u8; 512];
+        store.put(3, 1, chunk_digest(&payload), &payload).unwrap();
+
+        // Truncate mid-payload.
+        let path = store.chunk_path(3, 1);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let mut out = Vec::new();
+        assert!(matches!(
+            store.get_into(3, 1, &mut out).unwrap_err(),
+            NodeError::ChunkCorrupt { .. }
+        ));
+
+        // A chunk file renamed under the wrong locator fails the
+        // header's stripe/lane check.
+        store.put(4, 0, chunk_digest(&payload), &payload).unwrap();
+        fs::rename(store.chunk_path(4, 0), store.chunk_path(5, 0)).unwrap();
+        assert!(matches!(
+            store.get_into(5, 0, &mut out).unwrap_err(),
+            NodeError::ChunkCorrupt { stripe: 5, lane: 0 }
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

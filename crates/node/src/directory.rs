@@ -1,0 +1,322 @@
+//! The in-memory placement directory: which server holds which chunk,
+//! who is alive, and what has been reported lost.
+//!
+//! This is the prototype's stand-in for the HDFS NameNode's block map.
+//! Placement decisions reuse the simulator's rack-aware
+//! [`Placement`] policy — the same best-effort
+//! spreading the scale experiments validated — so a 16-lane LRC stripe
+//! lands on a 5-server cluster with at most ⌈16/5⌉ lanes per server,
+//! keeping any single server failure inside the code's erasure budget.
+//!
+//! The directory is plain data guarded by whatever lock its owner
+//! chooses (the client and repair agent share one behind an
+//! `Arc<Mutex<_>>`); every mutating call is synchronous and cheap.
+
+use crate::error::{NodeError, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::SocketAddr;
+use xorbas_sim::fasthash::{FastMap, FastSet};
+use xorbas_sim::Placement;
+
+/// Index of a server in the directory's roster.
+pub type ServerId = usize;
+
+/// One chunk server as the directory sees it.
+#[derive(Debug, Clone)]
+pub struct ServerInfo {
+    /// Where the server listens.
+    pub addr: SocketAddr,
+    /// Rack the server sits in (round-robin, matching [`Placement`]).
+    pub rack: usize,
+    /// Liveness as last observed (connect failures mark this false).
+    pub alive: bool,
+}
+
+/// The chunk→server map plus liveness and loss bookkeeping.
+#[derive(Debug)]
+pub struct Directory {
+    servers: Vec<ServerInfo>,
+    placement: Placement,
+    /// Stripe id → per-lane server assignment (index = lane).
+    stripes: FastMap<u64, Vec<ServerId>>,
+    /// Chunks reported corrupt by a failed digest check.
+    corrupt: FastSet<(u64, u32)>,
+    next_stripe: u64,
+    rng: StdRng,
+    alive_scratch: Vec<bool>,
+}
+
+impl Directory {
+    /// A directory over `addrs`, spread round-robin across `racks`.
+    pub fn new(addrs: &[SocketAddr], racks: usize, seed: u64) -> Self {
+        let racks = racks.clamp(1, addrs.len().max(1));
+        let servers = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &addr)| ServerInfo {
+                addr,
+                rack: i % racks,
+                alive: true,
+            })
+            .collect::<Vec<_>>();
+        Self {
+            placement: Placement::new(servers.len(), racks),
+            servers,
+            stripes: FastMap::default(),
+            corrupt: FastSet::default(),
+            next_stripe: 0,
+            rng: StdRng::seed_from_u64(seed),
+            alive_scratch: Vec::new(),
+        }
+    }
+
+    /// Number of servers in the roster (alive or not).
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of servers currently believed alive.
+    pub fn alive_count(&self) -> usize {
+        self.servers.iter().filter(|s| s.alive).count()
+    }
+
+    /// The roster entry for `id`.
+    pub fn server(&self, id: ServerId) -> Option<&ServerInfo> {
+        self.servers.get(id)
+    }
+
+    /// The whole roster, indexed by [`ServerId`].
+    pub fn roster(&self) -> &[ServerInfo] {
+        &self.servers
+    }
+
+    /// The address of `id` (roster indices are dense and stable).
+    pub fn addr_of(&self, id: ServerId) -> Option<SocketAddr> {
+        self.servers.get(id).map(|s| s.addr)
+    }
+
+    /// Marks a server dead (connect failure, kill switch). Its chunks
+    /// become repair candidates on the next [`Directory::scan_lost`].
+    pub fn mark_dead(&mut self, id: ServerId) {
+        if let Some(s) = self.servers.get_mut(id) {
+            s.alive = false;
+        }
+    }
+
+    /// Marks a server alive again (it answered a probe).
+    pub fn mark_alive(&mut self, id: ServerId) {
+        if let Some(s) = self.servers.get_mut(id) {
+            s.alive = true;
+        }
+    }
+
+    /// Liveness of `id`.
+    pub fn is_alive(&self, id: ServerId) -> bool {
+        self.servers.get(id).is_some_and(|s| s.alive)
+    }
+
+    /// Allocates a fresh stripe id.
+    pub fn next_stripe_id(&mut self) -> u64 {
+        let id = self.next_stripe;
+        self.next_stripe += 1;
+        id
+    }
+
+    /// Registers a stripe with a known lane→server assignment (manifest
+    /// load). Keeps the id allocator ahead of every registered stripe.
+    pub fn register_stripe(&mut self, stripe: u64, lane_servers: Vec<ServerId>) {
+        self.next_stripe = self.next_stripe.max(stripe + 1);
+        self.stripes.insert(stripe, lane_servers);
+    }
+
+    /// Places a new `lanes`-wide stripe on alive servers, best-effort
+    /// rack-aware (lanes collocate only when the cluster is smaller
+    /// than the stripe). Returns the fresh stripe id and its
+    /// assignment.
+    pub fn place_stripe(&mut self, lanes: usize) -> Result<(u64, &[ServerId])> {
+        self.alive_scratch.clear();
+        self.alive_scratch
+            .extend(self.servers.iter().map(|s| s.alive));
+        let mut out = Vec::new();
+        self.placement
+            .place_best_effort(lanes, &self.alive_scratch, &[], &mut self.rng, &mut out)
+            .ok_or(NodeError::NoPlacement)?;
+        let id = self.next_stripe_id();
+        let entry = self.stripes.entry(id).or_default();
+        *entry = out;
+        Ok((id, entry))
+    }
+
+    /// The lane→server assignment of `stripe`.
+    pub fn servers_of(&self, stripe: u64) -> Option<&[ServerId]> {
+        self.stripes.get(&stripe).map(Vec::as_slice)
+    }
+
+    /// Records that `(stripe, lane)` failed its digest check.
+    pub fn report_corrupt(&mut self, stripe: u64, lane: u32) {
+        self.corrupt.insert((stripe, lane));
+    }
+
+    /// Whether `(stripe, lane)` is currently flagged corrupt.
+    pub fn is_corrupt(&self, stripe: u64, lane: u32) -> bool {
+        self.corrupt.contains(&(stripe, lane))
+    }
+
+    /// Collects the lanes of `stripe` that cannot be read right now —
+    /// their server is dead or the chunk was reported corrupt — into
+    /// `out` (cleared first, ascending).
+    pub fn unavailable_lanes(&self, stripe: u64, out: &mut Vec<usize>) -> Result<()> {
+        out.clear();
+        let lanes = self
+            .stripes
+            .get(&stripe)
+            .ok_or(NodeError::UnknownStripe(stripe))?;
+        for (lane, &sid) in lanes.iter().enumerate() {
+            let dead = !self.is_alive(sid);
+            if dead || self.corrupt.contains(&(stripe, lane as u32)) {
+                out.push(lane);
+            }
+        }
+        Ok(())
+    }
+
+    /// Scans every registered stripe for lost chunks (dead server or
+    /// corrupt report) into `out`, sorted for determinism.
+    pub fn scan_lost(&self, out: &mut Vec<(u64, u32)>) {
+        out.clear();
+        for (&stripe, lanes) in &self.stripes {
+            for (lane, &sid) in lanes.iter().enumerate() {
+                if !self.is_alive(sid) || self.corrupt.contains(&(stripe, lane as u32)) {
+                    out.push((stripe, lane as u32));
+                }
+            }
+        }
+        out.sort_unstable();
+    }
+
+    /// Picks an alive server to host a repaired `(stripe, lane)`,
+    /// preferring one that holds no lane of the stripe yet and falling
+    /// back to any alive server on small clusters.
+    pub fn choose_replacement(&mut self, stripe: u64) -> Result<ServerId> {
+        let lanes = self
+            .stripes
+            .get(&stripe)
+            .ok_or(NodeError::UnknownStripe(stripe))?;
+        self.alive_scratch.clear();
+        self.alive_scratch
+            .extend(self.servers.iter().map(|s| s.alive));
+        let choice = self
+            .placement
+            .place_one(&self.alive_scratch, lanes, &mut self.rng)
+            .or_else(|| {
+                self.placement
+                    .place_one(&self.alive_scratch, &[], &mut self.rng)
+            });
+        choice.ok_or(NodeError::NoPlacement)
+    }
+
+    /// Points `(stripe, lane)` at `new_server` and clears any corrupt
+    /// flag — the repair agent calls this after a verified re-put.
+    pub fn reassign(&mut self, stripe: u64, lane: u32, new_server: ServerId) -> Result<()> {
+        let lanes = self
+            .stripes
+            .get_mut(&stripe)
+            .ok_or(NodeError::UnknownStripe(stripe))?;
+        let slot = lanes
+            .get_mut(lane as usize)
+            .ok_or(NodeError::Malformed("lane out of range for stripe"))?;
+        *slot = new_server;
+        self.corrupt.remove(&(stripe, lane));
+        Ok(())
+    }
+
+    /// Iterates all registered stripe ids, sorted.
+    pub fn stripe_ids(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.stripes.keys().copied());
+        out.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<SocketAddr> {
+        (0..n)
+            .map(|i| format!("127.0.0.1:{}", 42000 + i).parse().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn small_cluster_spreads_lanes_within_erasure_budget() {
+        let mut dir = Directory::new(&addrs(5), 5, 7);
+        let (id, lanes) = dir.place_stripe(16).unwrap();
+        assert_eq!(id, 0);
+        let lanes: Vec<ServerId> = lanes.to_vec();
+        assert_eq!(lanes.len(), 16);
+        // Best-effort placement on 5 servers: at most ceil(16/5) = 4
+        // lanes collocate, so one server death erases at most 4 lanes —
+        // inside LRC(10,6,5)'s distance-5 budget.
+        for sid in 0..5 {
+            let held = lanes.iter().filter(|&&s| s == sid).count();
+            assert!(held <= 4, "server {sid} holds {held} lanes");
+        }
+    }
+
+    #[test]
+    fn loss_scan_tracks_death_and_corruption() {
+        let mut dir = Directory::new(&addrs(5), 5, 7);
+        let (id, _) = dir.place_stripe(14).unwrap();
+        let lanes: Vec<ServerId> = dir.servers_of(id).unwrap().to_vec();
+
+        let victim = lanes[3];
+        dir.mark_dead(victim);
+        dir.report_corrupt(id, 0);
+
+        let mut lost = Vec::new();
+        dir.scan_lost(&mut lost);
+        let expect: Vec<(u64, u32)> = lanes
+            .iter()
+            .enumerate()
+            .filter(|&(lane, &sid)| sid == victim || lane == 0)
+            .map(|(lane, _)| (id, lane as u32))
+            .collect();
+        let mut expect = expect;
+        expect.sort_unstable();
+        assert_eq!(lost, expect);
+
+        let mut unavail = Vec::new();
+        dir.unavailable_lanes(id, &mut unavail).unwrap();
+        assert_eq!(
+            unavail,
+            expect.iter().map(|&(_, l)| l as usize).collect::<Vec<_>>()
+        );
+
+        // Repair: reassign lane 3's victim chunk and clear the corrupt
+        // flag on lane 0.
+        let replacement = dir.choose_replacement(id).unwrap();
+        assert!(dir.is_alive(replacement));
+        dir.reassign(id, 3, replacement).unwrap();
+        dir.reassign(id, 0, lanes[0]).unwrap();
+        dir.unavailable_lanes(id, &mut unavail).unwrap();
+        assert!(!unavail.contains(&0));
+        assert!(unavail.iter().all(|&l| lanes[l] == victim && l != 3));
+
+        // Revival clears the rest.
+        dir.mark_alive(victim);
+        dir.unavailable_lanes(id, &mut unavail).unwrap();
+        assert!(unavail.is_empty());
+    }
+
+    #[test]
+    fn unknown_stripe_is_a_typed_error() {
+        let dir = Directory::new(&addrs(3), 1, 1);
+        let mut out = Vec::new();
+        assert!(matches!(
+            dir.unavailable_lanes(99, &mut out).unwrap_err(),
+            NodeError::UnknownStripe(99)
+        ));
+    }
+}

@@ -1,0 +1,57 @@
+//! `xorbas-node`: the graduation from simulation to a running system.
+//!
+//! Everything below the `crates/sim` layer computes; this crate *serves*.
+//! It is a minimal networked storage prototype — chunk servers and a
+//! client library speaking a length-prefixed binary protocol over TCP —
+//! built entirely on `std` so a whole cluster can run over loopback
+//! inside one process (or one integration test).
+//!
+//! | Module | Role |
+//! |---|---|
+//! | [`protocol`] | frame layout, opcodes, bounded-allocation frame reader, chunk digests |
+//! | [`chunk_store`] | per-server on-disk chunk files with digest verification |
+//! | [`server`] | the chunk-server daemon: accept loop, per-connection threads, kill switch |
+//! | [`client`] | connection with retry/backoff, streaming put (encode pipelined against socket writes), direct + degraded get |
+//! | [`manifest`] | the binary stripe manifest a put returns and a get consumes |
+//! | [`directory`] | the in-memory placement directory: rack-aware chunk→server map, liveness, loss scan |
+//! | [`repair`] | the background repair agent: scan → plan → stream → re-place, with a concurrency throttle |
+//! | [`error`] | [`NodeError`], the typed error surface |
+//!
+//! The paper's argument is that repair *network traffic* is the binding
+//! constraint of erasure-coded storage (§1, §5); this crate turns that
+//! from a simulator output into a wire measurement. `cargo run --release
+//! -p xorbas_node --bin load_gen` boots N servers over loopback, streams
+//! erasure-coded puts through [`client::ClusterClient`], hammers reads
+//! while a server dies mid-run, and reports GiB/s plus p50/p99/p999
+//! latency — degraded reads served through cached
+//! [`RepairSession`](xorbas_core::RepairSession)s, lost chunks restored
+//! by the [`repair::RepairAgent`] (LRC light repairs fetch only the
+//! local group, the §3.2 story).
+
+#![forbid(unsafe_code)]
+
+pub mod chunk_store;
+pub mod client;
+pub mod directory;
+pub mod error;
+pub mod manifest;
+pub mod protocol;
+pub mod repair;
+pub mod server;
+
+pub use chunk_store::ChunkStore;
+pub use client::{ClusterClient, NodeConn, RetryPolicy};
+pub use directory::{Directory, ServerId};
+pub use error::NodeError;
+pub use manifest::Manifest;
+pub use protocol::{chunk_digest, ErrCode};
+pub use repair::{RepairAgent, RepairAgentConfig, RepairStatsSnapshot};
+pub use server::{ChunkServer, ServerConfig};
+
+/// Locks a mutex, recovering the data from a poisoned lock (a panicked
+/// holder) instead of propagating the panic — the prototype's shared
+/// state (directory, session caches) stays usable for the surviving
+/// threads, and the library keeps its no-panic discipline.
+pub(crate) fn lock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -1,0 +1,706 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every frame is a little-endian `u32` body length followed by the
+//! body; the body's first byte is the opcode, fixed-width fields follow,
+//! and any chunk payload runs to the end of the body:
+//!
+//! ```text
+//! +----------------+--------+----------------------------------+
+//! | u32 body_len   | u8 op  | fields … payload …               |
+//! +----------------+--------+----------------------------------+
+//!
+//! PUT    (0x01)  stripe u64 | lane u32 | digest u64 | payload
+//! GET    (0x02)  stripe u64 | lane u32
+//! DELETE (0x03)  stripe u64 | lane u32
+//! PING   (0x04)  —
+//! OK     (0x81)  —
+//! CHUNK  (0x82)  digest u64 | payload
+//! ERR    (0xEE)  code u8
+//! ```
+//!
+//! Robustness contract: a length prefix above [`MAX_BODY`] is rejected
+//! with a typed error *before any allocation*, a stream that ends
+//! mid-frame yields [`NodeError::Truncated`], and unknown opcodes or
+//! short bodies yield [`NodeError::Malformed`] — the reader never
+//! panics and never allocates beyond the cap.
+
+use crate::error::{NodeError, Result};
+use std::io::{ErrorKind, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Largest chunk payload a frame may carry (64 MiB).
+pub const MAX_CHUNK: usize = 64 << 20;
+
+/// Largest frame body the reader will allocate for: the chunk cap plus
+/// the widest fixed header (PUT's 21 bytes), rounded up.
+pub const MAX_BODY: usize = MAX_CHUNK + 32;
+
+/// Store a chunk (request).
+pub const OP_PUT: u8 = 0x01;
+/// Fetch a chunk (request).
+pub const OP_GET: u8 = 0x02;
+/// Drop a chunk (request; used by tests and failure injection).
+pub const OP_DELETE: u8 = 0x03;
+/// Liveness probe (request).
+pub const OP_PING: u8 = 0x04;
+/// Success, no payload (response).
+pub const OP_OK: u8 = 0x81;
+/// A chunk payload (response to GET).
+pub const OP_CHUNK: u8 = 0x82;
+/// A typed failure (response).
+pub const OP_ERR: u8 = 0xEE;
+
+/// Error codes an `ERR` frame can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// The chunk is not stored here.
+    NotFound,
+    /// The chunk is stored but failed its digest check.
+    Corrupt,
+    /// The request frame was structurally invalid.
+    Malformed,
+    /// The request frame exceeded the body cap.
+    TooLarge,
+    /// The server hit an I/O error serving the request.
+    Io,
+    /// The server is shutting down.
+    Unavailable,
+}
+
+impl ErrCode {
+    /// Wire encoding.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ErrCode::NotFound => 1,
+            ErrCode::Corrupt => 2,
+            ErrCode::Malformed => 3,
+            ErrCode::TooLarge => 4,
+            ErrCode::Io => 5,
+            ErrCode::Unavailable => 6,
+        }
+    }
+
+    /// Wire decoding; `None` for codes this build does not know.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => ErrCode::NotFound,
+            2 => ErrCode::Corrupt,
+            3 => ErrCode::Malformed,
+            4 => ErrCode::TooLarge,
+            5 => ErrCode::Io,
+            6 => ErrCode::Unavailable,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrCode::NotFound => "chunk not found",
+            ErrCode::Corrupt => "chunk corrupt",
+            ErrCode::Malformed => "malformed frame",
+            ErrCode::TooLarge => "frame too large",
+            ErrCode::Io => "server i/o error",
+            ErrCode::Unavailable => "server unavailable",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One parsed frame, borrowing its payload from the reader's scratch
+/// buffer (the hot read path hands payload bytes through without a
+/// copy or an allocation).
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame<'a> {
+    /// Store `payload` as `(stripe, lane)` with the client's digest.
+    Put {
+        /// Stripe id.
+        stripe: u64,
+        /// Lane index within the stripe.
+        lane: u32,
+        /// [`chunk_digest`] of the payload, computed by the sender.
+        digest: u64,
+        /// The chunk bytes.
+        payload: &'a [u8],
+    },
+    /// Fetch `(stripe, lane)`.
+    Get {
+        /// Stripe id.
+        stripe: u64,
+        /// Lane index within the stripe.
+        lane: u32,
+    },
+    /// Drop `(stripe, lane)`.
+    Delete {
+        /// Stripe id.
+        stripe: u64,
+        /// Lane index within the stripe.
+        lane: u32,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Success.
+    Ok,
+    /// A chunk payload with its stored digest.
+    Chunk {
+        /// [`chunk_digest`] of the payload as stored.
+        digest: u64,
+        /// The chunk bytes.
+        payload: &'a [u8],
+    },
+    /// A typed failure.
+    Err {
+        /// What went wrong.
+        code: ErrCode,
+    },
+}
+
+/// Why a read loop ended without a frame.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReadEnd {
+    /// The peer closed the connection between frames — a clean end.
+    CleanEof,
+    /// The stop flag was raised while waiting for bytes.
+    Stopped,
+}
+
+/// Outcome of [`FrameReader::read`]: a frame, or a clean end of stream.
+pub type ReadOutcome<'a> = std::result::Result<Frame<'a>, ReadEnd>;
+
+/// A reusable frame reader: one growable scratch buffer per connection,
+/// so steady-state reads allocate nothing once the buffer has reached
+/// the largest frame seen.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    scratch: Vec<u8>,
+}
+
+impl FrameReader {
+    /// A reader with an empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads one frame. `stop` (when given) is polled whenever the
+    /// underlying stream reports a read timeout, letting a server
+    /// drain its connections on shutdown without a protocol epilogue.
+    ///
+    /// Returns `Ok(Err(ReadEnd::CleanEof))` when the peer closes the
+    /// stream *between* frames; a close mid-frame is
+    /// [`NodeError::Truncated`]. A body length above [`MAX_BODY`] is
+    /// [`NodeError::FrameTooLarge`], rejected before allocation.
+    pub fn read<'a, R: Read>(
+        &'a mut self,
+        r: &mut R,
+        stop: Option<&AtomicBool>,
+    ) -> Result<ReadOutcome<'a>> {
+        let mut len_buf = [0u8; 4];
+        match fill(r, &mut len_buf, stop)? {
+            Fill::Full => {}
+            Fill::CleanEof => return Ok(Err(ReadEnd::CleanEof)),
+            Fill::Stopped => return Ok(Err(ReadEnd::Stopped)),
+            Fill::Truncated { missing } => return Err(NodeError::Truncated { missing }),
+        }
+        let body_len = u32::from_le_bytes(len_buf) as usize;
+        if body_len == 0 {
+            return Err(NodeError::Malformed("zero-length frame body"));
+        }
+        if body_len > MAX_BODY {
+            return Err(NodeError::FrameTooLarge {
+                len: body_len as u64,
+                max: MAX_BODY as u64,
+            });
+        }
+        self.scratch.resize(body_len, 0);
+        match fill(r, &mut self.scratch, stop)? {
+            Fill::Full => {}
+            Fill::CleanEof => return Err(NodeError::Truncated { missing: body_len }),
+            Fill::Stopped => return Ok(Err(ReadEnd::Stopped)),
+            Fill::Truncated { missing } => return Err(NodeError::Truncated { missing }),
+        }
+        parse_body(&self.scratch).map(Ok)
+    }
+}
+
+/// Outcome of filling a buffer from a stream.
+enum Fill {
+    Full,
+    /// EOF before the first byte.
+    CleanEof,
+    /// EOF after some bytes.
+    Truncated {
+        missing: usize,
+    },
+    /// The stop flag was raised.
+    Stopped,
+}
+
+/// `read_exact` with explicit partial-fill tracking: survives
+/// `WouldBlock`/`TimedOut` (polling `stop` in between) and reports
+/// exactly how much of the buffer an early EOF left unfilled.
+fn fill<R: Read>(r: &mut R, buf: &mut [u8], stop: Option<&AtomicBool>) -> Result<Fill> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    Fill::CleanEof
+                } else {
+                    Fill::Truncated {
+                        missing: buf.len() - filled,
+                    }
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+                    && stop.is_some() =>
+            {
+                if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                    return Ok(Fill::Stopped);
+                }
+            }
+            Err(e) => return Err(NodeError::Io(e)),
+        }
+    }
+    Ok(Fill::Full)
+}
+
+/// A bounds-checked little-endian cursor over a frame body.
+struct Cur<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn u8(&mut self) -> Result<u8> {
+        let v = *self
+            .b
+            .get(self.pos)
+            .ok_or(NodeError::Malformed("frame body too short"))?;
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let s = self
+            .b
+            .get(self.pos..self.pos + 4)
+            .ok_or(NodeError::Malformed("frame body too short"))?;
+        self.pos += 4;
+        let mut w = [0u8; 4];
+        w.copy_from_slice(s);
+        Ok(u32::from_le_bytes(w))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let s = self
+            .b
+            .get(self.pos..self.pos + 8)
+            .ok_or(NodeError::Malformed("frame body too short"))?;
+        self.pos += 8;
+        let mut w = [0u8; 8];
+        w.copy_from_slice(s);
+        Ok(u64::from_le_bytes(w))
+    }
+
+    fn rest(self) -> &'a [u8] {
+        self.b.get(self.pos..).unwrap_or(&[])
+    }
+
+    fn finish(self) -> Result<()> {
+        if self.pos == self.b.len() {
+            Ok(())
+        } else {
+            Err(NodeError::Malformed("trailing bytes in frame body"))
+        }
+    }
+}
+
+/// Parses a complete frame body.
+fn parse_body(body: &[u8]) -> Result<Frame<'_>> {
+    let mut c = Cur { b: body, pos: 0 };
+    match c.u8()? {
+        OP_PUT => {
+            let stripe = c.u64()?;
+            let lane = c.u32()?;
+            let digest = c.u64()?;
+            Ok(Frame::Put {
+                stripe,
+                lane,
+                digest,
+                payload: c.rest(),
+            })
+        }
+        OP_GET => {
+            let stripe = c.u64()?;
+            let lane = c.u32()?;
+            c.finish()?;
+            Ok(Frame::Get { stripe, lane })
+        }
+        OP_DELETE => {
+            let stripe = c.u64()?;
+            let lane = c.u32()?;
+            c.finish()?;
+            Ok(Frame::Delete { stripe, lane })
+        }
+        OP_PING => {
+            c.finish()?;
+            Ok(Frame::Ping)
+        }
+        OP_OK => {
+            c.finish()?;
+            Ok(Frame::Ok)
+        }
+        OP_CHUNK => {
+            let digest = c.u64()?;
+            Ok(Frame::Chunk {
+                digest,
+                payload: c.rest(),
+            })
+        }
+        OP_ERR => {
+            let code = c.u8()?;
+            c.finish()?;
+            let code = ErrCode::from_u8(code).ok_or(NodeError::Malformed("unknown error code"))?;
+            Ok(Frame::Err { code })
+        }
+        _ => Err(NodeError::Malformed("unknown opcode")),
+    }
+}
+
+/// Writes a PUT frame: fixed header in one `write_all`, payload in a
+/// second (no assembly copy of the chunk bytes).
+pub fn write_put<W: Write>(
+    w: &mut W,
+    stripe: u64,
+    lane: u32,
+    digest: u64,
+    payload: &[u8],
+) -> Result<()> {
+    if payload.len() > MAX_CHUNK {
+        return Err(NodeError::FrameTooLarge {
+            len: payload.len() as u64,
+            max: MAX_CHUNK as u64,
+        });
+    }
+    let mut h = [0u8; 4 + 21];
+    h[..4].copy_from_slice(&((21 + payload.len()) as u32).to_le_bytes());
+    h[4] = OP_PUT;
+    h[5..13].copy_from_slice(&stripe.to_le_bytes());
+    h[13..17].copy_from_slice(&lane.to_le_bytes());
+    h[17..25].copy_from_slice(&digest.to_le_bytes());
+    w.write_all(&h)?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Writes a CHUNK response frame (header, then the payload).
+pub fn write_chunk<W: Write>(w: &mut W, digest: u64, payload: &[u8]) -> Result<()> {
+    if payload.len() > MAX_CHUNK {
+        return Err(NodeError::FrameTooLarge {
+            len: payload.len() as u64,
+            max: MAX_CHUNK as u64,
+        });
+    }
+    let mut h = [0u8; 4 + 9];
+    h[..4].copy_from_slice(&((9 + payload.len()) as u32).to_le_bytes());
+    h[4] = OP_CHUNK;
+    h[5..13].copy_from_slice(&digest.to_le_bytes());
+    w.write_all(&h)?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Writes a GET or DELETE request frame (`op` picks which).
+pub fn write_locator<W: Write>(w: &mut W, op: u8, stripe: u64, lane: u32) -> Result<()> {
+    let mut h = [0u8; 4 + 13];
+    h[..4].copy_from_slice(&13u32.to_le_bytes());
+    h[4] = op;
+    h[5..13].copy_from_slice(&stripe.to_le_bytes());
+    h[13..17].copy_from_slice(&lane.to_le_bytes());
+    w.write_all(&h)?;
+    Ok(())
+}
+
+/// Writes a bare frame (PING or OK).
+pub fn write_bare<W: Write>(w: &mut W, op: u8) -> Result<()> {
+    let mut h = [0u8; 5];
+    h[..4].copy_from_slice(&1u32.to_le_bytes());
+    h[4] = op;
+    w.write_all(&h)?;
+    Ok(())
+}
+
+/// Writes an ERR response frame.
+pub fn write_err<W: Write>(w: &mut W, code: ErrCode) -> Result<()> {
+    let mut h = [0u8; 6];
+    h[..4].copy_from_slice(&2u32.to_le_bytes());
+    h[4] = OP_ERR;
+    h[5] = code.as_u8();
+    w.write_all(&h)?;
+    Ok(())
+}
+
+#[inline]
+fn le64(b: &[u8]) -> u64 {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&b[..8]);
+    u64::from_le_bytes(w)
+}
+
+/// A fast 64-bit chunk digest: four independent FxHash-style lanes
+/// folded over 32-byte blocks (instruction-level parallelism keeps it
+/// near memory bandwidth), the tail and total length mixed in at the
+/// end. Collision-resistant enough to catch disk or wire corruption;
+/// **not** cryptographic.
+// xlint::hot-path(chunk-digest)
+pub fn chunk_digest(bytes: &[u8]) -> u64 {
+    const M: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let mut lanes = [
+        0x243F_6A88_85A3_08D3u64,
+        0x1319_8A2E_0370_7344,
+        0xA409_3822_299F_31D0,
+        0x082E_FA98_EC4E_6C89,
+    ];
+    let mut rest = bytes;
+    while rest.len() >= 32 {
+        lanes[0] = (lanes[0].rotate_left(5) ^ le64(&rest[0..8])).wrapping_mul(M);
+        lanes[1] = (lanes[1].rotate_left(5) ^ le64(&rest[8..16])).wrapping_mul(M);
+        lanes[2] = (lanes[2].rotate_left(5) ^ le64(&rest[16..24])).wrapping_mul(M);
+        lanes[3] = (lanes[3].rotate_left(5) ^ le64(&rest[24..32])).wrapping_mul(M);
+        rest = &rest[32..];
+    }
+    let mut acc = lanes[0];
+    acc = (acc.rotate_left(5) ^ lanes[1]).wrapping_mul(M);
+    acc = (acc.rotate_left(5) ^ lanes[2]).wrapping_mul(M);
+    acc = (acc.rotate_left(5) ^ lanes[3]).wrapping_mul(M);
+    while rest.len() >= 8 {
+        acc = (acc.rotate_left(5) ^ le64(&rest[0..8])).wrapping_mul(M);
+        rest = &rest[8..];
+    }
+    let mut tail = [0u8; 8];
+    tail[..rest.len()].copy_from_slice(rest);
+    acc = (acc.rotate_left(5) ^ u64::from_le_bytes(tail)).wrapping_mul(M);
+    (acc.rotate_left(5) ^ bytes.len() as u64).wrapping_mul(M)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn read_one(bytes: &[u8]) -> Result<&'static str> {
+        // Parse a frame out of raw bytes and summarize the outcome.
+        let mut r = FrameReader::new();
+        let mut cur = Cursor::new(bytes.to_vec());
+        match r.read(&mut cur, None)? {
+            Ok(Frame::Put { .. }) => Ok("put"),
+            Ok(Frame::Get { .. }) => Ok("get"),
+            Ok(Frame::Delete { .. }) => Ok("delete"),
+            Ok(Frame::Ping) => Ok("ping"),
+            Ok(Frame::Ok) => Ok("ok"),
+            Ok(Frame::Chunk { .. }) => Ok("chunk"),
+            Ok(Frame::Err { .. }) => Ok("err"),
+            Err(ReadEnd::CleanEof) => Ok("eof"),
+            Err(ReadEnd::Stopped) => Ok("stopped"),
+        }
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        let payload = [7u8, 8, 9];
+        let digest = chunk_digest(&payload);
+        let mut buf = Vec::new();
+        write_put(&mut buf, 42, 3, digest, &payload).unwrap();
+        write_locator(&mut buf, OP_GET, 42, 3).unwrap();
+        write_locator(&mut buf, OP_DELETE, 9, 1).unwrap();
+        write_bare(&mut buf, OP_PING).unwrap();
+        write_bare(&mut buf, OP_OK).unwrap();
+        write_chunk(&mut buf, digest, &payload).unwrap();
+        write_err(&mut buf, ErrCode::NotFound).unwrap();
+
+        let mut r = FrameReader::new();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(
+            r.read(&mut cur, None).unwrap().unwrap(),
+            Frame::Put {
+                stripe: 42,
+                lane: 3,
+                digest,
+                payload: &payload
+            }
+        );
+        assert_eq!(
+            r.read(&mut cur, None).unwrap().unwrap(),
+            Frame::Get {
+                stripe: 42,
+                lane: 3
+            }
+        );
+        assert_eq!(
+            r.read(&mut cur, None).unwrap().unwrap(),
+            Frame::Delete { stripe: 9, lane: 1 }
+        );
+        assert_eq!(r.read(&mut cur, None).unwrap().unwrap(), Frame::Ping);
+        assert_eq!(r.read(&mut cur, None).unwrap().unwrap(), Frame::Ok);
+        assert_eq!(
+            r.read(&mut cur, None).unwrap().unwrap(),
+            Frame::Chunk {
+                digest,
+                payload: &payload
+            }
+        );
+        assert_eq!(
+            r.read(&mut cur, None).unwrap().unwrap(),
+            Frame::Err {
+                code: ErrCode::NotFound
+            }
+        );
+        // Stream exhausted between frames: a clean EOF, not an error.
+        assert!(matches!(
+            r.read(&mut cur, None).unwrap(),
+            Err(ReadEnd::CleanEof)
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocation() {
+        // Announce a 4 GiB body: the reader must refuse based on the
+        // prefix alone (the 4 bytes after the prefix never exist).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_one(&bytes).unwrap_err();
+        assert!(
+            matches!(err, NodeError::FrameTooLarge { len, .. } if len == u32::MAX as u64),
+            "got {err:?}"
+        );
+        // Just above the cap is also refused…
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&((MAX_BODY as u32) + 1).to_le_bytes());
+        assert!(matches!(
+            read_one(&bytes).unwrap_err(),
+            NodeError::FrameTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_are_typed_errors() {
+        // Truncated inside the length prefix.
+        let err = read_one(&[0x05, 0x00]).unwrap_err();
+        assert!(
+            matches!(err, NodeError::Truncated { missing: 2 }),
+            "got {err:?}"
+        );
+        // Length prefix promises 100 bytes, body delivers 10.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&100u32.to_le_bytes());
+        bytes.extend_from_slice(&[OP_PING; 10]);
+        let err = read_one(&bytes).unwrap_err();
+        assert!(
+            matches!(err, NodeError::Truncated { missing: 90 }),
+            "got {err:?}"
+        );
+        // Length prefix present, body entirely absent.
+        let bytes = 13u32.to_le_bytes();
+        let err = read_one(&bytes).unwrap_err();
+        assert!(
+            matches!(err, NodeError::Truncated { missing: 13 }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_bodies_are_typed_errors() {
+        // Zero-length body.
+        let bytes = 0u32.to_le_bytes();
+        assert!(matches!(
+            read_one(&bytes).unwrap_err(),
+            NodeError::Malformed(_)
+        ));
+        // Unknown opcode.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(0x7F);
+        assert!(matches!(
+            read_one(&bytes).unwrap_err(),
+            NodeError::Malformed(_)
+        ));
+        // GET with a short body.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&5u32.to_le_bytes());
+        bytes.push(OP_GET);
+        bytes.extend_from_slice(&[0; 4]);
+        assert!(matches!(
+            read_one(&bytes).unwrap_err(),
+            NodeError::Malformed(_)
+        ));
+        // GET with trailing bytes.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&15u32.to_le_bytes());
+        bytes.push(OP_GET);
+        bytes.extend_from_slice(&[0; 14]);
+        assert!(matches!(
+            read_one(&bytes).unwrap_err(),
+            NodeError::Malformed(_)
+        ));
+        // ERR with an unknown code.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.push(OP_ERR);
+        bytes.push(200);
+        assert!(matches!(
+            read_one(&bytes).unwrap_err(),
+            NodeError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn digest_discriminates_and_is_stable() {
+        let a = chunk_digest(b"hello world");
+        let b = chunk_digest(b"hello worle");
+        assert_ne!(a, b);
+        assert_eq!(a, chunk_digest(b"hello world"));
+        // Length is mixed in: a zero block and an empty block differ.
+        assert_ne!(chunk_digest(&[0u8; 64]), chunk_digest(&[0u8; 63]));
+        assert_ne!(chunk_digest(&[]), chunk_digest(&[0u8]));
+        // Tail handling: every length near the 32-byte block boundary
+        // hashes distinctly for distinct data.
+        for len in 24..40 {
+            let mut v = vec![0xA5u8; len];
+            let base = chunk_digest(&v);
+            v[len - 1] ^= 1;
+            assert_ne!(base, chunk_digest(&v), "len {len}");
+        }
+    }
+
+    #[test]
+    fn err_codes_round_trip() {
+        for code in [
+            ErrCode::NotFound,
+            ErrCode::Corrupt,
+            ErrCode::Malformed,
+            ErrCode::TooLarge,
+            ErrCode::Io,
+            ErrCode::Unavailable,
+        ] {
+            assert_eq!(ErrCode::from_u8(code.as_u8()), Some(code));
+        }
+        assert_eq!(ErrCode::from_u8(0), None);
+        assert_eq!(ErrCode::from_u8(99), None);
+    }
+
+    #[test]
+    fn oversized_put_payload_is_refused_at_write_time() {
+        // Zero-filled huge vec is cheap (virtual memory), so the guard
+        // itself is testable without real allocation pressure.
+        let payload = vec![0u8; MAX_CHUNK + 1];
+        let mut sink = Vec::new();
+        assert!(matches!(
+            write_put(&mut sink, 0, 0, 0, &payload).unwrap_err(),
+            NodeError::FrameTooLarge { .. }
+        ));
+    }
+}

@@ -420,6 +420,9 @@ pub struct ScenarioRun {
     pub data_loss_stripes: u64,
     /// Mean probe-job completion minutes (`NaN` when probes are off).
     pub probe_job_minutes: f64,
+    /// Order statistics over repair-job durations, in minutes (the
+    /// p50/p99/p999 tail the serving-plane work reports on the wire).
+    pub repair_minutes: crate::metrics::PercentileSummary,
     /// Engine events processed (throughput accounting).
     pub events_processed: u64,
     /// Wall-clock seconds the run took.
@@ -499,6 +502,7 @@ pub fn run_scale_scenario(sc: &ScaleScenario, seed: u64) -> ScenarioRun {
         },
         data_loss_stripes: sim.metrics.data_loss_stripes,
         probe_job_minutes,
+        repair_minutes: sim.metrics.repair_minutes_percentiles(),
         events_processed: sim.events_processed(),
         wall_secs: wall_start.elapsed().as_secs_f64(),
     }

@@ -64,5 +64,5 @@ pub use experiment::{
     MonteCarloReport, ScaleScenario, ScenarioRun,
 };
 pub use hdfs::{BlockId, FileId, Hdfs, NodeId, Placement, StripeId};
-pub use metrics::{BucketSeries, Metrics};
+pub use metrics::{BucketSeries, Metrics, PercentileSummary, Percentiles};
 pub use time::SimTime;

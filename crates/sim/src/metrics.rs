@@ -173,6 +173,113 @@ impl BucketSeries {
     }
 }
 
+/// Exact order statistics over a recorded sample set: the shared
+/// tail-latency helper behind both the simulator's repair-duration
+/// summaries and `xorbas-node`'s `load_gen` wire measurements.
+///
+/// Quantiles use the *nearest-rank* definition: for `0 < q <= 1` over
+/// `n` ascending samples, the quantile is the sample at 1-based rank
+/// `ceil(q * n)` (and `q = 0` is the minimum). On exact small
+/// distributions this gives the textbook answers — over `1..=100`,
+/// p50 = 50, p99 = 99, p999 = 100 — with no interpolation surprises.
+#[derive(Debug, Clone, Default)]
+pub struct Percentiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+/// The headline summary [`Percentiles::summary`] produces: count, mean,
+/// and the p50/p99/p999 tail the paper-scale experiments report. All
+/// values are `0.0` when no samples were recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PercentileSummary {
+    /// Number of samples recorded.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Median (nearest-rank p50).
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample. Non-finite samples are ignored (they would
+    /// poison every order statistic).
+    pub fn record(&mut self, v: f64) {
+        if v.is_finite() {
+            self.samples.push(v);
+            self.sorted = false;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Folds another recorder's samples into this one (worker threads
+    /// record privately, the reporter merges).
+    pub fn merge(&mut self, other: &Percentiles) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable_by(f64::total_cmp);
+            self.sorted = true;
+        }
+    }
+
+    /// The nearest-rank `q`-quantile (`0.0 <= q <= 1.0`), or `0.0` when
+    /// empty. Out-of-range `q` clamps.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * n as f64).ceil() as usize;
+        self.samples[rank.max(1) - 1]
+    }
+
+    /// The full summary (sorts once; repeated calls are cheap).
+    pub fn summary(&mut self) -> PercentileSummary {
+        if self.samples.is_empty() {
+            return PercentileSummary::default();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        PercentileSummary {
+            count: n,
+            mean: self.samples.iter().sum::<f64>() / n as f64,
+            min: self.samples[0],
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+            max: self.samples[n - 1],
+        }
+    }
+}
+
 /// The full metric state of a simulation.
 #[derive(Debug, Clone)]
 pub struct Metrics {
@@ -287,6 +394,17 @@ impl Metrics {
             .iter()
             .map(|&busy| (busy / cap).min(1.0))
             .collect()
+    }
+
+    /// Order statistics over completed repair-job durations, in minutes:
+    /// the simulator-side consumer of [`Percentiles`] (Fig.-5-style
+    /// "how long do repairs take" summaries with a p99/p999 tail).
+    pub fn repair_minutes_percentiles(&self) -> PercentileSummary {
+        let mut p = Percentiles::new();
+        for j in &self.repair_jobs {
+            p.record(j.duration().as_mins_f64());
+        }
+        p.summary()
     }
 
     /// Repair span between two snapshots: earliest submit / latest finish
@@ -443,6 +561,86 @@ mod tests {
         // Mark past the end: the span is empty even though jobs exist.
         assert!(m.repair_span_since(1).is_none());
         assert!(m.repair_span_since(usize::MAX).is_none());
+    }
+
+    #[test]
+    fn percentiles_nearest_rank_on_exact_distributions() {
+        // 1..=100: p50 = 50, p99 = 99, p999 = 100 (rank ceil(99.9)).
+        let mut p = Percentiles::new();
+        for v in 1..=100 {
+            p.record(v as f64);
+        }
+        assert_eq!(p.quantile(0.50), 50.0);
+        assert_eq!(p.quantile(0.99), 99.0);
+        assert_eq!(p.quantile(0.999), 100.0);
+        assert_eq!(p.quantile(0.0), 1.0);
+        assert_eq!(p.quantile(1.0), 100.0);
+        let s = p.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_thousand_samples_hit_exact_tail_ranks() {
+        // 1..=1000: rank ceil(0.999 * 1000) = 999 → sample 999.
+        let mut p = Percentiles::new();
+        for v in (1..=1000).rev() {
+            p.record(v as f64); // insertion order must not matter
+        }
+        assert_eq!(p.quantile(0.5), 500.0);
+        assert_eq!(p.quantile(0.99), 990.0);
+        assert_eq!(p.quantile(0.999), 999.0);
+    }
+
+    #[test]
+    fn percentiles_tiny_sets_and_edge_cases() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.summary(), PercentileSummary::default());
+        p.record(7.0);
+        // One sample: every quantile is that sample.
+        assert_eq!(p.quantile(0.001), 7.0);
+        assert_eq!(p.quantile(0.5), 7.0);
+        assert_eq!(p.quantile(0.999), 7.0);
+        p.record(3.0);
+        // Two samples: p50 = rank ceil(1.0) = 1 → the smaller.
+        assert_eq!(p.quantile(0.5), 3.0);
+        assert_eq!(p.quantile(0.51), 7.0);
+        p.record(f64::NAN); // ignored
+        assert_eq!(p.len(), 2);
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(p.quantile(-1.0), 3.0);
+        assert_eq!(p.quantile(2.0), 7.0);
+    }
+
+    #[test]
+    fn percentiles_merge_matches_single_recorder() {
+        let mut a = Percentiles::new();
+        let mut b = Percentiles::new();
+        let mut whole = Percentiles::new();
+        for v in 0..50 {
+            a.record(v as f64);
+            whole.record(v as f64);
+        }
+        for v in 50..100 {
+            b.record(v as f64);
+            whole.record(v as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), whole.summary());
+    }
+
+    #[test]
+    fn repair_minutes_percentiles_summarize_jobs() {
+        let mut m = Metrics::new(10);
+        for mins in [1u64, 2, 3, 4] {
+            m.record_repair_job(SimTime::ZERO, SimTime::from_mins(mins));
+        }
+        let s = m.repair_minutes_percentiles();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.max, 4.0);
     }
 
     #[test]
