@@ -8,8 +8,10 @@
 //! magic "XBCK" | version u32 | stripe u64 | lane u32 | digest u64 | len u64
 //! ```
 //!
-//! Writes go to a `.tmp` sibling and are renamed into place, so a crash
-//! mid-put leaves either the old chunk or none — never a torn one. The
+//! Writes go to a per-writer-unique `.tmp` sibling and are renamed into
+//! place, so a crash mid-put leaves either the old chunk or none — and
+//! concurrent puts of the same chunk from different connection threads
+//! each assemble privately, the last rename winning whole. The
 //! digest is the client's [`chunk_digest`]
 //! of the payload; the store records it verbatim on put (the client just
 //! computed it — recomputing server-side would burn the put path's CPU
@@ -21,6 +23,11 @@ use crate::protocol::{chunk_digest, MAX_CHUNK};
 use std::fs;
 use std::io::{ErrorKind, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide temp-file sequence: two connection threads putting the
+/// same (stripe, lane) must not interleave writes into one `.tmp`.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 const MAGIC: [u8; 4] = *b"XBCK";
 const VERSION: u32 = 1;
@@ -58,7 +65,10 @@ impl ChunkStore {
             });
         }
         let final_path = self.chunk_path(stripe, lane);
-        let tmp_path = final_path.with_extension("chunk.tmp");
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp_path = self
+            .root
+            .join(format!("s{stripe:016x}_l{lane:08x}.{seq:016x}.tmp"));
         let mut header = [0u8; HEADER_LEN];
         header[..4].copy_from_slice(&MAGIC);
         header[4..8].copy_from_slice(&VERSION.to_le_bytes());
@@ -66,10 +76,16 @@ impl ChunkStore {
         header[16..20].copy_from_slice(&lane.to_le_bytes());
         header[20..28].copy_from_slice(&digest.to_le_bytes());
         header[28..36].copy_from_slice(&(payload.len() as u64).to_le_bytes());
-        {
+        let written = (|| {
             let mut f = fs::File::create(&tmp_path)?;
             f.write_all(&header)?;
-            f.write_all(payload)?;
+            f.write_all(payload)
+        })();
+        if let Err(e) = written {
+            // Unique temp names are never overwritten by a later put,
+            // so a failed write must clean up after itself.
+            let _ = fs::remove_file(&tmp_path);
+            return Err(e.into());
         }
         fs::rename(&tmp_path, &final_path)?;
         Ok(())
@@ -193,6 +209,31 @@ mod tests {
             store.get_into(7, 2, &mut out).unwrap_err(),
             NodeError::ChunkNotFound { stripe: 7, lane: 2 }
         ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Two connection threads racing a put of the same (stripe, lane)
+    /// must each assemble in a private temp file: whichever rename wins,
+    /// the stored chunk is one whole put, never an interleaving.
+    #[test]
+    fn concurrent_puts_of_one_chunk_never_tear() {
+        let dir = scratch_dir("race");
+        let store = ChunkStore::open(&dir).unwrap();
+        let a = vec![0x11u8; 32 * 1024];
+        let b = vec![0x22u8; 32 * 1024];
+        std::thread::scope(|s| {
+            for payload in [&a, &b] {
+                for _ in 0..8 {
+                    let store = &store;
+                    s.spawn(move || {
+                        store.put(9, 4, chunk_digest(payload), payload).unwrap();
+                    });
+                }
+            }
+        });
+        let mut out = Vec::new();
+        store.get_into(9, 4, &mut out).unwrap();
+        assert!(out == a || out == b, "stored chunk is a whole put");
         let _ = fs::remove_dir_all(&dir);
     }
 

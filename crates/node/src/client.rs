@@ -296,12 +296,34 @@ impl ClusterClient {
     }
 
     /// Registers a manifest's stripes with the directory (a fresh
-    /// client reading a file it did not write).
-    pub fn register_manifest(&self, manifest: &Manifest) {
+    /// client reading a file it did not write). Fails with
+    /// [`NodeError::ManifestMismatch`] when the manifest's geometry is
+    /// not the one this client stripes with.
+    pub fn register_manifest(&self, manifest: &Manifest) -> Result<()> {
+        self.check_manifest(manifest)?;
         let mut dir = lock(&self.directory);
         for entry in &manifest.stripes {
             dir.register_stripe(entry.id, entry.servers.clone());
         }
+        Ok(())
+    }
+
+    /// A manifest is only readable by a client configured with the
+    /// exact same code spec and chunk size: scratch sizing, degraded
+    /// repair, and extraction geometry all assume they agree. Anything
+    /// else would silently misread, so it is a typed error instead.
+    fn check_manifest(&self, manifest: &Manifest) -> Result<()> {
+        if manifest.spec != self.codec.spec() {
+            return Err(NodeError::ManifestMismatch(
+                "manifest code spec differs from the client's codec",
+            ));
+        }
+        if manifest.chunk_bytes != self.chunk_bytes as u64 {
+            return Err(NodeError::ManifestMismatch(
+                "manifest chunk size differs from the client's",
+            ));
+        }
+        Ok(())
     }
 
     /// Streams `data` into the cluster: stripes are encoded on a
@@ -381,15 +403,20 @@ impl ClusterClient {
     /// Reads a whole file back, bit-identical, serving stripes through
     /// the degraded path whenever the direct one fails.
     pub fn get(&mut self, manifest: &Manifest, out: &mut Vec<u8>) -> Result<GetReport> {
+        self.check_manifest(manifest)?;
         let k = manifest.spec.data_blocks();
         let cb = manifest.chunk_bytes as usize;
         out.clear();
         let mut remaining = manifest.file_len as usize;
         let mut report = GetReport::default();
+        // Every data lane must hold fresh bytes after a degraded
+        // stripe: a light repair plan only reads one local group, so
+        // lanes outside it are explicit fetch targets.
+        let targets: Vec<usize> = (0..k).collect();
         for entry in &manifest.stripes {
             report.stripes += 1;
             if !self.try_direct_stripe(entry.id, k) {
-                self.fetch_stripe_degraded(entry.id)?;
+                self.fetch_stripe_degraded(entry.id, &targets)?;
                 report.degraded_stripes += 1;
             }
             for lane in 0..k {
@@ -427,7 +454,7 @@ impl ClusterClient {
         if self.read_chunk_direct(stripe, lane, out).is_ok() {
             return Ok(ReadKind::Direct);
         }
-        let light = self.fetch_stripe_degraded(stripe)?;
+        let light = self.fetch_stripe_degraded(stripe, &[lane as usize])?;
         let chunk = self
             .stripe_scratch
             .get(lane as usize)
@@ -495,10 +522,14 @@ impl ClusterClient {
     }
 
     /// Serves a stripe degraded: compile (or reuse) the repair session
-    /// for the current failure pattern, fetch only the lanes its plan
-    /// reads, reconstruct the rest in place in `stripe_scratch`.
-    /// Returns whether the repair ran entirely on the light decoder.
-    fn fetch_stripe_degraded(&mut self, stripe: u64) -> Result<bool> {
+    /// for the current failure pattern, fetch the lanes its plan reads
+    /// plus any `targets` the plan does not cover, and reconstruct the
+    /// missing lanes in place in `stripe_scratch`. On `Ok`, every lane
+    /// in `targets` holds fresh bytes — a light plan only reads one
+    /// local group, so lanes the caller needs outside it are fetched
+    /// directly rather than left stale. Returns whether the repair ran
+    /// entirely on the light decoder.
+    fn fetch_stripe_degraded(&mut self, stripe: u64, targets: &[usize]) -> Result<bool> {
         let n = self.codec.total_blocks();
         self.ensure_scratch();
         let mut last_err = NodeError::Malformed("degraded read did not converge");
@@ -516,6 +547,18 @@ impl ClusterClient {
                     }
                     let mut buf = std::mem::take(&mut self.stripe_scratch[0]);
                     let res = self.read_chunk_direct(stripe, lane as u32, &mut buf);
+                    if res.is_ok() {
+                        // Replicas are identical: surface the bytes on
+                        // every lane the caller is about to read.
+                        for &t in targets {
+                            if t != 0 {
+                                if let Some(dst) = self.stripe_scratch.get_mut(t) {
+                                    dst.clear();
+                                    dst.extend_from_slice(&buf);
+                                }
+                            }
+                        }
+                    }
                     self.stripe_scratch[0] = buf;
                     if res.is_ok() {
                         self.unavailable_scratch = unavailable;
@@ -538,11 +581,14 @@ impl ClusterClient {
                 }
             };
 
-            // Fetch exactly what the plan reads; reconstructed lanes
-            // are produced locally, the rest are never touched.
+            // Fetch what the plan reads plus the caller's targets the
+            // plan does not cover; missing lanes are reconstructed
+            // locally, lanes neither read nor targeted are never
+            // touched (and stay stale — callers must not read them).
             let mut fetch_ok = true;
             for lane in 0..n {
-                let needed = session.plan().tasks.iter().any(|t| t.reads.contains(&lane))
+                let needed = (session.plan().tasks.iter().any(|t| t.reads.contains(&lane))
+                    || targets.contains(&lane))
                     && !session.missing().contains(&lane);
                 if !needed {
                     continue;

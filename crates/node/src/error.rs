@@ -56,6 +56,10 @@ pub enum NodeError {
         /// Attempts made before giving up.
         attempts: u32,
     },
+    /// A manifest's geometry (code spec or chunk size) does not match
+    /// the client trying to read it. Reading anyway would silently
+    /// misinterpret the stored stripes, so it is refused up front.
+    ManifestMismatch(&'static str),
     /// The placement directory has no server able to take a chunk.
     NoPlacement,
     /// The directory does not know the referenced stripe or server.
@@ -88,6 +92,7 @@ impl fmt::Display for NodeError {
             NodeError::ConnectFailed { addr, attempts } => {
                 write!(f, "could not connect to {addr} after {attempts} attempt(s)")
             }
+            NodeError::ManifestMismatch(what) => write!(f, "manifest mismatch: {what}"),
             NodeError::NoPlacement => write!(f, "no alive server can take the chunk"),
             NodeError::UnknownStripe(s) => write!(f, "stripe {s} is not in the directory"),
             NodeError::Code(e) => write!(f, "codec error: {e}"),

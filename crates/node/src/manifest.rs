@@ -18,10 +18,14 @@
 //! every length is validated before use, truncation and bad magic are
 //! typed [`NodeError::Malformed`] errors, and a hostile stripe count
 //! cannot trigger an oversized allocation because the decoder checks
-//! the remaining byte budget before reserving.
+//! the remaining byte budget before reserving. The spec, chunk size
+//! (bounded by [`MAX_CHUNK`]) and per-stripe lane counts are
+//! sanity-checked during decode, so downstream geometry arithmetic
+//! cannot overflow.
 
 use crate::directory::ServerId;
 use crate::error::{NodeError, Result};
+use crate::protocol::MAX_CHUNK;
 use xorbas_core::{CodeSpec, LrcSpec};
 
 const MAGIC: [u8; 4] = *b"XBMF";
@@ -50,9 +54,12 @@ pub struct Manifest {
 }
 
 impl Manifest {
-    /// User-data bytes each stripe carries.
+    /// User-data bytes each stripe carries. Saturates instead of
+    /// overflowing: [`Manifest::decode`] bounds `chunk_bytes`, but a
+    /// hand-built manifest must not wrap (or panic) here either.
     pub fn stripe_payload(&self) -> u64 {
-        self.chunk_bytes * self.spec.data_blocks() as u64
+        self.chunk_bytes
+            .saturating_mul(self.spec.data_blocks() as u64)
     }
 
     /// Serializes to the binary format above.
@@ -117,7 +124,20 @@ impl Manifest {
             }),
             _ => return Err(NodeError::Malformed("unknown code spec tag")),
         };
+        // A hostile spec or chunk size must die here, not downstream:
+        // stripe_payload() and scratch sizing multiply these together.
+        let spec_ok = match spec {
+            CodeSpec::Replication { replicas } => replicas >= 1,
+            CodeSpec::ReedSolomon { k, m } => k >= 1 && m >= 1,
+            CodeSpec::Lrc(lrc) => lrc.validate().is_ok(),
+        };
+        if !spec_ok {
+            return Err(NodeError::Malformed("invalid code spec parameters"));
+        }
         let chunk_bytes = c.u64()?;
+        if chunk_bytes == 0 || chunk_bytes > MAX_CHUNK as u64 {
+            return Err(NodeError::Malformed("chunk size out of bounds"));
+        }
         let file_len = c.u64()?;
         let stripe_count = c.u32()? as usize;
         // Each stripe needs at least its 10-byte header; a hostile
@@ -129,6 +149,11 @@ impl Manifest {
         for _ in 0..stripe_count {
             let id = c.u64()?;
             let lane_count = c.u16()? as usize;
+            if lane_count != spec.total_blocks() {
+                return Err(NodeError::Malformed(
+                    "stripe lane count does not match spec",
+                ));
+            }
             if lane_count > c.remaining() / 4 {
                 return Err(NodeError::Malformed("lane count exceeds manifest size"));
             }
@@ -277,5 +302,50 @@ mod tests {
     fn payload_math() {
         let m = sample(CodeSpec::ReedSolomon { k: 10, m: 4 });
         assert_eq!(m.stripe_payload(), 10 << 20);
+    }
+
+    #[test]
+    fn hostile_geometry_is_rejected() {
+        // A chunk size near u64::MAX used to overflow stripe_payload;
+        // it now saturates in the accessor and is refused by decode.
+        let mut m = sample(CodeSpec::ReedSolomon { k: 10, m: 4 });
+        m.chunk_bytes = u64::MAX - 3;
+        assert_eq!(m.stripe_payload(), u64::MAX);
+        assert!(matches!(
+            Manifest::decode(&m.encode()).unwrap_err(),
+            NodeError::Malformed("chunk size out of bounds")
+        ));
+
+        m.chunk_bytes = 0;
+        assert!(matches!(
+            Manifest::decode(&m.encode()).unwrap_err(),
+            NodeError::Malformed("chunk size out of bounds")
+        ));
+
+        // Structurally invalid specs: RS without parity, an LRC whose
+        // group size does not divide k.
+        let m = sample(CodeSpec::ReedSolomon { k: 10, m: 0 });
+        assert!(matches!(
+            Manifest::decode(&m.encode()).unwrap_err(),
+            NodeError::Malformed("invalid code spec parameters")
+        ));
+        let m = sample(CodeSpec::Lrc(LrcSpec {
+            k: 10,
+            global_parities: 4,
+            group_size: 3,
+            implied_parity: true,
+        }));
+        assert!(matches!(
+            Manifest::decode(&m.encode()).unwrap_err(),
+            NodeError::Malformed("invalid code spec parameters")
+        ));
+
+        // A stripe whose lane count disagrees with the spec's geometry.
+        let mut m = sample(CodeSpec::ReedSolomon { k: 10, m: 4 });
+        m.stripes[0].servers.pop();
+        assert!(matches!(
+            Manifest::decode(&m.encode()).unwrap_err(),
+            NodeError::Malformed("stripe lane count does not match spec")
+        ));
     }
 }

@@ -83,9 +83,14 @@ impl Cluster {
     }
 }
 
+/// Position-dependent filler. The shift matters: `>> 7` would make the
+/// byte a function of the offset *within* its 64 KiB chunk only (the
+/// chunk-index term is `c · 512 · M ≡ 0 mod 256`), i.e. every chunk
+/// identical and a stale-lane bug invisible; `>> 16` keeps an odd
+/// multiple of the chunk index in the low byte, so no two chunks match.
 fn test_file(len: usize) -> Vec<u8> {
     (0..len)
-        .map(|i| (i.wrapping_mul(2654435761) >> 7) as u8)
+        .map(|i| (i.wrapping_mul(2654435761) >> 16) as u8)
         .collect()
 }
 
@@ -257,6 +262,83 @@ fn lrc_light_repair_moves_fewer_bytes_than_rs() {
     assert!(fetched[0] < fetched[1]);
 }
 
+/// Regression: a light degraded repair only *reads* the failed lane's
+/// local group, so data lanes of the other group are outside the plan.
+/// The whole-file get must fetch them explicitly — before the fix they
+/// kept the previous stripe's bytes in the scratch and the file came
+/// back silently corrupted.
+#[test]
+fn whole_file_get_refreshes_lanes_outside_the_light_repair_group() {
+    let cluster = Cluster::boot(5, "lightget");
+    let mut client = cluster.client(CodeSpec::LRC_10_6_5);
+    let k = CodeSpec::LRC_10_6_5.data_blocks();
+
+    // Two full stripes of distinct content: a stale lane carried over
+    // from stripe 0 is detectable in stripe 1's output.
+    let data = test_file(2 * k * CHUNK);
+    let manifest = client.put(&data).unwrap();
+    assert_eq!(manifest.stripes.len(), 2);
+
+    // Lose exactly one data chunk of the SECOND stripe. A single loss
+    // compiles a light plan over lane 2's local group (lanes 0..5 +
+    // its local parity); data lanes 5..10 are neither read nor missing.
+    let stripe = manifest.stripes[1].id;
+    let lane = 2u32;
+    let holder = manifest.stripes[1].servers[lane as usize];
+    let path = cluster.data_dirs[holder].join(format!("s{stripe:016x}_l{lane:08x}.chunk"));
+    std::fs::remove_file(&path).unwrap();
+
+    let mut buf = Vec::new();
+    let report = client.get(&manifest, &mut buf).unwrap();
+    assert_eq!(report.degraded_stripes, 1);
+    assert_eq!(
+        buf, data,
+        "data lanes outside the light-repair group must be fetched, not stale"
+    );
+    cluster.teardown();
+}
+
+/// A manifest is only meaningful to a client configured with the same
+/// code spec and chunk size; anything else must be a typed refusal,
+/// not a silent misread.
+#[test]
+fn mismatched_manifest_is_refused_up_front() {
+    let cluster = Cluster::boot(5, "mismatch");
+    let mut client = cluster.client(CodeSpec::LRC_10_6_5);
+    let data = test_file(3 * CHUNK);
+    let manifest = client.put(&data).unwrap();
+
+    // A client striping with a different code…
+    let mut rs = cluster.client(CodeSpec::RS_10_4);
+    let mut buf = Vec::new();
+    assert!(matches!(
+        rs.get(&manifest, &mut buf).unwrap_err(),
+        NodeError::ManifestMismatch(_)
+    ));
+    assert!(matches!(
+        rs.register_manifest(&manifest).unwrap_err(),
+        NodeError::ManifestMismatch(_)
+    ));
+
+    // …or a different chunk size is refused too.
+    let mut small = ClusterClient::new(
+        CodecInstance::build(CodeSpec::LRC_10_6_5).unwrap(),
+        CHUNK / 2,
+        Arc::clone(&cluster.directory),
+        RetryPolicy::default(),
+        cluster.sessions.clone(),
+    );
+    assert!(matches!(
+        small.get(&manifest, &mut buf).unwrap_err(),
+        NodeError::ManifestMismatch(_)
+    ));
+
+    // The matching client still round-trips.
+    client.get(&manifest, &mut buf).unwrap();
+    assert_eq!(buf, data);
+    cluster.teardown();
+}
+
 #[test]
 fn connect_refused_is_retried_with_backoff_then_typed() {
     // Bind a port, then drop the listener: connects now get refused.
@@ -301,7 +383,7 @@ fn manifest_round_trips_through_registration() {
     assert_eq!(reloaded.stripes.len(), manifest.stripes.len());
 
     let mut fresh = cluster.client(CodeSpec::RS_10_4);
-    fresh.register_manifest(&reloaded);
+    fresh.register_manifest(&reloaded).unwrap();
     let mut buf = Vec::new();
     fresh.get(&reloaded, &mut buf).unwrap();
     assert_eq!(buf, data);
