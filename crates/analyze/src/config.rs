@@ -94,6 +94,10 @@ impl Default for Config {
                     "crates/node/src/repair.rs".to_owned(),
                     "repair-stream".to_owned(),
                 ),
+                (
+                    "crates/node/src/repair.rs".to_owned(),
+                    "scrub-stream".to_owned(),
+                ),
             ],
             update_baseline: false,
         }

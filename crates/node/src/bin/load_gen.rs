@@ -26,9 +26,10 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use xorbas_core::{CodeSpec, LrcSpec};
 use xorbas_node::client::ReadKind;
+use xorbas_node::repair::ScrubConfig;
 use xorbas_node::{
-    ChunkServer, ClusterClient, Directory, RepairAgent, RepairAgentConfig, RepairStatsSnapshot,
-    RetryPolicy, ServerConfig,
+    fault, ChunkServer, ClusterClient, Directory, FaultPlan, Manifest, NodeError, RepairAgent,
+    RepairAgentConfig, RepairStatsSnapshot, RetryPolicy, ServerConfig, Site,
 };
 use xorbas_sim::codecs::CodecInstance;
 use xorbas_sim::{PercentileSummary, Percentiles};
@@ -58,6 +59,13 @@ struct Args {
     /// Where server data dirs live. Point at a tmpfs (e.g. /dev/shm)
     /// to benchmark the stack instead of the disk.
     data_root: PathBuf,
+    /// Chaos mode: run put/get under a seeded fault plan with a
+    /// mid-run kill, one server restart, and a WAL-backed directory.
+    chaos: bool,
+    /// How many chaos runs (seeds `seed..seed+N`) to execute.
+    chaos_runs: usize,
+    /// Budget one read call may spend before it counts as stuck.
+    deadline_ms: u64,
 }
 
 impl Default for Args {
@@ -75,13 +83,17 @@ impl Default for Args {
             json: None,
             seed: 20130826, // the VLDB'13 proceedings date
             data_root: std::env::temp_dir(),
+            chaos: false,
+            chaos_runs: 1,
+            deadline_ms: 5000,
         }
     }
 }
 
 const USAGE: &str = "usage: load_gen [--servers N] [--racks N] [--spec lrc|rs|both] \
 [--chunk-kib N] [--files N] [--file-mib N] [--ops N] [--write-mix PCT] \
-[--no-kill] [--json PATH] [--seed N] [--data-root DIR]";
+[--no-kill] [--json PATH] [--seed N] [--data-root DIR] \
+[--chaos] [--chaos-runs N] [--deadline-ms N]";
 
 fn parse_args() -> Result<Args, AnyError> {
     let mut args = Args::default();
@@ -112,6 +124,9 @@ fn parse_args() -> Result<Args, AnyError> {
             "--json" => args.json = Some(PathBuf::from(take("--json")?)),
             "--seed" => args.seed = take("--seed")?.parse()?,
             "--data-root" => args.data_root = PathBuf::from(take("--data-root")?),
+            "--chaos" => args.chaos = true,
+            "--chaos-runs" => args.chaos_runs = take("--chaos-runs")?.parse()?,
+            "--deadline-ms" => args.deadline_ms = take("--deadline-ms")?.parse()?,
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}").into()),
         }
@@ -380,6 +395,436 @@ fn run_spec(args: &Args, choice: SpecChoice) -> Result<SpecResult, AnyError> {
     Ok(result)
 }
 
+// ---------------------------------------------------------------------
+// Chaos mode: the same put/get traffic, but under an armed fault plan,
+// with a WAL-backed directory, a mid-run kill AND restart, every read
+// verified byte-for-byte, and every read call held to a deadline.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct ChaosResult {
+    seed: u64,
+    read_ops: u64,
+    write_ops: u64,
+    direct_reads: u64,
+    degraded_reads: u64,
+    degraded_light: u64,
+    retried_reads: u64,
+    failed_reads: u64,
+    /// Reads that returned bytes differing from the regenerated truth.
+    corrupt_reads: u64,
+    /// Read calls whose single invocation blew the `--deadline-ms` budget.
+    deadline_misses: u64,
+    put_retries: u64,
+    killed_server: Option<usize>,
+    restarted: bool,
+    repair_converged: bool,
+    bit_identical: bool,
+    injected: Vec<(&'static str, u64, u64)>,
+    repair: RepairStatsSnapshot,
+    wal_replayed_manifests: u64,
+}
+
+impl ChaosResult {
+    fn passed(&self) -> bool {
+        self.failed_reads == 0
+            && self.corrupt_reads == 0
+            && self.deadline_misses == 0
+            && self.repair_converged
+            && self.bit_identical
+    }
+}
+
+fn dir_lock(d: &Arc<Mutex<Directory>>) -> std::sync::MutexGuard<'_, Directory> {
+    d.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The fault mix a chaos run arms: every site lit, rates chosen so a
+/// few-hundred-op run sees each failure mode several times while the
+/// cluster still converges.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with(Site::ConnectRefuse, 20)
+        .with(Site::ServeReset, 12)
+        .with_param(Site::ServeStall, 8, 40)
+        .with(Site::TornWrite, 12)
+        .with(Site::BitFlip, 25)
+        .with(Site::CrashPut, 6)
+        .with(Site::CrashRepair, 30)
+}
+
+/// Puts with retry: an injected crash (or a put that lost its race
+/// with a dying server) is retried; only an `Ok` counts as the ack.
+fn put_acked(
+    client: &mut ClusterClient,
+    data: &[u8],
+    retries: &mut u64,
+) -> Result<Manifest, NodeError> {
+    let mut last = NodeError::Malformed("put never attempted");
+    for _ in 0..10 {
+        match client.put(data) {
+            Ok(m) => return Ok(m),
+            Err(e) => {
+                *retries += 1;
+                last = e;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    Err(last)
+}
+
+fn run_chaos(args: &Args, run_idx: usize) -> Result<ChaosResult, AnyError> {
+    let seed = args.seed + run_idx as u64;
+    let spec = CodeSpec::Lrc(LrcSpec::XORBAS);
+    let chunk_bytes = args.chunk_kib * 1024;
+    let k = spec.data_blocks();
+
+    let root = args
+        .data_root
+        .join(format!("xorbas_chaos_{}_{run_idx}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Boot servers; slots are Options so the victim can be replaced.
+    let mut servers: Vec<Option<ChunkServer>> = Vec::with_capacity(args.servers);
+    let mut dirs = Vec::with_capacity(args.servers);
+    let mut addrs: Vec<SocketAddr> = Vec::with_capacity(args.servers);
+    for i in 0..args.servers {
+        let dir = root.join(format!("srv{i}"));
+        let server = ChunkServer::start(ServerConfig::new(dir.clone()))?;
+        addrs.push(server.addr());
+        servers.push(Some(server));
+        dirs.push(dir);
+    }
+
+    // Crash-safe directory: placements, repairs, corruption reports and
+    // manifests all land in the WAL before they are acknowledged.
+    let wal_path = root.join("directory.wal");
+    let (directory, prior) = Directory::open_persistent(&wal_path, &addrs, args.racks, seed)?;
+    let directory = Arc::new(Mutex::new(directory));
+
+    // Keep the Arc: counters are read from it after disarm.
+    let plan = fault::arm(chaos_plan(seed));
+
+    let sessions = xorbas_node::client::SessionCache::default();
+    let mut client = ClusterClient::new(
+        CodecInstance::build(spec)?,
+        chunk_bytes,
+        Arc::clone(&directory),
+        RetryPolicy::default(),
+        sessions.clone(),
+    );
+
+    let mut result = ChaosResult {
+        seed,
+        wal_replayed_manifests: prior.len() as u64,
+        ..ChaosResult::default()
+    };
+
+    // ---- Put phase: acked files stay resident for verification. ----
+    let file_len = args.file_mib << 20;
+    let mut file_data: Vec<Vec<u8>> = Vec::new();
+    let mut manifests: Vec<Manifest> = Vec::new();
+    for file_idx in 0..args.files {
+        let fseed = seed ^ ((file_idx as u64 + 1) << 32);
+        let mut data = Vec::new();
+        fill_deterministic(fseed, file_len, &mut data);
+        let manifest = put_acked(&mut client, &data, &mut result.put_retries)?;
+        file_data.push(data);
+        manifests.push(manifest);
+    }
+
+    // Scrubber + repair agent over every store, including the victim's.
+    let mut agent_cfg = RepairAgentConfig::new(chunk_bytes);
+    agent_cfg.probe_rounds = 4;
+    agent_cfg.scrub = Some(ScrubConfig::new(
+        dirs.iter().cloned().enumerate().collect::<Vec<_>>(),
+    ));
+    let agent = RepairAgent::start(
+        CodecInstance::build(spec)?,
+        Arc::clone(&directory),
+        sessions.clone(),
+        agent_cfg,
+    )?;
+
+    // (file index, stripe position, stripe id) for every acked stripe.
+    let mut stripe_meta: Vec<(usize, usize, u64)> = Vec::new();
+    for (fi, m) in manifests.iter().enumerate() {
+        for (pos, s) in m.stripes.iter().enumerate() {
+            stripe_meta.push((fi, pos, s.id));
+        }
+    }
+
+    let mut rng = MiniRng(seed | 1);
+    let mut buf = Vec::new();
+    let mut expect = Vec::new();
+    let deadline = Duration::from_millis(args.deadline_ms.max(100));
+    let kill_at = args.ops * 2 / 5;
+    let restart_at = args.ops * 7 / 10;
+    let victim = args.servers - 1;
+
+    for op in 0..args.ops {
+        if op == kill_at {
+            if let Some(s) = servers[victim].as_ref() {
+                s.kill();
+            }
+            result.killed_server = Some(victim);
+        }
+        if op == restart_at {
+            // Restart the victim on the same data dir: a new ephemeral
+            // port, so the roster learns the address before revival.
+            drop(servers[victim].take());
+            let server = ChunkServer::start(ServerConfig::new(dirs[victim].clone()))?;
+            {
+                let mut d = dir_lock(&directory);
+                d.set_addr(victim, server.addr());
+                d.mark_alive(victim);
+            }
+            servers[victim] = Some(server);
+            result.restarted = true;
+        }
+
+        let is_write = args.write_mix_pct > 0
+            && rng.below(100) < args.write_mix_pct as u64
+            && op != kill_at
+            && op != restart_at;
+        if is_write {
+            let fseed = seed ^ 0xABCD ^ ((result.write_ops + 1) << 40);
+            let mut data = Vec::new();
+            fill_deterministic(fseed, k * chunk_bytes, &mut data);
+            let manifest = put_acked(&mut client, &data, &mut result.put_retries)?;
+            let fi = file_data.len();
+            for (pos, s) in manifest.stripes.iter().enumerate() {
+                stripe_meta.push((fi, pos, s.id));
+            }
+            file_data.push(data);
+            manifests.push(manifest);
+            result.write_ops += 1;
+            continue;
+        }
+
+        let (fi, pos, stripe) = stripe_meta[rng.below(stripe_meta.len() as u64) as usize];
+        let lane = rng.below(k as u64) as u32;
+        let op_start = Instant::now();
+        let mut served = None;
+        loop {
+            let t0 = Instant::now();
+            let res = client.read_data_chunk(stripe, lane, &mut buf);
+            if t0.elapsed() > deadline {
+                result.deadline_misses += 1;
+            }
+            match res {
+                Ok(kind) => {
+                    served = Some(kind);
+                    break;
+                }
+                Err(_) => {
+                    if op_start.elapsed() >= deadline {
+                        break;
+                    }
+                    result.retried_reads += 1;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+        match served {
+            Some(ReadKind::Direct) => result.direct_reads += 1,
+            Some(ReadKind::Degraded { light }) => {
+                result.degraded_reads += 1;
+                result.degraded_light += u64::from(light);
+            }
+            None => {
+                result.failed_reads += 1;
+                result.read_ops += 1;
+                continue;
+            }
+        }
+        // Byte-for-byte verification against the kept file contents:
+        // the chunk is the file slice at (pos*k + lane), zero-padded.
+        let file = &file_data[fi];
+        let off = (pos * k + lane as usize) * chunk_bytes;
+        expect.clear();
+        expect.resize(buf.len(), 0);
+        if off < file.len() {
+            let take = (file.len() - off).min(buf.len());
+            expect[..take].copy_from_slice(&file[off..off + take]);
+        }
+        if buf != expect {
+            result.corrupt_reads += 1;
+        }
+        result.read_ops += 1;
+    }
+
+    // ---- Quiesce: stop injecting, let scrub + repair drain. --------
+    fault::disarm();
+    let cycles0 = agent.stats().scrub_cycles;
+    let scrub_wait = Instant::now() + Duration::from_secs(60);
+    while agent.stats().scrub_cycles < cycles0 + 2 && Instant::now() < scrub_wait {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    result.repair_converged = agent.wait_until_repaired(Duration::from_secs(120));
+
+    // ---- Every acked file must read back bit-identical. ------------
+    let mut got = Vec::new();
+    result.bit_identical = true;
+    for (m, data) in manifests.iter().zip(&file_data) {
+        client.get(m, &mut got)?;
+        if &got != data {
+            result.bit_identical = false;
+        }
+    }
+
+    result.repair = agent.stats();
+    result.injected = plan.counters().to_vec();
+
+    agent.shutdown();
+    for server in servers.into_iter().flatten() {
+        server.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(result)
+}
+
+fn chaos_json(r: &ChaosResult) -> String {
+    let mut j = String::new();
+    let _ = write!(
+        j,
+        "{{\"seed\":{},\"read_ops\":{},\"write_ops\":{},\"direct_reads\":{},\
+         \"degraded_reads\":{},\"degraded_light\":{},\"retried_reads\":{},\"failed_reads\":{},\
+         \"corrupt_reads\":{},\"deadline_misses\":{},\"put_retries\":{},",
+        r.seed,
+        r.read_ops,
+        r.write_ops,
+        r.direct_reads,
+        r.degraded_reads,
+        r.degraded_light,
+        r.retried_reads,
+        r.failed_reads,
+        r.corrupt_reads,
+        r.deadline_misses,
+        r.put_retries,
+    );
+    let killed = r
+        .killed_server
+        .map_or("null".to_string(), |v| v.to_string());
+    let _ = write!(
+        j,
+        "\"killed_server\":{killed},\"restarted\":{},\"wal_replayed_manifests\":{},\
+         \"repair_converged\":{},\"chunks_repaired\":{},\"light_repairs\":{},\
+         \"heavy_repairs\":{},\"failed_repair_attempts\":{},\"scrub_cycles\":{},\
+         \"scrub_chunks\":{},\"scrub_bytes\":{},\"scrub_corruptions\":{},\
+         \"bit_identical\":{},\"injected\":{{",
+        r.restarted,
+        r.wal_replayed_manifests,
+        r.repair_converged,
+        r.repair.chunks_repaired,
+        r.repair.light_repairs,
+        r.repair.heavy_repairs,
+        r.repair.failed_attempts,
+        r.repair.scrub_cycles,
+        r.repair.scrub_chunks,
+        r.repair.scrub_bytes,
+        r.repair.scrub_corruptions,
+        r.bit_identical,
+    );
+    for (i, (site, calls, fired)) in r.injected.iter().enumerate() {
+        if i > 0 {
+            j.push(',');
+        }
+        let _ = write!(j, "\"{site}\":{{\"calls\":{calls},\"fired\":{fired}}}");
+    }
+    let _ = write!(j, "}},\"passed\":{}}}", r.passed());
+    j
+}
+
+fn print_chaos_summary(r: &ChaosResult) {
+    println!("== chaos seed {} ==", r.seed);
+    println!(
+        "  reads: {} ops ({} direct, {} degraded [{} light], {} retried, {} failed, \
+         {} corrupt, {} deadline misses)",
+        r.read_ops,
+        r.direct_reads,
+        r.degraded_reads,
+        r.degraded_light,
+        r.retried_reads,
+        r.failed_reads,
+        r.corrupt_reads,
+        r.deadline_misses,
+    );
+    println!(
+        "  writes: {} ops, {} put retries; kill={:?} restarted={}",
+        r.write_ops, r.put_retries, r.killed_server, r.restarted
+    );
+    println!(
+        "  repair: converged={} ({} chunks, {} light / {} heavy, {} failed attempts)",
+        r.repair_converged,
+        r.repair.chunks_repaired,
+        r.repair.light_repairs,
+        r.repair.heavy_repairs,
+        r.repair.failed_attempts,
+    );
+    println!(
+        "  scrub: {} cycles, {} chunks, {:.1} MiB, {} corruptions flagged",
+        r.repair.scrub_cycles,
+        r.repair.scrub_chunks,
+        r.repair.scrub_bytes as f64 / (1 << 20) as f64,
+        r.repair.scrub_corruptions,
+    );
+    let mut fired = String::new();
+    for (site, _, f) in &r.injected {
+        if *f > 0 {
+            let _ = write!(fired, "{site}:{f} ");
+        }
+    }
+    println!(
+        "  injected: {}bit-identical={} passed={}",
+        fired,
+        r.bit_identical,
+        r.passed()
+    );
+}
+
+fn run_chaos_mode(args: &Args) -> Result<(), AnyError> {
+    let mut results = Vec::new();
+    for run_idx in 0..args.chaos_runs.max(1) {
+        let r = run_chaos(args, run_idx)?;
+        print_chaos_summary(&r);
+        results.push(r);
+    }
+    if let Some(path) = &args.json {
+        let mut json = String::new();
+        let _ = write!(
+            json,
+            "{{\"bench\":\"xorbas-node load_gen --chaos\",\"servers\":{},\"racks\":{},\
+             \"chunk_kib\":{},\"files\":{},\"file_mib\":{},\"ops\":{},\"write_mix_pct\":{},\
+             \"seed\":{},\"deadline_ms\":{},\"runs\":[",
+            args.servers,
+            args.racks,
+            args.chunk_kib,
+            args.files,
+            args.file_mib,
+            args.ops,
+            args.write_mix_pct,
+            args.seed,
+            args.deadline_ms,
+        );
+        for (i, r) in results.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&chaos_json(r));
+        }
+        json.push_str("]}\n");
+        std::fs::write(path, json)?;
+        println!("wrote {}", path.display());
+    }
+    if results.iter().all(ChaosResult::passed) {
+        Ok(())
+    } else {
+        Err("chaos acceptance failed (failed/corrupt/stuck reads, repair, or bit-identity)".into())
+    }
+}
+
 fn push_percentiles(json: &mut String, label: &str, p: &PercentileSummary) {
     let _ = write!(
         json,
@@ -480,6 +925,9 @@ fn print_summary(r: &SpecResult) {
 
 fn run() -> Result<(), AnyError> {
     let args = parse_args()?;
+    if args.chaos {
+        return run_chaos_mode(&args);
+    }
     let choices: &[SpecChoice] = match args.spec {
         SpecChoice::Both => &[SpecChoice::Lrc, SpecChoice::Rs],
         SpecChoice::Lrc => &[SpecChoice::Lrc],

@@ -19,16 +19,18 @@
 
 use crate::directory::{Directory, ServerId};
 use crate::error::{NodeError, Result};
+use crate::fault::{self, Site};
 use crate::lock;
 use crate::manifest::{Manifest, StripeEntry};
 use crate::protocol::{
-    chunk_digest, write_bare, write_locator, write_put, ErrCode, Frame, FrameReader, ReadEnd,
-    OP_DELETE, OP_GET, OP_PING,
+    chunk_digest, write_bare, write_locator, write_put, Deadline, ErrCode, Frame, FrameReader,
+    ReadEnd, OP_DELETE, OP_GET, OP_PING,
 };
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use xorbas_core::{CodeSpec, RepairSession, StripeViewMut};
 use xorbas_sim::codecs::CodecInstance;
 use xorbas_sim::fasthash::FastMap;
@@ -38,13 +40,23 @@ use xorbas_sim::fasthash::FastMap;
 pub struct RetryPolicy {
     /// Connection attempts before [`NodeError::ConnectFailed`].
     pub attempts: u32,
-    /// Delay after the first failed attempt; doubles per attempt.
+    /// Delay after the first failed attempt (the floor of every
+    /// jittered backoff; the ramp base when jitter is off).
     pub base_delay: Duration,
-    /// Ceiling on the backoff delay.
+    /// Ceiling on any single backoff delay.
     pub max_delay: Duration,
     /// Per-request reply timeout (guards against a server that
     /// accepted the connection and then went dark).
     pub op_timeout: Duration,
+    /// Total wall-clock cap across one [`connect_with_retry`] call —
+    /// dialing plus every backoff sleep. A dead address costs at most
+    /// this long however many attempts remain.
+    pub total_deadline: Duration,
+    /// Decorrelated jitter on the backoff (uniform in
+    /// `[base_delay, 3·previous]`). On by default: a cluster of
+    /// clients reconnecting after a kill must not stampede in
+    /// lockstep. Turn off for exactly reproducible backoff timing.
+    pub jitter: bool,
 }
 
 impl Default for RetryPolicy {
@@ -54,53 +66,110 @@ impl Default for RetryPolicy {
             base_delay: Duration::from_millis(2),
             max_delay: Duration::from_millis(50),
             op_timeout: Duration::from_secs(2),
+            total_deadline: Duration::from_secs(1),
+            jitter: true,
         }
     }
 }
 
-/// Dials `addr` with exponential backoff per `policy`.
-pub fn connect_with_retry(addr: SocketAddr, policy: &RetryPolicy) -> Result<TcpStream> {
-    let mut delay = policy.base_delay;
-    let attempts = policy.attempts.max(1);
-    for attempt in 0..attempts {
-        match TcpStream::connect(addr) {
-            Ok(s) => return Ok(s),
-            Err(_) if attempt + 1 < attempts => {
-                std::thread::sleep(delay);
-                delay = (delay * 2).min(policy.max_delay);
-            }
-            Err(_) => break,
+impl RetryPolicy {
+    /// The backoff to sleep after a delay of `prev`: doubled when
+    /// jitter is off, decorrelated jitter (uniform in
+    /// `[base_delay, 3·prev]`) when on; capped at `max_delay` either
+    /// way. Decorrelation keeps a fleet of clients that failed at the
+    /// same instant from re-dialing at the same instant forever.
+    pub fn next_delay(&self, prev: Duration) -> Duration {
+        if !self.jitter {
+            return prev.saturating_mul(2).min(self.max_delay);
         }
+        static SALT: AtomicU64 = AtomicU64::new(0x5eed_1e55_c0ff_ee00);
+        let salt = SALT.fetch_add(1, Ordering::Relaxed);
+        let base = (self.base_delay.as_nanos() as u64).max(1);
+        let hi = (prev.as_nanos() as u64).saturating_mul(3).max(base + 1);
+        let pick = base + fault::mix64(salt) % (hi - base);
+        Duration::from_nanos(pick).min(self.max_delay)
+    }
+}
+
+/// Dials `addr` with backoff per `policy`, bounded both by
+/// `policy.attempts` and by `policy.total_deadline` of wall clock.
+/// Each dial uses `connect_timeout` so a black-holed address cannot
+/// hang an attempt. Fault site: [`Site::ConnectRefuse`] makes an
+/// attempt fail as if refused.
+pub fn connect_with_retry(addr: SocketAddr, policy: &RetryPolicy) -> Result<TcpStream> {
+    let attempts = policy.attempts.max(1);
+    let deadline = Instant::now() + policy.total_deadline;
+    let mut delay = policy.base_delay;
+    for attempt in 0..attempts {
+        let dialed = if fault::hit(Site::ConnectRefuse) {
+            None
+        } else {
+            let budget = deadline
+                .saturating_duration_since(Instant::now())
+                .min(policy.op_timeout)
+                .max(Duration::from_millis(1));
+            TcpStream::connect_timeout(&addr, budget).ok()
+        };
+        if let Some(s) = dialed {
+            return Ok(s);
+        }
+        let now = Instant::now();
+        if attempt + 1 >= attempts || now >= deadline {
+            break;
+        }
+        std::thread::sleep(delay.min(deadline.saturating_duration_since(now)));
+        delay = policy.next_delay(delay);
     }
     Err(NodeError::ConnectFailed { addr, attempts })
 }
+
+/// How often a blocked reply read wakes up to check its deadline. The
+/// timeout only fires on an *idle* socket, so a healthy reply never
+/// pays it; a stalled peer is noticed within one tick.
+const READ_POLL_TICK: Duration = Duration::from_millis(25);
 
 /// One connection to one chunk server.
 #[derive(Debug)]
 pub struct NodeConn {
     stream: TcpStream,
     reader: FrameReader,
+    /// Total budget for one request's reply (from [`RetryPolicy`]).
+    op_timeout: Duration,
 }
 
 impl NodeConn {
     /// Connects (with retry) and configures the socket for
-    /// request/response traffic.
+    /// request/response traffic: a short read timeout for deadline
+    /// polling, a write timeout so a wedged peer cannot absorb a put
+    /// forever, and `op_timeout` as the total per-reply budget.
     pub fn connect(addr: SocketAddr, policy: &RetryPolicy) -> Result<Self> {
         let stream = connect_with_retry(addr, policy)?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(policy.op_timeout))?;
+        stream.set_read_timeout(Some(
+            policy
+                .op_timeout
+                .min(READ_POLL_TICK)
+                .max(Duration::from_millis(1)),
+        ))?;
+        stream.set_write_timeout(Some(policy.op_timeout))?;
         Ok(Self {
             stream,
             reader: FrameReader::new(),
+            op_timeout: policy.op_timeout,
         })
     }
 
     fn read_reply(&mut self) -> Result<Frame<'_>> {
-        let Self { stream, reader } = self;
+        let Self {
+            stream,
+            reader,
+            op_timeout,
+        } = self;
         let mut rd = &*stream;
-        match reader.read(&mut rd, None)? {
+        match reader.read_deadline(&mut rd, None, Some(Deadline::after(*op_timeout)))? {
             Ok(frame) => Ok(frame),
             Err(ReadEnd::CleanEof | ReadEnd::Stopped) => Err(NodeError::Truncated { missing: 0 }),
+            Err(ReadEnd::Disconnected) => Err(NodeError::Disconnected),
         }
     }
 
@@ -117,9 +186,13 @@ impl NodeConn {
     /// Fetches one chunk into `out` and verifies its digest end to end.
     pub fn get_chunk(&mut self, stripe: u64, lane: u32, out: &mut Vec<u8>) -> Result<u64> {
         write_locator(&mut (&self.stream), OP_GET, stripe, lane)?;
-        let Self { stream, reader } = self;
+        let Self {
+            stream,
+            reader,
+            op_timeout,
+        } = self;
         let mut rd = &*stream;
-        match reader.read(&mut rd, None)? {
+        match reader.read_deadline(&mut rd, None, Some(Deadline::after(*op_timeout)))? {
             Ok(Frame::Chunk { digest, payload }) => {
                 out.clear();
                 out.extend_from_slice(payload);
@@ -130,6 +203,7 @@ impl NodeConn {
             }
             Ok(Frame::Err { code }) => Err(remote_err(code, stripe, lane)),
             Ok(_) => Err(NodeError::Malformed("unexpected reply to GET")),
+            Err(ReadEnd::Disconnected) => Err(NodeError::Disconnected),
             Err(_) => Err(NodeError::Truncated { missing: 0 }),
         }
     }
@@ -164,12 +238,17 @@ fn remote_err(code: ErrCode, stripe: u64, lane: u32) -> NodeError {
 }
 
 /// Whether an error means "the server (or the pipe to it) is gone" as
-/// opposed to "the server answered and the chunk is bad".
+/// opposed to "the server answered and the chunk is bad". A blown
+/// deadline counts: a peer too slow to answer inside the budget is
+/// failed over exactly like a dead one (the Rashmi-et-al. observation
+/// that most "failures" are slowness, operationally).
 fn is_transport(e: &NodeError) -> bool {
     matches!(
         e,
         NodeError::Io(_)
             | NodeError::Truncated { .. }
+            | NodeError::Disconnected
+            | NodeError::DeadlineExceeded { .. }
             | NodeError::ConnectFailed { .. }
             | NodeError::FrameTooLarge { .. }
             | NodeError::Remote(ErrCode::Unavailable)
@@ -392,12 +471,17 @@ impl ClusterClient {
             out
         })?;
 
-        Ok(Manifest {
+        let manifest = Manifest {
             spec,
             chunk_bytes: cb as u64,
             file_len: data.len() as u64,
             stripes: entries,
-        })
+        };
+        // Acknowledge durably: with a WAL-backed directory the manifest
+        // is on disk before the caller sees Ok, so a restarted cluster
+        // can hand the file back. (No-op for an in-memory directory.)
+        lock(&self.directory).log_manifest(&manifest)?;
+        Ok(manifest)
     }
 
     /// Reads a whole file back, bit-identical, serving stripes through
@@ -535,7 +619,14 @@ impl ClusterClient {
         let mut last_err = NodeError::Malformed("degraded read did not converge");
         // The failure pattern can grow while we fetch (another server
         // dies); every directory update feeds back into the next turn.
-        for _attempt in 0..n + 2 {
+        // Later turns back off briefly: transient unavailability (a
+        // restarting server, an injected stall) often clears within
+        // one liveness-probe round, and spinning through every attempt
+        // in microseconds would burn them all before it can.
+        for attempt in 0..n + 2 {
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_millis(4 * (attempt as u64).min(10)));
+            }
             let mut unavailable = std::mem::take(&mut self.unavailable_scratch);
             lock(&self.directory).unavailable_lanes(stripe, &mut unavailable)?;
 
@@ -713,6 +804,12 @@ fn put_stripe(
             .ok_or(NodeError::UnknownStripe(stripe))?
     };
     for lane in 0..set.lanes.len() {
+        // Fault site: the put pipeline dies mid-stripe, as if the
+        // writer thread was killed. The file is never acknowledged —
+        // the stripes already placed are harmless WAL ghosts.
+        if fault::hit(Site::CrashPut) {
+            return Err(NodeError::Injected("crash-put"));
+        }
         let digest = *set
             .digests
             .get(lane)
@@ -733,14 +830,20 @@ fn put_stripe(
             };
             let attempt = ensure_conn(conns, sid, addr, retry)
                 .and_then(|c| c.put(stripe, lane as u32, digest, payload));
+            // A server that answered "I/O error" (e.g. a torn chunk
+            // write) is alive but could not take the chunk: fail the
+            // lane over to another server without declaring it dead.
+            let disk_failed = matches!(attempt, Err(NodeError::Remote(ErrCode::Io)));
             match attempt {
                 Ok(()) => break,
-                Err(e) if is_transport(&e) => {
-                    if let Some(slot) = conns.get_mut(sid) {
-                        *slot = None;
-                    }
+                Err(e) if is_transport(&e) || disk_failed => {
                     let mut d = lock(dir);
-                    d.mark_dead(sid);
+                    if !disk_failed {
+                        if let Some(slot) = conns.get_mut(sid) {
+                            *slot = None;
+                        }
+                        d.mark_dead(sid);
+                    }
                     failovers += 1;
                     if failovers > d.server_count() {
                         return Err(e);

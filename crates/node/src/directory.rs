@@ -13,9 +13,12 @@
 //! `Arc<Mutex<_>>`); every mutating call is synchronous and cheap.
 
 use crate::error::{NodeError, Result};
+use crate::manifest::Manifest;
+use crate::wal::{DirectoryWal, ReplayStats, WalHeader, WalRecord};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::net::SocketAddr;
+use std::path::Path;
 use xorbas_sim::fasthash::{FastMap, FastSet};
 use xorbas_sim::Placement;
 
@@ -45,6 +48,13 @@ pub struct Directory {
     next_stripe: u64,
     rng: StdRng,
     alive_scratch: Vec<bool>,
+    /// When present, every placement/repair/corruption mutation is
+    /// appended here before the call returns (see [`crate::wal`]).
+    wal: Option<DirectoryWal>,
+    /// Best-effort appends (corruption reports, re-registrations) that
+    /// failed; the in-memory state is still authoritative, the log is
+    /// just missing those records.
+    wal_errors: u64,
 }
 
 impl Directory {
@@ -68,6 +78,94 @@ impl Directory {
             next_stripe: 0,
             rng: StdRng::seed_from_u64(seed),
             alive_scratch: Vec::new(),
+            wal: None,
+            wal_errors: 0,
+        }
+    }
+
+    /// A WAL-backed directory at `wal_path`.
+    ///
+    /// If the log exists it is replayed — every placement, repair
+    /// reassignment, and corruption report is reapplied in order, a
+    /// torn tail record is truncated (not fatal), and every logged
+    /// manifest is returned so the caller can re-serve the files it
+    /// had acknowledged. `addrs` supplies the roster's *current*
+    /// addresses (servers restart on fresh ports; [`ServerId`] is the
+    /// stable identity) and must match the logged roster size; `racks`
+    /// and `seed` are taken from the log header so placement geometry
+    /// survives the restart. If the log does not exist it is created
+    /// with the given shape.
+    pub fn open_persistent(
+        wal_path: &Path,
+        addrs: &[SocketAddr],
+        racks: usize,
+        seed: u64,
+    ) -> Result<(Self, Vec<Manifest>)> {
+        if !wal_path.exists() {
+            let mut dir = Directory::new(addrs, racks, seed);
+            dir.wal = Some(DirectoryWal::create(
+                wal_path,
+                WalHeader {
+                    servers: addrs.len() as u32,
+                    racks: racks as u32,
+                    seed,
+                },
+            )?);
+            return Ok((dir, Vec::new()));
+        }
+        let mut records = Vec::new();
+        let (header, _stats): (WalHeader, ReplayStats) =
+            DirectoryWal::replay(wal_path, |rec| records.push(rec))?;
+        if header.servers as usize != addrs.len() {
+            return Err(NodeError::Malformed("wal roster size mismatch"));
+        }
+        let mut dir = Directory::new(addrs, header.racks as usize, header.seed);
+        let mut manifests = Vec::new();
+        for rec in records {
+            match rec {
+                WalRecord::Stripe { stripe, servers } => {
+                    dir.register_stripe_unlogged(stripe, servers)
+                }
+                WalRecord::Reassign {
+                    stripe,
+                    lane,
+                    server,
+                } => {
+                    // A reassign for a stripe the (truncated) log never
+                    // placed: skip it, the stripe is gone anyway.
+                    let _ = dir.reassign_unlogged(stripe, lane, server);
+                }
+                WalRecord::Corrupt { stripe, lane } => {
+                    dir.corrupt.insert((stripe, lane));
+                }
+                WalRecord::Manifest(m) => manifests.push(m),
+            }
+        }
+        dir.wal = Some(DirectoryWal::open_append(wal_path)?);
+        Ok((dir, manifests))
+    }
+
+    /// Count of best-effort WAL appends that failed (0 on a healthy
+    /// log, and always 0 for a non-persistent directory).
+    pub fn wal_error_count(&self) -> u64 {
+        self.wal_errors
+    }
+
+    /// Records a manifest in the WAL so a restarted directory can hand
+    /// the file back (no-op without a WAL). Call once per acknowledged
+    /// put, after the data is on the servers.
+    pub fn log_manifest(&mut self, manifest: &Manifest) -> Result<()> {
+        match self.wal.as_mut() {
+            Some(wal) => wal.append_manifest(manifest),
+            None => Ok(()),
+        }
+    }
+
+    /// Updates the address of `id` — the restart path: the server
+    /// process came back on a fresh port with the same data root.
+    pub fn set_addr(&mut self, id: ServerId, addr: SocketAddr) {
+        if let Some(s) = self.servers.get_mut(id) {
+            s.addr = addr;
         }
     }
 
@@ -125,7 +223,22 @@ impl Directory {
 
     /// Registers a stripe with a known lane→server assignment (manifest
     /// load). Keeps the id allocator ahead of every registered stripe.
+    /// Logged to the WAL (best-effort) unless the directory already has
+    /// the identical assignment — re-registering a replayed manifest
+    /// after a restart must not bloat the log.
     pub fn register_stripe(&mut self, stripe: u64, lane_servers: Vec<ServerId>) {
+        if self.stripes.get(&stripe) == Some(&lane_servers) {
+            return;
+        }
+        if let Some(wal) = self.wal.as_mut() {
+            if wal.append_stripe(stripe, &lane_servers).is_err() {
+                self.wal_errors += 1;
+            }
+        }
+        self.register_stripe_unlogged(stripe, lane_servers);
+    }
+
+    fn register_stripe_unlogged(&mut self, stripe: u64, lane_servers: Vec<ServerId>) {
         self.next_stripe = self.next_stripe.max(stripe + 1);
         self.stripes.insert(stripe, lane_servers);
     }
@@ -143,6 +256,13 @@ impl Directory {
             .place_best_effort(lanes, &self.alive_scratch, &[], &mut self.rng, &mut out)
             .ok_or(NodeError::NoPlacement)?;
         let id = self.next_stripe_id();
+        // Log before committing: if the append fails the put aborts and
+        // the stripe id is simply burned (a crash between the append
+        // and the chunk writes leaves the same harmless ghost record —
+        // no manifest ever references it).
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append_stripe(id, &out)?;
+        }
         let entry = self.stripes.entry(id).or_default();
         *entry = out;
         Ok((id, entry))
@@ -153,9 +273,17 @@ impl Directory {
         self.stripes.get(&stripe).map(Vec::as_slice)
     }
 
-    /// Records that `(stripe, lane)` failed its digest check.
+    /// Records that `(stripe, lane)` failed its digest check. The WAL
+    /// append is best-effort: losing a corruption report on restart
+    /// only means the scrubber has to find the rot again.
     pub fn report_corrupt(&mut self, stripe: u64, lane: u32) {
-        self.corrupt.insert((stripe, lane));
+        if self.corrupt.insert((stripe, lane)) {
+            if let Some(wal) = self.wal.as_mut() {
+                if wal.append_corrupt(stripe, lane).is_err() {
+                    self.wal_errors += 1;
+                }
+            }
+        }
     }
 
     /// Whether `(stripe, lane)` is currently flagged corrupt.
@@ -218,7 +346,20 @@ impl Directory {
 
     /// Points `(stripe, lane)` at `new_server` and clears any corrupt
     /// flag — the repair agent calls this after a verified re-put.
+    ///
+    /// The WAL append happens after the in-memory move; if it fails,
+    /// memory is ahead of the log, which self-heals: a restart replays
+    /// the old assignment, the scan finds the lane lost, and the agent
+    /// repairs it again.
     pub fn reassign(&mut self, stripe: u64, lane: u32, new_server: ServerId) -> Result<()> {
+        self.reassign_unlogged(stripe, lane, new_server)?;
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append_reassign(stripe, lane, new_server)?;
+        }
+        Ok(())
+    }
+
+    fn reassign_unlogged(&mut self, stripe: u64, lane: u32, new_server: ServerId) -> Result<()> {
         let lanes = self
             .stripes
             .get_mut(&stripe)
@@ -308,6 +449,62 @@ mod tests {
         dir.mark_alive(victim);
         dir.unavailable_lanes(id, &mut unavail).unwrap();
         assert!(unavail.is_empty());
+    }
+
+    #[test]
+    fn persistent_directory_survives_reopen() {
+        let wal_path =
+            std::env::temp_dir().join(format!("xorbas_dir_persist_{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&wal_path);
+        let a5 = addrs(5);
+
+        let (mut dir, manifests) = Directory::open_persistent(&wal_path, &a5, 5, 7).unwrap();
+        assert!(manifests.is_empty());
+        let (id, lanes) = dir.place_stripe(16).unwrap();
+        let lanes: Vec<ServerId> = lanes.to_vec();
+        dir.report_corrupt(id, 3);
+        let replacement = dir.choose_replacement(id).unwrap();
+        dir.reassign(id, 3, replacement).unwrap();
+        let manifest = Manifest {
+            spec: xorbas_core::CodeSpec::ReedSolomon { k: 10, m: 6 },
+            chunk_bytes: 4096,
+            file_len: 10 * 4096,
+            stripes: vec![crate::manifest::StripeEntry {
+                id,
+                servers: dir.servers_of(id).unwrap().to_vec(),
+            }],
+        };
+        dir.log_manifest(&manifest).unwrap();
+        drop(dir);
+
+        // Restart: same roster identity, fresh addresses.
+        let new_addrs: Vec<SocketAddr> = (0..5)
+            .map(|i| format!("127.0.0.1:{}", 52000 + i).parse().unwrap())
+            .collect();
+        let (mut dir, manifests) =
+            Directory::open_persistent(&wal_path, &new_addrs, 1, 999).unwrap();
+        assert_eq!(manifests, vec![manifest]);
+        assert_eq!(dir.addr_of(0), Some(new_addrs[0]));
+        let mut expect = lanes;
+        expect[3] = replacement;
+        assert_eq!(dir.servers_of(id).unwrap(), expect.as_slice());
+        // The reassign cleared the corrupt flag before the restart.
+        assert!(!dir.is_corrupt(id, 3));
+        // The id allocator stays ahead of the replayed stripe.
+        let (id2, _) = dir.place_stripe(4).unwrap();
+        assert!(id2 > id);
+        // Re-registering a replayed manifest is a no-op (no log bloat).
+        let len_before = std::fs::metadata(&wal_path).unwrap().len();
+        dir.register_stripe(id, expect.clone());
+        assert_eq!(std::fs::metadata(&wal_path).unwrap().len(), len_before);
+        assert_eq!(dir.wal_error_count(), 0);
+
+        // A roster of the wrong size is refused.
+        assert!(matches!(
+            Directory::open_persistent(&wal_path, &addrs(3), 1, 7).unwrap_err(),
+            NodeError::Malformed("wal roster size mismatch")
+        ));
+        let _ = std::fs::remove_file(&wal_path);
     }
 
     #[test]

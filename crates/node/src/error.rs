@@ -66,6 +66,22 @@ pub enum NodeError {
     UnknownStripe(u64),
     /// A codec-level failure (unrecoverable pattern, geometry mismatch).
     Code(CodeError),
+    /// The peer sent a connection reset between frames. Unlike
+    /// [`NodeError::Truncated`] no frame was in flight, so the caller
+    /// may treat it as a clean (if abrupt) end of the conversation.
+    Disconnected,
+    /// A socket operation ran past its total per-op deadline budget.
+    /// The client treats this like a dead peer: fail over to another
+    /// replica or a degraded read instead of hanging the caller.
+    DeadlineExceeded {
+        /// The budget that was exhausted, in milliseconds.
+        budget_ms: u64,
+    },
+    /// A failure injected by an armed [`crate::fault::FaultPlan`].
+    /// Only ever produced while a plan is armed; carries the site
+    /// label so chaos harnesses can tell injected faults from real
+    /// ones.
+    Injected(&'static str),
 }
 
 impl fmt::Display for NodeError {
@@ -96,6 +112,11 @@ impl fmt::Display for NodeError {
             NodeError::NoPlacement => write!(f, "no alive server can take the chunk"),
             NodeError::UnknownStripe(s) => write!(f, "stripe {s} is not in the directory"),
             NodeError::Code(e) => write!(f, "codec error: {e}"),
+            NodeError::Disconnected => write!(f, "peer reset the connection between frames"),
+            NodeError::DeadlineExceeded { budget_ms } => {
+                write!(f, "socket operation exceeded its {budget_ms} ms deadline")
+            }
+            NodeError::Injected(site) => write!(f, "injected fault at site `{site}`"),
         }
     }
 }

@@ -13,8 +13,10 @@
 //! | [`server`] | the chunk-server daemon: accept loop, per-connection threads, kill switch |
 //! | [`client`] | connection with retry/backoff, streaming put (encode pipelined against socket writes), direct + degraded get |
 //! | [`manifest`] | the binary stripe manifest a put returns and a get consumes |
-//! | [`directory`] | the in-memory placement directory: rack-aware chunk→server map, liveness, loss scan |
-//! | [`repair`] | the background repair agent: scan → plan → stream → re-place, with a concurrency throttle |
+//! | [`directory`] | the placement directory: rack-aware chunk→server map, liveness, loss scan — WAL-backed when opened persistent |
+//! | [`wal`] | the directory's append-only checksummed log: placements, repairs, manifests; torn-tail-tolerant replay |
+//! | [`repair`] | the background repair agent + CRC scrubber: scan → plan → stream → re-place, with a concurrency throttle |
+//! | [`fault`] | deterministic fault injection: a seeded process-global plan with labeled sites across the whole stack |
 //! | [`error`] | [`NodeError`], the typed error surface |
 //!
 //! The paper's argument is that repair *network traffic* is the binding
@@ -34,19 +36,23 @@ pub mod chunk_store;
 pub mod client;
 pub mod directory;
 pub mod error;
+pub mod fault;
 pub mod manifest;
 pub mod protocol;
 pub mod repair;
 pub mod server;
+pub mod wal;
 
 pub use chunk_store::ChunkStore;
 pub use client::{ClusterClient, NodeConn, RetryPolicy};
 pub use directory::{Directory, ServerId};
 pub use error::NodeError;
+pub use fault::{FaultPlan, Site};
 pub use manifest::Manifest;
 pub use protocol::{chunk_digest, ErrCode};
-pub use repair::{RepairAgent, RepairAgentConfig, RepairStatsSnapshot};
+pub use repair::{RepairAgent, RepairAgentConfig, RepairStatsSnapshot, ScrubConfig};
 pub use server::{ChunkServer, ServerConfig};
+pub use wal::DirectoryWal;
 
 /// Locks a mutex, recovering the data from a poisoned lock (a panicked
 /// holder) instead of propagating the panic — the prototype's shared

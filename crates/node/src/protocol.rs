@@ -25,8 +25,10 @@
 //! panics and never allocates beyond the cap.
 
 use crate::error::{NodeError, Result};
+use crate::fault::{self, Site};
 use std::io::{ErrorKind, Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 /// Largest chunk payload a frame may carry (64 MiB).
 pub const MAX_CHUNK: usize = 64 << 20;
@@ -163,6 +165,42 @@ pub enum ReadEnd {
     CleanEof,
     /// The stop flag was raised while waiting for bytes.
     Stopped,
+    /// The peer *reset* the connection between frames (RST rather than
+    /// FIN). No frame was in flight, so nothing was lost — but unlike
+    /// [`ReadEnd::CleanEof`] the peer did not shut down politely.
+    Disconnected,
+}
+
+/// A total per-operation read budget: an absolute expiry instant plus
+/// the original budget (kept for error reporting). Passed to
+/// [`FrameReader::read_deadline`] so a stalled peer turns into a typed
+/// [`NodeError::DeadlineExceeded`] instead of a hung caller.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Instant,
+    budget: Duration,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline {
+            at: Instant::now() + budget,
+            budget,
+        }
+    }
+
+    /// Has the deadline passed?
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// The typed error for this deadline's expiry.
+    pub fn to_error(&self) -> NodeError {
+        NodeError::DeadlineExceeded {
+            budget_ms: self.budget.as_millis() as u64,
+        }
+    }
 }
 
 /// Outcome of [`FrameReader::read`]: a frame, or a clean end of stream.
@@ -195,10 +233,28 @@ impl FrameReader {
         r: &mut R,
         stop: Option<&AtomicBool>,
     ) -> Result<ReadOutcome<'a>> {
+        self.read_deadline(r, stop, None)
+    }
+
+    /// [`FrameReader::read`] with an optional total deadline. When the
+    /// stream's read timeout fires (`WouldBlock`/`TimedOut`) and the
+    /// deadline has passed, the read fails with
+    /// [`NodeError::DeadlineExceeded`] instead of spinning — this is
+    /// how a client bounds a stalled peer. A connection *reset* before
+    /// the first byte of a frame is [`ReadEnd::Disconnected`]; a reset
+    /// mid-frame is [`NodeError::Truncated`] like any other mid-frame
+    /// loss.
+    pub fn read_deadline<'a, R: Read>(
+        &'a mut self,
+        r: &mut R,
+        stop: Option<&AtomicBool>,
+        deadline: Option<Deadline>,
+    ) -> Result<ReadOutcome<'a>> {
         let mut len_buf = [0u8; 4];
-        match fill(r, &mut len_buf, stop)? {
+        match fill(r, &mut len_buf, stop, deadline)? {
             Fill::Full => {}
             Fill::CleanEof => return Ok(Err(ReadEnd::CleanEof)),
+            Fill::Reset => return Ok(Err(ReadEnd::Disconnected)),
             Fill::Stopped => return Ok(Err(ReadEnd::Stopped)),
             Fill::Truncated { missing } => return Err(NodeError::Truncated { missing }),
         }
@@ -213,9 +269,9 @@ impl FrameReader {
             });
         }
         self.scratch.resize(body_len, 0);
-        match fill(r, &mut self.scratch, stop)? {
+        match fill(r, &mut self.scratch, stop, deadline)? {
             Fill::Full => {}
-            Fill::CleanEof => return Err(NodeError::Truncated { missing: body_len }),
+            Fill::CleanEof | Fill::Reset => return Err(NodeError::Truncated { missing: body_len }),
             Fill::Stopped => return Ok(Err(ReadEnd::Stopped)),
             Fill::Truncated { missing } => return Err(NodeError::Truncated { missing }),
         }
@@ -228,7 +284,9 @@ enum Fill {
     Full,
     /// EOF before the first byte.
     CleanEof,
-    /// EOF after some bytes.
+    /// Connection reset before the first byte.
+    Reset,
+    /// EOF (or reset) after some bytes.
     Truncated {
         missing: usize,
     },
@@ -237,11 +295,24 @@ enum Fill {
 }
 
 /// `read_exact` with explicit partial-fill tracking: survives
-/// `WouldBlock`/`TimedOut` (polling `stop` in between) and reports
-/// exactly how much of the buffer an early EOF left unfilled.
-fn fill<R: Read>(r: &mut R, buf: &mut [u8], stop: Option<&AtomicBool>) -> Result<Fill> {
+/// `WouldBlock`/`TimedOut` (polling `stop` and the deadline in
+/// between), reports exactly how much of the buffer an early EOF left
+/// unfilled, and distinguishes a pre-byte connection reset from a
+/// mid-buffer one. The deadline is also checked between successful
+/// partial reads so a drip-feeding peer cannot stretch one op forever.
+fn fill<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    stop: Option<&AtomicBool>,
+    deadline: Option<Deadline>,
+) -> Result<Fill> {
     let mut filled = 0usize;
     while filled < buf.len() {
+        if let Some(d) = deadline {
+            if filled > 0 && d.expired() {
+                return Err(d.to_error());
+            }
+        }
         match r.read(&mut buf[filled..]) {
             Ok(0) => {
                 return Ok(if filled == 0 {
@@ -255,11 +326,30 @@ fn fill<R: Read>(r: &mut R, buf: &mut [u8], stop: Option<&AtomicBool>) -> Result
             Ok(n) => filled += n,
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted
+                ) =>
+            {
+                return Ok(if filled == 0 {
+                    Fill::Reset
+                } else {
+                    Fill::Truncated {
+                        missing: buf.len() - filled,
+                    }
+                })
+            }
+            Err(e)
                 if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
-                    && stop.is_some() =>
+                    && (stop.is_some() || deadline.is_some()) =>
             {
                 if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
                     return Ok(Fill::Stopped);
+                }
+                if let Some(d) = deadline {
+                    if d.expired() {
+                        return Err(d.to_error());
+                    }
                 }
             }
             Err(e) => return Err(NodeError::Io(e)),
@@ -398,6 +488,12 @@ pub fn write_put<W: Write>(
 }
 
 /// Writes a CHUNK response frame (header, then the payload).
+///
+/// Fault sites: [`Site::ServeStall`] delays the whole reply by the
+/// plan's param (the client sees a stalled peer); [`Site::ServeReset`]
+/// writes the header plus half the payload and then errors, so the
+/// serving connection is torn down mid-frame (the client sees
+/// [`NodeError::Truncated`]). Both are no-ops when no plan is armed.
 pub fn write_chunk<W: Write>(w: &mut W, digest: u64, payload: &[u8]) -> Result<()> {
     if payload.len() > MAX_CHUNK {
         return Err(NodeError::FrameTooLarge {
@@ -405,11 +501,17 @@ pub fn write_chunk<W: Write>(w: &mut W, digest: u64, payload: &[u8]) -> Result<(
             max: MAX_CHUNK as u64,
         });
     }
+    fault::maybe_stall(Site::ServeStall);
     let mut h = [0u8; 4 + 9];
     h[..4].copy_from_slice(&((9 + payload.len()) as u32).to_le_bytes());
     h[4] = OP_CHUNK;
     h[5..13].copy_from_slice(&digest.to_le_bytes());
     w.write_all(&h)?;
+    if fault::hit(Site::ServeReset) {
+        w.write_all(payload.get(..payload.len() / 2).unwrap_or(payload))?;
+        let _ = w.flush();
+        return Err(NodeError::Injected("serve-reset"));
+    }
     w.write_all(payload)?;
     Ok(())
 }
@@ -506,6 +608,27 @@ mod tests {
             Ok(Frame::Err { .. }) => Ok("err"),
             Err(ReadEnd::CleanEof) => Ok("eof"),
             Err(ReadEnd::Stopped) => Ok("stopped"),
+            Err(ReadEnd::Disconnected) => Ok("disconnected"),
+        }
+    }
+
+    /// A stream that yields `data`, then fails every read with `kind`.
+    struct FailAfter {
+        data: Vec<u8>,
+        pos: usize,
+        kind: ErrorKind,
+    }
+
+    impl Read for FailAfter {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos < self.data.len() {
+                let n = buf.len().min(self.data.len() - self.pos);
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            } else {
+                Err(std::io::Error::from(self.kind))
+            }
         }
     }
 
@@ -690,6 +813,136 @@ mod tests {
         }
         assert_eq!(ErrCode::from_u8(0), None);
         assert_eq!(ErrCode::from_u8(99), None);
+    }
+
+    #[test]
+    fn reset_between_frames_is_a_clean_disconnect() {
+        // The peer sends an RST before any byte of the next frame: the
+        // reader reports Disconnected, not an I/O error or Truncated.
+        let mut r = FrameReader::new();
+        let mut s = FailAfter {
+            data: Vec::new(),
+            pos: 0,
+            kind: ErrorKind::ConnectionReset,
+        };
+        assert!(matches!(
+            r.read(&mut s, None).unwrap(),
+            Err(ReadEnd::Disconnected)
+        ));
+        // Same for an abort.
+        let mut s = FailAfter {
+            data: Vec::new(),
+            pos: 0,
+            kind: ErrorKind::ConnectionAborted,
+        };
+        assert!(matches!(
+            r.read(&mut s, None).unwrap(),
+            Err(ReadEnd::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn reset_mid_body_is_truncated_with_missing_count() {
+        // Length prefix promises 100 bytes, peer delivers 10, then RST:
+        // mid-frame loss must surface as Truncated{missing}, exactly
+        // like an EOF mid-body would.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&100u32.to_le_bytes());
+        bytes.extend_from_slice(&[OP_PING; 10]);
+        let mut r = FrameReader::new();
+        let mut s = FailAfter {
+            data: bytes,
+            pos: 0,
+            kind: ErrorKind::ConnectionReset,
+        };
+        let err = r.read(&mut s, None).unwrap_err();
+        assert!(
+            matches!(err, NodeError::Truncated { missing: 90 }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn peer_dying_mid_body_yields_truncated_within_the_read_budget() {
+        // A real socket peer writes the prefix and part of the body,
+        // then drops the connection and goes away. The client's reader
+        // (short read timeout + total deadline) must type the loss as
+        // Truncated well inside the deadline budget instead of
+        // blocking.
+        use std::net::{TcpListener, TcpStream};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&64u32.to_le_bytes());
+            bytes.extend_from_slice(&[OP_PING; 16]);
+            conn.write_all(&bytes).unwrap();
+            conn.flush().unwrap();
+            // Give the reader a moment to consume the partial frame,
+            // then die mid-body.
+            std::thread::sleep(Duration::from_millis(30));
+            drop(conn);
+        });
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_millis(20)))
+            .unwrap();
+        let budget = Duration::from_secs(2);
+        let started = Instant::now();
+        let mut r = FrameReader::new();
+        let err = r
+            .read_deadline(&mut conn, None, Some(Deadline::after(budget)))
+            .unwrap_err();
+        let elapsed = started.elapsed();
+        assert!(
+            matches!(err, NodeError::Truncated { missing: 48 }),
+            "got {err:?}"
+        );
+        assert!(elapsed < budget, "took {elapsed:?}, budget {budget:?}");
+        peer.join().unwrap();
+    }
+
+    #[test]
+    fn silent_peer_trips_the_deadline_not_a_hang() {
+        // The peer sends a partial frame and then stalls forever: the
+        // deadline converts the stall into DeadlineExceeded.
+        use std::net::{TcpListener, TcpStream};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let peer = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&64u32.to_le_bytes());
+            bytes.extend_from_slice(&[OP_PING; 16]);
+            conn.write_all(&bytes).unwrap();
+            conn.flush().unwrap();
+            // Hold the socket open, silent, until the reader finishes.
+            let _ = done_rx.recv();
+        });
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_millis(10)))
+            .unwrap();
+        let started = Instant::now();
+        let mut r = FrameReader::new();
+        let err = r
+            .read_deadline(
+                &mut conn,
+                None,
+                Some(Deadline::after(Duration::from_millis(80))),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, NodeError::DeadlineExceeded { budget_ms: 80 }),
+            "got {err:?}"
+        );
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(75) && elapsed < Duration::from_secs(2),
+            "took {elapsed:?}"
+        );
+        let _ = done_tx.send(());
+        peer.join().unwrap();
     }
 
     #[test]

@@ -16,11 +16,14 @@
 //! connections and scratch), mirroring the simulator's repair-slot
 //! model and HDFS-RAID's bounded reconstruction parallelism.
 
+use crate::chunk_store::ChunkStore;
 use crate::client::{RetryPolicy, SessionCache};
-use crate::directory::Directory;
+use crate::directory::{Directory, ServerId};
 use crate::error::{NodeError, Result};
+use crate::fault::{self, Site};
 use crate::lock;
 use crate::protocol::chunk_digest;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -40,16 +43,62 @@ pub struct RepairAgentConfig {
     pub chunk_bytes: usize,
     /// Connection policy for repair traffic.
     pub retry: RetryPolicy,
+    /// Liveness-probe cadence: one probe sweep every this many scan
+    /// rounds. The sweep both declares unreachable servers dead and
+    /// revives restarted ones whose listener answers again.
+    pub probe_rounds: u64,
+    /// When set, a scrubber thread walks these chunk stores and
+    /// re-verifies digests at a byte-rate throttle.
+    pub scrub: Option<ScrubConfig>,
 }
 
 impl RepairAgentConfig {
-    /// Defaults: 25 ms scans, 2 concurrent repairs.
+    /// Defaults: 25 ms scans, 2 concurrent repairs, probes every 8
+    /// rounds, no scrubber.
     pub fn new(chunk_bytes: usize) -> Self {
         Self {
             scan_interval: Duration::from_millis(25),
             max_concurrent_repairs: 2,
             chunk_bytes,
             retry: RetryPolicy::default(),
+            probe_rounds: 8,
+            scrub: None,
+        }
+    }
+}
+
+/// Tunables for the background CRC scrubber.
+///
+/// The scrubber is colocated with the servers in this prototype (one
+/// process hosts the whole cluster), so it reads chunk files straight
+/// from each server's store root rather than over the wire — what it
+/// *reports* still flows through the directory's corrupt set and from
+/// there into the ordinary `scan_lost` → repair pipeline.
+#[derive(Debug, Clone)]
+pub struct ScrubConfig {
+    /// `(server id, chunk-store root)` pairs the scrubber walks.
+    pub stores: Vec<(ServerId, PathBuf)>,
+    /// Verification byte-rate cap. After each chunk the scrubber
+    /// sleeps `chunk_len / rate` so a full cycle over `B` stored bytes
+    /// takes at least `B / rate` seconds.
+    pub rate_bytes_per_sec: u64,
+    /// Pause between full cycles over every store.
+    pub cycle_pause: Duration,
+}
+
+impl ScrubConfig {
+    /// A config scrubbing `stores`, with the rate taken from the
+    /// `XORBAS_NODE_SCRUB_MIBPS` environment knob (MiB/s, default 64).
+    pub fn new(stores: Vec<(ServerId, PathBuf)>) -> Self {
+        let mibps = std::env::var("XORBAS_NODE_SCRUB_MIBPS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64);
+        Self {
+            stores,
+            rate_bytes_per_sec: mibps.saturating_mul(1024 * 1024),
+            cycle_pause: Duration::from_millis(50),
         }
     }
 }
@@ -64,6 +113,10 @@ struct RepairStats {
     bytes_written: AtomicU64,
     failed_attempts: AtomicU64,
     rounds: AtomicU64,
+    scrub_cycles: AtomicU64,
+    scrub_chunks: AtomicU64,
+    scrub_bytes: AtomicU64,
+    scrub_corruptions: AtomicU64,
 }
 
 /// A point-in-time copy of the agent's counters.
@@ -83,12 +136,21 @@ pub struct RepairStatsSnapshot {
     pub failed_attempts: u64,
     /// Scan rounds completed.
     pub rounds: u64,
+    /// Full scrub passes over every configured store.
+    pub scrub_cycles: u64,
+    /// Chunks whose digest the scrubber re-verified.
+    pub scrub_chunks: u64,
+    /// Bytes the scrubber read back and hashed.
+    pub scrub_bytes: u64,
+    /// Corrupt chunks the scrubber newly flagged for repair.
+    pub scrub_corruptions: u64,
 }
 
 /// The running agent; dropping it stops the scan thread.
 pub struct RepairAgent {
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
+    scrub_handle: Option<JoinHandle<()>>,
     stats: Arc<RepairStats>,
     directory: Arc<Mutex<Directory>>,
 }
@@ -105,6 +167,7 @@ impl RepairAgent {
     ) -> Result<Self> {
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(RepairStats::default());
+        let scrub_cfg = cfg.scrub.clone();
         let thread_stop = Arc::clone(&stop);
         let thread_stats = Arc::clone(&stats);
         let thread_dir = Arc::clone(&directory);
@@ -120,9 +183,25 @@ impl RepairAgent {
                     &thread_stats,
                 );
             })?;
+        let scrub_handle = match scrub_cfg {
+            Some(scfg) => {
+                let scrub_stop = Arc::clone(&stop);
+                let scrub_stats = Arc::clone(&stats);
+                let scrub_dir = Arc::clone(&directory);
+                Some(
+                    std::thread::Builder::new()
+                        .name("xorbas-scrub".into())
+                        .spawn(move || {
+                            scrub_loop(&scfg, &scrub_dir, &scrub_stop, &scrub_stats);
+                        })?,
+                )
+            }
+            None => None,
+        };
         Ok(Self {
             stop,
             handle: Some(handle),
+            scrub_handle,
             stats,
             directory,
         })
@@ -139,6 +218,10 @@ impl RepairAgent {
             bytes_written: s.bytes_written.load(Ordering::Relaxed),
             failed_attempts: s.failed_attempts.load(Ordering::Relaxed),
             rounds: s.rounds.load(Ordering::Relaxed),
+            scrub_cycles: s.scrub_cycles.load(Ordering::Relaxed),
+            scrub_chunks: s.scrub_chunks.load(Ordering::Relaxed),
+            scrub_bytes: s.scrub_bytes.load(Ordering::Relaxed),
+            scrub_corruptions: s.scrub_corruptions.load(Ordering::Relaxed),
         }
     }
 
@@ -160,10 +243,13 @@ impl RepairAgent {
         }
     }
 
-    /// Stops the scan thread and joins it.
+    /// Stops the scan and scrub threads and joins them.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.scrub_handle.take() {
             let _ = h.join();
         }
     }
@@ -173,6 +259,9 @@ impl Drop for RepairAgent {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.scrub_handle.take() {
             let _ = h.join();
         }
     }
@@ -191,8 +280,9 @@ fn agent_loop(
     let mut round = 0u64;
     while !stop.load(Ordering::SeqCst) {
         // A cheap liveness sweep every few rounds: a server that died
-        // without any client noticing still gets its chunks repaired.
-        if round.is_multiple_of(8) {
+        // without any client noticing still gets its chunks repaired,
+        // and a restarted one is folded back into the roster.
+        if round.is_multiple_of(cfg.probe_rounds.max(1)) {
             probe_liveness(dir);
         }
         round += 1;
@@ -257,23 +347,108 @@ fn agent_loop(
     }
 }
 
-/// Marks servers whose listener no longer answers as dead. A refused
+/// Reconciles the roster with reality: servers whose listener no
+/// longer answers are marked dead, and dead servers whose listener
+/// answers again (a restart on the same address, or an updated
+/// address via [`Directory::set_addr`]) are revived. A refused
 /// loopback connect returns immediately, so this sweep costs
-/// microseconds per alive server.
+/// microseconds per server.
 fn probe_liveness(dir: &Arc<Mutex<Directory>>) {
-    let mut roster: Vec<(usize, std::net::SocketAddr)> = Vec::new();
+    let mut roster: Vec<(usize, std::net::SocketAddr, bool)> = Vec::new();
     {
         let d = lock(dir);
         for (sid, info) in d.roster().iter().enumerate() {
-            if info.alive {
-                roster.push((sid, info.addr));
-            }
+            roster.push((sid, info.addr, info.alive));
         }
     }
-    for (sid, addr) in roster {
-        if std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(250)).is_err() {
-            lock(dir).mark_dead(sid);
+    for (sid, addr, was_alive) in roster {
+        let answers =
+            std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(250)).is_ok();
+        match (was_alive, answers) {
+            (true, false) => lock(dir).mark_dead(sid),
+            (false, true) => lock(dir).mark_alive(sid),
+            _ => {}
         }
+    }
+}
+
+/// The scrubber thread: walk every configured chunk store, re-verify
+/// each chunk's digest, flag rot into the directory's corrupt set
+/// (where the next `scan_lost` turns it into a repair), and throttle
+/// to the configured byte rate.
+fn scrub_loop(
+    cfg: &ScrubConfig,
+    dir: &Arc<Mutex<Directory>>,
+    stop: &AtomicBool,
+    stats: &RepairStats,
+) {
+    let mut stores: Vec<(ServerId, ChunkStore)> = Vec::new();
+    for (sid, root) in &cfg.stores {
+        if let Ok(s) = ChunkStore::open(root) {
+            stores.push((*sid, s));
+        }
+    }
+    let rate = cfg.rate_bytes_per_sec.max(1);
+    let mut chunks: Vec<(u64, u32)> = Vec::new();
+    let mut buf: Vec<u8> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        for (sid, store) in &stores {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            chunks.clear();
+            if store.list_chunks(&mut chunks).is_err() {
+                continue;
+            }
+            // xlint::hot-path(scrub-stream) begin
+            // The verify loop rereads every chunk body through one
+            // reused buffer; nothing here may allocate, so a scrub
+            // pass costs I/O + hash and zero heap churn.
+            for &(stripe, lane) in chunks.iter() {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Skip chunks the directory no longer maps to this
+                // server (stale files after a reassignment) and ones
+                // already flagged — re-reporting would double-count.
+                let (ours, flagged) = {
+                    let d = lock(dir);
+                    let ours = d
+                        .servers_of(stripe)
+                        .is_some_and(|s| s.get(lane as usize) == Some(sid));
+                    (ours, d.is_corrupt(stripe, lane))
+                };
+                if !ours || flagged {
+                    continue;
+                }
+                match store.get_into(stripe, lane, &mut buf) {
+                    Ok(_) => {
+                        stats.scrub_chunks.fetch_add(1, Ordering::Relaxed);
+                        stats
+                            .scrub_bytes
+                            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+                    }
+                    Err(NodeError::ChunkNotFound { .. }) => continue,
+                    // Digest mismatch or an unreadable file: either
+                    // way this replica cannot be served — flag it.
+                    Err(_) => {
+                        stats.scrub_chunks.fetch_add(1, Ordering::Relaxed);
+                        stats.scrub_corruptions.fetch_add(1, Ordering::Relaxed);
+                        lock(dir).report_corrupt(stripe, lane);
+                    }
+                }
+                // Throttle: a chunk of `L` bytes buys `L / rate`
+                // seconds of sleep, so sustained read bandwidth stays
+                // at or under `rate_bytes_per_sec`.
+                let nanos = (buf.len() as u64).saturating_mul(1_000_000_000) / rate;
+                if nanos > 0 {
+                    sleep_with_stop(Duration::from_nanos(nanos), stop);
+                }
+            }
+            // xlint::hot-path(scrub-stream) end
+        }
+        stats.scrub_cycles.fetch_add(1, Ordering::Relaxed);
+        sleep_with_stop(cfg.cycle_pause, stop);
     }
 }
 
@@ -361,6 +536,13 @@ impl RepairWorker<'_> {
         let mut written = 0u64;
         let mut repaired = 0u64;
         for &lane in session.missing() {
+            // Fault site: the repair worker dies between reconstruct
+            // and re-place. The lane stays lost and a later round
+            // retries — repairs must be idempotent.
+            if fault::hit(Site::CrashRepair) {
+                self.unavailable = unavailable;
+                return Err(NodeError::Injected("crash-repair"));
+            }
             let new_sid = {
                 let mut d = lock(self.dir);
                 d.choose_replacement(stripe)?

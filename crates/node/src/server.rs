@@ -16,6 +16,7 @@
 
 use crate::chunk_store::ChunkStore;
 use crate::error::{NodeError, Result};
+use crate::fault::{self, Site};
 use crate::lock;
 use crate::protocol::{
     write_bare, write_chunk, write_err, ErrCode, Frame, FrameReader, ReadEnd, OP_OK,
@@ -107,6 +108,10 @@ pub struct ChunkServer {
 impl ChunkServer {
     /// Binds an ephemeral loopback port and starts serving.
     pub fn start(cfg: ServerConfig) -> Result<ChunkServer> {
+        // Chaos entry point: a `XORBAS_NODE_FAULTS` plan set in the
+        // environment arms itself the first time a server boots (no-op
+        // when unset or when a plan is already armed programmatically).
+        let _ = fault::arm_from_env();
         let store = Arc::new(ChunkStore::open(&cfg.data_dir)?);
         let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0))?;
         listener.set_nonblocking(true)?;
@@ -237,7 +242,7 @@ fn handle_conn(
     loop {
         let frame = match reader.read(&mut rd, Some(stop)) {
             Ok(Ok(frame)) => frame,
-            Ok(Err(ReadEnd::CleanEof | ReadEnd::Stopped)) => return Ok(()),
+            Ok(Err(ReadEnd::CleanEof | ReadEnd::Stopped | ReadEnd::Disconnected)) => return Ok(()),
             Err(NodeError::FrameTooLarge { .. }) => {
                 // The rest of the oversized body is unread, so the
                 // stream is desynchronized: report and close.
@@ -271,7 +276,13 @@ fn handle_conn(
                 digest,
                 payload,
             } => match store.put(stripe, lane, digest, payload) {
-                Ok(()) => write_bare(&mut wr, OP_OK)?,
+                Ok(()) => {
+                    // Fault site: the ack dawdles, modeling a server
+                    // whose disk sync or NIC is briefly wedged. The
+                    // client's per-op deadline decides what to do.
+                    fault::maybe_stall(Site::ServeStall);
+                    write_bare(&mut wr, OP_OK)?
+                }
                 Err(NodeError::FrameTooLarge { .. }) => write_err(&mut wr, ErrCode::TooLarge)?,
                 Err(_) => write_err(&mut wr, ErrCode::Io)?,
             },

@@ -346,9 +346,11 @@ fn connect_refused_is_retried_with_backoff_then_typed() {
     let addr = listener.local_addr().unwrap();
     drop(listener);
 
+    // Jitter off so the backoff schedule (4ms, then 8ms) is exact.
     let policy = RetryPolicy {
         attempts: 3,
         base_delay: Duration::from_millis(4),
+        jitter: false,
         ..RetryPolicy::default()
     };
     let t0 = Instant::now();
