@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use xorbas_bench::output::{banner, f, render_table, write_csv};
 use xorbas_core::CodeSpec;
-use xorbas_sim::{SimConfig, SimTime, Simulation};
+use xorbas_sim::{run_scale_scenario, ScaleScenario, SimConfig, SimTime, Simulation};
 
 struct StormResult {
     label: String,
@@ -65,6 +65,25 @@ fn repair_storm_with(
 /// The original fixed-shape storm: (10,6,5) LRC, 100-block files.
 fn repair_storm(label: &str, nodes: usize, files: usize, kills: usize) -> StormResult {
     repair_storm_with(label, CodeSpec::LRC_10_6_5, nodes, files, 100, kills)
+}
+
+/// Serving lane: the `serving_mode` week (60 nodes, trace-driven
+/// failures, ~600k Zipf client reads riding the event loop). The
+/// interesting number is events/sec with the workload attached —
+/// client reads triple the event count of the bare trace, and this
+/// lane catches regressions in the per-read hot path.
+fn serving_storm(label: &str, code: CodeSpec, seed: u64) -> StormResult {
+    let sc = ScaleScenario::serving_mode(code);
+    let run = run_scale_scenario(&sc, seed);
+    let serving = run.serving.expect("serving_mode attaches a workload");
+    StormResult {
+        label: label.to_string(),
+        nodes: sc.scale.nodes,
+        blocks: serving.reads_issued as usize,
+        blocks_repaired: run.blocks_repaired,
+        wall_secs: run.wall_secs,
+        events: run.events_processed,
+    }
 }
 
 /// Events processed by the engine (control events plus flow
@@ -125,6 +144,41 @@ fn main() {
         render_table(
             &["lane", "nodes", "blocks", "repaired", "wall s", "events", "events/s"],
             &rows
+        )
+    );
+
+    // Serving lanes: same result shape, but the volume column counts
+    // client reads issued rather than stored blocks.
+    let mut serving_rows = Vec::new();
+    for r in [
+        serving_storm("serving_lrc", CodeSpec::LRC_10_6_5, 3),
+        serving_storm("serving_rs", CodeSpec::RS_10_4, 3),
+    ] {
+        let eps = r.events as f64 / r.wall_secs;
+        serving_rows.push(vec![
+            r.label.clone(),
+            r.nodes.to_string(),
+            r.blocks.to_string(),
+            r.blocks_repaired.to_string(),
+            f(r.wall_secs, 3),
+            r.events.to_string(),
+            f(eps, 0),
+        ]);
+        csv.push(vec![
+            r.label.clone(),
+            r.nodes.to_string(),
+            r.blocks.to_string(),
+            r.blocks_repaired.to_string(),
+            f(r.wall_secs, 4),
+            r.events.to_string(),
+            f(eps, 1),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["lane", "nodes", "reads", "repaired", "wall s", "events", "events/s"],
+            &serving_rows
         )
     );
     write_csv("sim_scale.csv", &csv);

@@ -39,6 +39,7 @@ use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 use std::rc::Rc;
 
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use xorbas_core::{CodeError, RepairPlan, RepairSession, StripeViewMut};
@@ -51,6 +52,7 @@ use crate::hdfs::{BlockId, FileId, Hdfs, NodeId, Placement, Position, StripeId};
 use crate::metrics::Metrics;
 use crate::network::{Flow, FlowId, Network};
 use crate::time::SimTime;
+use crate::workload::{exp_gap_secs, ServePolicy, WorkloadConfig, ZipfSampler};
 
 /// Identifies a task.
 pub type TaskId = u64;
@@ -62,11 +64,19 @@ pub type JobId = usize;
 enum ControlEvent {
     KillNode(NodeId),
     ReviveNode(NodeId),
+    /// A transiently-failed node rejoins *with its disk intact* (a
+    /// reboot or network partition healing, not a replacement).
+    RestoreNode(NodeId),
     DropBlocks(Vec<BlockId>),
     FixerScan,
     SubmitWordcount(FileId),
     ComputeDone(TaskId),
-    Decommission { node: NodeId, via_repair: bool },
+    /// The next client-read arrival of the serving-plane workload.
+    ClientRead,
+    Decommission {
+        node: NodeId,
+        via_repair: bool,
+    },
 }
 
 /// A slab-indexed event queue: the heap orders `(time, seq)` keys while
@@ -193,6 +203,48 @@ struct Job {
     submitted: SimTime,
 }
 
+/// Live state of the serving-plane workload
+/// ([`Simulation::start_workload`]): the popularity model, the
+/// rank→block mapping of the current churn epoch, and the workload's
+/// private RNG stream. The stream is deliberately separate from the
+/// engine RNG so attaching a workload never perturbs failure placement
+/// or repair decisions, and churn reshuffles are re-keyed from
+/// `(seed, epoch)` so the mapping is a function of simulated time alone
+/// — not of how many arrivals happened to precede the epoch boundary.
+#[derive(Debug)]
+struct WorkloadState {
+    cfg: WorkloadConfig,
+    sampler: ZipfSampler,
+    /// All data blocks, in block-id order (the stable identity the
+    /// per-epoch permutation reshuffles).
+    base: Vec<BlockId>,
+    /// Current rank→block mapping (`perm[rank]` is the block with that
+    /// popularity rank this epoch).
+    perm: Vec<BlockId>,
+    /// Arrival-gap and rank-draw stream.
+    rng: StdRng,
+    start: SimTime,
+    horizon: SimTime,
+    /// Churn epoch `perm` currently reflects (`u64::MAX` = none yet).
+    epoch: u64,
+}
+
+impl WorkloadState {
+    /// Rebuilds `perm` for `epoch` from a fresh `(seed, epoch)`-keyed
+    /// stream.
+    fn reshuffle(&mut self, epoch: u64) {
+        self.perm.clear();
+        self.perm.extend_from_slice(&self.base);
+        let key = self
+            .cfg
+            .seed
+            .wrapping_add(1) // epoch key 0 differs from the arrival seed
+            .wrapping_add(epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        self.perm.shuffle(&mut StdRng::seed_from_u64(key));
+        self.epoch = epoch;
+    }
+}
+
 /// The simulation.
 pub struct Simulation {
     /// Current simulated time.
@@ -265,6 +317,17 @@ pub struct Simulation {
     plan_key_scratch: Vec<usize>,
     /// Reused scratch for per-step flow-completion batches.
     completed_scratch: Vec<(FlowId, Flow)>,
+    /// The serving-plane workload, when one is attached.
+    workload: Option<WorkloadState>,
+    /// Blocks each transiently-down node held at kill time, so
+    /// [`Simulation::restore_node_at`] can re-attach whatever the
+    /// BlockFixer has not already repaired elsewhere. Replacement
+    /// ([`Simulation::revive_node_at`]) discards the entry — a new
+    /// machine has an empty disk.
+    transient_inventory: FastMap<NodeId, Vec<BlockId>>,
+    /// Serving reads parked on an unavailable block
+    /// ([`ServePolicy::WaitForFixer`]): block → issue times.
+    reads_waiting_on_block: FastMap<BlockId, Vec<SimTime>>,
 }
 
 impl Simulation {
@@ -310,6 +373,9 @@ impl Simulation {
             plan_cache: FastMap::default(),
             plan_key_scratch: Vec::new(),
             completed_scratch: Vec::new(),
+            workload: None,
+            transient_inventory: FastMap::default(),
+            reads_waiting_on_block: FastMap::default(),
             cfg,
         }
     }
@@ -325,6 +391,18 @@ impl Simulation {
         unavailable: &[usize],
         targets: &[usize],
     ) -> Result<Rc<RepairPlan>, CodeError> {
+        self.plan_cached_with_hit(unavailable, targets)
+            .map(|(p, _)| p)
+    }
+
+    /// [`Simulation::plan_cached`] that also reports whether the lookup
+    /// hit the memo — the serving path charges a plan-compile latency
+    /// penalty on cold failure patterns.
+    fn plan_cached_with_hit(
+        &mut self,
+        unavailable: &[usize],
+        targets: &[usize],
+    ) -> Result<(Rc<RepairPlan>, bool), CodeError> {
         let mut key = std::mem::take(&mut self.plan_key_scratch);
         key.clear();
         key.extend_from_slice(unavailable);
@@ -333,7 +411,7 @@ impl Simulation {
         if let Some(plan) = self.plan_cache.get(key.as_slice()) {
             let plan = Rc::clone(plan);
             self.plan_key_scratch = key;
-            return Ok(plan);
+            return Ok((plan, true));
         }
         match self.codec.repair_plan_for(unavailable, targets) {
             Ok(p) => {
@@ -341,7 +419,7 @@ impl Simulation {
                 // `key` moves into the cache; the scratch slot was left
                 // empty by `take` and refills on the next call.
                 self.plan_cache.insert(key, Rc::clone(&plan));
-                Ok(plan)
+                Ok((plan, false))
             }
             Err(e) => {
                 self.plan_key_scratch = key;
@@ -532,6 +610,46 @@ impl Simulation {
         self.push_event(t, ControlEvent::ReviveNode(node));
     }
 
+    /// Schedules the return of a transiently-failed node *with its disk
+    /// intact* — a reboot or partition healing rather than the machine
+    /// swap of [`Simulation::revive_node_at`]. Blocks the node held at
+    /// kill time re-attach unless the BlockFixer already restored them
+    /// elsewhere; nothing counts as repaired. This is the §1 mechanism
+    /// behind most production "failures" being transient.
+    pub fn restore_node_at(&mut self, t: SimTime, node: NodeId) {
+        self.push_event(t, ControlEvent::RestoreNode(node));
+    }
+
+    /// Attaches the serving-plane workload: Poisson client-read arrivals
+    /// at `cfg.reads_per_sec` from `start` until `horizon`, targets
+    /// drawn Zipf(`cfg.zipf_s`) over every data block currently loaded.
+    /// Outcomes land in [`crate::metrics::ServingStats`]. Call after
+    /// loading files; one workload per simulation.
+    pub fn start_workload(&mut self, start: SimTime, horizon: SimTime, cfg: WorkloadConfig) {
+        assert!(self.workload.is_none(), "one workload per simulation");
+        let k = self.codec.spec().data_blocks();
+        let base: Vec<BlockId> = (0..self.hdfs.block_count())
+            .filter(|&b| self.hdfs.block(b).pos < k)
+            .collect();
+        assert!(!base.is_empty(), "load files before starting a workload");
+        let sampler = ZipfSampler::new(base.len(), cfg.zipf_s);
+        let mut w = WorkloadState {
+            sampler,
+            perm: Vec::with_capacity(base.len()),
+            base,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            start,
+            horizon,
+            epoch: u64::MAX,
+            cfg,
+        };
+        let first = start + SimTime::from_secs_f64(exp_gap_secs(&mut w.rng, cfg.reads_per_sec));
+        if first <= horizon {
+            self.push_event(first, ControlEvent::ClientRead);
+        }
+        self.workload = Some(w);
+    }
+
     /// Schedules the silent loss of individual blocks (Fig.-7-style).
     /// No FixerScan is triggered: the blocks stay lost until read
     /// (degraded) or until a scan is scheduled explicitly.
@@ -704,6 +822,7 @@ impl Simulation {
         match ev {
             ControlEvent::KillNode(node) => self.on_kill_node(node),
             ControlEvent::ReviveNode(node) => self.on_revive_node(node),
+            ControlEvent::RestoreNode(node) => self.on_restore_node(node),
             ControlEvent::DropBlocks(blocks) => {
                 for b in blocks {
                     self.hdfs.drop_block(b);
@@ -712,6 +831,7 @@ impl Simulation {
             ControlEvent::FixerScan => self.on_fixer_scan(),
             ControlEvent::SubmitWordcount(file) => self.on_submit_wordcount(file),
             ControlEvent::ComputeDone(task) => self.on_compute_done(task),
+            ControlEvent::ClientRead => self.on_client_read(),
             ControlEvent::Decommission { node, via_repair } => {
                 self.on_decommission(node, via_repair)
             }
@@ -762,7 +882,10 @@ impl Simulation {
         self.alive[node] = false;
         self.placeable[node] = false;
         self.set_free_slots(node, 0);
-        self.hdfs.kill_node(node);
+        let lost = self.hdfs.kill_node(node);
+        // Remember the disk contents: if the node returns transiently
+        // (`restore_node_at`) its blocks come back with it.
+        self.transient_inventory.insert(node, lost);
         // Cancel flows touching the dead node; abort their tasks.
         // Ordering matters for determinism: task ids ascending.
         let mut hit_tasks: Vec<TaskId> = Vec::new();
@@ -806,10 +929,37 @@ impl Simulation {
         if self.alive[node] {
             return;
         }
+        // The old disk went with the old machine.
+        self.transient_inventory.remove(&node);
         self.alive[node] = true;
         self.draining[node] = false;
         self.placeable[node] = true;
         self.set_free_slots(node, self.cfg.cluster.map_slots_per_node);
+        self.schedule();
+    }
+
+    /// A transiently-failed node rejoins with its disk: re-attach every
+    /// kill-time block the BlockFixer has not already restored
+    /// elsewhere, waking anything parked on them. Re-attachment is not a
+    /// repair — no bytes moved — so repair counters stay untouched. A
+    /// repair task already in flight for a returning block settles
+    /// harmlessly: its completion finds the block located and skips the
+    /// restore ([`Simulation::restore_block_now`]).
+    fn on_restore_node(&mut self, node: NodeId) {
+        let inventory = self.transient_inventory.remove(&node).unwrap_or_default();
+        if self.alive[node] {
+            return;
+        }
+        self.alive[node] = true;
+        self.draining[node] = false;
+        self.placeable[node] = true;
+        self.set_free_slots(node, self.cfg.cluster.map_slots_per_node);
+        for block in inventory {
+            if self.hdfs.block(block).location.is_none() {
+                self.hdfs.restore_block(block, node);
+                self.wake_block_waiters(block);
+            }
+        }
         self.schedule();
     }
 
@@ -906,9 +1056,11 @@ impl Simulation {
         }
         self.metrics.record_data_loss();
         let mut stranded: Vec<TaskId> = Vec::new();
+        let mut lost_blocks: Vec<BlockId> = Vec::new();
         for p in self.hdfs.positions(stripe) {
             if let Position::Real(b) = p {
                 if self.hdfs.block(*b).location.is_none() {
+                    lost_blocks.push(*b);
                     if let Some(waiters) = self.waiting_on_block.get(b) {
                         stranded.extend(waiters.iter().copied());
                     }
@@ -919,6 +1071,13 @@ impl Simulation {
         stranded.dedup();
         for tid in stranded {
             self.abort_task(tid, true);
+        }
+        // Serving reads parked on these blocks will never be woken:
+        // fail them now rather than letting them dangle unaccounted.
+        for b in lost_blocks {
+            if let Some(parked) = self.reads_waiting_on_block.remove(&b) {
+                self.metrics.serving.failed_reads += parked.len() as u64;
+            }
         }
     }
 
@@ -1074,6 +1233,114 @@ impl Simulation {
         self.jobs.push(job);
         self.jobs_with_work.insert(job_id);
         self.schedule();
+    }
+
+    // ----- serving plane ---------------------------------------------
+
+    /// One client-read arrival: roll the churn epoch forward if a
+    /// boundary passed, draw the target block, schedule the next arrival
+    /// and serve this one.
+    fn on_client_read(&mut self) {
+        let Some(mut w) = self.workload.take() else {
+            debug_assert!(false, "ClientRead events imply an attached workload");
+            return;
+        };
+        let cfg = w.cfg;
+        let epoch = if cfg.churn_every == SimTime::ZERO {
+            0
+        } else {
+            self.clock.saturating_sub(w.start).0 / cfg.churn_every.0
+        };
+        if w.epoch != epoch {
+            w.reshuffle(epoch);
+        }
+        let rank = w.sampler.sample_rank(&mut w.rng);
+        let block = w.perm[rank];
+        let gap = exp_gap_secs(&mut w.rng, cfg.reads_per_sec);
+        let next = self.clock + SimTime::from_secs_f64(gap);
+        if next <= w.horizon {
+            self.push_event(next, ControlEvent::ClientRead);
+        }
+        self.workload = Some(w);
+        self.serve_read(cfg, block);
+    }
+
+    /// Serves one client read of `block` under the workload's policy,
+    /// recording outcome, bytes and latency in
+    /// [`crate::metrics::ServingStats`]. Latency is analytic (O(1) per
+    /// read, no flow-level simulation): client reads are `read_bytes`
+    /// range reads that would be lost in the noise of the coarse
+    /// block-sized repair flows, but their *relative* cost — direct vs
+    /// degraded vs wait-for-fixer — is exactly the paper's story.
+    fn serve_read(&mut self, cfg: WorkloadConfig, block: BlockId) {
+        self.metrics.serving.reads_issued += 1;
+        let meta = self.hdfs.block(block).clone();
+        if meta.location.is_some() {
+            self.metrics
+                .serving
+                .record_direct(cfg.direct_service_ms(), cfg.read_bytes as f64);
+            return;
+        }
+        // The block is unavailable: this is a recovery operation in the
+        // Rashmi et al. sense. Classify the stripe's loss multiplicity
+        // before deciding how to serve.
+        let stripe = meta.stripe;
+        let mut unavailable = std::mem::take(&mut self.pos_scratch);
+        self.hdfs
+            .unavailable_positions_into(stripe, &mut unavailable);
+        self.metrics
+            .serving
+            .record_recovery_event(unavailable.len() == 1);
+        if self.hdfs.stripe(stripe).unrecoverable {
+            self.pos_scratch = unavailable;
+            self.metrics.serving.failed_reads += 1;
+            return;
+        }
+        match cfg.policy {
+            ServePolicy::WaitForFixer => {
+                self.pos_scratch = unavailable;
+                self.reads_waiting_on_block
+                    .entry(block)
+                    .or_default()
+                    .push(self.clock);
+            }
+            ServePolicy::Degraded => {
+                let plan = self.plan_cached_with_hit(&unavailable, &[meta.pos]);
+                self.pos_scratch = unavailable;
+                let (plan, cache_hit) = match plan {
+                    Ok(p) => p,
+                    Err(_) => {
+                        // Unrecoverable pattern the fixer has not seen
+                        // yet: abandon (exactly-once) and fail the read.
+                        self.abandon_stripe(stripe);
+                        self.metrics.serving.failed_reads += 1;
+                        return;
+                    }
+                };
+                let mut positions = std::mem::take(&mut self.stripe_scratch);
+                positions.clear();
+                positions.extend_from_slice(self.hdfs.positions(stripe));
+                let (read_blocks, light) = plan_reads(&plan, &positions);
+                self.stripe_scratch = positions;
+                // Range-read the same offsets of every surviving lane in
+                // the plan, stream them over the client NIC, decode.
+                let fetched = read_blocks.len().max(1) as f64 * cfg.read_bytes as f64;
+                let decode_bps = if light {
+                    self.cfg.compute.xor_bps
+                } else {
+                    self.cfg.compute.rs_decode_bps
+                };
+                let mut latency_ms = cfg.base_latency_ms
+                    + fetched / cfg.client_read_bps * 1e3
+                    + fetched / decode_bps * 1e3;
+                if !cache_hit {
+                    latency_ms += cfg.plan_compile_ms;
+                }
+                self.metrics
+                    .serving
+                    .record_degraded(light, latency_ms, fetched);
+            }
+        }
     }
 
     // ----- scheduler --------------------------------------------------
@@ -1500,15 +1767,28 @@ impl Simulation {
     }
 
     fn restore_block_now(&mut self, block: BlockId, node: NodeId) {
-        if self.cfg.verify_payloads {
-            self.verify_repair(block);
+        // Already located: a transient node return re-attached the block
+        // while this repair was in flight. The reconstruction is
+        // redundant — drop it on the floor (the bytes were already
+        // charged, matching the real system, where the write-back races
+        // the re-registration) and only settle the bookkeeping.
+        if self.hdfs.block(block).location.is_none() {
+            if self.cfg.verify_payloads {
+                self.verify_repair(block);
+            }
+            self.hdfs.restore_block(block, node);
+            self.metrics.record_block_repaired();
         }
-        self.hdfs.restore_block(block, node);
-        self.metrics.record_block_repaired();
         let stripe = self.hdfs.block(block).stripe;
         let pos = self.hdfs.block(block).pos;
         self.repair_in_flight.remove(&(stripe, pos));
-        // Wake tasks waiting on this block.
+        self.wake_block_waiters(block);
+    }
+
+    /// Wakes everything parked on a freshly-available block: waiting
+    /// tasks requeue, and parked serving reads complete with their full
+    /// park time plus a direct service charged as fixer-wait latency.
+    fn wake_block_waiters(&mut self, block: BlockId) {
         if let Some(waiters) = self.waiting_on_block.remove(&block) {
             for tid in waiters {
                 let Some(task) = self.tasks.get_mut(&tid) else {
@@ -1530,6 +1810,20 @@ impl Simulation {
                 }
                 self.jobs[job].queued.push_back(tid);
                 self.jobs_with_work.insert(job);
+            }
+        }
+        if let Some(parked) = self.reads_waiting_on_block.remove(&block) {
+            if let Some(w) = &self.workload {
+                let service_ms = w.cfg.direct_service_ms();
+                let bytes = w.cfg.read_bytes as f64;
+                for issued in parked {
+                    let waited_ms = self.clock.saturating_sub(issued).as_secs_f64() * 1e3;
+                    self.metrics
+                        .serving
+                        .record_fixer_wait(waited_ms + service_ms, bytes);
+                }
+            } else {
+                debug_assert!(false, "parked reads imply an attached workload");
             }
         }
     }
@@ -2056,6 +2350,208 @@ mod tests {
         sim.run_until_idle(SimTime::from_mins(100_000));
         assert!(sim.hdfs.blocks_on(drain).is_empty());
         assert!(sim.hdfs.lost_blocks().is_empty());
+    }
+
+    #[test]
+    fn transient_restore_before_detection_repairs_nothing() {
+        let mut sim = Simulation::new(small_cfg(CodeSpec::LRC_10_6_5));
+        for i in 0..5 {
+            sim.load_raided_file(&format!("f{i}"), 10);
+        }
+        let victim = sim.node_with_block_count_near(4).unwrap();
+        let before = sim.hdfs.blocks_on(victim).len();
+        assert!(before > 0);
+        // Detection delay is 30s: the node is back before the scan.
+        sim.kill_node_at(SimTime::from_secs(10), victim);
+        sim.restore_node_at(SimTime::from_secs(20), victim);
+        sim.run_until_idle(SimTime::from_mins(600));
+        assert!(sim.is_alive(victim));
+        assert!(sim.hdfs.lost_blocks().is_empty());
+        assert_eq!(sim.hdfs.blocks_on(victim).len(), before, "disk came back");
+        assert_eq!(sim.metrics.snapshot().blocks_repaired, 0, "no repair ran");
+        assert_eq!(sim.metrics.snapshot().hdfs_bytes_read, 0.0);
+    }
+
+    #[test]
+    fn transient_restore_after_repair_is_harmless() {
+        let mut sim = Simulation::new(small_cfg(CodeSpec::LRC_10_6_5));
+        for i in 0..5 {
+            sim.load_raided_file(&format!("f{i}"), 10);
+        }
+        let victim = sim.node_with_block_count_near(4).unwrap();
+        let before = sim.hdfs.blocks_on(victim).len();
+        sim.kill_node_at(SimTime::from_secs(10), victim);
+        // The node returns long after the BlockFixer re-created its
+        // blocks elsewhere: nothing re-attaches, nothing panics, and no
+        // block exists twice.
+        sim.restore_node_at(SimTime::from_mins(300), victim);
+        sim.run_until_idle(SimTime::from_mins(600));
+        assert!(sim.is_alive(victim));
+        assert!(sim.hdfs.lost_blocks().is_empty());
+        assert_eq!(sim.metrics.snapshot().blocks_repaired as usize, before);
+        assert!(sim.hdfs.blocks_on(victim).is_empty(), "repairs won");
+        assert_eq!(sim.hdfs.block_count() as u64, 5 * 16);
+    }
+
+    #[test]
+    fn transient_restore_mid_repair_keeps_inventory_consistent() {
+        // Restore lands between detection and repair completion: some
+        // blocks re-attach, in-flight repairs for them settle vacuously
+        // (restore_block_now skips located blocks), and every block ends
+        // with exactly one location.
+        let mut sim = Simulation::new(small_cfg(CodeSpec::LRC_10_6_5));
+        for i in 0..5 {
+            sim.load_raided_file(&format!("f{i}"), 10);
+        }
+        let victim = sim.node_with_block_count_near(4).unwrap();
+        sim.kill_node_at(SimTime::from_secs(10), victim);
+        sim.restore_node_at(SimTime::from_secs(45), victim);
+        sim.run_until_idle(SimTime::from_mins(600));
+        assert!(sim.hdfs.lost_blocks().is_empty());
+        assert_eq!(sim.hdfs.block_count() as u64, 5 * 16);
+        let placed: usize = (0..20).map(|n| sim.hdfs.blocks_on(n).len()).sum();
+        assert_eq!(placed as u64, 5 * 16, "each block has one location");
+    }
+
+    #[test]
+    fn healthy_workload_serves_everything_directly() {
+        let mut sim = Simulation::new(small_cfg(CodeSpec::LRC_10_6_5));
+        sim.load_raided_file("f", 20);
+        let cfg = WorkloadConfig {
+            reads_per_sec: 5.0,
+            ..WorkloadConfig::default()
+        };
+        sim.start_workload(SimTime::ZERO, SimTime::from_mins(10), cfg);
+        sim.run_until_idle(SimTime::from_mins(60));
+        let s = sim.metrics.serving.summary();
+        assert!(s.reads_issued > 2000, "10 min at 5 rps: {}", s.reads_issued);
+        assert_eq!(s.direct_reads, s.reads_issued);
+        assert_eq!(s.recovery_reads, 0);
+        assert_eq!(s.degraded_fraction, 0.0);
+        let d = s.direct_ms;
+        assert!((d.p50 - cfg.direct_service_ms()).abs() < 1e-9);
+        assert_eq!(d.p50, d.p999, "direct latency is constant");
+        // Serving traffic never leaks into the §5 repair counter.
+        assert_eq!(sim.metrics.snapshot().hdfs_bytes_read, 0.0);
+    }
+
+    #[test]
+    fn unavailable_blocks_serve_degraded_with_higher_latency() {
+        let mut cfg = small_cfg(CodeSpec::LRC_10_6_5);
+        cfg.verify_payloads = false;
+        let mut sim = Simulation::new(cfg);
+        sim.load_raided_file("f", 40);
+        // Silently drop some data blocks (no scan: nothing repairs, so
+        // every read of them is a degraded read).
+        let drops: Vec<BlockId> = (0..sim.hdfs.block_count())
+            .filter(|&b| sim.hdfs.block(b).pos < 10 && b % 7 == 0)
+            .collect();
+        assert!(!drops.is_empty());
+        sim.drop_blocks_at(SimTime::ZERO, drops);
+        let wcfg = WorkloadConfig {
+            reads_per_sec: 5.0,
+            zipf_s: 0.0, // uniform: guarantee the dropped blocks get hit
+            ..WorkloadConfig::default()
+        };
+        sim.start_workload(SimTime::from_secs(1), SimTime::from_mins(20), wcfg);
+        sim.run_until_idle(SimTime::from_mins(60));
+        let s = sim.metrics.serving.summary();
+        assert!(s.degraded_light > 0, "light degraded reads happened");
+        assert_eq!(s.recovery_reads, s.degraded_light + s.degraded_heavy);
+        assert_eq!(s.failed_reads, 0);
+        assert!(s.single_loss_fraction > 0.0);
+        assert!(
+            s.degraded_ms.p50 > s.direct_ms.p999,
+            "degraded {} <= direct {}",
+            s.degraded_ms.p50,
+            s.direct_ms.p999
+        );
+        assert!(s.degraded_bytes > s.direct_bytes / s.direct_reads.max(1) as f64);
+        assert_eq!(sim.metrics.snapshot().hdfs_bytes_read, 0.0);
+    }
+
+    #[test]
+    fn wait_for_fixer_policy_parks_reads_until_repair() {
+        let mut cfg = small_cfg(CodeSpec::LRC_10_6_5);
+        cfg.verify_payloads = false;
+        let mut sim = Simulation::new(cfg);
+        sim.load_raided_file("f", 30);
+        let victim = sim.node_with_block_count_near(5).unwrap();
+        let wcfg = WorkloadConfig {
+            reads_per_sec: 20.0,
+            zipf_s: 0.0,
+            policy: ServePolicy::WaitForFixer,
+            ..WorkloadConfig::default()
+        };
+        sim.start_workload(SimTime::ZERO, SimTime::from_mins(30), wcfg);
+        sim.kill_node_at(SimTime::from_secs(60), victim);
+        sim.run_until_idle(SimTime::from_mins(600));
+        let s = sim.metrics.serving.summary();
+        assert!(s.fixer_wait_reads > 0, "reads parked on lost blocks");
+        assert_eq!(s.failed_reads, 0);
+        assert_eq!(
+            s.reads_issued,
+            s.direct_reads + s.fixer_wait_reads,
+            "every parked read was eventually served"
+        );
+        // Park time dominates: waiting for detection + repair is orders
+        // of magnitude slower than a direct read.
+        assert!(s.fixer_wait_ms.p50 > 100.0 * s.direct_ms.p50);
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_independent_of_engine_rng() {
+        let run = || {
+            let mut cfg = small_cfg(CodeSpec::LRC_10_6_5);
+            cfg.verify_payloads = false;
+            let mut sim = Simulation::new(cfg);
+            for i in 0..4 {
+                sim.load_raided_file(&format!("f{i}"), 10);
+            }
+            let victim = sim.node_with_block_count_near(5).unwrap();
+            sim.start_workload(
+                SimTime::ZERO,
+                SimTime::from_mins(120),
+                WorkloadConfig {
+                    reads_per_sec: 3.0,
+                    churn_every: SimTime::from_mins(30),
+                    ..WorkloadConfig::default()
+                },
+            );
+            sim.kill_node_at(SimTime::from_secs(30), victim);
+            sim.restore_node_at(SimTime::from_mins(45), victim);
+            sim.run_until_idle(SimTime::from_mins(1200));
+            (
+                sim.metrics.serving.summary(),
+                sim.metrics.snapshot().hdfs_bytes_read as u64,
+                sim.events_processed(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn attaching_a_workload_does_not_perturb_repair_traffic() {
+        let repair_bytes = |with_workload: bool| {
+            let mut cfg = small_cfg(CodeSpec::LRC_10_6_5);
+            cfg.seed = 11;
+            let mut sim = Simulation::new(cfg);
+            for i in 0..5 {
+                sim.load_raided_file(&format!("f{i}"), 10);
+            }
+            if with_workload {
+                sim.start_workload(
+                    SimTime::ZERO,
+                    SimTime::from_mins(120),
+                    WorkloadConfig::default(),
+                );
+            }
+            let victim = sim.node_with_block_count_near(4).unwrap();
+            sim.kill_node_at(SimTime::from_secs(10), victim);
+            sim.run_until_idle(SimTime::from_mins(1200));
+            sim.metrics.snapshot().hdfs_bytes_read as u64
+        };
+        assert_eq!(repair_bytes(false), repair_bytes(true));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | §5.2–5.3 experiments | [`experiment`] | Figs. 4–7, Table 2/3 drivers, warehouse Monte-Carlo |
 //! | Fig. 1 failure trace | [`failures`] | overdispersed node-failure process |
 //! | §2.1 / §3.1.2 codecs | [`codecs`] | bridge to `xorbas_core` repair planning |
+//! | §5.2.4 degraded reads | [`workload`] | Zipf/hot-spot client reads, serve policies, Rashmi et al. pin |
 //! | — | [`config`] | cluster presets incl. the 3000-node [`config::ClusterScale`] |
 //! | — | [`time`], [`arena`], [`fasthash`] | µs clock, lane reuse, hot-map hashing |
 //!
@@ -54,6 +55,7 @@ pub mod hdfs;
 pub mod metrics;
 pub mod network;
 pub mod time;
+pub mod workload;
 
 pub use arena::StripeArena;
 pub use codecs::CodecInstance;
@@ -64,5 +66,10 @@ pub use experiment::{
     MonteCarloReport, ScaleScenario, ScenarioRun,
 };
 pub use hdfs::{BlockId, FileId, Hdfs, NodeId, Placement, StripeId};
-pub use metrics::{BucketSeries, Metrics, PercentileSummary, Percentiles};
+pub use metrics::{
+    BucketSeries, Metrics, PercentileSummary, Percentiles, ServingStats, ServingSummary,
+};
 pub use time::SimTime;
+pub use workload::{
+    ServePolicy, WorkloadConfig, ZipfSampler, RASHMI_SINGLE_BLOCK_RECOVERY_FRACTION,
+};

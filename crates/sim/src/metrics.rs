@@ -280,6 +280,178 @@ impl Percentiles {
     }
 }
 
+/// Per-outcome accounting for the serving plane (client reads issued by
+/// `Simulation::start_workload`): how each read was served, the bytes it
+/// moved, and its latency tail. Serving bytes are deliberately *not*
+/// folded into [`CounterSnapshot::hdfs_bytes_read`] — that counter is
+/// the §5 repair-traffic measurement, and the scenario pins on it must
+/// not shift when a workload rides along.
+#[derive(Debug, Clone, Default)]
+pub struct ServingStats {
+    /// Client reads issued (every outcome below, plus still-parked ones).
+    pub reads_issued: u64,
+    /// Reads served from a live block.
+    pub direct_reads: u64,
+    /// Degraded reads decoded with only light (local-group XOR) steps.
+    pub degraded_light: u64,
+    /// Degraded reads that needed a heavy (Reed-Solomon) decode.
+    pub degraded_heavy: u64,
+    /// Reads parked on an unavailable block and served after the
+    /// BlockFixer (or a returning node) restored it.
+    pub fixer_wait_reads: u64,
+    /// Reads of permanently lost (unrecoverable-stripe) blocks.
+    pub failed_reads: u64,
+    /// Recovery events: reads that found their block unavailable
+    /// (degraded, fixer-wait, and failed alike), counted at issue time.
+    pub recovery_reads: u64,
+    /// Recovery events whose stripe had exactly one unavailable block —
+    /// the numerator of the Rashmi et al. 98.08% single-block pin
+    /// ([`crate::workload::RASHMI_SINGLE_BLOCK_RECOVERY_FRACTION`]).
+    pub single_loss_recoveries: u64,
+    /// Bytes returned by direct reads.
+    pub direct_bytes: f64,
+    /// Bytes *fetched* by degraded reads (every surviving lane read to
+    /// decode — the client-side analogue of repair traffic).
+    pub degraded_bytes: f64,
+    /// Bytes returned by fixer-wait reads.
+    pub fixer_wait_bytes: f64,
+    /// Latency of direct reads, ms.
+    pub direct_latency_ms: Percentiles,
+    /// Latency of degraded reads, ms.
+    pub degraded_latency_ms: Percentiles,
+    /// Latency of fixer-wait reads (park time plus final service), ms.
+    pub fixer_wait_latency_ms: Percentiles,
+}
+
+/// The flat, copyable summary a [`ServingStats`] reduces to: counters,
+/// the two headline fractions, and the three latency tails.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServingSummary {
+    /// Client reads issued.
+    pub reads_issued: u64,
+    /// Reads served from a live block.
+    pub direct_reads: u64,
+    /// Light degraded reads.
+    pub degraded_light: u64,
+    /// Heavy degraded reads.
+    pub degraded_heavy: u64,
+    /// Reads served after waiting for the BlockFixer.
+    pub fixer_wait_reads: u64,
+    /// Reads of permanently lost blocks.
+    pub failed_reads: u64,
+    /// Reads that found their block unavailable.
+    pub recovery_reads: u64,
+    /// Recovery events with exactly one unavailable block in the stripe.
+    pub single_loss_recoveries: u64,
+    /// Fraction of completed reads not served directly.
+    pub degraded_fraction: f64,
+    /// Fraction of recovery events that were single-block (the Rashmi
+    /// et al. pin; `NaN` when no recovery event occurred).
+    pub single_loss_fraction: f64,
+    /// Bytes returned by direct reads.
+    pub direct_bytes: f64,
+    /// Bytes fetched by degraded reads.
+    pub degraded_bytes: f64,
+    /// Bytes returned by fixer-wait reads.
+    pub fixer_wait_bytes: f64,
+    /// Direct-read latency tail, ms.
+    pub direct_ms: PercentileSummary,
+    /// Degraded-read latency tail, ms.
+    pub degraded_ms: PercentileSummary,
+    /// Fixer-wait latency tail, ms.
+    pub fixer_wait_ms: PercentileSummary,
+}
+
+impl ServingStats {
+    /// Records a read served from a live block.
+    pub fn record_direct(&mut self, latency_ms: f64, bytes: f64) {
+        self.direct_reads += 1;
+        self.direct_bytes += bytes;
+        self.direct_latency_ms.record(latency_ms);
+    }
+
+    /// Records an inline degraded read (`light` per the decode used).
+    pub fn record_degraded(&mut self, light: bool, latency_ms: f64, fetched_bytes: f64) {
+        if light {
+            self.degraded_light += 1;
+        } else {
+            self.degraded_heavy += 1;
+        }
+        self.degraded_bytes += fetched_bytes;
+        self.degraded_latency_ms.record(latency_ms);
+    }
+
+    /// Records a read served after its block was restored.
+    pub fn record_fixer_wait(&mut self, latency_ms: f64, bytes: f64) {
+        self.fixer_wait_reads += 1;
+        self.fixer_wait_bytes += bytes;
+        self.fixer_wait_latency_ms.record(latency_ms);
+    }
+
+    /// Records a recovery event at issue time (`single_loss` when the
+    /// stripe had exactly one unavailable block).
+    pub fn record_recovery_event(&mut self, single_loss: bool) {
+        self.recovery_reads += 1;
+        if single_loss {
+            self.single_loss_recoveries += 1;
+        }
+    }
+
+    /// Reads that completed (every outcome except failures and
+    /// still-parked reads).
+    pub fn completed(&self) -> u64 {
+        self.direct_reads + self.degraded_light + self.degraded_heavy + self.fixer_wait_reads
+    }
+
+    /// Completed reads not served directly.
+    pub fn degraded_reads(&self) -> u64 {
+        self.degraded_light + self.degraded_heavy + self.fixer_wait_reads
+    }
+
+    /// Fraction of completed reads not served directly (0 when nothing
+    /// completed).
+    pub fn degraded_fraction(&self) -> f64 {
+        let done = self.completed();
+        if done == 0 {
+            0.0
+        } else {
+            self.degraded_reads() as f64 / done as f64
+        }
+    }
+
+    /// Fraction of recovery events that were single-block (`NaN` when
+    /// no read ever found its block unavailable).
+    pub fn single_loss_fraction(&self) -> f64 {
+        if self.recovery_reads == 0 {
+            f64::NAN
+        } else {
+            self.single_loss_recoveries as f64 / self.recovery_reads as f64
+        }
+    }
+
+    /// Reduces to the flat summary (sorts the latency recorders once).
+    pub fn summary(&mut self) -> ServingSummary {
+        ServingSummary {
+            reads_issued: self.reads_issued,
+            direct_reads: self.direct_reads,
+            degraded_light: self.degraded_light,
+            degraded_heavy: self.degraded_heavy,
+            fixer_wait_reads: self.fixer_wait_reads,
+            failed_reads: self.failed_reads,
+            recovery_reads: self.recovery_reads,
+            single_loss_recoveries: self.single_loss_recoveries,
+            degraded_fraction: self.degraded_fraction(),
+            single_loss_fraction: self.single_loss_fraction(),
+            direct_bytes: self.direct_bytes,
+            degraded_bytes: self.degraded_bytes,
+            fixer_wait_bytes: self.fixer_wait_bytes,
+            direct_ms: self.direct_latency_ms.summary(),
+            degraded_ms: self.degraded_latency_ms.summary(),
+            fixer_wait_ms: self.fixer_wait_latency_ms.summary(),
+        }
+    }
+}
+
 /// The full metric state of a simulation.
 #[derive(Debug, Clone)]
 pub struct Metrics {
@@ -294,6 +466,8 @@ pub struct Metrics {
     /// Stripes found unrecoverable (data-loss events). Each stripe is
     /// counted once, when the BlockFixer first abandons it.
     pub data_loss_stripes: u64,
+    /// Serving-plane (client-read) outcomes, bytes, and latency tails.
+    pub serving: ServingStats,
 }
 
 impl Metrics {
@@ -313,6 +487,7 @@ impl Metrics {
             repair_jobs: Vec::new(),
             workload_jobs: Vec::new(),
             data_loss_stripes: 0,
+            serving: ServingStats::default(),
         }
     }
 

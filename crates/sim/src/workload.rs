@@ -1,0 +1,247 @@
+//! Serving-plane workload model: Zipf/hot-spot read traffic over the
+//! namespace.
+//!
+//! The paper's core observation (§1, and Rashmi et al.'s measurement
+//! study of the same Facebook warehouse in PAPERS.md) is that most
+//! "repair" activity is really *degraded reads* of transiently
+//! unavailable hot blocks. This module supplies the client side of that
+//! story for the simulator:
+//!
+//! * [`ZipfSampler`] — a seeded power-law rank distribution
+//!   (`weight(r) ∝ 1/(r+1)^s`), the standard model for hot-spot block
+//!   popularity. `s = 0` degenerates to uniform; large `s` concentrates
+//!   essentially all mass on rank 0.
+//! * [`WorkloadConfig`] — the knobs of a client population: aggregate
+//!   read arrival rate (Poisson), skew, hot-set churn cadence (the
+//!   rank→block mapping reshuffles every churn epoch, so *which* blocks
+//!   are hot drifts while the popularity *shape* stays fixed), the
+//!   serving policy for unavailable blocks, and an analytic client
+//!   latency model (base RPC cost, streaming bandwidth, plan-compile
+//!   penalty on a cold failure pattern).
+//! * [`ServePolicy`] — what the read path does when the block is
+//!   unavailable: reconstruct inline from surviving lanes
+//!   ([`ServePolicy::Degraded`], the HDFS-RAID behaviour the paper
+//!   models) or park until the BlockFixer restores the block
+//!   ([`ServePolicy::WaitForFixer`], plain HDFS).
+//!
+//! The engine consumes these via `Simulation::start_workload`; outcome
+//! counters and p50/p99/p999 latency tails land in
+//! [`crate::metrics::ServingStats`].
+
+use rand::Rng;
+
+use crate::time::SimTime;
+
+/// Fraction of recovery operations that involve exactly one unavailable
+/// block in their stripe, as measured by Rashmi et al. on the Facebook
+/// warehouse cluster ("A Solution to the Network Challenges of Data
+/// Recovery in Erasure-coded Distributed Storage Systems", §2: 98.08%
+/// of recoveries are single-block). The serving-plane scenario gate
+/// pins the simulator's measured fraction against this reference.
+pub const RASHMI_SINGLE_BLOCK_RECOVERY_FRACTION: f64 = 0.9808;
+
+/// What the read path does when the requested block is unavailable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServePolicy {
+    /// Reconstruct the block inline from its surviving lanes (a degraded
+    /// read): fetch the repair group, decode, serve. Latency is paid by
+    /// this read; nothing is written back.
+    Degraded,
+    /// Park the read until the BlockFixer (or a transient node return)
+    /// restores the block, then serve it directly. Models plain HDFS,
+    /// where clients block on missing replicas.
+    WaitForFixer,
+}
+
+/// Client-population workload description (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Aggregate read arrival rate across all clients, reads/second
+    /// (arrivals are Poisson: exponential gaps from the workload's own
+    /// seeded stream).
+    pub reads_per_sec: f64,
+    /// Zipf skew `s` (`weight(rank) ∝ 1/(rank+1)^s`); 0 is uniform.
+    pub zipf_s: f64,
+    /// Hot-set churn cadence: the rank→block permutation reshuffles at
+    /// every multiple of this interval ([`SimTime::ZERO`] disables
+    /// churn). Reshuffles are keyed by `(seed, epoch)`, independent of
+    /// arrival interleaving, so runs stay bit-deterministic.
+    pub churn_every: SimTime,
+    /// Serving policy for unavailable blocks.
+    pub policy: ServePolicy,
+    /// Bytes a client read returns (a range read of the physical block,
+    /// not the coarse simulated block). Degraded reads fetch this much
+    /// *per surviving lane* in the repair group.
+    pub read_bytes: u64,
+    /// Client streaming bandwidth, bytes/second (one stream; matches the
+    /// bytes/second convention of [`crate::config::ComputeRates`]).
+    pub client_read_bps: f64,
+    /// Fixed per-read overhead (RPC, namenode lookup, seek), ms.
+    pub base_latency_ms: f64,
+    /// One-time penalty when a degraded read's failure pattern misses
+    /// the engine's repair-plan cache (the decode-solve compile the
+    /// session cache otherwise amortizes), ms.
+    pub plan_compile_ms: f64,
+    /// Seed of the workload's private RNG stream (arrivals, rank draws,
+    /// churn shuffles). Kept separate from the engine seed so adding a
+    /// workload never perturbs failure placement or repair decisions.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    /// A serving mix sized for the warehouse scenarios: 4 MiB range
+    /// reads over a 1 Gbps-class client stream, Zipf 1.1 skew, hot set
+    /// drifting twice a day, degraded reads served inline.
+    fn default() -> Self {
+        Self {
+            reads_per_sec: 1.0,
+            zipf_s: 1.1,
+            churn_every: SimTime::from_mins(12 * 60),
+            policy: ServePolicy::Degraded,
+            read_bytes: 4 << 20,
+            client_read_bps: 125e6,
+            base_latency_ms: 2.0,
+            plan_compile_ms: 15.0,
+            seed: 0x5E41_11A6,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Service time of a healthy (direct) read under this config, ms.
+    pub fn direct_service_ms(&self) -> f64 {
+        self.base_latency_ms + self.read_bytes as f64 / self.client_read_bps * 1e3
+    }
+}
+
+/// A seeded Zipf rank distribution over `0..n`.
+///
+/// Sampling is a uniform draw against the precomputed CDF (binary
+/// search, O(log n), allocation-free), so a multi-million-read scenario
+/// stays event-bound. The sampler owns no RNG: callers pass their own
+/// stream, which keeps determinism a property of the caller's seed.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Normalized cumulative weights; `cdf[r]` = P(rank <= r).
+    cdf: Vec<f64>,
+    s: f64,
+}
+
+impl ZipfSampler {
+    /// A sampler over ranks `0..n` with skew `s >= 0`
+    /// (`weight(r) ∝ 1/(r+1)^s`). Panics if `n == 0` or `s` is not a
+    /// finite non-negative number.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf sampler needs a non-empty rank space");
+        assert!(s.is_finite() && s >= 0.0, "skew must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 0..n {
+            acc += ((r + 1) as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against accumulated rounding: the last edge must cover
+        // every uniform draw in [0, 1).
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf, s }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the rank space is empty (never true; constructor asserts).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The skew parameter.
+    pub fn skew(&self) -> f64 {
+        self.s
+    }
+
+    /// Exact probability of drawing `rank`.
+    pub fn frequency(&self, rank: usize) -> f64 {
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        self.cdf[rank] - lo
+    }
+
+    /// Draws one rank from `rng` (smaller ranks are hotter).
+    pub fn sample_rank<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // First rank whose cumulative weight covers the draw.
+        let idx = self.cdf.partition_point(|&c| c <= u);
+        idx.min(self.cdf.len() - 1)
+    }
+}
+
+/// An exponential inter-arrival gap for a Poisson process at
+/// `rate_per_sec`, drawn from `rng`, in seconds.
+pub fn exp_gap_secs<R: Rng + ?Sized>(rng: &mut R, rate_per_sec: f64) -> f64 {
+    assert!(
+        rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+        "arrival rate must be positive"
+    );
+    let u: f64 = rng.gen(); // [0, 1)
+    -(1.0 - u).ln() / rate_per_sec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn frequencies_sum_to_one_and_decrease_in_rank() {
+        for s in [0.0, 0.5, 1.0, 2.0] {
+            let z = ZipfSampler::new(64, s);
+            let sum: f64 = (0..z.len()).map(|r| z.frequency(r)).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "s={s} sum={sum}");
+            for r in 1..z.len() {
+                assert!(
+                    z.frequency(r) <= z.frequency(r - 1) + 1e-12,
+                    "s={s} rank {r} hotter than rank {}",
+                    r - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_a_seed() {
+        let z = ZipfSampler::new(100, 1.0);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..64).map(|_| z.sample_rank(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn exponential_gaps_average_to_the_rate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean = (0..n).map(|_| exp_gap_secs(&mut rng, 4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean gap {mean}");
+    }
+
+    #[test]
+    fn direct_service_time_combines_base_and_streaming() {
+        let cfg = WorkloadConfig {
+            read_bytes: 10_000_000,
+            client_read_bps: 100e6,
+            base_latency_ms: 2.0,
+            ..WorkloadConfig::default()
+        };
+        assert!((cfg.direct_service_ms() - 102.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,156 @@
+//! Exactness tests for the nearest-rank [`Percentiles`] recorder on
+//! adversarial inputs: heavy duplicates, single elements, and input
+//! orderings that must not change a single output bit. The serving
+//! plane's latency pins lean on these semantics, so they are frozen
+//! here rather than implied by the doc comment.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use xorbas_sim::{PercentileSummary, Percentiles};
+
+fn recorded(samples: &[f64]) -> Percentiles {
+    let mut p = Percentiles::new();
+    for &s in samples {
+        p.record(s);
+    }
+    p
+}
+
+/// Reference nearest-rank quantile: 1-based rank `ceil(q * n)`.
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
+#[test]
+fn textbook_one_to_hundred() {
+    let mut p = recorded(&(1..=100).map(f64::from).collect::<Vec<_>>());
+    let s = p.summary();
+    assert_eq!(s.count, 100);
+    assert_eq!(s.min, 1.0);
+    assert_eq!(s.p50, 50.0);
+    assert_eq!(s.p99, 99.0);
+    assert_eq!(s.p999, 100.0);
+    assert_eq!(s.max, 100.0);
+    assert!((s.mean - 50.5).abs() < 1e-12);
+}
+
+#[test]
+fn single_element_is_every_statistic() {
+    let mut p = recorded(&[42.5]);
+    assert_eq!(p.quantile(0.0), 42.5);
+    assert_eq!(p.quantile(0.5), 42.5);
+    assert_eq!(p.quantile(1.0), 42.5);
+    let s = p.summary();
+    assert_eq!(
+        s,
+        PercentileSummary {
+            count: 1,
+            mean: 42.5,
+            min: 42.5,
+            p50: 42.5,
+            p99: 42.5,
+            p999: 42.5,
+            max: 42.5,
+        }
+    );
+}
+
+#[test]
+fn duplicates_dominate_the_tail() {
+    // 999 copies of 1.0 and a single 1000.0: the p999 rank is
+    // ceil(0.999 * 1000) = 999, which still lands on the duplicate —
+    // only the max sees the outlier.
+    let mut samples = vec![1.0; 999];
+    samples.push(1000.0);
+    let mut p = recorded(&samples);
+    let s = p.summary();
+    assert_eq!(s.p50, 1.0);
+    assert_eq!(s.p99, 1.0);
+    assert_eq!(s.p999, 1.0);
+    assert_eq!(s.max, 1000.0);
+
+    // One more outlier sample tips rank 1000 of 1001 onto it.
+    p.record(1000.0);
+    assert_eq!(p.quantile(0.999), 1000.0);
+}
+
+#[test]
+fn all_identical_samples_collapse() {
+    let mut p = recorded(&[7.25; 321]);
+    let s = p.summary();
+    assert_eq!(s.count, 321);
+    assert_eq!(
+        (s.min, s.p50, s.p99, s.p999, s.max),
+        (7.25, 7.25, 7.25, 7.25, 7.25)
+    );
+    assert_eq!(s.mean, 7.25);
+}
+
+#[test]
+fn non_finite_samples_are_ignored() {
+    let mut p = recorded(&[f64::NAN, 3.0, f64::INFINITY, 1.0, f64::NEG_INFINITY, 2.0]);
+    assert_eq!(p.len(), 3);
+    let s = p.summary();
+    assert_eq!(s.count, 3);
+    assert_eq!(s.min, 1.0);
+    assert_eq!(s.max, 3.0);
+    assert_eq!(s.p50, 2.0);
+}
+
+#[test]
+fn empty_recorder_reports_zeroes() {
+    let mut p = Percentiles::new();
+    assert!(p.is_empty());
+    assert_eq!(p.quantile(0.5), 0.0);
+    assert_eq!(p.summary(), PercentileSummary::default());
+}
+
+#[test]
+fn out_of_range_quantiles_clamp() {
+    let mut p = recorded(&[10.0, 20.0, 30.0]);
+    assert_eq!(p.quantile(-1.0), 10.0);
+    assert_eq!(p.quantile(2.0), 30.0);
+}
+
+#[test]
+fn merge_matches_recording_in_one_recorder() {
+    let a_samples: Vec<f64> = (0..57).map(|i| f64::from(i) * 1.5).collect();
+    let b_samples: Vec<f64> = (0..43).map(|i| 100.0 - f64::from(i)).collect();
+    let mut merged = recorded(&a_samples);
+    merged.merge(&recorded(&b_samples));
+
+    let mut flat = recorded(&[a_samples, b_samples].concat());
+    assert_eq!(merged.summary(), flat.summary());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn shuffled_input_is_bit_identical_to_sorted(
+        (len, seed) in (1usize..=400, any::<u64>())
+    ) {
+        // Duplicate-heavy values: i % 7 gives long runs of ties.
+        let sorted: Vec<f64> = (0..len).map(|i| f64::from((i % 7) as u32)).collect();
+        let mut shuffled = sorted.clone();
+        shuffled.shuffle(&mut StdRng::seed_from_u64(seed));
+
+        let mut from_sorted = recorded(&sorted);
+        let mut from_shuffled = recorded(&shuffled);
+        prop_assert_eq!(from_sorted.summary(), from_shuffled.summary());
+    }
+
+    #[test]
+    fn quantile_matches_reference_nearest_rank(
+        (len, q_thousandths) in (1usize..=300, 0u32..=1000)
+    ) {
+        let q = f64::from(q_thousandths) / 1000.0;
+        let mut values: Vec<f64> = (0..len).map(|i| f64::from((i * 37 % 101) as u32)).collect();
+        let mut p = recorded(&values);
+        values.sort_unstable_by(f64::total_cmp);
+        prop_assert_eq!(p.quantile(q), nearest_rank(&values, q));
+    }
+}

@@ -1,0 +1,178 @@
+//! CI-gated serving-plane scenario suite.
+//!
+//! Pins the `serving_mode` workload scenario against the Rashmi et al.
+//! Facebook-warehouse measurement ([`RASHMI_SINGLE_BLOCK_RECOVERY_FRACTION`]):
+//! the overwhelming majority of recovery events a client read trips over
+//! involve exactly one unavailable block in the stripe. Also freezes the
+//! analytic latency ordering (degraded reads pay the fetch+decode fan-in,
+//! so their p50 clears the direct p999) and bit-exact determinism of two
+//! same-seed runs.
+//!
+//! These run in ~0.4 s each in release; CI runs the suite twice as the
+//! determinism gate.
+
+use xorbas_core::CodeSpec;
+use xorbas_sim::{
+    run_scale_scenario, ScaleScenario, ScenarioRun, ServePolicy,
+    RASHMI_SINGLE_BLOCK_RECOVERY_FRACTION,
+};
+
+const PIN_SEEDS: [u64; 3] = [3, 7, 13];
+/// Per-seed tolerance around the Rashmi et al. fraction. One week of a
+/// 60-node trace yields ~1.5k recovery events per seed, so individual
+/// seeds wobble a few points around the pooled estimate.
+const PER_SEED_TOL: f64 = 0.06;
+/// Pooled (all seeds) tolerance — triple the sample, half the wobble.
+const POOLED_TOL: f64 = 0.04;
+/// Serving deadline the degraded tail must clear, ms.
+const DEGRADED_P999_DEADLINE_MS: f64 = 500.0;
+
+fn serving_run(seed: u64) -> ScenarioRun {
+    run_scale_scenario(&ScaleScenario::serving_mode(CodeSpec::LRC_10_6_5), seed)
+}
+
+#[test]
+fn degraded_read_rate_matches_rashmi_et_al() {
+    let mut pooled_single = 0u64;
+    let mut pooled_recovery = 0u64;
+
+    for seed in PIN_SEEDS {
+        let run = serving_run(seed);
+        let s = run.serving.expect("serving_mode attaches a workload");
+
+        assert_eq!(s.failed_reads, 0, "seed {seed}: no client read may fail");
+        assert!(
+            s.reads_issued > 500_000,
+            "seed {seed}: 7 days at 1 rps should issue ~604k reads, got {}",
+            s.reads_issued
+        );
+        assert!(
+            s.degraded_fraction > 0.001 && s.degraded_fraction < 0.01,
+            "seed {seed}: degraded fraction {} outside the (0.1%, 1%) band",
+            s.degraded_fraction
+        );
+
+        let diff = (s.single_loss_fraction - RASHMI_SINGLE_BLOCK_RECOVERY_FRACTION).abs();
+        assert!(
+            diff < PER_SEED_TOL,
+            "seed {seed}: single-loss recovery fraction {} vs Rashmi et al. {} (|diff| {diff})",
+            s.single_loss_fraction,
+            RASHMI_SINGLE_BLOCK_RECOVERY_FRACTION
+        );
+
+        pooled_single += s.single_loss_recoveries;
+        pooled_recovery += s.recovery_reads;
+    }
+
+    let pooled = pooled_single as f64 / pooled_recovery as f64;
+    let diff = (pooled - RASHMI_SINGLE_BLOCK_RECOVERY_FRACTION).abs();
+    assert!(
+        diff < POOLED_TOL,
+        "pooled single-loss fraction {pooled} ({pooled_single}/{pooled_recovery}) vs \
+         Rashmi et al. {RASHMI_SINGLE_BLOCK_RECOVERY_FRACTION} (|diff| {diff})"
+    );
+}
+
+#[test]
+fn degraded_latency_tail_is_ordered_and_bounded() {
+    let run = serving_run(PIN_SEEDS[0]);
+    let s = run.serving.expect("serving_mode attaches a workload");
+
+    assert!(s.direct_reads > 0 && s.degraded_light + s.degraded_heavy > 0);
+    // Every degraded read fetches >= k-ish lanes where a direct read
+    // fetches one block, so even the degraded *median* must clear the
+    // direct *tail*.
+    assert!(
+        s.degraded_ms.p50 > s.direct_ms.p999,
+        "degraded p50 {} must exceed direct p999 {}",
+        s.degraded_ms.p50,
+        s.direct_ms.p999
+    );
+    assert!(
+        s.degraded_ms.p999 < DEGRADED_P999_DEADLINE_MS,
+        "degraded p999 {} ms blows the {} ms serving deadline",
+        s.degraded_ms.p999,
+        DEGRADED_P999_DEADLINE_MS
+    );
+    // Degraded reads amplify bytes-fetched-per-byte-served; direct reads
+    // dominate volume but each degraded read fetches several blocks.
+    assert!(s.degraded_bytes > 0.0 && s.direct_bytes > s.degraded_bytes);
+}
+
+#[test]
+fn wait_for_fixer_policy_reports_fixer_wait_tail() {
+    let mut sc = ScaleScenario::serving_mode(CodeSpec::LRC_10_6_5);
+    let wl = sc
+        .workload
+        .as_mut()
+        .expect("serving_mode attaches a workload");
+    wl.policy = ServePolicy::WaitForFixer;
+    let run = run_scale_scenario(&sc, PIN_SEEDS[0]);
+    let s = run.serving.expect("serving summary");
+
+    assert_eq!(
+        s.degraded_light + s.degraded_heavy,
+        0,
+        "no inline decode under WaitForFixer"
+    );
+    assert!(
+        s.fixer_wait_reads > 0,
+        "a week of failures must park some reads"
+    );
+    assert_eq!(s.failed_reads, 0);
+    // Waiting on repair (detection delay + queue + transfer) is orders
+    // of magnitude slower than an inline degraded decode.
+    assert!(
+        s.fixer_wait_ms.p50 > DEGRADED_P999_DEADLINE_MS,
+        "fixer-wait p50 {} ms should dwarf the degraded deadline",
+        s.fixer_wait_ms.p50
+    );
+}
+
+/// Bitwise f64 equality: stricter than `==` and treats the NaN a
+/// probe-less scenario reports for `probe_job_minutes` as equal to
+/// itself.
+fn assert_bits_eq(a: f64, b: f64, what: &str) {
+    assert_eq!(a.to_bits(), b.to_bits(), "{what}: {a} vs {b}");
+}
+
+/// Field-by-field equality of two runs, excluding wall-clock time.
+fn assert_runs_identical(a: &ScenarioRun, b: &ScenarioRun) {
+    assert_eq!(a.scheme, b.scheme);
+    assert_eq!(a.failures_injected, b.failures_injected);
+    assert_eq!(a.blocks_lost, b.blocks_lost);
+    assert_eq!(a.blocks_repaired, b.blocks_repaired);
+    assert_bits_eq(a.hdfs_bytes_read, b.hdfs_bytes_read, "hdfs_bytes_read");
+    assert_bits_eq(a.network_bytes, b.network_bytes, "network_bytes");
+    assert_bits_eq(
+        a.blocks_read_per_lost_block,
+        b.blocks_read_per_lost_block,
+        "blocks_read_per_lost_block",
+    );
+    assert_eq!(a.data_loss_stripes, b.data_loss_stripes);
+    assert_bits_eq(
+        a.probe_job_minutes,
+        b.probe_job_minutes,
+        "probe_job_minutes",
+    );
+    assert_eq!(a.repair_minutes, b.repair_minutes);
+    assert_eq!(a.events_processed, b.events_processed);
+    let (sa, sb) = (a.serving.expect("serving"), b.serving.expect("serving"));
+    assert_eq!(sa, sb, "serving summaries must be bit-identical");
+}
+
+#[test]
+fn same_seed_workload_runs_are_bit_identical() {
+    let a = serving_run(7);
+    let b = serving_run(7);
+    assert_runs_identical(&a, &b);
+
+    // And a different seed genuinely changes the stream (guards against
+    // the pin accidentally comparing constants).
+    let c = serving_run(8);
+    assert!(
+        c.serving.expect("serving").reads_issued != a.serving.expect("serving").reads_issued
+            || c.events_processed != a.events_processed,
+        "seed must reach the workload RNG"
+    );
+}

@@ -1,0 +1,101 @@
+//! Property tests for the serving-plane Zipf sampler: rank
+//! monotonicity, exact seed determinism, and the skew edge cases
+//! (`s = 0` uniform, huge `s` degenerate). The vendored proptest
+//! miniature has integer strategies only, so fractional skews are
+//! mapped from tenths.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xorbas_sim::ZipfSampler;
+
+fn draw(z: &ZipfSampler, seed: u64, count: usize) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| z.sample_rank(&mut rng)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frequencies_decrease_in_rank_and_sum_to_one(
+        (n, s_tenths) in (1usize..=512, 0u32..=40)
+    ) {
+        let z = ZipfSampler::new(n, f64::from(s_tenths) / 10.0);
+        prop_assert_eq!(z.len(), n);
+        for r in 1..z.len() {
+            prop_assert!(
+                z.frequency(r) <= z.frequency(r - 1) + 1e-12,
+                "rank {} hotter than rank {} at s={}",
+                r, r - 1, z.skew()
+            );
+        }
+        let total: f64 = (0..z.len()).map(|r| z.frequency(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "frequencies sum to {total}");
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_exact_sequence(
+        (n, s_tenths, seed) in (1usize..=256, 0u32..=30, any::<u64>())
+    ) {
+        let z = ZipfSampler::new(n, f64::from(s_tenths) / 10.0);
+        let a = draw(&z, seed, 100);
+        prop_assert_eq!(&a, &draw(&z, seed, 100));
+        for &r in &a {
+            prop_assert!(r < n, "rank {r} out of range {n}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge(
+        (n, s_tenths, seed) in (8usize..=256, 0u32..=20, any::<u64>())
+    ) {
+        let z = ZipfSampler::new(n, f64::from(s_tenths) / 10.0);
+        // 100 draws over >= 8 ranks at moderate skew: two independent
+        // streams agreeing everywhere is beyond-astronomical.
+        prop_assert_ne!(
+            draw(&z, seed, 100),
+            draw(&z, seed.wrapping_add(1), 100)
+        );
+    }
+
+    #[test]
+    fn zero_skew_is_exactly_uniform(n in 1usize..=300) {
+        let z = ZipfSampler::new(n, 0.0);
+        let want = 1.0 / n as f64;
+        for r in 0..n {
+            prop_assert!(
+                (z.frequency(r) - want).abs() < 1e-9,
+                "rank {} frequency {} != uniform {}",
+                r, z.frequency(r), want
+            );
+        }
+    }
+
+    #[test]
+    fn huge_skew_degenerates_to_rank_zero((n, seed) in (2usize..=100, any::<u64>())) {
+        let z = ZipfSampler::new(n, 50.0);
+        prop_assert!(z.frequency(0) > 0.999_999, "rank 0 holds all mass");
+        for r in draw(&z, seed, 50) {
+            prop_assert_eq!(r, 0);
+        }
+    }
+
+    #[test]
+    fn empirical_rank_ordering_matches_frequencies(s_tenths in 5u32..=25) {
+        // A heavier head must also *sample* hotter: at s >= 0.5 over 64
+        // ranks the head/last frequency ratio is at least 64^0.5 = 8,
+        // so over 20k draws the head count must dwarf the coldest rank
+        // even with sampling noise.
+        let z = ZipfSampler::new(64, f64::from(s_tenths) / 10.0);
+        let counts = draw(&z, 42, 20_000).iter().fold(vec![0usize; 64], |mut c, &r| {
+            c[r] += 1;
+            c
+        });
+        prop_assert!(
+            counts[0] >= counts[63] * 2,
+            "rank-0 count {} vs rank-63 count {} at s={}",
+            counts[0], counts[63], z.skew()
+        );
+    }
+}

@@ -20,6 +20,10 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use xorbas::codes::CodeSpec;
 use xorbas::sim::codecs::CodecInstance;
+use xorbas::sim::{
+    run_scale_scenario, PercentileSummary, ScaleScenario, ServePolicy, ServingSummary,
+    RASHMI_SINGLE_BLOCK_RECOVERY_FRACTION,
+};
 use xorbas_node::client::{ReadKind, SessionCache};
 use xorbas_node::{ChunkServer, ClusterClient, Directory, RetryPolicy, ServerConfig};
 
@@ -125,6 +129,88 @@ impl SpecName for CodeSpec {
     }
 }
 
+/// Renders one latency tail as the JSON fragment the bench file keeps.
+fn tail_json(p: &PercentileSummary) -> String {
+    format!(
+        r#"{{"count":{},"p50_ms":{:.3},"p99_ms":{:.3},"p999_ms":{:.3}}}"#,
+        p.count, p.p50, p.p99, p.p999
+    )
+}
+
+fn serving_run_json(seed: u64, s: &ServingSummary) -> String {
+    format!(
+        r#"{{"seed":{seed},"reads_issued":{},"direct_reads":{},"degraded_light":{},"degraded_heavy":{},"fixer_wait_reads":{},"failed_reads":{},"degraded_fraction":{:.6},"single_loss_fraction":{:.4},"degraded_bytes":{:.0},"fixer_wait_bytes":{:.0},"direct":{},"degraded":{},"fixer_wait":{}}}"#,
+        s.reads_issued,
+        s.direct_reads,
+        s.degraded_light,
+        s.degraded_heavy,
+        s.fixer_wait_reads,
+        s.failed_reads,
+        s.degraded_fraction,
+        s.single_loss_fraction,
+        s.degraded_bytes,
+        s.fixer_wait_bytes,
+        tail_json(&s.direct_ms),
+        tail_json(&s.degraded_ms),
+        tail_json(&s.fixer_wait_ms),
+    )
+}
+
+/// The simulated serving plane: a week of Zipf reads against the
+/// 60-node trace-driven cluster, unavailable blocks served degraded
+/// (or, in the last run, parked on the BlockFixer). Prints the
+/// BENCH_PR9 JSON line the repo pins in CI.
+fn serving_plane() {
+    println!("\nsimulated serving plane: 7-day Zipf workload, 60 nodes, LRC (10,6,5)\n");
+    println!("policy         seed  reads    degraded%  1-loss%  deg p50/p99/p999 ms");
+
+    let mut runs = Vec::new();
+    for seed in [3u64, 7, 13] {
+        let sc = ScaleScenario::serving_mode(CodeSpec::LRC_10_6_5);
+        let s = run_scale_scenario(&sc, seed)
+            .serving
+            .expect("serving_mode attaches a workload");
+        println!(
+            "{:<13} {:>5}  {:>7}  {:>8.3}  {:>7.2}  {:>6.1}/{:.1}/{:.1}",
+            "degraded",
+            seed,
+            s.reads_issued,
+            s.degraded_fraction * 100.0,
+            s.single_loss_fraction * 100.0,
+            s.degraded_ms.p50,
+            s.degraded_ms.p99,
+            s.degraded_ms.p999,
+        );
+        runs.push(serving_run_json(seed, &s));
+    }
+
+    let mut wait = ScaleScenario::serving_mode(CodeSpec::LRC_10_6_5);
+    wait.workload.as_mut().expect("workload").policy = ServePolicy::WaitForFixer;
+    let w = run_scale_scenario(&wait, 3)
+        .serving
+        .expect("serving summary");
+    println!(
+        "{:<13} {:>5}  {:>7}  {:>8.3}  {:>7.2}  fixer-wait p50 {:.0} ms",
+        "wait-fixer",
+        3,
+        w.reads_issued,
+        w.degraded_fraction * 100.0,
+        w.single_loss_fraction * 100.0,
+        w.fixer_wait_ms.p50,
+    );
+    runs.push(serving_run_json(3, &w));
+
+    println!(
+        "\nsingle-block recovery fraction vs Rashmi et al. {:.2}%: the pin \
+         CI enforces (crates/sim/tests/serving_scenario.rs).\n",
+        RASHMI_SINGLE_BLOCK_RECOVERY_FRACTION * 100.0
+    );
+    println!(
+        r#"BENCH_PR9 {{"bench":"sim serving plane","scenario":"serving_mode","code":"LRC(10,6,5)","days":7,"nodes":60,"reads_per_sec":1.0,"zipf_s":1.1,"rashmi_single_loss_fraction":{RASHMI_SINGLE_BLOCK_RECOVERY_FRACTION},"runs":[{}]}}"#,
+        runs.join(",")
+    );
+}
+
 fn main() {
     println!("degraded reads over a live 5-server loopback cluster\n");
     let lrc = run_spec(CodeSpec::LRC_10_6_5);
@@ -149,4 +235,6 @@ fn main() {
         lrc.light, lrc.degraded
     );
     assert_eq!(lrc.failed + rs.failed, 0, "no read may fail under one loss");
+
+    serving_plane();
 }
