@@ -425,9 +425,35 @@ pub struct RepairTask {
     pub repairs: Vec<usize>,
     /// Blocks this task reads (distinct within the task).
     pub reads: Vec<usize>,
+    /// The subset of `reads` from which only *half* the block's bytes
+    /// are fetched. Substripe codecs (the piggybacked RS) repair a
+    /// single data loss from mostly half-lane reads; whole-lane codecs
+    /// leave this empty. Every entry must also appear in `reads`.
+    pub half_reads: Vec<usize>,
     /// Whether this task runs the light decoder (XOR of a repair group)
     /// rather than the heavy full-stripe linear solve.
     pub light: bool,
+}
+
+impl RepairTask {
+    /// Bytes this task reads, in block units: a whole-lane read counts
+    /// 1.0, a half-lane read 0.5.
+    pub fn read_volume(&self) -> f64 {
+        self.reads.len() as f64 - 0.5 * self.half_reads.len() as f64
+    }
+
+    /// The fraction of a block fetched when this task reads `lane`
+    /// (1.0, or 0.5 for half-lane reads). Lanes the task does not read
+    /// report 0.0.
+    pub fn read_fraction(&self, lane: usize) -> f64 {
+        if !self.reads.contains(&lane) {
+            0.0
+        } else if self.half_reads.contains(&lane) {
+            0.5
+        } else {
+            1.0
+        }
+    }
 }
 
 /// What a repair would read, before any bytes move.
@@ -476,6 +502,72 @@ impl RepairPlan {
     /// map task opens its own streams.
     pub fn read_events(&self) -> usize {
         self.tasks.iter().map(|t| t.reads.len()).sum()
+    }
+
+    /// Bytes the whole plan fetches, in block units, deduplicated across
+    /// tasks: a block any task reads whole counts 1.0; a block read only
+    /// as a half-lane counts 0.5. This is the §5 repair-*bytes* metric —
+    /// for whole-lane codecs it equals [`RepairPlan::blocks_read`], and
+    /// the piggybacked RS's single-data-loss advantage shows up here.
+    pub fn read_volume(&self) -> f64 {
+        let width = self
+            .tasks
+            .iter()
+            .flat_map(|t| t.reads.iter())
+            .max()
+            .map_or(0, |&m| m + 1);
+        let mut full = LaneMask::empty(width);
+        let mut half = LaneMask::empty(width);
+        for task in &self.tasks {
+            for &r in &task.reads {
+                if task.half_reads.contains(&r) {
+                    half.set(r);
+                } else {
+                    full.set(r);
+                }
+            }
+        }
+        let mut volume = full.count_ones() as f64;
+        for i in half.indices() {
+            if !full.get(i) {
+                volume += 0.5;
+            }
+        }
+        volume
+    }
+
+    /// Per-block read fractions for the plan, deduplicated across tasks:
+    /// `(block, fraction)` with fraction 1.0 for whole-lane reads and
+    /// 0.5 for blocks only ever read as half-lanes. Ascending by block.
+    pub fn read_fractions(&self) -> Vec<(usize, f64)> {
+        let width = self
+            .tasks
+            .iter()
+            .flat_map(|t| t.reads.iter())
+            .max()
+            .map_or(0, |&m| m + 1);
+        let mut full = LaneMask::empty(width);
+        let mut half = LaneMask::empty(width);
+        for task in &self.tasks {
+            for &r in &task.reads {
+                if task.half_reads.contains(&r) {
+                    half.set(r);
+                } else {
+                    full.set(r);
+                }
+            }
+        }
+        (0..width)
+            .filter_map(|i| {
+                if full.get(i) {
+                    Some((i, 1.0))
+                } else if half.get(i) {
+                    Some((i, 0.5))
+                } else {
+                    None
+                }
+            })
+            .collect()
     }
 }
 
@@ -558,6 +650,37 @@ pub trait ErasureCodec {
     /// parity-lane count at the same length. Parity lanes are fully
     /// overwritten (no pre-zeroing needed).
     fn encode_into(&self, data: &[&[u8]], parity: &mut [&mut [u8]]) -> Result<()>;
+
+    /// Encodes one contiguous shard of the parity lanes: `parity` holds
+    /// each parity lane's bytes `offset..offset + shard_len`, while
+    /// `data` holds the *full* data lanes. [`crate::encode_into_parallel`]
+    /// calls this so each worker writes only its disjoint parity shard.
+    ///
+    /// The default delegates to [`encode_into`] over the matching data
+    /// ranges, which is exact for position-independent codes (byte `i` of
+    /// every parity depends only on byte `i` of every data lane — RS,
+    /// LRC). Substripe codecs whose output mixes distant payload
+    /// positions (the piggybacked RS) must override it.
+    ///
+    /// `offset` and the shard length must be multiples of
+    /// [`symbol_bytes`](ErasureCodec::symbol_bytes), and the shard must
+    /// lie within the data-lane length.
+    ///
+    /// [`encode_into`]: ErasureCodec::encode_into
+    fn encode_range_into(
+        &self,
+        data: &[&[u8]],
+        parity: &mut [&mut [u8]],
+        offset: usize,
+    ) -> Result<()> {
+        let len = check_data_lanes(data, self.data_blocks())?;
+        let shard = parity.first().map_or(0, |p| p.len());
+        if offset + shard > len {
+            return Err(CodeError::ShardSizeMismatch);
+        }
+        let dshard: Vec<&[u8]> = data.iter().map(|d| &d[offset..offset + shard]).collect();
+        self.encode_into(&dshard, parity)
+    }
 
     /// Plans reconstruction of `targets` when `unavailable` blocks cannot
     /// be read. `targets ⊆ unavailable`. Degraded reads plan a single
@@ -766,17 +889,49 @@ mod tests {
                 RepairTask {
                     repairs: vec![1],
                     reads: vec![0, 3, 4],
+                    half_reads: vec![],
                     light: true,
                 },
                 RepairTask {
                     repairs: vec![2],
                     reads: vec![0, 3, 5],
+                    half_reads: vec![],
                     light: true,
                 },
             ],
         };
         assert_eq!(plan.blocks_read(), 4); // {0, 3, 4, 5}
         assert_eq!(plan.read_events(), 6);
+        assert_eq!(plan.read_volume(), 4.0); // no half reads: volume = blocks
+    }
+
+    #[test]
+    fn read_volume_counts_half_reads_and_upgrades_on_overlap() {
+        let plan = RepairPlan {
+            missing: vec![4],
+            tasks: vec![
+                RepairTask {
+                    repairs: vec![4],
+                    reads: vec![0, 1, 2],
+                    half_reads: vec![1, 2],
+                    light: false,
+                },
+                RepairTask {
+                    repairs: vec![4],
+                    reads: vec![2],
+                    half_reads: vec![],
+                    light: false,
+                },
+            ],
+        };
+        // Block 0 whole (1.0), block 1 half only (0.5), block 2 read half
+        // by one task but whole by another → whole (1.0).
+        assert_eq!(plan.read_volume(), 2.5);
+        assert_eq!(plan.read_fractions(), vec![(0, 1.0), (1, 0.5), (2, 1.0)]);
+        assert_eq!(plan.tasks[0].read_volume(), 2.0);
+        assert_eq!(plan.tasks[0].read_fraction(1), 0.5);
+        assert_eq!(plan.tasks[0].read_fraction(0), 1.0);
+        assert_eq!(plan.tasks[0].read_fraction(9), 0.0);
     }
 
     #[test]

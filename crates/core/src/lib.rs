@@ -8,6 +8,9 @@
 //! * [`Lrc`] — `(k, n-k, r)` Locally Repairable Codes with local XOR
 //!   parities, the implied-parity optimization, a peeling *light
 //!   decoder* and a full-rank *heavy decoder* (§2.1, §3.1.2).
+//! * [`PiggybackRs`] — the repair-bandwidth-optimal third family: a
+//!   2-substripe piggybacked RS at RS storage whose single-data-loss
+//!   repairs read ~0.67x the bytes.
 //! * [`analysis`] — brute-force ground truth: minimum distance
 //!   (Definition 1), block locality (Definition 2), and the expected
 //!   single-repair read counts that drive the §4 reliability model.
@@ -58,6 +61,7 @@ mod linear;
 mod lrc;
 mod parallel;
 pub mod peeling;
+mod piggyback;
 mod reed_solomon;
 mod session;
 mod spec;
@@ -69,6 +73,7 @@ pub use error::{CodeError, Result};
 pub use linear::decode_solve_count;
 pub use lrc::Lrc;
 pub use parallel::encode_into_parallel;
+pub use piggyback::PiggybackRs;
 pub use reed_solomon::ReedSolomon;
 
 /// A Reed-Solomon codec over GF(2^16) — for wide stripes past GF(2^8)'s
@@ -78,5 +83,9 @@ pub type WideReedSolomon = ReedSolomon<xorbas_gf::Gf65536>;
 /// An LRC over GF(2^16) — for wide stripes past GF(2^8)'s 255-lane
 /// ceiling (e.g. [`LrcSpec::WIDE`]).
 pub type WideLrc = Lrc<xorbas_gf::Gf65536>;
+
+/// A piggybacked RS over GF(2^16) — for wide stripes past GF(2^8)'s
+/// 255-lane ceiling (e.g. [`CodeSpec::PB_200_60`]).
+pub type WidePiggyback = PiggybackRs<xorbas_gf::Gf65536>;
 pub use session::RepairSession;
 pub use spec::{CodeSpec, LrcSpec};

@@ -290,6 +290,7 @@ impl<F: Field> Lrc<F> {
             .map(|s| RepairTask {
                 repairs: vec![s.repaired],
                 reads: s.sources.iter().map(|&(i, _)| i).collect(),
+                half_reads: vec![],
                 light: true,
             })
             .collect();
@@ -297,6 +298,7 @@ impl<F: Field> Lrc<F> {
             tasks.push(RepairTask {
                 repairs: unresolved.clone(),
                 reads: selection.clone(),
+                half_reads: vec![],
                 light: false,
             });
         }

@@ -79,11 +79,8 @@ where
         let handles: Vec<_> = shard_parity
             .into_iter()
             .zip(&bounds)
-            .map(|(mut pshard, &(start, end))| {
-                scope.spawn(move || {
-                    let dshard: Vec<&[u8]> = data.iter().map(|d| &d[start..end]).collect();
-                    codec.encode_into(&dshard, &mut pshard)
-                })
+            .map(|(mut pshard, &(start, _))| {
+                scope.spawn(move || codec.encode_range_into(data, &mut pshard, start))
             })
             .collect();
         handles.into_iter().try_for_each(|h| {

@@ -210,6 +210,7 @@ impl<F: Field> ErasureCodec for ReedSolomon<F> {
             tasks: vec![RepairTask {
                 repairs: targets,
                 reads: selection,
+                half_reads: vec![],
                 light: false,
             }],
         })

@@ -23,9 +23,16 @@ use xorbas_gf::Field;
 ///
 /// Coefficients are stored as field bit-pattern indices so the session
 /// type stays independent of the codec's field parameter.
+///
+/// In a *sublane* session (compiled via [`RepairSession::from_sub_parts`]
+/// by substripe codecs like the piggybacked RS), `target` and the source
+/// indices address sublanes — lane `ℓ`'s `s`-th of `sub` equal substripe
+/// slices is sublane `ℓ·sub + s` — and a step may source a sibling
+/// sublane of its own target lane (the piggyback peel reads the
+/// just-repaired other half).
 #[derive(Debug, Clone)]
 pub(crate) struct CompiledStep {
-    /// The lane this step reconstructs.
+    /// The lane (or sublane) this step reconstructs.
     pub(crate) target: usize,
     /// `(source lane, coefficient index)` pairs; zero coefficients are
     /// dropped at compile time.
@@ -51,6 +58,9 @@ type ApplyRowFn = for<'a> fn(&mut [u8], &[(u32, &'a [u8])], bool);
 #[derive(Debug, Clone)]
 pub struct RepairSession {
     lanes: usize,
+    /// Substripe slices per lane: 1 for whole-lane codecs; 2 for the
+    /// piggybacked RS, whose steps address half-lanes.
+    sublanes: usize,
     missing: Vec<usize>,
     missing_mask: LaneMask,
     plan: RepairPlan,
@@ -85,19 +95,37 @@ impl RepairSession {
         steps: Vec<CompiledStep>,
         solves: usize,
     ) -> Self {
+        Self::from_sub_parts::<F>(lanes, 1, missing, plan, steps, solves)
+    }
+
+    /// Assembles a *sublane* session: steps address the `sublanes` equal
+    /// substripe slices of each lane (sublane `ℓ·sublanes + s`). Lane
+    /// lengths replayed through it must divide into `sublanes` slices of
+    /// whole field symbols, so the alignment granularity is
+    /// `sublanes · F::SYMBOL_BYTES`.
+    pub(crate) fn from_sub_parts<F: Field>(
+        lanes: usize,
+        sublanes: usize,
+        missing: Vec<usize>,
+        plan: RepairPlan,
+        steps: Vec<CompiledStep>,
+        solves: usize,
+    ) -> Self {
+        debug_assert!(sublanes >= 1);
         let mut missing_mask = LaneMask::empty(lanes);
         for &i in &missing {
             missing_mask.set(i);
         }
         Self {
             lanes,
+            sublanes,
             missing,
             missing_mask,
             plan,
             steps,
             apply_row: apply_row_in::<F>,
             solves,
-            symbol_bytes: F::SYMBOL_BYTES,
+            symbol_bytes: sublanes * F::SYMBOL_BYTES,
         }
     }
 
@@ -159,28 +187,83 @@ impl RepairSession {
                 ));
             }
         }
+        if self.sublanes == 1 {
+            for step in &self.steps {
+                let (dst, head, tail) = stripe.lane_split_mut(step.target);
+                let mut accumulate = false;
+                for chunk in step.sources.chunks(ROW_FUSE) {
+                    let mut batch: [(u32, &[u8]); ROW_FUSE] = [(0, &[]); ROW_FUSE];
+                    for (slot, &(lane, c)) in batch.iter_mut().zip(chunk) {
+                        let src: &[u8] = if lane < step.target {
+                            &*head[lane]
+                        } else {
+                            &*tail[lane - step.target - 1]
+                        };
+                        *slot = (c, src);
+                    }
+                    (self.apply_row)(dst, &batch[..chunk.len()], accumulate);
+                    accumulate = true;
+                }
+                if step.sources.is_empty() {
+                    // A target with no sources decodes to the zero payload.
+                    dst.fill(0);
+                }
+                stripe.mark_present(step.target);
+            }
+        } else {
+            self.repair_sublanes(stripe);
+            // A sublane step writes one slice of a lane; the compiler
+            // emits every slice of every missing lane, so the pattern is
+            // whole again only once the full step list has run.
+            for &i in &self.missing {
+                stripe.mark_present(i);
+            }
+        }
+        Ok(())
+    }
+
+    /// The sublane replay loop: each step targets one substripe slice of
+    /// a lane and may source any slice of any *other* lane — or a sibling
+    /// slice of its own lane (the piggyback peel reads the just-repaired
+    /// other half). Same fused-batch kernel discipline as the whole-lane
+    /// loop; allocates nothing.
+    // xlint::hot-path(session-replay)
+    fn repair_sublanes(&self, stripe: &mut StripeViewMut<'_, '_>) {
+        let sub = self.sublanes;
+        let sub_len = stripe.lane_len() / sub;
         for step in &self.steps {
-            let (dst, head, tail) = stripe.lane_split_mut(step.target);
+            let lane = step.target / sub;
+            let part = step.target % sub;
+            let (dst, head, tail) = stripe.lane_split_mut(lane);
+            // Split the target lane into its slices so sibling sublanes
+            // stay readable while the target slice is written.
+            let (left, rest) = dst.split_at_mut(part * sub_len);
+            let (mine, right) = rest.split_at_mut(sub_len);
             let mut accumulate = false;
             for chunk in step.sources.chunks(ROW_FUSE) {
                 let mut batch: [(u32, &[u8]); ROW_FUSE] = [(0, &[]); ROW_FUSE];
-                for (slot, &(lane, c)) in batch.iter_mut().zip(chunk) {
-                    let src: &[u8] = if lane < step.target {
-                        &*head[lane]
+                for (slot, &(src, c)) in batch.iter_mut().zip(chunk) {
+                    let s_lane = src / sub;
+                    let s_part = src % sub;
+                    let src_slice: &[u8] = if s_lane < lane {
+                        &head[s_lane][s_part * sub_len..(s_part + 1) * sub_len]
+                    } else if s_lane > lane {
+                        &tail[s_lane - lane - 1][s_part * sub_len..(s_part + 1) * sub_len]
+                    } else if s_part < part {
+                        &left[s_part * sub_len..(s_part + 1) * sub_len]
                     } else {
-                        &*tail[lane - step.target - 1]
+                        debug_assert_ne!(s_part, part, "step reads its own target sublane");
+                        let base = (s_part - part - 1) * sub_len;
+                        &right[base..base + sub_len]
                     };
-                    *slot = (c, src);
+                    *slot = (c, src_slice);
                 }
-                (self.apply_row)(dst, &batch[..chunk.len()], accumulate);
+                (self.apply_row)(mine, &batch[..chunk.len()], accumulate);
                 accumulate = true;
             }
             if step.sources.is_empty() {
-                // A target with no sources decodes to the zero payload.
-                dst.fill(0);
+                mine.fill(0);
             }
-            stripe.mark_present(step.target);
         }
-        Ok(())
     }
 }

@@ -10,7 +10,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
-use xorbas_core::{decode_solve_count, ErasureCodec, Lrc, LrcSpec, ReedSolomon, StripeViewMut};
+use xorbas_core::{
+    decode_solve_count, ErasureCodec, Lrc, LrcSpec, PiggybackRs, ReedSolomon, StripeViewMut,
+};
 use xorbas_gf::{Gf256, Gf65536};
 
 thread_local! {
@@ -218,6 +220,72 @@ fn gf65536_session_repair_is_allocation_free_and_solve_free() {
     assert_eq!(allocs_now() - allocs_before, 0);
     drop(lane_refs);
     assert_eq!(lanes[2], stripe[2]);
+}
+
+/// Replays one compiled piggyback session 25 times and asserts the
+/// steady state allocates nothing and never re-solves, then checks the
+/// repaired lanes bit-for-bit against the pristine stripe.
+fn assert_piggyback_replay_is_free(
+    pb: &PiggybackRs<Gf256>,
+    stripe: &[Vec<u8>],
+    missing: &[usize],
+    label: &str,
+) {
+    let solves_before_compile = decode_solve_count();
+    let session = pb.repair_session(missing).unwrap();
+    assert_eq!(
+        decode_solve_count(),
+        solves_before_compile + 1,
+        "{label}: compile runs exactly one solve"
+    );
+    assert_eq!(session.solve_count(), 1, "{label}");
+
+    let mut lanes = stripe.to_vec();
+    for &e in missing {
+        lanes[e].fill(0xEE);
+    }
+    let mut lane_refs: Vec<&mut [u8]> = lanes.iter_mut().map(Vec::as_mut_slice).collect();
+    {
+        let mut view = StripeViewMut::new(&mut lane_refs, missing).unwrap();
+        session.repair(&mut view).unwrap();
+    }
+    let solves_before = decode_solve_count();
+    let allocs_before = allocs_now();
+    for _ in 0..25 {
+        let mut view = StripeViewMut::new(&mut lane_refs, missing).unwrap();
+        session.repair(&mut view).unwrap();
+    }
+    assert_eq!(
+        allocs_now() - allocs_before,
+        0,
+        "{label}: piggyback replay allocated on the steady state"
+    );
+    assert_eq!(
+        decode_solve_count() - solves_before,
+        0,
+        "{label}: piggyback replay re-ran the linear solve"
+    );
+    drop(lane_refs);
+    for &e in missing {
+        assert_eq!(lanes[e], stripe[e], "{label}: lane {e}");
+    }
+}
+
+#[test]
+fn piggyback_session_repair_is_allocation_free_and_solve_free() {
+    // The 2-substripe replay runs through the sublane kernel path
+    // (sibling half-lane reads split the destination lane three ways);
+    // both it and the plain path must stay on the zero-alloc ratchet.
+    let pb: PiggybackRs<Gf256> = PiggybackRs::new(10, 4).unwrap();
+    assert_encode_into_allocates_nothing(&pb, "pb(10,4)");
+    const LEN: usize = 2048;
+    let stripe = pb.encode_stripe(&sample_data(10, LEN)).unwrap();
+
+    // The fast path: one data lane, decoded from k+1 lanes' halves.
+    assert_piggyback_replay_is_free(&pb, &stripe, &[4], "fast path");
+    // The general path: a data + piggybacked-parity pair replays the
+    // compiled coefficient rows plus the piggyback corrections.
+    assert_piggyback_replay_is_free(&pb, &stripe, &[0, 12], "general path");
 }
 
 #[test]

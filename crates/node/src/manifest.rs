@@ -84,6 +84,11 @@ impl Manifest {
                 out.extend_from_slice(&(lrc.group_size as u16).to_le_bytes());
                 out.push(u8::from(lrc.implied_parity));
             }
+            CodeSpec::Piggyback { k, m } => {
+                out.push(3);
+                out.extend_from_slice(&(k as u16).to_le_bytes());
+                out.extend_from_slice(&(m as u16).to_le_bytes());
+            }
         }
         out.extend_from_slice(&self.chunk_bytes.to_le_bytes());
         out.extend_from_slice(&self.file_len.to_le_bytes());
@@ -122,6 +127,10 @@ impl Manifest {
                 group_size: c.u16()? as usize,
                 implied_parity: c.u8()? != 0,
             }),
+            3 => CodeSpec::Piggyback {
+                k: c.u16()? as usize,
+                m: c.u16()? as usize,
+            },
             _ => return Err(NodeError::Malformed("unknown code spec tag")),
         };
         // A hostile spec or chunk size must die here, not downstream:
@@ -130,6 +139,8 @@ impl Manifest {
             CodeSpec::Replication { replicas } => replicas >= 1,
             CodeSpec::ReedSolomon { k, m } => k >= 1 && m >= 1,
             CodeSpec::Lrc(lrc) => lrc.validate().is_ok(),
+            // The piggyback needs a clean parity plus >= 1 piggybacked.
+            CodeSpec::Piggyback { k, m } => k >= 1 && m >= 2,
         };
         if !spec_ok {
             return Err(NodeError::Malformed("invalid code spec parameters"));
@@ -246,6 +257,7 @@ mod tests {
             CodeSpec::Replication { replicas: 3 },
             CodeSpec::ReedSolomon { k: 10, m: 4 },
             CodeSpec::Lrc(LrcSpec::XORBAS),
+            CodeSpec::Piggyback { k: 10, m: 4 },
         ] {
             let m = sample(spec);
             let bytes = m.encode();
@@ -335,6 +347,14 @@ mod tests {
             group_size: 3,
             implied_parity: true,
         }));
+        assert!(matches!(
+            Manifest::decode(&m.encode()).unwrap_err(),
+            NodeError::Malformed("invalid code spec parameters")
+        ));
+
+        // A piggyback without its clean parity 0 plus one piggybacked
+        // parity cannot build its fast repair path.
+        let m = sample(CodeSpec::Piggyback { k: 10, m: 1 });
         assert!(matches!(
             Manifest::decode(&m.encode()).unwrap_err(),
             NodeError::Malformed("invalid code spec parameters")

@@ -3,8 +3,8 @@
 //! verify-mode payload reconstruction.
 
 use xorbas_core::{
-    CodeError, CodeSpec, ErasureCodec, Lrc, ReedSolomon, RepairPlan, RepairSession, RepairTask,
-    WideLrc, WideReedSolomon,
+    CodeError, CodeSpec, ErasureCodec, Lrc, PiggybackRs, ReedSolomon, RepairPlan, RepairSession,
+    RepairTask, WideLrc, WidePiggyback, WideReedSolomon,
 };
 
 /// Highest stripe blocklength GF(2^8) supports (`q - 1`); wider specs
@@ -32,6 +32,10 @@ pub enum CodecInstance {
     RsWide(WideReedSolomon),
     /// Locally repairable code over GF(2^16) (wide stripes).
     LrcWide(WideLrc),
+    /// Piggybacked Reed-Solomon (repair-bandwidth-optimal RS).
+    Piggyback(PiggybackRs),
+    /// Piggybacked Reed-Solomon over GF(2^16) (wide stripes).
+    PiggybackWide(WidePiggyback),
 }
 
 impl CodecInstance {
@@ -57,6 +61,12 @@ impl CodecInstance {
                 Ok(CodecInstance::Lrc(Lrc::new(spec)?))
             }
             CodeSpec::Lrc(spec) => Ok(CodecInstance::LrcWide(WideLrc::new(spec)?)),
+            CodeSpec::Piggyback { k, m } if k + m <= GF256_MAX_LANES => {
+                Ok(CodecInstance::Piggyback(PiggybackRs::new(k, m)?))
+            }
+            CodeSpec::Piggyback { k, m } => {
+                Ok(CodecInstance::PiggybackWide(WidePiggyback::new(k, m)?))
+            }
         }
     }
 
@@ -70,6 +80,8 @@ impl CodecInstance {
             CodecInstance::Lrc(lrc) => lrc.spec(),
             CodecInstance::RsWide(rs) => rs.spec(),
             CodecInstance::LrcWide(lrc) => lrc.spec(),
+            CodecInstance::Piggyback(pb) => pb.spec(),
+            CodecInstance::PiggybackWide(pb) => pb.spec(),
         }
     }
 
@@ -99,6 +111,7 @@ impl CodecInstance {
                         .map(|&t| RepairTask {
                             repairs: vec![t],
                             reads: vec![survivor],
+                            half_reads: vec![],
                             light: true,
                         })
                         .collect(),
@@ -108,6 +121,8 @@ impl CodecInstance {
             CodecInstance::Lrc(lrc) => lrc.repair_plan_for(unavailable, targets),
             CodecInstance::RsWide(rs) => rs.repair_plan_for(unavailable, targets),
             CodecInstance::LrcWide(lrc) => lrc.repair_plan_for(unavailable, targets),
+            CodecInstance::Piggyback(pb) => pb.repair_plan_for(unavailable, targets),
+            CodecInstance::PiggybackWide(pb) => pb.repair_plan_for(unavailable, targets),
         }
     }
 
@@ -126,6 +141,8 @@ impl CodecInstance {
             CodecInstance::Lrc(lrc) => Some(lrc.repair_session(unavailable)),
             CodecInstance::RsWide(rs) => Some(rs.repair_session(unavailable)),
             CodecInstance::LrcWide(lrc) => Some(lrc.repair_session(unavailable)),
+            CodecInstance::Piggyback(pb) => Some(pb.repair_session(unavailable)),
+            CodecInstance::PiggybackWide(pb) => Some(pb.repair_session(unavailable)),
         }
     }
 
@@ -153,6 +170,8 @@ impl CodecInstance {
             CodecInstance::Lrc(lrc) => lrc.encode_into(data, parity),
             CodecInstance::RsWide(rs) => rs.encode_into(data, parity),
             CodecInstance::LrcWide(lrc) => lrc.encode_into(data, parity),
+            CodecInstance::Piggyback(pb) => pb.encode_into(data, parity),
+            CodecInstance::PiggybackWide(pb) => pb.encode_into(data, parity),
         }
     }
 
@@ -179,7 +198,10 @@ impl CodecInstance {
         // layout share it.
         match self.spec() {
             CodeSpec::Replication { replicas } => out.resize(replicas, false),
-            CodeSpec::ReedSolomon { k, m } => {
+            // The piggybacked RS shares the RS lane layout; its parities
+            // are always stored (a piggyback of virtual zero lanes is
+            // just the clean RS parity).
+            CodeSpec::ReedSolomon { k, m } | CodeSpec::Piggyback { k, m } => {
                 out.extend((0..k + m).map(|p| p < k && p >= real_data));
             }
             CodeSpec::Lrc(spec) => {
@@ -246,6 +268,8 @@ impl CodecInstance {
             CodecInstance::Lrc(lrc) => lrc.reconstruct(shards).map(|_| ()),
             CodecInstance::RsWide(rs) => rs.reconstruct(shards).map(|_| ()),
             CodecInstance::LrcWide(lrc) => lrc.reconstruct(shards).map(|_| ()),
+            CodecInstance::Piggyback(pb) => pb.reconstruct(shards).map(|_| ()),
+            CodecInstance::PiggybackWide(pb) => pb.reconstruct(shards).map(|_| ()),
         }
     }
 }
@@ -347,6 +371,39 @@ mod tests {
             CodecInstance::build(CodeSpec::RS_10_4).unwrap(),
             CodecInstance::Rs(_)
         ));
+    }
+
+    #[test]
+    fn piggyback_builds_both_fields_and_reads_fewer_bytes() {
+        let pb = CodecInstance::build(CodeSpec::PB_10_4).unwrap();
+        assert!(matches!(pb, CodecInstance::Piggyback(_)));
+        let plan = pb.repair_plan_for(&[3], &[3]).unwrap();
+        assert!(!plan.is_light());
+        assert_eq!(plan.blocks_read(), 11);
+        assert!(plan.read_volume() <= 7.0);
+
+        let wide = CodecInstance::build(CodeSpec::PB_200_60).unwrap();
+        assert!(matches!(wide, CodecInstance::PiggybackWide(_)));
+        assert_eq!(wide.total_blocks(), 260);
+        let plan = wide.repair_plan_for(&[3], &[3]).unwrap();
+        // (k + group)/2 with groups of 200/59 rounded: far below k=200.
+        assert!(plan.read_volume() < 0.52 * 200.0, "{}", plan.read_volume());
+
+        // Same zero-padding mask as RS, and payload round-trip.
+        assert_eq!(
+            pb.virtual_mask(3),
+            CodecInstance::build(CodeSpec::RS_10_4)
+                .unwrap()
+                .virtual_mask(3)
+        );
+        let data: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8 + 1; 16]).collect();
+        let stripe = pb.encode_payloads(&data).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = stripe.iter().cloned().map(Some).collect();
+        shards[0] = None;
+        shards[11] = None;
+        pb.reconstruct_payloads(&mut shards).unwrap();
+        assert_eq!(shards[0].as_ref().unwrap(), &stripe[0]);
+        assert_eq!(shards[11].as_ref().unwrap(), &stripe[11]);
     }
 
     #[test]

@@ -1140,6 +1140,7 @@ impl Simulation {
                         t.repairs.into_iter().map(move |p| xorbas_core::RepairTask {
                             repairs: vec![p],
                             reads: reads.clone(),
+                            half_reads: vec![],
                             light,
                         })
                     })
@@ -1429,13 +1430,16 @@ impl Simulation {
     }
 
     /// Resolves the reads of a task given the current namespace state.
-    /// Returns `(read_positions_as_blocks, compute_secs, restores)` or
+    /// Returns `(read_blocks_with_fractions, compute_secs, restores)` or
     /// `None` when the task is impossible (data loss) or trivially done.
+    /// Each read carries the fraction of the block fetched: 1.0 for
+    /// whole-lane reads, 0.5 where the plan needs only one substripe of
+    /// a lane (the piggybacked RS's single-data-loss repair).
     #[allow(clippy::type_complexity)]
     fn resolve_task_work(
         &mut self,
         tid: TaskId,
-    ) -> Option<(Vec<BlockId>, f64, Vec<(usize, BlockId)>)> {
+    ) -> Option<(Vec<(BlockId, f64)>, f64, Vec<(usize, BlockId)>)> {
         let task = self.tasks[&tid].clone();
         let block_bytes = self.cfg.cluster.block_bytes as f64;
         match task.kind {
@@ -1462,7 +1466,7 @@ impl Simulation {
                 let mut positions = std::mem::take(&mut self.stripe_scratch);
                 positions.clear();
                 positions.extend_from_slice(self.hdfs.positions(stripe));
-                let read_positions: Vec<usize> = if light {
+                let read_positions: Vec<(usize, f64)> = if light {
                     // The planned light reads were fixed at scan time; they
                     // remain exactly the repair group, re-derived here.
                     let plan = match self.plan_cached(&unavailable, &still_lost) {
@@ -1484,11 +1488,12 @@ impl Simulation {
                         repaired.extend(t.repairs.iter().copied());
                     }
                     reads.sort_unstable();
-                    reads
+                    reads.into_iter().map(|p| (p, 1.0)).collect()
                 } else {
                     match self.cfg.read_policy {
                         ReadPolicy::Deployed => (0..positions.len())
                             .filter(|p| !unavailable.contains(p))
+                            .map(|p| (p, 1.0))
                             .collect(),
                         ReadPolicy::Minimal => {
                             let plan = match self.plan_cached(&unavailable, &still_lost) {
@@ -1499,23 +1504,19 @@ impl Simulation {
                                     return None;
                                 }
                             };
-                            let mut reads: Vec<usize> = plan
-                                .tasks
-                                .iter()
-                                .flat_map(|t| t.reads.iter().copied())
-                                .collect();
-                            reads.sort_unstable();
-                            reads.dedup();
-                            reads
+                            // Deduplicated per-position fractions: a
+                            // half-lane read moves (and bills) half a
+                            // block; whole-lane plans are all 1.0.
+                            plan.read_fractions()
                         }
                     }
                 };
                 self.pos_scratch = unavailable;
                 // Map to real blocks; virtual positions read for free.
-                let read_blocks: Vec<BlockId> = read_positions
+                let read_blocks: Vec<(BlockId, f64)> = read_positions
                     .iter()
-                    .filter_map(|&p| match positions[p] {
-                        Position::Real(b) => Some(b),
+                    .filter_map(|&(p, frac)| match positions[p] {
+                        Position::Real(b) => Some((b, frac)),
                         Position::Virtual => None,
                     })
                     .collect();
@@ -1524,7 +1525,8 @@ impl Simulation {
                 } else {
                     self.cfg.compute.rs_decode_bps
                 };
-                let compute = read_blocks.len() as f64 * block_bytes / rate;
+                let read_volume: f64 = read_blocks.iter().map(|&(_, f)| f).sum();
+                let compute = read_volume * block_bytes / rate;
                 let restores: Vec<(usize, BlockId)> = still_lost
                     .iter()
                     .filter_map(|&p| match positions[p] {
@@ -1542,7 +1544,7 @@ impl Simulation {
                 let meta = self.hdfs.block(block).clone();
                 let wordcount = block_bytes / self.cfg.compute.wordcount_bps;
                 if meta.location.is_some() {
-                    return Some((vec![block], wordcount, vec![]));
+                    return Some((vec![(block, 1.0)], wordcount, vec![]));
                 }
                 // Degraded read: reconstruct the block in memory first.
                 let stripe = meta.stripe;
@@ -1569,7 +1571,10 @@ impl Simulation {
                     self.cfg.compute.rs_decode_bps
                 };
                 let decode = read_blocks.len() as f64 * block_bytes / rate;
-                Some((read_blocks, wordcount + decode, vec![]))
+                // Degraded map reads stream whole blocks (the wordcount
+                // consumes the payload anyway), so every fraction is 1.0.
+                let reads = read_blocks.into_iter().map(|b| (b, 1.0)).collect();
+                Some((reads, wordcount + decode, vec![]))
             }
             TaskKind::Relocate { block, via_repair } => {
                 let meta = self.hdfs.block(block).clone();
@@ -1578,7 +1583,7 @@ impl Simulation {
                 meta.location?;
                 if !via_repair {
                     // Classical drain: stream the block off the node.
-                    return Some((vec![block], 0.0, vec![(pos, block)]));
+                    return Some((vec![(block, 1.0)], 0.0, vec![(pos, block)]));
                 }
                 // Scheduled-repair drain: rebuild from peers, never
                 // touching the draining node.
@@ -1602,7 +1607,8 @@ impl Simulation {
                     self.cfg.compute.rs_decode_bps
                 };
                 let compute = read_blocks.len() as f64 * block_bytes / rate;
-                Some((read_blocks, compute, vec![(pos, block)]))
+                let reads = read_blocks.into_iter().map(|b| (b, 1.0)).collect();
+                Some((reads, compute, vec![(pos, block)]))
             }
         }
     }
@@ -1617,7 +1623,7 @@ impl Simulation {
         // peeling chain) parks the task until that block is restored.
         let lost_reads: Vec<BlockId> = read_blocks
             .iter()
-            .copied()
+            .map(|&(b, _)| b)
             .filter(|&b| self.hdfs.block(b).location.is_none())
             .collect();
         if !lost_reads.is_empty() {
@@ -1647,18 +1653,21 @@ impl Simulation {
         } else {
             debug_assert!(false, "started task is live");
         }
-        // Issue reads: local ones are free and instantaneous.
+        // Issue reads: local ones are free and instantaneous. A
+        // fractional read (a piggyback half-lane) moves and bills only
+        // that fraction of the block.
         let block_bytes = self.cfg.cluster.block_bytes as f64;
         let mut flows = Vec::new();
-        for b in read_blocks {
+        for (b, frac) in read_blocks {
             let Some(src) = self.hdfs.block(b).location else {
                 // Lost reads parked the task above; a read here is live.
                 debug_assert!(false, "read block has a location");
                 continue;
             };
-            self.metrics.record_block_read(self.clock, block_bytes);
+            self.metrics
+                .record_block_read(self.clock, block_bytes * frac);
             if src != node {
-                flows.push(self.network.start_flow(src, node, block_bytes, tid));
+                flows.push(self.network.start_flow(src, node, block_bytes * frac, tid));
             }
         }
         let Some(task) = self.tasks.get_mut(&tid) else {

@@ -8,8 +8,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use xorbas_core::CodeSpec;
+use xorbas_core::{CodeError, CodeSpec};
 
+use crate::codecs::CodecInstance;
 use crate::config::{ClusterScale, ReadPolicy, SimConfig};
 use crate::engine::Simulation;
 use crate::failures::{sample_day_failures, TraceConfig};
@@ -706,6 +707,95 @@ pub fn compare_repair_traffic(
     compare_codes(sc_template, CodeSpec::RS_10_4, CodeSpec::LRC_10_6_5, seeds)
 }
 
+/// One row of the cross-family comparison table (the PR-10 three-way
+/// study): the planner's own single-data-loss cost next to the
+/// cluster-measured Monte-Carlo repair traffic.
+#[derive(Debug, Clone)]
+pub struct CodeComparisonRow {
+    /// Scheme name.
+    pub scheme: String,
+    /// Extra storage per byte of data (0.4 = 1.4x raw).
+    pub storage_overhead: f64,
+    /// Minimum-distance upper bound — the reliability-ordering proxy
+    /// (a distance-`d` code survives any `d - 1` losses).
+    pub distance_upper_bound: usize,
+    /// Plan-level mean *read volume* in block units to repair one lost
+    /// data block, averaged over the code's data lanes. Piggybacked RS
+    /// reads half-lanes from outside the lost block's piggyback group,
+    /// so this drops below the touched-block count.
+    pub single_data_loss_volume: f64,
+    /// Plan-level mean distinct blocks *touched* per single data-lane
+    /// repair — the I/O-operation (disk-seek) count.
+    pub single_data_loss_blocks: f64,
+    /// Cluster-measured Monte-Carlo report (mixed data and parity lane
+    /// losses, task restarts included).
+    pub cluster: MonteCarloReport,
+}
+
+/// Averages the planner's read volume and touched-block count over all
+/// single data-lane losses of `spec` — the codec family's own promise,
+/// before any cluster noise.
+///
+/// For RS (10,4) this is exactly (10.0, 10.0); for LRC (10,6,5) the
+/// light decoder gives (5.0, 5.0); for piggybacked RS (10,4) every
+/// repair touches 11 blocks but moves only ~6.7 block-volumes because
+/// out-of-group lanes contribute a single substripe half. Errors if
+/// the spec cannot build or cannot survive a single data loss.
+pub fn single_data_loss_cost(spec: CodeSpec) -> Result<(f64, f64), CodeError> {
+    let codec = CodecInstance::build(spec)?;
+    let k = spec.data_blocks();
+    let mut volume = 0.0;
+    let mut blocks = 0.0;
+    for lane in 0..k {
+        let plan = codec.repair_plan_for(&[lane], &[lane])?;
+        volume += plan.read_volume();
+        blocks += plan.blocks_read() as f64;
+    }
+    Ok((volume / k as f64, blocks / k as f64))
+}
+
+/// Builds the comparison table: one [`CodeComparisonRow`] per spec, all
+/// under the same scenario template and seeds. Errors on the first
+/// spec whose planner cannot cost a single data loss.
+pub fn code_comparison_table(
+    sc_template: &ScaleScenario,
+    specs: &[CodeSpec],
+    seeds: &[u64],
+) -> Result<Vec<CodeComparisonRow>, CodeError> {
+    specs
+        .iter()
+        .map(|&spec| {
+            let (single_data_loss_volume, single_data_loss_blocks) = single_data_loss_cost(spec)?;
+            let mut sc = sc_template.clone();
+            sc.code = spec;
+            Ok(CodeComparisonRow {
+                scheme: spec.name(),
+                storage_overhead: spec.storage_overhead(),
+                distance_upper_bound: spec.distance_upper_bound(),
+                single_data_loss_volume,
+                single_data_loss_blocks,
+                cluster: monte_carlo(&sc, seeds),
+            })
+        })
+        .collect()
+}
+
+/// The PR-10 three-way table: RS (10,4), LRC (10,6,5) and piggybacked
+/// RS (10,4) under one scenario template. RS is the storage/repair
+/// baseline; the LRC buys 2x cheaper repair with 14% more storage; the
+/// piggybacked RS keeps RS storage and MDS distance while cutting
+/// single-data-loss repair *bytes* ~33% (at one extra touched block).
+pub fn three_way_table(
+    sc_template: &ScaleScenario,
+    seeds: &[u64],
+) -> Result<Vec<CodeComparisonRow>, CodeError> {
+    code_comparison_table(
+        sc_template,
+        &[CodeSpec::RS_10_4, CodeSpec::LRC_10_6_5, CodeSpec::PB_10_4],
+        seeds,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -817,6 +907,24 @@ mod tests {
         // A week of single-node failures with 12 h replacement never
         // exceeds the wide code's tolerance.
         assert_eq!(wide.data_loss_stripes.mean, 0.0);
+    }
+
+    /// The planner-level costs the three-way table is built from are
+    /// exact rationals — pin them before any cluster noise enters.
+    #[test]
+    fn single_data_loss_costs_are_exact() {
+        let (rs_vol, rs_blocks) = single_data_loss_cost(CodeSpec::RS_10_4).unwrap();
+        assert_eq!((rs_vol, rs_blocks), (10.0, 10.0));
+
+        let (lrc_vol, lrc_blocks) = single_data_loss_cost(CodeSpec::LRC_10_6_5).unwrap();
+        assert_eq!((lrc_vol, lrc_blocks), (5.0, 5.0));
+
+        // Piggyback groups at (10,4) have sizes {4,3,3}: each repair
+        // touches k+1 = 11 blocks, volume (k + group)/2 averaged over
+        // lanes = (4*7.0 + 6*6.5)/10 = 6.7.
+        let (pb_vol, pb_blocks) = single_data_loss_cost(CodeSpec::PB_10_4).unwrap();
+        assert!((pb_vol - 6.7).abs() < 1e-12, "piggyback volume {pb_vol}");
+        assert_eq!(pb_blocks, 11.0);
     }
 
     /// The acceptance gate for the Monte-Carlo driver: the §5 headline

@@ -62,7 +62,8 @@ pub use codecs::CodecInstance;
 pub use config::{ClusterConfig, ClusterScale, ComputeRates, ReadPolicy, SimConfig};
 pub use engine::Simulation;
 pub use experiment::{
-    compare_codes, compare_repair_traffic, monte_carlo, run_scale_scenario, ConfidenceInterval,
+    code_comparison_table, compare_codes, compare_repair_traffic, monte_carlo, run_scale_scenario,
+    single_data_loss_cost, three_way_table, CodeComparisonRow, ConfidenceInterval,
     MonteCarloReport, ScaleScenario, ScenarioRun,
 };
 pub use hdfs::{BlockId, FileId, Hdfs, NodeId, Placement, StripeId};

@@ -10,7 +10,10 @@ use std::sync::OnceLock;
 use xorbas::codes::analysis::{combinations, minimum_distance};
 use xorbas::codes::bounds::lrc_distance_bound;
 use xorbas::codes::peeling::{peel, XorEquation};
-use xorbas::codes::{encode_into_parallel, ErasureCodec, Lrc, LrcSpec, ReedSolomon, StripeViewMut};
+use xorbas::codes::{
+    encode_into_parallel, CodeError, ErasureCodec, Lrc, LrcSpec, PiggybackRs, ReedSolomon,
+    StripeViewMut,
+};
 use xorbas::gf::{Field, Gf256, Gf65536};
 use xorbas::linalg::{special, Matrix};
 
@@ -96,6 +99,20 @@ fn wide_lrc() -> &'static Lrc<Gf65536> {
 fn wide_rs() -> &'static ReedSolomon<Gf65536> {
     static WIDE: OnceLock<ReedSolomon<Gf65536>> = OnceLock::new();
     WIDE.get_or_init(|| ReedSolomon::new(200, 60).expect("wide RS builds"))
+}
+
+/// The piggybacked RS(200, 60) — wide lanes *and* the 2-substripe
+/// layout (4-byte symbols over GF(2^16)), built once.
+fn wide_pb() -> &'static PiggybackRs<Gf65536> {
+    static WIDE: OnceLock<PiggybackRs<Gf65536>> = OnceLock::new();
+    WIDE.get_or_init(|| PiggybackRs::new(200, 60).expect("wide piggyback builds"))
+}
+
+/// Payload lengths divisible by 4 for the wide piggyback (2 substripes
+/// of 2-byte GF(2^16) symbols), mixing byte-scale and shard-scale.
+fn arb_quad_payload_len() -> impl Strategy<Value = usize> {
+    (any::<bool>(), 1usize..24, 4_096usize..10_000)
+        .prop_map(|(small, a, b)| if small { a * 4 } else { b * 4 })
 }
 
 /// Even payload lengths for 2-byte-symbol codecs: byte-scale cases plus
@@ -242,6 +259,56 @@ proptest! {
         assert_apis_agree(&lrc, &data, &erased, threads)?;
     }
 
+    /// Same equivalence for random piggybacked-RS geometries: owned,
+    /// zero-copy, parallel encode, and session replay (both the fast
+    /// single-data-loss path and the general path) are bit-identical.
+    /// Payloads are even — two substripes of 1-byte GF(2^8) symbols.
+    #[test]
+    fn piggyback_owned_and_zero_copy_apis_agree(
+        k in 2usize..=8,
+        m in 2usize..=4,
+        len in arb_even_payload_len(),
+        threads in 1usize..=4,
+        seed in any::<u64>(),
+        pattern_seed in any::<u64>(),
+    ) {
+        let pb = PiggybackRs::<Gf256>::new(k, m).unwrap();
+        let data = seeded_data(k, len, seed);
+        let mut rng = StdRng::seed_from_u64(pattern_seed);
+        use rand::seq::SliceRandom;
+        let mut idx: Vec<usize> = (0..k + m).collect();
+        idx.shuffle(&mut rng);
+        let erased_count = (pattern_seed % (m as u64 + 1)) as usize;
+        let mut erased = idx[..erased_count].to_vec();
+        erased.sort_unstable();
+        assert_apis_agree(&pb, &data, &erased, threads)?;
+    }
+
+    /// The piggyback substripe boundary is typed: any payload that is
+    /// not a multiple of *twice* the field symbol is rejected with
+    /// `PayloadNotSymbolAligned` — never silently truncated.
+    #[test]
+    fn piggyback_misaligned_payloads_are_typed_errors(
+        k in 2usize..=8,
+        m in 2usize..=4,
+        half_len in 0usize..64,
+    ) {
+        let len = half_len * 2 + 1; // always odd, so never 2-aligned
+        let pb = PiggybackRs::<Gf256>::new(k, m).unwrap();
+        let data = seeded_data(k, len, 7);
+        let data_refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+        let mut parity = vec![vec![0u8; len]; m];
+        let mut parity_refs: Vec<&mut [u8]> =
+            parity.iter_mut().map(Vec::as_mut_slice).collect();
+        let err = pb.encode_into(&data_refs, &mut parity_refs).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                CodeError::PayloadNotSymbolAligned { symbol_bytes: 2, len: l } if l == len
+            ),
+            "got {err:?}"
+        );
+    }
 }
 
 proptest! {
@@ -310,6 +377,50 @@ proptest! {
         erased.sort_unstable();
         erased.dedup();
         assert_apis_agree(rs, &data, &erased, threads)?;
+    }
+
+    /// Wide piggybacked RS (200, 60) over GF(2^16): the 2-substripe
+    /// layout at 260 lanes round-trips through all four surfaces. Half
+    /// the cases force the fast single-data-lane session path; the
+    /// rest exercise the general multi-loss path.
+    #[test]
+    fn wide_piggyback_owned_and_zero_copy_apis_agree(
+        len in arb_quad_payload_len(),
+        threads in 1usize..=4,
+        seed in any::<u64>(),
+        pattern_seed in any::<u64>(),
+        single_data in any::<bool>(),
+    ) {
+        let pb = wide_pb();
+        let n = pb.total_blocks();
+        let data = seeded_data(200, len, seed);
+        let mut rng = StdRng::seed_from_u64(pattern_seed);
+        use rand::Rng;
+        let mut erased: Vec<usize> = if single_data {
+            vec![rng.gen_range(0..200usize)]
+        } else {
+            (0..3).map(|_| rng.gen_range(0..n)).collect()
+        };
+        erased.sort_unstable();
+        erased.dedup();
+        assert_apis_agree(pb, &data, &erased, threads)?;
+
+        // The wide substripe boundary is 4 bytes; a 2-aligned but
+        // 4-misaligned payload must be a typed error.
+        let bad_len = len + 2;
+        let bad: Vec<Vec<u8>> = (0..200).map(|_| vec![0u8; bad_len]).collect();
+        let bad_refs: Vec<&[u8]> = bad.iter().map(Vec::as_slice).collect();
+        let mut parity = vec![vec![0u8; bad_len]; 60];
+        let mut parity_refs: Vec<&mut [u8]> =
+            parity.iter_mut().map(Vec::as_mut_slice).collect();
+        let err = pb.encode_into(&bad_refs, &mut parity_refs).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                CodeError::PayloadNotSymbolAligned { symbol_bytes: 4, len: l } if l == bad_len
+            ),
+            "got {err:?}"
+        );
     }
 }
 

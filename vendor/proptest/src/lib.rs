@@ -3,10 +3,14 @@
 //!
 //! Semantics: each `#[test]` inside [`proptest!`] runs
 //! `ProptestConfig::cases` random cases drawn from its strategies.
-//! Unlike the real crate there is **no shrinking** — a failing case
-//! reports the test name, case index, and base seed so it can be
-//! replayed by setting `XORBAS_PROPTEST_SEED`. Seeds are derived from
-//! the test-function name, so runs are deterministic.
+//! A failing case reports the test name, case index, and base seed so
+//! it can be replayed by setting `XORBAS_PROPTEST_SEED` — and is then
+//! **shrunk**: integer-range and `collection::vec` strategies walk
+//! failing values toward the range start (binary search over the
+//! distance) and failing vectors toward their minimum length, tuples
+//! shrink one coordinate at a time, and the runner reports the minimal
+//! still-failing input. Mapped (`prop_map`/`prop_flat_map`) and `any`
+//! strategies do not shrink — their draw cannot be inverted.
 
 #![forbid(unsafe_code)]
 
@@ -25,6 +29,15 @@ pub mod strategy {
 
         /// Draws one value.
         fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Candidate simplifications of a failing `value`, simplest
+        /// first. The runner adopts the first candidate that still
+        /// fails and asks again, so a handful of halving steps per
+        /// round gives binary-search convergence overall. The default
+        /// (mapped, `any`, set strategies) offers none.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
 
         /// Maps generated values through `f`.
         fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -50,6 +63,9 @@ pub mod strategy {
         type Value = S::Value;
         fn sample(&self, rng: &mut StdRng) -> Self::Value {
             (**self).sample(rng)
+        }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            (**self).shrink(value)
         }
     }
 
@@ -88,6 +104,26 @@ pub mod strategy {
         }
     }
 
+    /// Binary-search shrink candidates for an integer: the range start
+    /// itself, then values stepping back from `v` by halving distances,
+    /// then `v - 1`. Adopting any failing candidate and re-asking
+    /// converges to the smallest failing value in O(log²) case runs.
+    fn int_shrink_candidates(lo: i128, v: i128) -> Vec<i128> {
+        let mut out = Vec::new();
+        if v <= lo {
+            return out;
+        }
+        out.push(lo);
+        let mut delta = (v - lo) / 2;
+        while delta > 1 {
+            out.push(v - delta);
+            delta /= 2;
+        }
+        out.push(v - 1);
+        out.dedup();
+        out
+    }
+
     macro_rules! impl_range_strategies {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
@@ -95,11 +131,23 @@ pub mod strategy {
                 fn sample(&self, rng: &mut StdRng) -> $t {
                     rng.gen_range(self.clone())
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink_candidates(self.start as i128, *value as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
+                }
             }
             impl Strategy for RangeInclusive<$t> {
                 type Value = $t;
                 fn sample(&self, rng: &mut StdRng) -> $t {
                     rng.gen_range(self.clone())
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink_candidates(*self.start() as i128, *value as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
                 }
             }
         )*};
@@ -108,10 +156,25 @@ pub mod strategy {
 
     macro_rules! impl_tuple_strategy {
         ($($S:ident . $i:tt),+) => {
-            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+)
+            where
+                $($S::Value: Clone,)+
+            {
                 type Value = ($($S::Value,)+);
                 fn sample(&self, rng: &mut StdRng) -> Self::Value {
                     ($(self.$i.sample(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    // One coordinate at a time, others held fixed.
+                    let mut out = Vec::new();
+                    $(
+                        for c in self.$i.shrink(&value.$i) {
+                            let mut v = value.clone();
+                            v.$i = c;
+                            out.push(v);
+                        }
+                    )+
+                    out
                 }
             }
         };
@@ -228,11 +291,32 @@ pub mod strategy {
         pub(crate) size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut StdRng) -> Self::Value {
             let n = rng.gen_range(self.size.lo..=self.size.hi);
             (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            let len = value.len();
+            // Length first: binary search down toward the minimum,
+            // always by truncation so surviving elements are stable.
+            for target in int_shrink_candidates(self.size.lo as i128, len as i128) {
+                out.push(value[..target as usize].to_vec());
+            }
+            // Then elements in place, a couple of candidates each.
+            for i in 0..len {
+                for c in self.element.shrink(&value[i]).into_iter().take(2) {
+                    let mut v = value.clone();
+                    v[i] = c;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 }
@@ -330,10 +414,57 @@ pub mod test_runner {
         h
     }
 
-    /// Runs `cases` seeded cases of `case`, panicking on the first failure.
-    pub fn run<F>(name: &str, cfg: &ProptestConfig, mut case: F)
+    /// Total case re-runs the shrinker may spend per failure. Binary
+    /// search needs O(log²) of them; the cap only bites on pathological
+    /// strategies and guarantees failing tests still terminate fast.
+    const SHRINK_BUDGET: usize = 512;
+
+    /// Greedily minimizes a failing `value`: each round asks the
+    /// strategy for candidates (simplest first) and adopts the first
+    /// one that still fails, until no candidate fails or the budget is
+    /// spent. Returns the minimal value, its failure message, and the
+    /// number of successful shrink steps.
+    pub fn shrink_failure<S, F>(
+        strat: &S,
+        mut value: S::Value,
+        mut msg: String,
+        case: &F,
+    ) -> (S::Value, String, usize)
     where
-        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+        S: crate::strategy::Strategy,
+        S::Value: Clone,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut budget = SHRINK_BUDGET;
+        let mut steps = 0;
+        'minimize: loop {
+            for candidate in strat.shrink(&value) {
+                if budget == 0 {
+                    break 'minimize;
+                }
+                budget -= 1;
+                // A rejected candidate counts as passing: adopting it
+                // would leave the failure unreproduced.
+                if let Err(TestCaseError::Fail(m)) = case(candidate.clone()) {
+                    value = candidate;
+                    msg = m;
+                    steps += 1;
+                    continue 'minimize;
+                }
+            }
+            break;
+        }
+        (value, msg, steps)
+    }
+
+    /// Runs `cases` seeded draws of `strat` through `case`, panicking on
+    /// the first failure — after shrinking it to a minimal failing
+    /// input.
+    pub fn run<S, F>(name: &str, cfg: &ProptestConfig, strat: &S, case: F)
+    where
+        S: crate::strategy::Strategy,
+        S::Value: Clone + std::fmt::Debug,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
     {
         let base = std::env::var("XORBAS_PROPTEST_SEED")
             .ok()
@@ -342,12 +473,17 @@ pub mod test_runner {
         for i in 0..cfg.cases {
             let mut rng =
                 StdRng::seed_from_u64(base ^ u64::from(i).wrapping_mul(0x9E3779B97F4A7C15));
-            match case(&mut rng) {
+            let value = strat.sample(&mut rng);
+            match case(value.clone()) {
                 Ok(()) | Err(TestCaseError::Reject(_)) => {}
-                Err(e @ TestCaseError::Fail(_)) => panic!(
-                    "proptest `{name}` failed at case {i}/{} (base seed {base}): {e}",
-                    cfg.cases
-                ),
+                Err(TestCaseError::Fail(msg)) => {
+                    let (min_value, min_msg, steps) = shrink_failure(strat, value, msg, &case);
+                    panic!(
+                        "proptest `{name}` failed at case {i}/{} (base seed {base}): {min_msg}\n\
+                         minimal failing input after {steps} shrink steps: {min_value:?}",
+                        cfg.cases
+                    )
+                }
             }
         }
     }
@@ -377,8 +513,11 @@ macro_rules! proptest {
         $(#[$meta])*
         fn $name() {
             let cfg: $crate::test_runner::ProptestConfig = $cfg;
-            $crate::test_runner::run(stringify!($name), &cfg, |rng| {
-                $(let $arg = $crate::strategy::Strategy::sample(&($strat), rng);)+
+            // All argument strategies fuse into one tuple strategy so
+            // the runner can re-invoke the body on shrunk inputs.
+            let __strategy = ($($strat,)+);
+            $crate::test_runner::run(stringify!($name), &cfg, &__strategy, |__case_input| {
+                let ($($arg,)+) = __case_input;
                 (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
                     $body
                     Ok(())
@@ -478,6 +617,81 @@ macro_rules! prop_assert_ne {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use crate::test_runner::shrink_failure;
+
+    /// Binary-search shrinking converges an integer failure to the
+    /// exact boundary value, not just somewhere smaller.
+    #[test]
+    fn integer_shrink_finds_the_exact_boundary() {
+        let strat = 0u32..1000;
+        let case = |v: u32| {
+            if v >= 37 {
+                Err(TestCaseError::fail(format!("{v} over the line")))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, msg, steps) = shrink_failure(&strat, 999, "999 over the line".into(), &case);
+        assert_eq!(min, 37, "after {steps} steps: {msg}");
+        assert!(steps > 0);
+    }
+
+    /// Inclusive ranges shrink toward their start, stopping at it.
+    #[test]
+    fn inclusive_range_shrinks_to_its_start() {
+        let strat = 5usize..=80;
+        let case = |_v: usize| Err(TestCaseError::fail("always"));
+        let (min, _, _) = shrink_failure(&strat, 80, "always".into(), &case);
+        assert_eq!(min, 5);
+    }
+
+    /// Vec shrinking minimizes the length by truncation and then the
+    /// surviving elements toward the element-range start.
+    #[test]
+    fn vec_shrink_minimizes_length_then_elements() {
+        let strat = crate::collection::vec(0u32..256, 0..50);
+        let case = |v: Vec<u32>| {
+            if v.len() >= 5 {
+                Err(TestCaseError::fail("too long"))
+            } else {
+                Ok(())
+            }
+        };
+        let start: Vec<u32> = (0..40).map(|i| 100 + i).collect();
+        let (min, _, _) = shrink_failure(&strat, start, "too long".into(), &case);
+        assert_eq!(min, vec![0u32; 5], "length pinned at 5, elements at 0");
+    }
+
+    /// Tuples shrink one coordinate at a time; a failure that needs a
+    /// coordinate *sum* lands exactly on the constraint surface.
+    #[test]
+    fn tuple_shrink_lands_on_the_constraint_boundary() {
+        let strat = (0u32..100, 0u32..100);
+        let case = |(a, b): (u32, u32)| {
+            if a + b >= 10 {
+                Err(TestCaseError::fail("sum too big"))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, _, _) = shrink_failure(&strat, (73, 51), "sum too big".into(), &case);
+        assert_eq!(min.0 + min.1, 10, "minimal failing pair {min:?}");
+    }
+
+    /// The runner reports the shrunk input in its panic message.
+    #[test]
+    #[should_panic(expected = "minimal failing input")]
+    fn failing_cases_panic_with_the_minimal_input() {
+        let cfg = ProptestConfig::with_cases(4);
+        let strat = (1usize..500,);
+        crate::test_runner::run("panics_with_minimal", &cfg, &strat, |(n,)| {
+            if n >= 2 {
+                Err(TestCaseError::fail("n too big"))
+            } else {
+                Ok(())
+            }
+        });
+    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
